@@ -1,0 +1,79 @@
+// Command atlasd runs the measurement platform server: the RIPE-Atlas-like
+// HTTP API over the simulated probe fleet and cloud regions. Live
+// measurements traverse the full echo/ping stack over the virtual network.
+//
+// Usage:
+//
+//	atlasd -addr :8080 -probes 800 -grant demo=100000 -scale 0.01
+//
+// Then, e.g.:
+//
+//	curl 'http://localhost:8080/api/v1/probes?country=DE&tag=wifi&limit=3'
+//	curl 'http://localhost:8080/api/v1/regions'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/atlas"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atlasd: ")
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
+		probes = flag.Int("probes", 800, "probe census size")
+		seed   = flag.Uint64("seed", 1, "world seed")
+		scale  = flag.Float64("scale", 0.01, "time compression for live pings (0,1]")
+		grant  = flag.String("grant", "demo=100000", "comma-separated account=credits grants")
+	)
+	flag.Parse()
+	srv, err := build(*probes, *seed, *scale, *grant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func build(probes int, seed uint64, scale float64, grants string) (http.Handler, error) {
+	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	if err != nil {
+		return nil, err
+	}
+	ledger := atlas.NewLedger()
+	for _, g := range strings.Split(grants, ",") {
+		if g == "" {
+			continue
+		}
+		account, amount, ok := strings.Cut(g, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad grant %q, want account=credits", g)
+		}
+		credits, err := strconv.ParseInt(amount, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad credit amount in %q: %v", g, err)
+		}
+		if err := ledger.Grant(account, credits); err != nil {
+			return nil, err
+		}
+		log.Printf("granted %d credits to %q", credits, account)
+	}
+	live, err := atlas.NewLiveService(w.Platform, ledger, scale)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := atlas.NewServer(w.Platform, ledger, live)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("world: %d probes, %d regions", w.Probes.Len(), w.Catalog.Len())
+	return srv, nil
+}

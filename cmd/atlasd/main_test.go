@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestBuildServesAPI(t *testing.T) {
+	h, err := build(200, 1, 0.01, "demo=500,other=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/v1/regions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("regions = %d", resp.StatusCode)
+	}
+	var regions []struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&regions); err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 101 {
+		t.Errorf("%d regions served", len(regions))
+	}
+
+	// Grants were applied.
+	credResp, err := http.Get(ts.URL + "/api/v1/credits/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer credResp.Body.Close()
+	var cred struct {
+		Balance int64 `json:"balance"`
+	}
+	if err := json.NewDecoder(credResp.Body).Decode(&cred); err != nil {
+		t.Fatal(err)
+	}
+	if cred.Balance != 500 {
+		t.Errorf("demo balance = %d", cred.Balance)
+	}
+}
+
+func TestBuildRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name   string
+		probes int
+		scale  float64
+		grants string
+	}{
+		{"zero probes", 0, 0.01, ""},
+		{"bad scale", 200, 0, ""},
+		{"malformed grant", 200, 0.01, "justaname"},
+		{"bad amount", 200, 0.01, "demo=abc"},
+		{"negative grant", 200, 0.01, "demo=-5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := build(tc.probes, 1, tc.scale, tc.grants); err == nil {
+				t.Error("invalid configuration accepted")
+			}
+		})
+	}
+}
+
+func TestBuildEmptyGrantListOK(t *testing.T) {
+	if _, err := build(200, 1, 0.01, ""); err != nil {
+		t.Errorf("empty grants rejected: %v", err)
+	}
+}

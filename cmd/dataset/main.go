@@ -1,0 +1,249 @@
+// Command dataset inspects a stored campaign dataset without loading it
+// into memory: streaming summary statistics (using the P² estimator for
+// quantiles), per-continent/per-band tallies, and filtered re-export.
+//
+// Usage:
+//
+//	dataset -data ./dataset stats
+//	dataset -data ./dataset continents
+//	dataset -data ./dataset hist
+//	dataset -data ./dataset filter -continent AF -out ./africa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/results"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dataset: ")
+	var (
+		data      = flag.String("data", "dataset", "dataset directory")
+		continent = flag.String("continent", "", "continent filter for the filter op (two-letter code)")
+		out       = flag.String("out", "", "output directory for the filter op")
+	)
+	flag.Parse()
+	op := flag.Arg(0)
+	if op == "" {
+		op = "stats"
+	}
+	lines, err := run(*data, op, *continent, *out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func run(data, op, continent, out string) ([]string, error) {
+	store, err := results.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "stats":
+		return statsOp(store)
+	case "continents":
+		return continentsOp(store)
+	case "filter":
+		return filterOp(store, continent, out)
+	case "hist":
+		return histOp(store)
+	default:
+		return nil, fmt.Errorf("unknown op %q (want stats, continents, hist, or filter)", op)
+	}
+}
+
+// statsOp streams the dataset once, keeping O(1) state.
+func statsOp(store *results.Store) ([]string, error) {
+	meta := store.Meta()
+	var (
+		total, lost   uint64
+		sum, min, max float64
+		p50, p95      *stats.P2
+		firstRTT      = true
+	)
+	var err error
+	if p50, err = stats.NewP2(0.5); err != nil {
+		return nil, err
+	}
+	if p95, err = stats.NewP2(0.95); err != nil {
+		return nil, err
+	}
+	err = store.ForEach(func(s results.Sample) error {
+		total++
+		if s.Lost {
+			lost++
+			return nil
+		}
+		sum += s.RTTms
+		if firstRTT || s.RTTms < min {
+			min = s.RTTms
+		}
+		if firstRTT || s.RTTms > max {
+			max = s.RTTms
+		}
+		firstRTT = false
+		if err := p50.Add(s.RTTms); err != nil {
+			return err
+		}
+		return p95.Add(s.RTTms)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("dataset is empty")
+	}
+	delivered := total - lost
+	lines := []string{
+		fmt.Sprintf("campaign: seed=%d %s..%s interval=%.0fh probes=%d regions=%d",
+			meta.Seed, meta.Start.Format("2006-01-02"), meta.End.Format("2006-01-02"),
+			meta.IntervalHours, meta.Probes, meta.Regions),
+		fmt.Sprintf("samples: %d total, %d delivered, %d lost (%.2f%%)",
+			total, delivered, lost, 100*float64(lost)/float64(total)),
+	}
+	if delivered > 0 {
+		med, err := p50.Value()
+		if err != nil {
+			return nil, err
+		}
+		q95, err := p95.Value()
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, fmt.Sprintf("rtt: min=%.1fms p50~%.1fms p95~%.1fms max=%.1fms mean=%.1fms",
+			min, med, q95, max, sum/float64(delivered)))
+	}
+	return lines, nil
+}
+
+// histOp renders an ASCII histogram of the delivered RTTs (0-300 ms in
+// 10 ms bins, plus an overflow bucket), streaming the dataset once.
+func histOp(store *results.Store) ([]string, error) {
+	h, err := stats.NewHistogram(0, 300, 30)
+	if err != nil {
+		return nil, err
+	}
+	err = store.ForEach(func(s results.Sample) error {
+		if s.Lost {
+			return nil
+		}
+		return h.Add(s.RTTms)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if h.Total() == 0 {
+		return nil, fmt.Errorf("dataset has no delivered samples")
+	}
+	var max uint64
+	for _, bin := range h.Bins() {
+		if bin.Count > max {
+			max = bin.Count
+		}
+	}
+	if h.Overflow() > max {
+		max = h.Overflow()
+	}
+	const barWidth = 50
+	bar := func(n uint64) string {
+		if max == 0 {
+			return ""
+		}
+		return strings.Repeat("#", int(n*barWidth/max))
+	}
+	lines := []string{fmt.Sprintf("RTT histogram (%d delivered samples)", h.Total())}
+	for _, bin := range h.Bins() {
+		lines = append(lines, fmt.Sprintf("%3.0f-%3.0fms %8d %s", bin.Lo, bin.Hi, bin.Count, bar(bin.Count)))
+	}
+	lines = append(lines, fmt.Sprintf("  >=300ms %8d %s", h.Overflow(), bar(h.Overflow())))
+	return lines, nil
+}
+
+// continentsOp tallies delivered samples per continent; it rebuilds the
+// probe census from the stored seed to map probe IDs.
+func continentsOp(store *results.Store) ([]string, error) {
+	meta := store.Meta()
+	w, err := world.Build(world.Config{Seed: meta.Seed, Probes: meta.Probes})
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[geo.Continent]uint64)
+	var within map[geo.Continent]uint64 = make(map[geo.Continent]uint64)
+	err = store.ForEach(func(s results.Sample) error {
+		if s.Lost {
+			return nil
+		}
+		ct, ok := w.Index.Continent(s.ProbeID)
+		if !ok {
+			return nil
+		}
+		counts[ct]++
+		if s.RTTms <= core.PLms {
+			within[ct]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lines := []string{"continent       samples     within-PL"}
+	for _, ct := range geo.Continents() {
+		if counts[ct] == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%-14s %9d  %11.1f%%",
+			ct.String(), counts[ct], 100*float64(within[ct])/float64(counts[ct])))
+	}
+	return lines, nil
+}
+
+// filterOp re-exports the samples of one continent into a new dataset.
+func filterOp(store *results.Store, continent, out string) ([]string, error) {
+	if continent == "" || out == "" {
+		return nil, fmt.Errorf("filter needs -continent and -out")
+	}
+	ct, err := geo.ParseContinent(continent)
+	if err != nil {
+		return nil, err
+	}
+	meta := store.Meta()
+	w, err := world.Build(world.Config{Seed: meta.Seed, Probes: meta.Probes})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(out); err == nil {
+		return nil, fmt.Errorf("output %s already exists", out)
+	}
+	_, writer, closeFn, err := results.Create(out, meta)
+	if err != nil {
+		return nil, err
+	}
+	err = store.ForEach(func(s results.Sample) error {
+		if got, ok := w.Index.Continent(s.ProbeID); ok && got == ct {
+			return writer.Write(s)
+		}
+		return nil
+	})
+	if err != nil {
+		closeFn()
+		return nil, err
+	}
+	n := writer.Count()
+	if err := closeFn(); err != nil {
+		return nil, err
+	}
+	return []string{fmt.Sprintf("wrote %d %s samples to %s", n, ct, out)}, nil
+}

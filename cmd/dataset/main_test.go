@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/atlas"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+// buildDataset writes a small campaign to disk and returns its directory.
+func buildDataset(t *testing.T) string {
+	t.Helper()
+	w, err := world.Build(world.Config{Seed: 1, Probes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := atlas.TestCampaign()
+	dir := filepath.Join(t.TempDir(), "ds")
+	_, writer, closeFn, err := results.Create(dir, cfg.Meta(1, 200, w.Catalog.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Platform.RunCampaign(context.Background(), cfg, writer.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestStatsOp(t *testing.T) {
+	dir := buildDataset(t)
+	lines, err := run(dir, "stats", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"campaign:", "samples:", "rtt:", "p50~"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("stats output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestContinentsOp(t *testing.T) {
+	dir := buildDataset(t)
+	lines, err := run(dir, "continents", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"Europe", "Africa", "within-PL"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("continents output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFilterOp(t *testing.T) {
+	dir := buildDataset(t)
+	out := filepath.Join(t.TempDir(), "africa")
+	lines, err := run(dir, "filter", "AF", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "Africa") {
+		t.Errorf("filter output: %v", lines)
+	}
+	// The filtered dataset opens and contains only African probes.
+	store, err := results.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := store.ForEach(func(results.Sample) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("filtered dataset empty")
+	}
+	// Re-filtering into the same directory is refused.
+	if _, err := run(dir, "filter", "AF", out); err == nil {
+		t.Error("overwrite accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := buildDataset(t)
+	if _, err := run(filepath.Join(t.TempDir(), "missing"), "stats", "", ""); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if _, err := run(dir, "explode", "", ""); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := run(dir, "filter", "", ""); err == nil {
+		t.Error("filter without args accepted")
+	}
+	if _, err := run(dir, "filter", "XX", t.TempDir()+"/x"); err == nil {
+		t.Error("bad continent accepted")
+	}
+}
+
+func TestHistOp(t *testing.T) {
+	dir := buildDataset(t)
+	lines, err := run(dir, "hist", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 32 { // header + 30 bins + overflow
+		t.Fatalf("hist produced %d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "#") {
+		t.Error("histogram has no bars")
+	}
+	if !strings.Contains(joined, ">=300ms") {
+		t.Error("overflow bucket missing")
+	}
+}

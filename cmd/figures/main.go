@@ -1,0 +1,198 @@
+// Command figures regenerates a single figure of the paper, either from a
+// stored campaign dataset (produced by cmd/shears) or from a freshly
+// synthesized small campaign.
+//
+// Usage:
+//
+//	figures -fig 4 -data ./dataset     # from a stored campaign
+//	figures -fig 7                     # synthesize a small campaign first
+//	figures -fig 1                     # dataset-independent figures
+//
+// Dataset-independent figures: 1, 2, 3a, 3b. Dataset figures: 4, 5, 6, 7, 8.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/atlas"
+	"repro/internal/figures"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig    = flag.String("fig", "", "figure to render: 1, 2, 3a, 3b, 4, 5, 6, 7, 8")
+		data   = flag.String("data", "", "stored dataset directory (optional)")
+		probes = flag.Int("probes", 400, "probe count when synthesizing")
+		seed   = flag.Uint64("seed", 1, "world seed when synthesizing")
+		asCSV  = flag.Bool("csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
+	)
+	flag.Parse()
+	lines, err := render(*fig, *data, *probes, *seed, *asCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func render(fig, data string, probes int, seed uint64, asCSV bool) ([]string, error) {
+	if asCSV {
+		return renderCSV(fig, data, probes, seed)
+	}
+	ctx := context.Background()
+	switch fig {
+	case "1":
+		_, lines, err := figures.Figure1(ctx, seed)
+		return lines, err
+	case "2":
+		return figures.Figure2(apps.Paper())
+	}
+
+	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	if err != nil {
+		return nil, err
+	}
+	switch fig {
+	case "3a":
+		return figures.Figure3a(w.Catalog)
+	case "3b":
+		return figures.Figure3b(w.Probes)
+	}
+
+	src, start, err := loadOrSynthesize(ctx, w, data)
+	if err != nil {
+		return nil, err
+	}
+	switch fig {
+	case "4":
+		_, lines, err := figures.Figure4(src, w.Index)
+		return lines, err
+	case "5":
+		_, lines, err := figures.Figure5(src, w.Index)
+		return lines, err
+	case "6":
+		_, lines, err := figures.Figure6(src, w.Index)
+		return lines, err
+	case "7":
+		_, lines, err := figures.Figure7(src, w.Index, start)
+		return lines, err
+	case "8":
+		rep7, _, err := figures.Figure7(src, w.Index, start)
+		if err != nil {
+			return nil, err
+		}
+		_, lines, err := figures.Figure8(rep7, apps.Paper())
+		return lines, err
+	default:
+		return nil, fmt.Errorf("unknown figure %q (want one of %v)", fig, figures.Names())
+	}
+}
+
+// loadOrSynthesize opens the stored dataset, or runs a fresh test-scale
+// campaign against the supplied world.
+func loadOrSynthesize(ctx context.Context, w *world.World, data string) (results.Source, time.Time, error) {
+	if data != "" {
+		store, err := results.Open(data)
+		if err != nil {
+			return nil, time.Time{}, err
+		}
+		return store, store.Meta().Start, nil
+	}
+	cfg := atlas.TestCampaign()
+	var mem results.Memory
+	if _, err := w.Platform.RunCampaign(ctx, cfg, mem.Add); err != nil {
+		return nil, time.Time{}, err
+	}
+	return &mem, cfg.Start, nil
+}
+
+// renderCSV emits the machine-readable form of a figure.
+func renderCSV(fig, data string, probes int, seed uint64) ([]string, error) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if fig == "1" {
+		series, _, err := figures.Figure1(ctx, seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := figures.Figure1CSV(&buf, series); err != nil {
+			return nil, err
+		}
+		return splitLines(buf.String()), nil
+	}
+
+	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	if err != nil {
+		return nil, err
+	}
+	src, start, err := loadOrSynthesize(ctx, w, data)
+	if err != nil {
+		return nil, err
+	}
+	switch fig {
+	case "4":
+		rep, _, err := figures.Figure4(src, w.Index)
+		if err != nil {
+			return nil, err
+		}
+		err = figures.Figure4CSV(&buf, rep)
+		if err != nil {
+			return nil, err
+		}
+	case "5":
+		rep, _, err := figures.Figure5(src, w.Index)
+		if err != nil {
+			return nil, err
+		}
+		if err := figures.CDFCSV(&buf, rep); err != nil {
+			return nil, err
+		}
+	case "6":
+		rep, _, err := figures.Figure6(src, w.Index)
+		if err != nil {
+			return nil, err
+		}
+		if err := figures.CDFCSV(&buf, rep); err != nil {
+			return nil, err
+		}
+	case "7":
+		rep, _, err := figures.Figure7(src, w.Index, start)
+		if err != nil {
+			return nil, err
+		}
+		if err := figures.Figure7CSV(&buf, rep); err != nil {
+			return nil, err
+		}
+	case "8":
+		rep7, _, err := figures.Figure7(src, w.Index, start)
+		if err != nil {
+			return nil, err
+		}
+		rep, _, err := figures.Figure8(rep7, apps.Paper())
+		if err != nil {
+			return nil, err
+		}
+		if err := figures.Figure8CSV(&buf, rep); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("figure %q has no CSV form", fig)
+	}
+	return splitLines(buf.String()), nil
+}
+
+func splitLines(s string) []string {
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/atlas"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+func TestRenderDatasetIndependentFigures(t *testing.T) {
+	for _, fig := range []string{"1", "2", "3a", "3b"} {
+		lines, err := render(fig, "", 200, 1, false)
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if len(lines) == 0 {
+			t.Errorf("fig %s produced no output", fig)
+		}
+	}
+}
+
+func TestRenderUnknownFigure(t *testing.T) {
+	if _, err := render("42", "", 200, 1, false); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Errorf("unknown figure: %v", err)
+	}
+}
+
+func TestRenderFromStoredDataset(t *testing.T) {
+	// Build a tiny dataset on disk, then render figure 4 from it.
+	w, err := world.Build(world.Config{Seed: 2, Probes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := atlas.TestCampaign()
+	dir := t.TempDir()
+	_, writer, closeFn, err := results.Create(dir, cfg.Meta(2, w.Probes.Len(), w.Catalog.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Platform.RunCampaign(context.Background(), cfg, writer.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []string{"4", "5", "6", "7", "8"} {
+		lines, err := render(fig, dir, 200, 2, false)
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if len(lines) == 0 {
+			t.Errorf("fig %s produced no output", fig)
+		}
+	}
+	// Missing dataset directory surfaces an error.
+	if _, err := render("4", dir+"/nope", 200, 2, false); err == nil {
+		t.Error("missing dataset accepted")
+	}
+}
+
+func TestRenderSynthesizes(t *testing.T) {
+	lines, err := render("4", "", 200, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lines[0], "countries:") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	for _, fig := range []string{"1", "4", "7"} {
+		lines, err := render(fig, "", 200, 1, true)
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if len(lines) < 2 || !strings.Contains(lines[0], ",") {
+			t.Errorf("fig %s CSV output malformed: %v", fig, lines[:1])
+		}
+	}
+	if _, err := render("2", "", 200, 1, true); err == nil {
+		t.Error("figure without CSV form accepted")
+	}
+}

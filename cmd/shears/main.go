@@ -1,0 +1,252 @@
+// Command shears is the end-to-end reproduction driver: it builds the
+// world (probes, cloud regions, latency model), runs the measurement
+// campaign, writes the dataset to disk, and regenerates every figure of
+// the paper from it.
+//
+// Usage:
+//
+//	shears -out ./dataset            # test-scale campaign (default)
+//	shears -out ./dataset -full      # paper-scale: 9 months, ~3.2M samples
+//	shears -out ./dataset -days 60   # custom window
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/atlas"
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/figures"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shears: ")
+	var (
+		out    = flag.String("out", "dataset", "output directory for the campaign dataset")
+		probes = flag.Int("probes", 3300, "probe census size")
+		seed   = flag.Uint64("seed", 1, "world and campaign seed")
+		full   = flag.Bool("full", false, "run the paper-scale nine-month campaign")
+		days   = flag.Int("days", 0, "override campaign length in days (0 = config default)")
+		quiet  = flag.Bool("quiet", false, "skip figure output; only build the dataset")
+		figDir = flag.String("figdir", "", "also write figure artifacts (CSV + SVG) into this directory")
+	)
+	flag.Parse()
+	if err := run(*out, *probes, *seed, *full, *days, *quiet, *figDir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out string, probes int, seed uint64, full bool, days int, quiet bool, figDir string) error {
+	start := time.Now()
+	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	if err != nil {
+		return err
+	}
+	cfg := atlas.TestCampaign()
+	if full {
+		cfg = atlas.PaperCampaign()
+	}
+	if days > 0 {
+		cfg.End = cfg.Start.Add(time.Duration(days) * 24 * time.Hour)
+	}
+	log.Printf("world: %d probes in %d countries, %d regions, campaign %s..%s",
+		w.Probes.Len(), len(w.Probes.Countries()), w.Catalog.Len(),
+		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
+
+	meta := cfg.Meta(seed, w.Probes.Len(), w.Catalog.Len())
+	store, writer, closeFn, err := results.Create(out, meta)
+	if err != nil {
+		return err
+	}
+	n, err := w.Platform.RunCampaign(context.Background(), cfg, writer.Write)
+	if err != nil {
+		closeFn()
+		return err
+	}
+	if err := closeFn(); err != nil {
+		return err
+	}
+	log.Printf("campaign: %d samples written to %s in %v", n, out, time.Since(start).Round(time.Millisecond))
+
+	if figDir != "" {
+		if err := writeArtifacts(figDir, store, w, cfg); err != nil {
+			return err
+		}
+		log.Printf("figure artifacts written to %s", figDir)
+	}
+	if quiet {
+		return nil
+	}
+	return printFigures(store, w, cfg)
+}
+
+// writeArtifacts exports the dataset figures as CSV and SVG files.
+func writeArtifacts(dir string, src results.Source, w *world.World, cfg atlas.CampaignConfig) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	series, _, err := figures.Figure1(context.Background(), 1)
+	if err != nil {
+		return err
+	}
+	if err := write("figure1.csv", func(f io.Writer) error { return figures.Figure1CSV(f, series) }); err != nil {
+		return err
+	}
+	if err := write("figure1.svg", func(f io.Writer) error { return figures.Figure1SVG(f, series) }); err != nil {
+		return err
+	}
+	rep4, _, err := figures.Figure4(src, w.Index)
+	if err != nil {
+		return err
+	}
+	if err := write("figure4.csv", func(f io.Writer) error { return figures.Figure4CSV(f, rep4) }); err != nil {
+		return err
+	}
+	rep5, _, err := figures.Figure5(src, w.Index)
+	if err != nil {
+		return err
+	}
+	if err := write("figure5.csv", func(f io.Writer) error { return figures.CDFCSV(f, rep5) }); err != nil {
+		return err
+	}
+	if err := write("figure5.svg", func(f io.Writer) error { return figures.CDFSVG(f, rep5, "Figure 5: min RTT CDF by continent") }); err != nil {
+		return err
+	}
+	rep6, _, err := figures.Figure6(src, w.Index)
+	if err != nil {
+		return err
+	}
+	if err := write("figure6.csv", func(f io.Writer) error { return figures.CDFCSV(f, rep6) }); err != nil {
+		return err
+	}
+	if err := write("figure6.svg", func(f io.Writer) error { return figures.CDFSVG(f, rep6, "Figure 6: all pings to closest DC") }); err != nil {
+		return err
+	}
+	rep7, _, err := figures.Figure7(src, w.Index, cfg.Start)
+	if err != nil {
+		return err
+	}
+	if err := write("figure7.csv", func(f io.Writer) error { return figures.Figure7CSV(f, rep7) }); err != nil {
+		return err
+	}
+	if err := write("figure7.svg", func(f io.Writer) error { return figures.Figure7SVG(f, rep7, cfg.Start) }); err != nil {
+		return err
+	}
+	rep8, _, err := figures.Figure8(rep7, apps.Paper())
+	if err != nil {
+		return err
+	}
+	return write("figure8.csv", func(f io.Writer) error { return figures.Figure8CSV(f, rep8) })
+}
+
+func printFigures(src results.Source, w *world.World, cfg atlas.CampaignConfig) error {
+	ctx := context.Background()
+	emit := func(name string, lines []string) {
+		fmt.Printf("\n=== Figure %s ===\n", name)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+
+	_, l1, err := figures.Figure1(ctx, 1)
+	if err != nil {
+		return err
+	}
+	emit("1 (zeitgeist)", l1)
+
+	l2, err := figures.Figure2(apps.Paper())
+	if err != nil {
+		return err
+	}
+	emit("2 (application requirements)", l2)
+
+	l3a, err := figures.Figure3a(w.Catalog)
+	if err != nil {
+		return err
+	}
+	emit("3a (cloud regions)", l3a)
+
+	l3b, err := figures.Figure3b(w.Probes)
+	if err != nil {
+		return err
+	}
+	emit("3b (probes)", l3b)
+
+	_, l4, err := figures.Figure4(src, w.Index)
+	if err != nil {
+		return err
+	}
+	emit("4 (proximity to the cloud)", l4)
+
+	_, l5, err := figures.Figure5(src, w.Index)
+	if err != nil {
+		return err
+	}
+	emit("5 (min RTT CDF by continent)", l5)
+
+	_, l6, err := figures.Figure6(src, w.Index)
+	if err != nil {
+		return err
+	}
+	emit("6 (all pings to closest DC)", l6)
+
+	rep7, l7, err := figures.Figure7(src, w.Index, cfg.Start)
+	if err != nil {
+		return err
+	}
+	emit("7 (wired vs wireless)", l7)
+
+	_, l8, err := figures.Figure8(rep7, apps.Paper())
+	if err != nil {
+		return err
+	}
+	emit("8 (feasibility zone)", l8)
+
+	// §4.3 and §5 companion tables.
+	delayRep, err := delay.WhereIsTheDelay(w.Platform, delay.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	emit("§4.3 (where is the delay?)", delayRep.Format())
+
+	provRep, err := core.ProviderComparison(src, w.Index)
+	if err != nil {
+		return err
+	}
+	var provLines []string
+	for _, row := range provRep.Rows {
+		provLines = append(provLines, fmt.Sprintf("%-16s median=%6.1fms p95=%7.1fms loss=%.2f%% (n=%d)",
+			row.Provider, row.Summary.Median, row.Summary.P95, 100*row.LossRate, row.Summary.N))
+	}
+	emit("§4.1 (per-provider reachability)", provLines)
+
+	bwRep, err := bandwidth.Justify(apps.Paper(), bandwidth.Metro(), 0.95)
+	if err != nil {
+		return err
+	}
+	emit("§5 (backhaul demand per application)", bwRep.Format())
+	return nil
+}

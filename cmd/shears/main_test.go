@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/results"
+)
+
+func TestRunBuildsDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := run(dir, 200, 1, false, 2, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := store.Meta()
+	if meta.Probes != 200 || meta.Regions != 101 {
+		t.Errorf("meta = %+v", meta)
+	}
+	n := 0
+	if err := store.ForEach(func(results.Sample) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// 2 days x 8 rounds x ~190 public probes x 2 targets.
+	if n < 1000 {
+		t.Errorf("dataset has only %d samples", n)
+	}
+}
+
+func TestRunWithFigures(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	// 4 days is enough for every figure including the weekly Fig 7 bins.
+	if err := run(dir, 250, 1, false, 4, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(t.TempDir(), 0, 1, false, 1, true, ""); err == nil {
+		t.Error("zero probes accepted")
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	figDir := filepath.Join(t.TempDir(), "figs")
+	if err := run(dir, 250, 1, false, 7, true, figDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"figure1.csv", "figure1.svg", "figure4.csv", "figure5.csv",
+		"figure5.svg", "figure6.csv", "figure6.svg", "figure7.csv",
+		"figure7.svg", "figure8.csv",
+	} {
+		info, err := os.Stat(filepath.Join(figDir, name))
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}

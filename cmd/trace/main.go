@@ -1,0 +1,109 @@
+// Command trace prints a traceroute-style transcript for a probe-to-region
+// path of the simulated world, locating the delay along the path (§4.3).
+//
+// Usage:
+//
+//	trace -probe 42 -region 'Amazon/eu-central-1'
+//	trace -country NG              # first probe in Nigeria, nearest region
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/probe"
+	"repro/internal/route"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trace: ")
+	var (
+		probeID = flag.Int("probe", 0, "probe ID (0 = pick by -country)")
+		country = flag.String("country", "DE", "pick the first probe in this country when -probe is 0")
+		region  = flag.String("region", "", "target region address (empty = geographically nearest)")
+		probes  = flag.Int("probes", 400, "probe census size")
+		seed    = flag.Uint64("seed", 1, "world seed")
+		atStr   = flag.String("at", "2019-09-01T12:00:00Z", "sample time (RFC 3339)")
+	)
+	flag.Parse()
+	lines, err := run(*probeID, *country, *region, *probes, *seed, *atStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func run(probeID int, country, region string, probes int, seed uint64, atStr string) ([]string, error) {
+	at, err := time.Parse(time.RFC3339, atStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -at: %w", err)
+	}
+	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := pickProbe(w, probeID, country)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pickRegion(w, pr, region)
+	if err != nil {
+		return nil, err
+	}
+	path, err := w.Platform.Path(pr, r)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := route.Expand(path, pr.Site(), r.Addr(), at)
+	if err != nil {
+		return nil, err
+	}
+	lines := []string{fmt.Sprintf("probe %d: %s, %s, %s last mile", pr.ID, pr.Country, pr.Continent, pr.Access)}
+	lines = append(lines, tr.Format()...)
+	if !tr.Lost {
+		lines = append(lines, fmt.Sprintf("segments: access=%.1fms transit=%.1fms backbone=%.1fms",
+			tr.SegmentMs(route.HopAccess), tr.SegmentMs(route.HopTransit), tr.SegmentMs(route.HopBackbone)))
+	}
+	return lines, nil
+}
+
+func pickProbe(w *world.World, probeID int, country string) (*probe.Probe, error) {
+	if probeID != 0 {
+		pr, ok := w.Probes.Lookup(probeID)
+		if !ok {
+			return nil, fmt.Errorf("unknown probe %d", probeID)
+		}
+		if pr.Privileged() {
+			return nil, fmt.Errorf("probe %d is privileged and excluded from measurements", probeID)
+		}
+		return pr, nil
+	}
+	for _, pr := range w.Probes.Public() {
+		if pr.Country == country {
+			return pr, nil
+		}
+	}
+	return nil, fmt.Errorf("no public probe in %q", country)
+}
+
+func pickRegion(w *world.World, pr *probe.Probe, region string) (*cloud.Region, error) {
+	if region == "" {
+		r := w.Catalog.Nearest(pr.Location)
+		if r == nil {
+			return nil, fmt.Errorf("empty catalog")
+		}
+		return r, nil
+	}
+	r, ok := w.Catalog.Lookup(region)
+	if !ok {
+		return nil, fmt.Errorf("unknown region %q", region)
+	}
+	return r, nil
+}

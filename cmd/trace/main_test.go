@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceByCountry(t *testing.T) {
+	lines, err := run(0, "NG", "", 400, 1, "2019-09-01T12:00:00Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"probe", "traceroute to", "segments:"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestTraceExplicitTargets(t *testing.T) {
+	lines, err := run(0, "DE", "Amazon/eu-central-1", 400, 1, "2019-09-01T12:00:00Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "Amazon/eu-central-1") {
+		t.Error("explicit region not traced")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		probeID int
+		country string
+		region  string
+		at      string
+	}{
+		{"bad time", 0, "DE", "", "not-a-time"},
+		{"unknown probe", 999999, "DE", "", "2019-09-01T12:00:00Z"},
+		{"unknown country", 0, "ZZ", "", "2019-09-01T12:00:00Z"},
+		{"unknown region", 0, "DE", "Nope/x", "2019-09-01T12:00:00Z"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := run(tc.probeID, tc.country, tc.region, 400, 1, tc.at); err == nil {
+				t.Error("invalid input accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Command whatif runs the §5 counterfactual scenarios: how the
+// wired/wireless gap and the edge feasibility zone move if the last mile
+// improves (promised 5G, early 5G, bufferbloat eliminated).
+//
+// Usage:
+//
+//	whatif                      # all scenarios, compact world
+//	whatif -probes 800 -days 30
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/whatif"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whatif: ")
+	var (
+		probes = flag.Int("probes", 400, "probe census size")
+		seed   = flag.Uint64("seed", 1, "world seed")
+		days   = flag.Int("days", 30, "campaign length in days")
+	)
+	flag.Parse()
+	lines, err := run(*probes, *seed, *days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func run(probes int, seed uint64, days int) ([]string, error) {
+	campaign := atlas.TestCampaign()
+	if days > 0 {
+		campaign.End = campaign.Start.Add(time.Duration(days) * 24 * time.Hour)
+	}
+	cfg := whatif.Config{Seed: seed, Probes: probes, Campaign: campaign}
+	rep, err := whatif.Run(context.Background(), cfg,
+		whatif.Baseline(), whatif.FiveGEarly(), whatif.FiveG(), whatif.NoBufferbloat())
+	if err != nil {
+		return nil, err
+	}
+	lines := rep.Format()
+	for _, o := range rep.Outcomes {
+		lines = append(lines, fmt.Sprintf("%s zone: %v", o.Scenario, o.InZone))
+	}
+	return lines, nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProducesAllScenarios(t *testing.T) {
+	lines, err := run(250, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"baseline", "5g-early", "5g-promised", "no-bufferbloat", "zone:"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadCensus(t *testing.T) {
+	if _, err := run(0, 1, 7); err == nil {
+		t.Error("zero probes accepted")
+	}
+}

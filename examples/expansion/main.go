@@ -1,0 +1,75 @@
+// Expansion: the §6 "plausible deployments" analysis — where should the
+// cloud expand next? A greedy facility-location pass over the probe
+// population ranks the countries whose first in-country datacenter would
+// most reduce global mean access latency, then shows a traceroute into the
+// current worst region to explain why.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/expansion"
+	"repro/internal/route"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w, err := world.Build(world.Config{Seed: 1, Probes: 500})
+	if err != nil {
+		return err
+	}
+	at := time.Date(2019, 9, 1, 12, 0, 0, 0, time.UTC)
+
+	candidates := expansion.CountryCandidates(w.Platform, w.Countries)
+	fmt.Printf("%d candidate countries without a local datacenter\n\n", len(candidates))
+
+	plan, err := expansion.Greedy(w.Platform, candidates, 8, at)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Greedy expansion plan (minimize global mean best-RTT) ==")
+	for _, l := range plan.Format() {
+		fmt.Println(l)
+	}
+	fmt.Printf("total mean improvement: %.1f ms\n", plan.ImprovementMs())
+
+	// Explain the first pick with a traceroute from one of its probes to
+	// the currently nearest region: the delay sits in transit, not physics.
+	first := plan.Selections[0].Candidate
+	var probeID int
+	for _, p := range w.Probes.Public() {
+		if p.Country == first.Country {
+			probeID = p.ID
+			break
+		}
+	}
+	if probeID == 0 {
+		return fmt.Errorf("no probe in %s", first.Country)
+	}
+	pr, _ := w.Probes.Lookup(probeID)
+	nearest := w.Catalog.Nearest(pr.Location)
+	path, err := w.Platform.Path(pr, nearest)
+	if err != nil {
+		return err
+	}
+	tr, err := route.Expand(path, pr.Site(), nearest.Addr(), at)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Why %s? Current path from probe %d to %s ==\n", first.Name, pr.ID, nearest.Addr())
+	for _, l := range tr.Format() {
+		fmt.Println(l)
+	}
+	fmt.Printf("segments: access=%.1fms transit=%.1fms backbone=%.1fms\n",
+		tr.SegmentMs(route.HopAccess), tr.SegmentMs(route.HopTransit), tr.SegmentMs(route.HopBackbone))
+	return nil
+}

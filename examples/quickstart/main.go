@@ -1,0 +1,93 @@
+// Quickstart: build the measurement world, ping a few cloud regions from a
+// probe through the full echo/ping stack, and print where the nearest
+// datacenter is — the reproduction's "hello world".
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A small world: 400 synthetic probes, the 101 real cloud regions.
+	w, err := world.Build(world.Config{Seed: 1, Probes: 400})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("world: %d probes in %d countries, %d cloud regions\n",
+		w.Probes.Len(), len(w.Probes.Countries()), w.Catalog.Len())
+
+	// Pick the first public probe in Germany.
+	probes := w.Probes.Public()
+	var probeID int
+	for _, p := range probes {
+		if p.Country == "DE" {
+			probeID = p.ID
+			break
+		}
+	}
+	if probeID == 0 {
+		probeID = probes[0].ID
+	}
+	pr, _ := w.Probes.Lookup(probeID)
+	fmt.Printf("probe %d: %s, %s last mile, tags %v\n", pr.ID, pr.Country, pr.Access, pr.Tags)
+
+	// Live-ping its three geographically nearest regions over the virtual
+	// network (full time scale: a ping takes its real RTT).
+	ledger := atlas.NewLedger()
+	if err := ledger.Grant("quickstart", 1000); err != nil {
+		return err
+	}
+	svc, err := atlas.NewLiveService(w.Platform, ledger, 1)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	targets := w.Platform.Targets(pr)
+	if len(targets) > 3 {
+		targets = targets[:3]
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, r := range targets {
+		id, err := svc.Create("quickstart", atlas.MeasurementSpec{
+			Target:   r.Addr(),
+			ProbeIDs: []int{pr.ID},
+			Count:    3,
+			Interval: 5 * time.Millisecond,
+			Timeout:  10 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		m, err := svc.Wait(ctx, id)
+		if err != nil {
+			return err
+		}
+		best := 0.0
+		for _, s := range m.Results {
+			if !s.Lost && (best == 0 || s.RTTms < best) {
+				best = s.RTTms
+			}
+		}
+		fmt.Printf("  %-28s (%s, %s)  min RTT %.1f ms\n", r.Addr(), r.City, r.Country, best)
+	}
+
+	nearest := w.Catalog.Nearest(pr.Location)
+	fmt.Printf("geographically nearest region: %s (%s)\n", nearest.Addr(), nearest.City)
+	fmt.Printf("credits spent: %d\n", ledger.Spent("quickstart"))
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package analysisutil provides shared test/benchmark scaffolding: a
+// one-call world + campaign fixture so multi-seed stability checks and
+// benchmarks do not each reimplement the setup.
+package analysisutil
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/atlas"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+// Fixture bundles a built world with a completed in-memory campaign.
+type Fixture struct {
+	World *world.World
+	Mem   *results.Memory
+	Cfg   atlas.CampaignConfig
+}
+
+// BuildFixture assembles a world with the given seed and census size and
+// runs the standard test-scale campaign over it.
+func BuildFixture(ctx context.Context, seed uint64, probes int) (*Fixture, error) {
+	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	if err != nil {
+		return nil, err
+	}
+	cfg := atlas.TestCampaign()
+	var mem results.Memory
+	if _, err := w.Platform.RunCampaign(ctx, cfg, mem.Add); err != nil {
+		return nil, err
+	}
+	return &Fixture{World: w, Mem: &mem, Cfg: cfg}, nil
+}
+
+// SeedName formats a seed for subtest names.
+func SeedName(seed uint64) string { return fmt.Sprintf("seed-%d", seed) }

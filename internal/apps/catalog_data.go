@@ -1,0 +1,34 @@
+package apps
+
+// paperApps encodes Figure 2: the applications reputedly enabled by edge
+// computing, with latency windows (ms RTT), per-entity daily data volumes
+// (GB), and expected 2025 market sizes ($B, Statista-derived as in the
+// paper). Requirement estimates follow the published analyses the paper
+// cites [7, 37, 42, 54, 64].
+var paperApps = []App{
+	// Quadrant II candidates: strict latency, heavy data.
+	// AR/VR's window is the MTP compute+RTT budget (~2.5-7 ms, §3), not the
+	// full 20 ms MTP: the display pipeline consumes the rest.
+	{Name: "AR/VR", LatencyMs: Span{2.5, 7}, DataGBPerEntity: Span{10, 100}, MarketBUSD: 90},
+	{Name: "360-degree streaming", LatencyMs: Span{10, 25}, DataGBPerEntity: Span{5, 50}, MarketBUSD: 25},
+	{Name: "Cloud gaming", LatencyMs: Span{20, 100}, DataGBPerEntity: Span{1, 30}, MarketBUSD: 7},
+	{Name: "Autonomous vehicles", LatencyMs: Span{1, 10}, DataGBPerEntity: Span{100, 4000}, MarketBUSD: 60},
+	{Name: "Traffic camera monitoring", LatencyMs: Span{50, 100}, DataGBPerEntity: Span{5, 120}, MarketBUSD: 18},
+	{Name: "Industrial robots", LatencyMs: Span{1, 20}, DataGBPerEntity: Span{1, 50}, MarketBUSD: 25},
+	{Name: "Remote surgery", LatencyMs: Span{10, 150}, DataGBPerEntity: Span{0.5, 5}, MarketBUSD: 4},
+
+	// Quadrant I: strict latency, light data.
+	{Name: "Wearables", LatencyMs: Span{50, 100}, DataGBPerEntity: Span{0.001, 0.1}, MarketBUSD: 70},
+	{Name: "Health monitoring", LatencyMs: Span{50, 100}, DataGBPerEntity: Span{0.01, 0.5}, MarketBUSD: 50},
+	{Name: "Voice assistants", LatencyMs: Span{50, 100}, DataGBPerEntity: Span{0.01, 0.2}, MarketBUSD: 12},
+
+	// Quadrant III: relaxed latency, heavy data.
+	{Name: "Smart city", LatencyMs: Span{1000, 3600000}, DataGBPerEntity: Span{10, 1000}, MarketBUSD: 250},
+	{Name: "Video streaming analytics", LatencyMs: Span{500, 60000}, DataGBPerEntity: Span{5, 200}, MarketBUSD: 100},
+	{Name: "Connected factories", LatencyMs: Span{200, 60000}, DataGBPerEntity: Span{1, 100}, MarketBUSD: 40},
+
+	// Quadrant IV: relaxed latency, light data.
+	{Name: "Smart home", LatencyMs: Span{200, 60000}, DataGBPerEntity: Span{0.01, 0.5}, MarketBUSD: 150},
+	{Name: "Weather monitoring", LatencyMs: Span{60000, 3600000}, DataGBPerEntity: Span{0.001, 0.05}, MarketBUSD: 3},
+	{Name: "Smart parking", LatencyMs: Span{1000, 600000}, DataGBPerEntity: Span{0.001, 0.1}, MarketBUSD: 10},
+}

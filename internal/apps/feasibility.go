@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Zone is the Figure 8 feasibility zone: the band of requirements where a
+// general-purpose edge actually beats the cloud. An application gains from
+// edge latency only if its latency need sits between the wireless last-mile
+// floor (edge cannot go below it) and the human-reaction ceiling (above it,
+// the cloud already suffices); it gains from edge bandwidth aggregation
+// only if an entity generates enough data to congest the last mile.
+type Zone struct {
+	// LatencyFloorMs is the wireless access-link latency: no edge placement
+	// can respond faster than the last mile allows (§5: ~10 ms).
+	LatencyFloorMs float64
+	// LatencyCeilMs is the ceiling beyond which the cloud already delivers
+	// (§5: human reaction time, ~250 ms, met by the cloud almost globally).
+	LatencyCeilMs float64
+	// BandwidthFloorGB is the per-entity data volume above which edge
+	// aggregation saves meaningful backhaul bandwidth (§5: ~1 GB).
+	BandwidthFloorGB float64
+}
+
+// PaperZone is the boundary set the paper derives from its measurements.
+func PaperZone() Zone {
+	return Zone{LatencyFloorMs: 10, LatencyCeilMs: 250, BandwidthFloorGB: 1}
+}
+
+// DeriveZone builds the zone from measured quantities: the wireless
+// last-mile median added latency (Figure 7) becomes the floor, the
+// human-reaction threshold the ceiling.
+func DeriveZone(wirelessAddedMs, hrtMs, bandwidthFloorGB float64) (Zone, error) {
+	z := Zone{LatencyFloorMs: wirelessAddedMs, LatencyCeilMs: hrtMs, BandwidthFloorGB: bandwidthFloorGB}
+	return z, z.Validate()
+}
+
+// Validate checks boundary sanity.
+func (z Zone) Validate() error {
+	if z.LatencyFloorMs <= 0 || z.LatencyCeilMs <= z.LatencyFloorMs {
+		return fmt.Errorf("apps: invalid latency band [%v, %v]", z.LatencyFloorMs, z.LatencyCeilMs)
+	}
+	if z.BandwidthFloorGB <= 0 {
+		return fmt.Errorf("apps: invalid bandwidth floor %v", z.BandwidthFloorGB)
+	}
+	return nil
+}
+
+// Verdict explains one application's Figure 8 placement.
+type Verdict struct {
+	App           App      `json:"app"`
+	InZone        bool     `json:"in_zone"`
+	LatencyGain   bool     `json:"latency_gain"`   // latency need overlaps the feasible band
+	BandwidthGain bool     `json:"bandwidth_gain"` // data volume justifies aggregation
+	Reasons       []string `json:"reasons"`
+}
+
+// Evaluate places one application against the zone.
+func (z Zone) Evaluate(a App) (Verdict, error) {
+	if err := z.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{App: a}
+	switch {
+	case a.LatencyMs.Hi <= z.LatencyFloorMs:
+		// Even the app's loosest acceptable latency sits at or below what
+		// the wireless last mile alone costs.
+		v.Reasons = append(v.Reasons,
+			fmt.Sprintf("latency need (<=%.1fms) is below the wireless last-mile floor (%.1fms): not satisfiable even at the edge",
+				a.LatencyMs.Hi, z.LatencyFloorMs))
+	case a.LatencyMs.Lo > z.LatencyCeilMs:
+		v.Reasons = append(v.Reasons,
+			fmt.Sprintf("latency need (>=%.1fms) is above HRT (%.1fms): the cloud already satisfies it",
+				a.LatencyMs.Lo, z.LatencyCeilMs))
+	default:
+		v.LatencyGain = true
+	}
+	if a.DataGBPerEntity.Hi >= z.BandwidthFloorGB {
+		v.BandwidthGain = true
+	} else {
+		v.Reasons = append(v.Reasons,
+			fmt.Sprintf("data volume (<=%.3fGB/entity) is below the %.1fGB aggregation threshold",
+				a.DataGBPerEntity.Hi, z.BandwidthFloorGB))
+	}
+	v.InZone = v.LatencyGain && v.BandwidthGain
+	return v, nil
+}
+
+// FeasibilityReport is the Figure 8 dataset.
+type FeasibilityReport struct {
+	Zone     Zone      `json:"zone"`
+	Verdicts []Verdict `json:"verdicts"` // sorted by app name
+
+	// MarketInZone and MarketOutZone compare the expected market share
+	// inside and outside the feasibility zone — the paper's observation
+	// that the hyped applications are NOT the ones edge helps.
+	MarketInZone  float64 `json:"market_in_zone_busd"`
+	MarketOutZone float64 `json:"market_out_zone_busd"`
+}
+
+// Feasibility evaluates the whole catalog against the zone (Figure 8).
+func Feasibility(c *Catalog, z Zone) (*FeasibilityReport, error) {
+	if c == nil {
+		return nil, fmt.Errorf("apps: nil catalog")
+	}
+	rep := &FeasibilityReport{Zone: z}
+	for _, a := range c.All() {
+		v, err := z.Evaluate(a)
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+		if v.InZone {
+			rep.MarketInZone += a.MarketBUSD
+		} else {
+			rep.MarketOutZone += a.MarketBUSD
+		}
+	}
+	sort.Slice(rep.Verdicts, func(i, j int) bool { return rep.Verdicts[i].App.Name < rep.Verdicts[j].App.Name })
+	return rep, nil
+}
+
+// InZone lists the applications inside the feasibility zone, sorted.
+func (r *FeasibilityReport) InZone() []string {
+	var out []string
+	for _, v := range r.Verdicts {
+		if v.InZone {
+			out = append(out, v.App.Name)
+		}
+	}
+	return out
+}
+
+// Format renders figure-ready text lines.
+func (r *FeasibilityReport) Format() []string {
+	out := make([]string, 0, len(r.Verdicts))
+	for _, v := range r.Verdicts {
+		mark := "OUT"
+		if v.InZone {
+			mark = "IN "
+		}
+		out = append(out, fmt.Sprintf("%s %-26s market=$%gB quadrant=%v", mark, v.App.Name, v.App.MarketBUSD, v.App.Quadrant()))
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package atlas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Credit costs, mirroring RIPE Atlas pricing where a ping result costs a
+// fixed number of credits.
+const (
+	// CostPerPing is charged for each requested ping result.
+	CostPerPing = 1
+)
+
+// ErrInsufficientCredits is returned when an account cannot cover a
+// measurement. The paper acknowledges Atlas raising their quota limits; the
+// Ledger models exactly that constraint.
+var ErrInsufficientCredits = errors.New("atlas: insufficient credits")
+
+// Ledger tracks measurement credits for API users.
+type Ledger struct {
+	mu       sync.Mutex
+	balance  map[string]int64
+	spent    map[string]int64
+	earnedBy map[string]int64
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		balance:  make(map[string]int64),
+		spent:    make(map[string]int64),
+		earnedBy: make(map[string]int64),
+	}
+}
+
+// Grant adds credits to an account (hosting a probe earns credits on the
+// real platform; operators can also raise quotas).
+func (l *Ledger) Grant(account string, credits int64) error {
+	if account == "" {
+		return errors.New("atlas: empty account")
+	}
+	if credits <= 0 {
+		return fmt.Errorf("atlas: non-positive grant %d", credits)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balance[account] += credits
+	l.earnedBy[account] += credits
+	return nil
+}
+
+// Charge deducts credits, failing atomically if the balance is too low.
+func (l *Ledger) Charge(account string, credits int64) error {
+	if credits < 0 {
+		return fmt.Errorf("atlas: negative charge %d", credits)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.balance[account] < credits {
+		return fmt.Errorf("%w: account %q has %d, needs %d",
+			ErrInsufficientCredits, account, l.balance[account], credits)
+	}
+	l.balance[account] -= credits
+	l.spent[account] += credits
+	return nil
+}
+
+// Refund returns credits from a failed or truncated measurement.
+func (l *Ledger) Refund(account string, credits int64) error {
+	if credits < 0 {
+		return fmt.Errorf("atlas: negative refund %d", credits)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.spent[account] < credits {
+		return fmt.Errorf("atlas: refund %d exceeds spend %d", credits, l.spent[account])
+	}
+	l.balance[account] += credits
+	l.spent[account] -= credits
+	return nil
+}
+
+// Balance returns the current balance.
+func (l *Ledger) Balance(account string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balance[account]
+}
+
+// Spent returns the lifetime spend (net of refunds).
+func (l *Ledger) Spent(account string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spent[account]
+}

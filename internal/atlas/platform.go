@@ -1,0 +1,159 @@
+// Package atlas is the measurement platform substituting for RIPE Atlas: a
+// probe registry, credit accounting, a measurement scheduler, and an
+// HTTP+JSON API with a client SDK. It drives pings either "live" over the
+// virtual packet network (exercising the full echo/ping stack) or through
+// the fast campaign synthesizer that generates the multi-month dataset the
+// paper's analysis consumes.
+package atlas
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/probe"
+)
+
+// Platform binds the probe population, the cloud catalog, and the latency
+// model together, and owns per-pair network paths.
+type Platform struct {
+	Population *probe.Population
+	Catalog    *cloud.Catalog
+	Model      *netem.Model
+
+	mu    sync.Mutex
+	paths map[pathKey]*netem.Path
+
+	targets map[geo.Continent][]*cloud.Region
+}
+
+type pathKey struct {
+	probeID int
+	region  string
+}
+
+// NewPlatform wires the pieces together.
+func NewPlatform(pop *probe.Population, cat *cloud.Catalog, model *netem.Model) (*Platform, error) {
+	if pop == nil || cat == nil || model == nil {
+		return nil, fmt.Errorf("atlas: nil component")
+	}
+	if pop.Len() == 0 {
+		return nil, fmt.Errorf("atlas: empty probe population")
+	}
+	if cat.Len() == 0 {
+		return nil, fmt.Errorf("atlas: empty region catalog")
+	}
+	p := &Platform{
+		Population: pop,
+		Catalog:    cat,
+		Model:      model,
+		paths:      make(map[pathKey]*netem.Path),
+		targets:    make(map[geo.Continent][]*cloud.Region),
+	}
+	for _, ct := range geo.Continents() {
+		p.targets[ct] = cat.TargetsFor(ct)
+	}
+	return p, nil
+}
+
+// Targets returns the regions a probe measures to under the paper's
+// same-continent methodology.
+func (p *Platform) Targets(pr *probe.Probe) []*cloud.Region {
+	return p.targets[pr.Continent]
+}
+
+// Path returns the (cached) network path between a probe and a region.
+func (p *Platform) Path(pr *probe.Probe, r *cloud.Region) (*netem.Path, error) {
+	key := pathKey{probeID: pr.ID, region: r.Addr()}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if path, ok := p.paths[key]; ok {
+		return path, nil
+	}
+	path, err := p.Model.Path(pr.Site(), netem.Target{
+		ID:        r.Addr(),
+		Location:  r.Location,
+		Continent: p.Catalog.Continent(r),
+		Private:   r.Provider.Backbone == cloud.BackbonePrivate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.paths[key] = path
+	return path, nil
+}
+
+// Link implements netsim.Linker over the platform's paths: it resolves
+// probe/region pairs in either direction, samples the RTT at the send time,
+// and charges each leg half the RTT. Loss applies on the forward
+// (probe-to-region) leg only so the end-to-end loss rate matches the model.
+func (p *Platform) Link(src, dst string, at time.Time) (time.Duration, bool, error) {
+	return p.LinkSized(src, dst, 0, at)
+}
+
+// LinkSized implements netsim.SizedLinker: payload-carrying packets pay
+// serialization time on the probe's access uplink in addition to the
+// propagation delay. Only the probe-side (forward) leg is
+// capacity-constrained; datacenter downlinks are effectively unconstrained
+// at ping-scale payloads.
+func (p *Platform) LinkSized(src, dst string, size int, at time.Time) (time.Duration, bool, error) {
+	pr, r, forward, err := p.resolve(src, dst)
+	if err != nil {
+		return 0, false, fmt.Errorf("atlas: no link between %q and %q", src, dst)
+	}
+	path, err := p.Path(pr, r)
+	if err != nil {
+		return 0, false, err
+	}
+	ms, lost := path.RTT(at)
+	delayMs := ms / 2
+	if forward {
+		delayMs += path.SerializationMs(size)
+	} else {
+		lost = false
+	}
+	return time.Duration(delayMs * float64(time.Millisecond)), lost, nil
+}
+
+// resolve interprets (src, dst) as probe->region or region->probe.
+func (p *Platform) resolve(src, dst string) (*probe.Probe, *cloud.Region, bool, error) {
+	if pr, ok := p.lookupProbe(src); ok {
+		if r, ok := p.lookupRegion(dst); ok {
+			return pr, r, true, nil
+		}
+	}
+	if r, ok := p.lookupRegion(src); ok {
+		if pr, ok := p.lookupProbe(dst); ok {
+			return pr, r, false, nil
+		}
+	}
+	return nil, nil, false, fmt.Errorf("atlas: unknown pair")
+}
+
+// lookupProbe resolves "probe/<id>" addresses. A service suffix
+// ("probe/7/tcp-client") shares the probe's network location.
+func (p *Platform) lookupProbe(addr string) (*probe.Probe, bool) {
+	var id int
+	if _, err := fmt.Sscanf(addr, "probe/%d", &id); err != nil {
+		return nil, false
+	}
+	return p.Population.Lookup(id)
+}
+
+// lookupRegion resolves "Provider/region" addresses. A service suffix
+// ("Amazon/eu-west-1/tcp") shares the region's network location.
+func (p *Platform) lookupRegion(addr string) (*cloud.Region, bool) {
+	if r, ok := p.Catalog.Lookup(addr); ok {
+		return r, true
+	}
+	if i := strings.LastIndex(addr, "/"); i > 0 {
+		if r, ok := p.Catalog.Lookup(addr[:i]); ok {
+			return r, true
+		}
+	}
+	return nil, false
+}

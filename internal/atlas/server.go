@@ -1,0 +1,259 @@
+package atlas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/probe"
+)
+
+// Server exposes the platform over HTTP+JSON, mirroring the parts of the
+// RIPE Atlas REST API the paper's methodology uses: probe discovery with
+// tag filtering, measurement creation, status polling, and result
+// retrieval, guarded by credit accounting.
+type Server struct {
+	platform *Platform
+	ledger   *Ledger
+	live     *LiveService
+	mux      *http.ServeMux
+}
+
+// NewServer wires the HTTP handlers.
+func NewServer(p *Platform, ledger *Ledger, live *LiveService) (*Server, error) {
+	if p == nil || ledger == nil || live == nil {
+		return nil, errors.New("atlas: nil component")
+	}
+	s := &Server{platform: p, ledger: ledger, live: live, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/v1/probes", s.handleProbes)
+	s.mux.HandleFunc("GET /api/v1/probes/{id}", s.handleProbe)
+	s.mux.HandleFunc("GET /api/v1/regions", s.handleRegions)
+	s.mux.HandleFunc("GET /api/v1/credits/{account}", s.handleCredits)
+	s.mux.HandleFunc("POST /api/v1/measurements", s.handleCreate)
+	s.mux.HandleFunc("GET /api/v1/measurements", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/measurements/{id}", s.handleMeasurement)
+	s.mux.HandleFunc("GET /api/v1/measurements/{id}/results", s.handleResults)
+	s.mux.HandleFunc("DELETE /api/v1/measurements/{id}", s.handleStop)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// ProbeDTO is the wire representation of a probe.
+type ProbeDTO struct {
+	ID        int      `json:"id"`
+	Country   string   `json:"country"`
+	Continent string   `json:"continent"`
+	Lat       float64  `json:"lat"`
+	Lon       float64  `json:"lon"`
+	Tags      []string `json:"tags"`
+}
+
+func toProbeDTO(p *probe.Probe) ProbeDTO {
+	return ProbeDTO{
+		ID:        p.ID,
+		Country:   p.Country,
+		Continent: p.Continent.Code(),
+		Lat:       p.Location.Lat,
+		Lon:       p.Location.Lon,
+		Tags:      p.Tags,
+	}
+}
+
+func (s *Server) handleProbes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	country := q.Get("country")
+	tag := q.Get("tag")
+	var continent geo.Continent
+	if c := q.Get("continent"); c != "" {
+		ct, err := geo.ParseContinent(c)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		continent = ct
+	}
+	limit := 0
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			return
+		}
+		limit = n
+	}
+	var out []ProbeDTO
+	for _, p := range s.platform.Population.Public() {
+		if country != "" && p.Country != country {
+			continue
+		}
+		if continent != geo.ContinentUnknown && p.Continent != continent {
+			continue
+		}
+		if tag != "" && !p.HasTag(tag) {
+			continue
+		}
+		out = append(out, toProbeDTO(p))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad probe id"))
+		return
+	}
+	p, ok := s.platform.Population.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("probe %d not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, toProbeDTO(p))
+}
+
+// RegionDTO is the wire representation of a cloud region.
+type RegionDTO struct {
+	Addr     string  `json:"addr"`
+	Provider string  `json:"provider"`
+	City     string  `json:"city"`
+	Country  string  `json:"country"`
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	var out []RegionDTO
+	for _, reg := range s.platform.Catalog.All() {
+		out = append(out, RegionDTO{
+			Addr:     reg.Addr(),
+			Provider: reg.Provider.Name,
+			City:     reg.City,
+			Country:  reg.Country,
+			Lat:      reg.Location.Lat,
+			Lon:      reg.Location.Lon,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCredits(w http.ResponseWriter, r *http.Request) {
+	account := r.PathValue("account")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"account": account,
+		"balance": s.ledger.Balance(account),
+		"spent":   s.ledger.Spent(account),
+	})
+}
+
+// SpecDTO is the wire form of a MeasurementSpec (durations in ms).
+type SpecDTO struct {
+	Account    string `json:"account"`
+	Target     string `json:"target"`
+	ProbeIDs   []int  `json:"probe_ids"`
+	Count      int    `json:"count"`
+	IntervalMs int64  `json:"interval_ms"`
+	TimeoutMs  int64  `json:"timeout_ms"`
+}
+
+// Spec converts the DTO to the internal spec.
+func (d SpecDTO) Spec() MeasurementSpec {
+	return MeasurementSpec{
+		Target:   d.Target,
+		ProbeIDs: d.ProbeIDs,
+		Count:    d.Count,
+		Interval: time.Duration(d.IntervalMs) * time.Millisecond,
+		Timeout:  time.Duration(d.TimeoutMs) * time.Millisecond,
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var dto SpecDTO
+	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if dto.Account == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing account"))
+		return
+	}
+	id, err := s.live.Create(dto.Account, dto.Spec())
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrInsufficientCredits) {
+			code = http.StatusPaymentRequired
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	account := r.URL.Query().Get("account")
+	writeJSON(w, http.StatusOK, s.live.List(account))
+}
+
+func (s *Server) measurementFromPath(w http.ResponseWriter, r *http.Request) (Measurement, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad measurement id"))
+		return Measurement{}, false
+	}
+	m, ok := s.live.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("measurement %d not found", id))
+		return Measurement{}, false
+	}
+	return m, true
+}
+
+func (s *Server) handleMeasurement(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.measurementFromPath(w, r)
+	if !ok {
+		return
+	}
+	m.Results = nil // status endpoint omits the payload
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.measurementFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Results)
+}
+
+func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad measurement id"))
+		return
+	}
+	if err := s.live.Stop(id); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	m, _ := s.live.Get(id)
+	m.Results = nil
+	writeJSON(w, http.StatusOK, m)
+}

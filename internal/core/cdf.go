@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// ContinentCDF holds one continent's empirical RTT distribution.
+type ContinentCDF struct {
+	Continent geo.Continent
+	Dist      *stats.Dist
+}
+
+// CDFReport groups distributions by continent; it backs both Figure 5
+// (per-probe minimum RTT) and Figure 6 (every sample).
+type CDFReport struct {
+	byContinent map[geo.Continent]*stats.Dist
+}
+
+// Continents returns the continents with data, in canonical order.
+func (r *CDFReport) Continents() []geo.Continent {
+	var out []geo.Continent
+	for _, ct := range geo.Continents() {
+		if d, ok := r.byContinent[ct]; ok && d.N() > 0 {
+			out = append(out, ct)
+		}
+	}
+	return out
+}
+
+// Dist returns one continent's distribution.
+func (r *CDFReport) Dist(ct geo.Continent) (*stats.Dist, bool) {
+	d, ok := r.byContinent[ct]
+	return d, ok
+}
+
+// FractionWithin returns the empirical P(RTT <= ms) for a continent.
+func (r *CDFReport) FractionWithin(ct geo.Continent, ms float64) (float64, error) {
+	d, ok := r.byContinent[ct]
+	if !ok {
+		return 0, fmt.Errorf("analysis: no data for %v", ct)
+	}
+	return d.CDF(ms)
+}
+
+// Quantile returns a continent's q-quantile RTT.
+func (r *CDFReport) Quantile(ct geo.Continent, q float64) (float64, error) {
+	d, ok := r.byContinent[ct]
+	if !ok {
+		return 0, fmt.Errorf("analysis: no data for %v", ct)
+	}
+	return d.Quantile(q)
+}
+
+// Curve samples a continent's CDF at the given grid — the series a figure
+// plots.
+func (r *CDFReport) Curve(ct geo.Continent, grid []float64) ([]stats.CDFPoint, error) {
+	d, ok := r.byContinent[ct]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no data for %v", ct)
+	}
+	return d.Curve(grid)
+}
+
+// DefaultGrid is the x-axis used by the figure output: 1..400 ms.
+func DefaultGrid() []float64 {
+	grid := make([]float64, 0, 400)
+	for x := 1.0; x <= 400; x++ {
+		grid = append(grid, x)
+	}
+	return grid
+}
+
+// MinRTTByProbe builds Figure 5: the CDF, per continent, of each probe's
+// minimum observed RTT to any datacenter over the whole campaign (§4.2).
+func MinRTTByProbe(src results.Source, idx *Index) (*CDFReport, error) {
+	if src == nil || idx == nil {
+		return nil, errors.New("analysis: nil source or index")
+	}
+	mins := make(map[int]float64)
+	err := src.ForEach(func(s results.Sample) error {
+		if s.Lost || !idx.Known(s.ProbeID) {
+			return nil
+		}
+		if cur, ok := mins[s.ProbeID]; !ok || s.RTTms < cur {
+			mins[s.ProbeID] = s.RTTms
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(mins) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	rep := &CDFReport{byContinent: make(map[geo.Continent]*stats.Dist)}
+	for probeID, min := range mins {
+		ct, ok := idx.Continent(probeID)
+		if !ok {
+			continue
+		}
+		d := rep.byContinent[ct]
+		if d == nil {
+			d = &stats.Dist{}
+			rep.byContinent[ct] = d
+		}
+		if err := d.Add(min); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// NearestRegion determines, per probe, the datacenter with the lowest
+// observed RTT over the campaign — the probe's "closest datacenter" in the
+// figure captions. It needs one pass over the dataset.
+func NearestRegion(src results.Source, idx *Index) (map[int]string, error) {
+	if src == nil || idx == nil {
+		return nil, errors.New("analysis: nil source or index")
+	}
+	type best struct {
+		region string
+		rtt    float64
+	}
+	bests := make(map[int]best)
+	err := src.ForEach(func(s results.Sample) error {
+		if s.Lost || !idx.Known(s.ProbeID) {
+			return nil
+		}
+		if b, ok := bests[s.ProbeID]; !ok || s.RTTms < b.rtt {
+			bests[s.ProbeID] = best{region: s.Region, rtt: s.RTTms}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(bests) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	out := make(map[int]string, len(bests))
+	for id, b := range bests {
+		out[id] = b.region
+	}
+	return out, nil
+}
+
+// FullDistribution builds Figure 6: the CDF, per continent, of all ping
+// measurements from every probe to its closest datacenter (§4.3). It makes
+// two passes: one to find each probe's nearest region, one to collect that
+// region's samples.
+func FullDistribution(src results.Source, idx *Index) (*CDFReport, error) {
+	nearest, err := NearestRegion(src, idx)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CDFReport{byContinent: make(map[geo.Continent]*stats.Dist)}
+	err = src.ForEach(func(s results.Sample) error {
+		if s.Lost || nearest[s.ProbeID] != s.Region {
+			return nil
+		}
+		ct, ok := idx.Continent(s.ProbeID)
+		if !ok {
+			return nil
+		}
+		d := rep.byContinent[ct]
+		if d == nil {
+			d = &stats.Dist{}
+			rep.byContinent[ct] = d
+		}
+		return d.Add(s.RTTms)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.byContinent) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	return rep, nil
+}

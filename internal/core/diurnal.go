@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// DiurnalReport bins delivered samples by the probe's local hour of day,
+// exposing the evening congestion peak that §4.3's bufferbloat citations
+// describe. Local time is approximated from the probe's longitude
+// (15 degrees per hour), the standard trick when probes report no
+// timezone.
+type DiurnalReport struct {
+	// Medians holds the per-local-hour median RTT (ms); Counts the sample
+	// volume behind each bin.
+	Medians [24]float64
+	Counts  [24]int
+}
+
+// Diurnal computes the local-hour profile over every delivered sample.
+func Diurnal(src results.Source, idx *Index) (*DiurnalReport, error) {
+	if src == nil || idx == nil {
+		return nil, errors.New("core: nil source or index")
+	}
+	var bins [24]stats.Dist
+	err := src.ForEach(func(s results.Sample) error {
+		if s.Lost {
+			return nil
+		}
+		lon, ok := idx.Longitude(s.ProbeID)
+		if !ok {
+			return nil
+		}
+		utc := float64(s.Time.Hour()) + float64(s.Time.Minute())/60
+		local := math.Mod(utc+lon/15+48, 24)
+		return bins[int(local)%24].Add(s.RTTms)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &DiurnalReport{}
+	nonEmpty := 0
+	for h := range bins {
+		rep.Counts[h] = bins[h].N()
+		if bins[h].N() == 0 {
+			continue
+		}
+		med, err := bins[h].Median()
+		if err != nil {
+			return nil, err
+		}
+		rep.Medians[h] = med
+		nonEmpty++
+	}
+	if nonEmpty == 0 {
+		return nil, errors.New("core: no delivered samples")
+	}
+	return rep, nil
+}
+
+// Peak returns the local hour with the highest median RTT and its value.
+func (r *DiurnalReport) Peak() (hour int, medianMs float64) {
+	for h := range r.Medians {
+		if r.Counts[h] > 0 && r.Medians[h] > medianMs {
+			hour, medianMs = h, r.Medians[h]
+		}
+	}
+	return hour, medianMs
+}
+
+// Trough returns the local hour with the lowest median RTT and its value.
+func (r *DiurnalReport) Trough() (hour int, medianMs float64) {
+	medianMs = math.Inf(1)
+	for h := range r.Medians {
+		if r.Counts[h] > 0 && r.Medians[h] < medianMs {
+			hour, medianMs = h, r.Medians[h]
+		}
+	}
+	return hour, medianMs
+}
+
+// Amplitude returns peak/trough, the relative size of the daily swing.
+func (r *DiurnalReport) Amplitude() float64 {
+	_, peak := r.Peak()
+	_, trough := r.Trough()
+	if trough <= 0 {
+		return 0
+	}
+	return peak / trough
+}
+
+// Format renders the profile as text lines.
+func (r *DiurnalReport) Format() []string {
+	lines := []string{"local-hour  median-rtt  samples"}
+	for h := 0; h < 24; h++ {
+		if r.Counts[h] == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%9dh  %8.1fms  %7d", h, r.Medians[h], r.Counts[h]))
+	}
+	return lines
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// ProviderRow summarizes one cloud operator's reachability over the
+// campaign: the per-sample latency distribution of all delivered pings
+// toward that provider's regions.
+type ProviderRow struct {
+	Provider string        `json:"provider"`
+	Summary  stats.Summary `json:"summary"`
+	Lost     int           `json:"lost"`
+	LossRate float64       `json:"loss_rate"`
+}
+
+// ProviderReport extends the paper's §4.1 observation — private-backbone
+// operators ride straighter paths than public-transit ones — into a
+// per-provider latency comparison.
+type ProviderReport struct {
+	Rows []ProviderRow `json:"rows"` // sorted by median RTT
+}
+
+// ProviderComparison streams the dataset once and aggregates per provider.
+// The provider is the prefix of the region address ("Amazon/eu-west-1").
+func ProviderComparison(src results.Source, idx *Index) (*ProviderReport, error) {
+	if src == nil || idx == nil {
+		return nil, errors.New("core: nil source or index")
+	}
+	type acc struct {
+		dist *stats.Dist
+		lost int
+	}
+	byProvider := make(map[string]*acc)
+	err := src.ForEach(func(s results.Sample) error {
+		if !idx.Known(s.ProbeID) {
+			return nil
+		}
+		provider, _, ok := strings.Cut(s.Region, "/")
+		if !ok {
+			return nil
+		}
+		a := byProvider[provider]
+		if a == nil {
+			a = &acc{dist: &stats.Dist{}}
+			byProvider[provider] = a
+		}
+		if s.Lost {
+			a.lost++
+			return nil
+		}
+		return a.dist.Add(s.RTTms)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(byProvider) == 0 {
+		return nil, errors.New("core: no samples")
+	}
+	rep := &ProviderReport{}
+	for provider, a := range byProvider {
+		if a.dist.N() == 0 {
+			continue
+		}
+		sum, err := a.dist.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		total := a.dist.N() + a.lost
+		rep.Rows = append(rep.Rows, ProviderRow{
+			Provider: provider,
+			Summary:  sum,
+			Lost:     a.lost,
+			LossRate: float64(a.lost) / float64(total),
+		})
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Summary.Median != rep.Rows[j].Summary.Median {
+			return rep.Rows[i].Summary.Median < rep.Rows[j].Summary.Median
+		}
+		return rep.Rows[i].Provider < rep.Rows[j].Provider
+	})
+	return rep, nil
+}
+
+// Lookup returns one provider's row.
+func (r *ProviderReport) Lookup(provider string) (ProviderRow, bool) {
+	for _, row := range r.Rows {
+		if row.Provider == provider {
+			return row, true
+		}
+	}
+	return ProviderRow{}, false
+}

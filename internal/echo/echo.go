@@ -1,0 +1,125 @@
+// Package echo defines the wire format of the measurement ping: an
+// ICMP-echo-like request/reply protocol with an Internet checksum. The
+// pinger engine and the datacenter responders speak it over the virtual
+// network or real UDP sockets.
+package echo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Message types.
+const (
+	TypeEchoReply   uint8 = 0
+	TypeEchoRequest uint8 = 8
+)
+
+// HeaderLen is the fixed encoded size before the payload.
+const HeaderLen = 16
+
+// MaxPayload bounds the variable part to keep datagrams under typical MTUs.
+const MaxPayload = 1400
+
+// Common decode errors.
+var (
+	ErrTruncated   = errors.New("echo: message truncated")
+	ErrChecksum    = errors.New("echo: checksum mismatch")
+	ErrPayloadSize = fmt.Errorf("echo: payload exceeds %d bytes", MaxPayload)
+)
+
+// Message is one echo request or reply.
+//
+// Wire layout (big endian):
+//
+//	byte  0     Type
+//	byte  1     Code (always 0)
+//	bytes 2-3   Checksum (Internet checksum over the whole message with
+//	            the checksum field zeroed)
+//	bytes 4-5   ID (per-pinger identifier)
+//	bytes 6-7   Seq (per-probe sequence number)
+//	bytes 8-15  SentUnixNano (sender timestamp)
+//	bytes 16-   Payload
+type Message struct {
+	Type         uint8
+	Code         uint8
+	ID           uint16
+	Seq          uint16
+	SentUnixNano int64
+	Payload      []byte
+}
+
+// Marshal encodes the message and computes its checksum.
+func (m *Message) Marshal() ([]byte, error) {
+	if len(m.Payload) > MaxPayload {
+		return nil, ErrPayloadSize
+	}
+	buf := make([]byte, HeaderLen+len(m.Payload))
+	buf[0] = m.Type
+	buf[1] = m.Code
+	// bytes 2-3 left zero for checksum computation
+	binary.BigEndian.PutUint16(buf[4:6], m.ID)
+	binary.BigEndian.PutUint16(buf[6:8], m.Seq)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(m.SentUnixNano))
+	copy(buf[HeaderLen:], m.Payload)
+	binary.BigEndian.PutUint16(buf[2:4], Checksum(buf))
+	return buf, nil
+}
+
+// Unmarshal decodes and validates a message, verifying the checksum.
+func Unmarshal(buf []byte) (*Message, error) {
+	if len(buf) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	if len(buf) > HeaderLen+MaxPayload {
+		return nil, ErrPayloadSize
+	}
+	want := binary.BigEndian.Uint16(buf[2:4])
+	scratch := make([]byte, len(buf))
+	copy(scratch, buf)
+	scratch[2], scratch[3] = 0, 0
+	if got := Checksum(scratch); got != want {
+		return nil, ErrChecksum
+	}
+	m := &Message{
+		Type:         buf[0],
+		Code:         buf[1],
+		ID:           binary.BigEndian.Uint16(buf[4:6]),
+		Seq:          binary.BigEndian.Uint16(buf[6:8]),
+		SentUnixNano: int64(binary.BigEndian.Uint64(buf[8:16])),
+	}
+	if len(buf) > HeaderLen {
+		m.Payload = append([]byte(nil), buf[HeaderLen:]...)
+	}
+	return m, nil
+}
+
+// Reply builds the echo reply for a request, preserving ID, Seq, timestamp
+// and payload (like ICMP echo).
+func (m *Message) Reply() *Message {
+	return &Message{
+		Type:         TypeEchoReply,
+		Code:         0,
+		ID:           m.ID,
+		Seq:          m.Seq,
+		SentUnixNano: m.SentUnixNano,
+		Payload:      append([]byte(nil), m.Payload...),
+	}
+}
+
+// Checksum computes the 16-bit one's-complement Internet checksum (RFC
+// 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,148 @@
+package echo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:         TypeEchoRequest,
+		ID:           0x1234,
+		Seq:          42,
+		SentUnixNano: 1567296000123456789,
+		Payload:      []byte("latency shears"),
+	}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Code != m.Code || got.ID != m.ID ||
+		got.Seq != m.Seq || got.SentUnixNano != m.SentUnixNano ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(typ, code uint8, id, seq uint16, ts int64, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := &Message{Type: typ, Code: code, ID: id, Seq: seq, SentUnixNano: ts, Payload: payload}
+		buf, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return got.Type == typ && got.Code == code && got.ID == id &&
+			got.Seq == seq && got.SentUnixNano == ts && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderLen-1)); err != ErrTruncated {
+		t.Errorf("short buffer: %v, want ErrTruncated", err)
+	}
+	if _, err := Unmarshal(make([]byte, HeaderLen+MaxPayload+1)); err != ErrPayloadSize {
+		t.Errorf("oversize buffer: %v, want ErrPayloadSize", err)
+	}
+	m := &Message{Type: TypeEchoRequest, ID: 1, Seq: 2}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[8] ^= 0xff // corrupt timestamp
+	if _, err := Unmarshal(buf); err != ErrChecksum {
+		t.Errorf("corrupted buffer: %v, want ErrChecksum", err)
+	}
+}
+
+func TestMarshalRejectsOversizePayload(t *testing.T) {
+	m := &Message{Type: TypeEchoRequest, Payload: make([]byte, MaxPayload+1)}
+	if _, err := m.Marshal(); err != ErrPayloadSize {
+		t.Errorf("got %v, want ErrPayloadSize", err)
+	}
+}
+
+func TestCorruptionDetectedProperty(t *testing.T) {
+	// Flipping any single byte must be caught by the checksum (single-bit
+	// and single-byte errors are within the Internet checksum's guarantee).
+	m := &Message{Type: TypeEchoRequest, ID: 7, Seq: 9, SentUnixNano: 12345, Payload: []byte("abcdef")}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		corrupt := append([]byte(nil), buf...)
+		corrupt[i] ^= 0x5a
+		if _, err := Unmarshal(corrupt); err == nil {
+			// A flip inside the checksum field itself is also detected as a
+			// mismatch, so any nil error is a failure.
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestReply(t *testing.T) {
+	req := &Message{Type: TypeEchoRequest, ID: 5, Seq: 6, SentUnixNano: 777, Payload: []byte("x")}
+	rep := req.Reply()
+	if rep.Type != TypeEchoReply {
+		t.Errorf("reply type = %d", rep.Type)
+	}
+	if rep.ID != req.ID || rep.Seq != req.Seq || rep.SentUnixNano != req.SentUnixNano {
+		t.Error("reply did not preserve identity fields")
+	}
+	// Reply payload is a copy, not an alias.
+	rep.Payload[0] = 'y'
+	if req.Payload[0] != 'x' {
+		t.Error("reply aliases request payload")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+	// Odd-length input is padded with a zero byte.
+	odd := []byte{0xab}
+	if got := Checksum(odd); got != ^uint16(0xab00) {
+		t.Errorf("odd checksum = %#04x", got)
+	}
+}
+
+func TestChecksumVerifiesToZero(t *testing.T) {
+	// A message with its checksum in place sums to 0xffff complemented: 0.
+	m := &Message{Type: TypeEchoRequest, ID: 99, Seq: 100, Payload: []byte("check")}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint32
+	for i := 0; i+1 < len(buf); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(buf[i : i+2]))
+	}
+	if len(buf)%2 == 1 {
+		sum += uint32(buf[len(buf)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	if uint16(sum) != 0xffff {
+		t.Errorf("message does not verify: sum=%#04x", sum)
+	}
+}

@@ -1,0 +1,233 @@
+// Package expansion implements the paper's §6 future-work direction on
+// deployment placement ("research related to tradeoffs in placement and
+// utilization of processing capacity"): a greedy facility-location
+// optimizer that asks where the *cloud* should expand next to shrink
+// global access latency — the paper's counter-argument that many
+// feasibility-zone applications "can be supported by a wider deployment of
+// cloud/network infrastructure, especially in Asia, Latin America, and
+// Africa".
+package expansion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/cloud"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/probe"
+)
+
+// Candidate is a potential new datacenter site.
+type Candidate struct {
+	Country  string    // ISO2
+	Name     string    // display name
+	Location geo.Point // site coordinates
+}
+
+// Selection is one greedy pick with its projected effect.
+type Selection struct {
+	Candidate    Candidate `json:"candidate"`
+	MeanBeforeMs float64   `json:"mean_before_ms"` // mean best-RTT across probes before the pick
+	MeanAfterMs  float64   `json:"mean_after_ms"`  // after adding the site
+}
+
+// Plan is the ordered expansion schedule.
+type Plan struct {
+	Selections []Selection `json:"selections"`
+}
+
+// ImprovementMs returns the total mean-latency reduction of the plan.
+func (p *Plan) ImprovementMs() float64 {
+	if len(p.Selections) == 0 {
+		return 0
+	}
+	return p.Selections[0].MeanBeforeMs - p.Selections[len(p.Selections)-1].MeanAfterMs
+}
+
+// Format renders the plan as text lines.
+func (p *Plan) Format() []string {
+	lines := []string{"rank  site                         mean-before  mean-after  gain"}
+	for i, s := range p.Selections {
+		lines = append(lines, fmt.Sprintf("%4d  %-28s %10.1fms %10.1fms %5.1fms",
+			i+1, s.Candidate.Name+" ("+s.Candidate.Country+")",
+			s.MeanBeforeMs, s.MeanAfterMs, s.MeanBeforeMs-s.MeanAfterMs))
+	}
+	return lines
+}
+
+// CountryCandidates proposes one candidate per probe-hosting country that
+// does not already host a datacenter: the country centroid, the natural
+// spot for a first in-country region.
+func CountryCandidates(p *atlas.Platform, db *geo.DB) []Candidate {
+	hasDC := make(map[string]bool)
+	for _, iso := range p.Catalog.Countries() {
+		hasDC[iso] = true
+	}
+	probeCountries := make(map[string]bool)
+	for _, pr := range p.Population.Public() {
+		probeCountries[pr.Country] = true
+	}
+	var out []Candidate
+	for _, c := range p.Population.Countries() {
+		if hasDC[c] || !probeCountries[c] {
+			continue
+		}
+		country, ok := db.Lookup(c)
+		if !ok {
+			continue
+		}
+		out = append(out, Candidate{Country: c, Name: country.Name, Location: country.Centroid})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
+	return out
+}
+
+// Greedy picks k sites from the candidates, each round choosing the site
+// that most reduces the mean best-case RTT across all public probes. The
+// estimate samples each (probe, site) path once at the given time; since
+// the model is deterministic, so is the plan.
+func Greedy(p *atlas.Platform, candidates []Candidate, k int, at time.Time) (*Plan, error) {
+	if p == nil {
+		return nil, errors.New("expansion: nil platform")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("expansion: non-positive k %d", k)
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("expansion: no candidates")
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	probes := p.Population.Public()
+	if len(probes) == 0 {
+		return nil, errors.New("expansion: no public probes")
+	}
+
+	// Baseline: each probe's best RTT to the existing deployment.
+	best := make([]float64, len(probes))
+	for i, pr := range probes {
+		rtt, err := bestExisting(p, pr, at)
+		if err != nil {
+			return nil, err
+		}
+		best[i] = rtt
+	}
+
+	// Pre-compute each candidate's RTT to each probe.
+	candRTT := make([][]float64, len(candidates))
+	for ci, cand := range candidates {
+		candRTT[ci] = make([]float64, len(probes))
+		for pi, pr := range probes {
+			rtt, err := siteRTT(p, pr, cand, at)
+			if err != nil {
+				return nil, err
+			}
+			candRTT[ci][pi] = rtt
+		}
+	}
+
+	plan := &Plan{}
+	used := make([]bool, len(candidates))
+	for round := 0; round < k; round++ {
+		meanBefore := mean(best)
+		bestCand, bestMean := -1, meanBefore
+		for ci := range candidates {
+			if used[ci] {
+				continue
+			}
+			sum := 0.0
+			for pi := range probes {
+				sum += minF(best[pi], candRTT[ci][pi])
+			}
+			if m := sum / float64(len(probes)); m < bestMean {
+				bestMean, bestCand = m, ci
+			}
+		}
+		if bestCand < 0 {
+			break // no candidate improves anything
+		}
+		used[bestCand] = true
+		for pi := range probes {
+			best[pi] = minF(best[pi], candRTT[bestCand][pi])
+		}
+		plan.Selections = append(plan.Selections, Selection{
+			Candidate:    candidates[bestCand],
+			MeanBeforeMs: meanBefore,
+			MeanAfterMs:  bestMean,
+		})
+	}
+	if len(plan.Selections) == 0 {
+		return nil, errors.New("expansion: no candidate improves mean latency")
+	}
+	return plan, nil
+}
+
+// bestExisting samples the probe's RTT to every same-continent target and
+// the geographically nearest region, returning the minimum.
+func bestExisting(p *atlas.Platform, pr *probe.Probe, at time.Time) (float64, error) {
+	targets := make([]*cloud.Region, 0, len(p.Targets(pr))+1)
+	targets = append(targets, p.Targets(pr)...)
+	if nearest := p.Catalog.Nearest(pr.Location); nearest != nil {
+		targets = append(targets, nearest)
+	}
+	bestMs := -1.0
+	for _, r := range targets {
+		path, err := p.Path(pr, r)
+		if err != nil {
+			return 0, err
+		}
+		ms := sampleDelivered(path, at)
+		if bestMs < 0 || ms < bestMs {
+			bestMs = ms
+		}
+	}
+	if bestMs < 0 {
+		return 0, fmt.Errorf("expansion: probe %d has no targets", pr.ID)
+	}
+	return bestMs, nil
+}
+
+// siteRTT estimates the probe's RTT to a hypothetical site. New sites are
+// modelled as private-backbone regions (the big providers are the ones
+// expanding).
+func siteRTT(p *atlas.Platform, pr *probe.Probe, cand Candidate, at time.Time) (float64, error) {
+	path, err := p.Model.Path(pr.Site(), netem.Target{
+		ID:        "candidate/" + cand.Country,
+		Location:  cand.Location,
+		Continent: pr.Continent, // in-continent expansion
+		Private:   true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sampleDelivered(path, at), nil
+}
+
+// sampleDelivered draws the first delivered sample at or after t.
+func sampleDelivered(path *netem.Path, at time.Time) float64 {
+	for i := 0; ; i++ {
+		if ms, lost := path.RTT(at.Add(time.Duration(i) * time.Hour)); !lost {
+			return ms
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

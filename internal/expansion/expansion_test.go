@@ -1,0 +1,156 @@
+package expansion
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/world"
+)
+
+var t0 = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func buildWorld(t *testing.T) *world.World {
+	t.Helper()
+	w, err := world.Build(world.Config{Seed: 4, Probes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCountryCandidates(t *testing.T) {
+	w := buildWorld(t)
+	cands := CountryCandidates(w.Platform, w.Countries)
+	if len(cands) < 100 {
+		t.Fatalf("only %d candidates (157 countries lack DCs)", len(cands))
+	}
+	hasDC := map[string]bool{}
+	for _, iso := range w.Catalog.Countries() {
+		hasDC[iso] = true
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if hasDC[c.Country] {
+			t.Errorf("candidate %s already hosts a datacenter", c.Country)
+		}
+		if seen[c.Country] {
+			t.Errorf("duplicate candidate %s", c.Country)
+		}
+		seen[c.Country] = true
+		if !c.Location.Valid() {
+			t.Errorf("candidate %s has invalid location", c.Country)
+		}
+	}
+	// Sorted by country code.
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Country >= cands[i].Country {
+			t.Fatal("candidates not sorted")
+		}
+	}
+}
+
+func TestGreedyPlanShape(t *testing.T) {
+	w := buildWorld(t)
+	cands := CountryCandidates(w.Platform, w.Countries)
+	plan, err := Greedy(w.Platform, cands, 5, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Selections) != 5 {
+		t.Fatalf("plan has %d selections", len(plan.Selections))
+	}
+	// Every pick improves the mean, and the means chain consistently.
+	for i, s := range plan.Selections {
+		if s.MeanAfterMs >= s.MeanBeforeMs {
+			t.Errorf("pick %d does not improve: %.2f -> %.2f", i, s.MeanBeforeMs, s.MeanAfterMs)
+		}
+		if i > 0 && plan.Selections[i-1].MeanAfterMs != s.MeanBeforeMs {
+			t.Errorf("pick %d mean chain broken", i)
+		}
+	}
+	// Greedy marginal gains are non-increasing (submodularity of the
+	// min-of-sites objective).
+	prevGain := plan.Selections[0].MeanBeforeMs - plan.Selections[0].MeanAfterMs
+	for _, s := range plan.Selections[1:] {
+		gain := s.MeanBeforeMs - s.MeanAfterMs
+		if gain > prevGain+1e-9 {
+			t.Errorf("gain increased: %.3f after %.3f", gain, prevGain)
+		}
+		prevGain = gain
+	}
+	if plan.ImprovementMs() <= 0 {
+		t.Error("plan has no total improvement")
+	}
+	if lines := plan.Format(); len(lines) != 6 {
+		t.Errorf("Format lines = %d", len(lines))
+	}
+}
+
+func TestGreedyTargetsUnderservedRegions(t *testing.T) {
+	// §6: gains are most significant in developing regions — the first
+	// picks should land outside tier-1 Europe/NA.
+	w := buildWorld(t)
+	cands := CountryCandidates(w.Platform, w.Countries)
+	plan, err := Greedy(w.Platform, cands, 3, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	developed := 0
+	for _, s := range plan.Selections {
+		c, ok := w.Countries.Lookup(s.Candidate.Country)
+		if !ok {
+			t.Fatalf("unknown pick %s", s.Candidate.Country)
+		}
+		if c.Tier == geo.Tier1 && (c.Continent == geo.Europe || c.Continent == geo.NorthAmerica) {
+			developed++
+		}
+	}
+	if developed == len(plan.Selections) {
+		t.Errorf("all %d picks in well-connected tier-1 EU/NA; §6 expects under-served regions", developed)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	w := buildWorld(t)
+	cands := CountryCandidates(w.Platform, w.Countries)
+	a, err := Greedy(w.Platform, cands, 3, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(w.Platform, cands, 3, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Selections {
+		if a.Selections[i].Candidate.Country != b.Selections[i].Candidate.Country {
+			t.Fatalf("plans diverge at %d", i)
+		}
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	w := buildWorld(t)
+	cands := CountryCandidates(w.Platform, w.Countries)
+	if _, err := Greedy(nil, cands, 1, t0); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := Greedy(w.Platform, cands, 0, t0); err == nil {
+		t.Error("zero k accepted")
+	}
+	if _, err := Greedy(w.Platform, nil, 1, t0); err == nil {
+		t.Error("no candidates accepted")
+	}
+	// k larger than the candidate set is clamped, not an error.
+	few := cands[:2]
+	plan, err := Greedy(w.Platform, few, 10, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Selections) > 2 {
+		t.Errorf("plan has %d selections from 2 candidates", len(plan.Selections))
+	}
+	if (&Plan{}).ImprovementMs() != 0 {
+		t.Error("empty plan improvement not zero")
+	}
+}

@@ -1,0 +1,217 @@
+// Package figures regenerates every figure of the paper's evaluation as
+// text rows/series: the same numbers the plots encode, in a form a harness
+// can assert against. One function per figure, each returning printable
+// lines plus the underlying report for programmatic checks.
+package figures
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/probe"
+	"repro/internal/results"
+	"repro/internal/trends"
+)
+
+// Figure1 builds the zeitgeist series by standing up the in-process
+// scholar server and crawling it, exactly like the paper's custom crawler.
+func Figure1(ctx context.Context, seed uint64) (*trends.Series, []string, error) {
+	corpus := trends.GenerateCorpus(seed)
+	srv, err := trends.NewScholarServer(corpus)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	crawler, err := trends.NewCrawler(ts.URL, ts.Client())
+	if err != nil {
+		return nil, nil, err
+	}
+	tts := httptest.NewServer(trends.NewTrendsServer())
+	defer tts.Close()
+	trendsClient, err := trends.NewTrendsClient(tts.URL, tts.Client())
+	if err != nil {
+		return nil, nil, err
+	}
+	series, err := trends.BuildSeries(ctx, crawler, trendsClient)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := []string{"year  edge_pubs  cloud_pubs  edge_search  cloud_search  era"}
+	eras := series.Eras()
+	for _, p := range series.Points {
+		lines = append(lines, fmt.Sprintf("%d  %9d  %10d  %11.1f  %12.1f  %s",
+			p.Year, p.EdgePubs, p.CloudPubs, p.EdgeSearch, p.CloudSearch, eras[p.Year]))
+	}
+	return series, lines, nil
+}
+
+// Figure2 renders the application-requirements map grouped by quadrant.
+func Figure2(catalog *apps.Catalog) ([]string, error) {
+	if catalog == nil {
+		return nil, fmt.Errorf("figures: nil catalog")
+	}
+	byQ := catalog.ByQuadrant()
+	var lines []string
+	for _, q := range []apps.Quadrant{apps.Q1, apps.Q2, apps.Q3, apps.Q4} {
+		lines = append(lines, q.String())
+		for _, a := range byQ[q] {
+			lines = append(lines, fmt.Sprintf("  %-26s latency=[%g,%g]ms  data=[%g,%g]GB  market=$%gB",
+				a.Name, a.LatencyMs.Lo, a.LatencyMs.Hi, a.DataGBPerEntity.Lo, a.DataGBPerEntity.Hi, a.MarketBUSD))
+		}
+	}
+	return lines, nil
+}
+
+// Figure3a summarizes the cloud-region deployment per provider and country.
+func Figure3a(cat *cloud.Catalog) ([]string, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("figures: nil catalog")
+	}
+	lines := []string{fmt.Sprintf("%d regions, %d providers, %d countries",
+		cat.Len(), len(cloud.Providers()), len(cat.Countries()))}
+	for _, p := range cloud.Providers() {
+		lines = append(lines, fmt.Sprintf("  %-16s %3d regions (%s backbone)",
+			p.Name, len(cat.ByProvider(p)), p.Backbone))
+	}
+	for _, ct := range geo.Continents() {
+		lines = append(lines, fmt.Sprintf("  %-16s %3d regions", ct.String(), len(cat.ByContinent(ct))))
+	}
+	return lines, nil
+}
+
+// Figure3b summarizes the probe census per continent.
+func Figure3b(pop *probe.Population) ([]string, error) {
+	if pop == nil {
+		return nil, fmt.Errorf("figures: nil population")
+	}
+	counts := pop.CountByContinent()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	lines := []string{fmt.Sprintf("%d public probes in %d countries", total, len(pop.Countries()))}
+	for _, ct := range geo.Continents() {
+		lines = append(lines, fmt.Sprintf("  %-16s %4d probes (%.1f%%)",
+			ct.String(), counts[ct], 100*float64(counts[ct])/float64(total)))
+	}
+	return lines, nil
+}
+
+// Figure4 renders per-country minimum latency bands.
+func Figure4(src results.Source, idx *core.Index) (*core.ProximityReport, []string, error) {
+	rep, err := core.Proximity(src, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	bands := rep.CountByBand()
+	lines := []string{fmt.Sprintf("countries: <10ms=%d  10-20ms=%d  20-100ms=%d  >=100ms=%d  (within PL: %d/%d)",
+		bands[core.BandSub10], bands[core.Band10to20], bands[core.Band20to100],
+		bands[core.BandOver100], rep.CountWithin(core.PLms), len(rep.Rows))}
+	lines = append(lines, rep.Format()...)
+	return rep, lines, nil
+}
+
+// cdfLines renders one CDF report at the canonical thresholds.
+func cdfLines(rep *core.CDFReport) ([]string, error) {
+	marks := []float64{10, core.MTPms, 50, core.PLms, 150, core.HRTms}
+	var lines []string
+	for _, ct := range rep.Continents() {
+		d, _ := rep.Dist(ct)
+		row := fmt.Sprintf("%-14s n=%-8d", ct.String(), d.N())
+		for _, m := range marks {
+			frac, err := rep.FractionWithin(ct, m)
+			if err != nil {
+				return nil, err
+			}
+			row += fmt.Sprintf("  P(<=%gms)=%.2f", m, frac)
+		}
+		lines = append(lines, row)
+	}
+	return lines, nil
+}
+
+// Figure5 renders the per-probe minimum-RTT CDFs by continent.
+func Figure5(src results.Source, idx *core.Index) (*core.CDFReport, []string, error) {
+	rep, err := core.MinRTTByProbe(src, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines, err := cdfLines(rep)
+	return rep, lines, err
+}
+
+// Figure6 renders the closest-datacenter full-distribution CDFs.
+func Figure6(src results.Source, idx *core.Index) (*core.CDFReport, []string, error) {
+	rep, err := core.FullDistribution(src, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines, err := cdfLines(rep)
+	return rep, lines, err
+}
+
+// Figure7 renders the wired-vs-wireless comparison.
+func Figure7(src results.Source, idx *core.Index, start time.Time) (*core.LastMileReport, []string, error) {
+	rep, err := core.LastMile(src, idx, start, 7*24*time.Hour)
+	if err != nil {
+		return nil, nil, err
+	}
+	ratio, err := rep.MedianRatio()
+	if err != nil {
+		return nil, nil, err
+	}
+	added, err := rep.AddedLatencyMs()
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := []string{fmt.Sprintf("wireless/wired ratio=%.2fx  added=%.1fms", ratio, added)}
+	n := len(rep.Wired)
+	if len(rep.Wireless) < n {
+		n = len(rep.Wireless)
+	}
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("week %2d  wired=%.1fms  wireless=%.1fms",
+			i+1, rep.Wired[i].Median, rep.Wireless[i].Median))
+	}
+	return rep, lines, nil
+}
+
+// Figure8 derives the feasibility zone from the measured last-mile data and
+// evaluates the application catalog against it.
+func Figure8(lastMile *core.LastMileReport, catalog *apps.Catalog) (*apps.FeasibilityReport, []string, error) {
+	if lastMile == nil || catalog == nil {
+		return nil, nil, fmt.Errorf("figures: nil inputs")
+	}
+	added, err := lastMile.AddedLatencyMs()
+	if err != nil {
+		return nil, nil, err
+	}
+	zone, err := apps.DeriveZone(added, core.HRTms, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := apps.Feasibility(catalog, zone)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := []string{fmt.Sprintf("feasibility zone: latency [%.1f, %.1f]ms x data >= %.1fGB/entity",
+		zone.LatencyFloorMs, zone.LatencyCeilMs, zone.BandwidthFloorGB)}
+	lines = append(lines, rep.Format()...)
+	lines = append(lines, fmt.Sprintf("market in-zone=$%.0fB  out-zone=$%.0fB", rep.MarketInZone, rep.MarketOutZone))
+	return rep, lines, nil
+}
+
+// Names lists the figure identifiers in order.
+func Names() []string {
+	out := []string{"1", "2", "3a", "3b", "4", "5", "6", "7", "8"}
+	sort.Strings(out)
+	return out
+}

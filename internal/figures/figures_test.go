@@ -1,0 +1,171 @@
+package figures
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/atlas"
+	"repro/internal/core"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+type fixture struct {
+	w   *world.World
+	mem *results.Memory
+	cfg atlas.CampaignConfig
+}
+
+var cached *fixture
+
+func dataset(t testing.TB) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	w, err := world.Build(world.Config{Seed: 3, Probes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem results.Memory
+	cfg := atlas.TestCampaign()
+	if _, err := w.Platform.RunCampaign(context.Background(), cfg, mem.Add); err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{w: w, mem: &mem, cfg: cfg}
+	return cached
+}
+
+func TestFigure1(t *testing.T) {
+	series, lines, err := Figure1(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 16 || len(lines) != 17 {
+		t.Errorf("points=%d lines=%d", len(series.Points), len(lines))
+	}
+	if !strings.Contains(lines[0], "era") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	lines, err := Figure2(apps.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"Q1", "Q2", "Q3", "Q4", "AR/VR", "Smart home"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("figure 2 output missing %q", want)
+		}
+	}
+	if _, err := Figure2(nil); err == nil {
+		t.Error("nil catalog accepted")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	f := dataset(t)
+	a, err := Figure3a(f.w.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a[0], "101 regions, 7 providers, 21 countries") {
+		t.Errorf("3a header = %q", a[0])
+	}
+	b, err := Figure3b(f.w.Probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b[0], "public probes") {
+		t.Errorf("3b header = %q", b[0])
+	}
+	if _, err := Figure3a(nil); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := Figure3b(nil); err == nil {
+		t.Error("nil population accepted")
+	}
+}
+
+func TestFigures4Through8(t *testing.T) {
+	f := dataset(t)
+	rep4, lines4, err := Figure4(f.mem, f.w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines4) != len(rep4.Rows)+1 {
+		t.Errorf("figure 4: %d lines for %d rows", len(lines4), len(rep4.Rows))
+	}
+	rep5, lines5, err := Figure5(f.mem, f.w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines5) != len(rep5.Continents()) {
+		t.Errorf("figure 5: %d lines", len(lines5))
+	}
+	if !strings.Contains(lines5[0], "P(<=20ms)") {
+		t.Errorf("figure 5 missing MTP mark: %q", lines5[0])
+	}
+	_, lines6, err := Figure6(f.mem, f.w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines6) == 0 {
+		t.Error("figure 6 empty")
+	}
+	rep7, lines7, err := Figure7(f.mem, f.w.Index, f.cfg.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lines7[0], "ratio") {
+		t.Errorf("figure 7 header = %q", lines7[0])
+	}
+	rep8, lines8, err := Figure8(rep7, apps.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep8.InZone()) == 0 {
+		t.Error("figure 8 zone empty")
+	}
+	if !strings.Contains(lines8[0], "feasibility zone") {
+		t.Errorf("figure 8 header = %q", lines8[0])
+	}
+	if _, _, err := Figure8(nil, nil); err == nil {
+		t.Error("nil figure 8 inputs accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := len(Names()); got != 9 {
+		t.Errorf("Names() has %d entries", got)
+	}
+}
+
+// TestHeadlineNumbers cross-checks the figure pipeline against the paper's
+// headline claims on the small fixture (shape, not absolutes).
+func TestHeadlineNumbers(t *testing.T) {
+	f := dataset(t)
+	rep4, _, err := Figure4(f.mem, f.w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := rep4.CountByBand()
+	if bands[core.BandSub10] == 0 {
+		t.Error("no sub-10ms countries")
+	}
+	rep7, _, err := Figure7(f.mem, f.w.Index, f.cfg.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := rep7.MedianRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1.5 {
+		t.Errorf("wireless/wired = %.2f, want the paper's ~2.5x shape", ratio)
+	}
+}

@@ -1,0 +1,56 @@
+package figures
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/analysisutil"
+)
+
+// TestHeadlineStabilityAcrossSeeds re-runs the core headline numbers under
+// three different world seeds: the paper's conclusions must not hinge on
+// one lucky random draw.
+func TestHeadlineStabilityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed campaign sweep")
+	}
+	for _, seed := range []uint64{11, 22, 33} {
+		seed := seed
+		t.Run(analysisutil.SeedName(seed), func(t *testing.T) {
+			f, err := analysisutil.BuildFixture(context.Background(), seed, 400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep4, _, err := Figure4(f.Mem, f.World.Index)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Figure 4 shape: a healthy sub-10ms block, a 10-20 tranche,
+			// and a bounded >=100ms tail, every seed.
+			bands := rep4.CountByBand()
+			if bands[0] != 0 {
+				t.Error("no-data band non-empty")
+			}
+			sub10 := rep4.CountWithin(10)
+			if sub10 < 15 || sub10 > 60 {
+				t.Errorf("seed %d: %d countries < 10ms", seed, sub10)
+			}
+			over := len(rep4.Rows) - rep4.CountWithin(100)
+			if over < 3 || over > 45 {
+				t.Errorf("seed %d: %d countries >= 100ms", seed, over)
+			}
+			// Figure 7 shape: the wireless penalty holds for every seed.
+			rep7, _, err := Figure7(f.Mem, f.World.Index, f.Cfg.Start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio, err := rep7.MedianRatio()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ratio < 1.5 || ratio > 4.5 {
+				t.Errorf("seed %d: wireless ratio %.2f", seed, ratio)
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package geo
+
+import "fmt"
+
+// Continent identifies one of the six populated continents used in the
+// paper's per-continent groupings (Figures 5 and 6).
+type Continent uint8
+
+// Continents in the order the paper's figures list them.
+const (
+	ContinentUnknown Continent = iota
+	Africa
+	Asia
+	Europe
+	NorthAmerica
+	Oceania
+	SouthAmerica
+)
+
+// Continents lists all known continents in display order.
+func Continents() []Continent {
+	return []Continent{Africa, Asia, Europe, NorthAmerica, Oceania, SouthAmerica}
+}
+
+// String returns the full continent name as used in figure legends.
+func (c Continent) String() string {
+	switch c {
+	case Africa:
+		return "Africa"
+	case Asia:
+		return "Asia"
+	case Europe:
+		return "Europe"
+	case NorthAmerica:
+		return "North America"
+	case Oceania:
+		return "Oceania"
+	case SouthAmerica:
+		return "South America"
+	default:
+		return "Unknown"
+	}
+}
+
+// Code returns the two-letter continent code (AF, AS, EU, NA, OC, SA).
+func (c Continent) Code() string {
+	switch c {
+	case Africa:
+		return "AF"
+	case Asia:
+		return "AS"
+	case Europe:
+		return "EU"
+	case NorthAmerica:
+		return "NA"
+	case Oceania:
+		return "OC"
+	case SouthAmerica:
+		return "SA"
+	default:
+		return "??"
+	}
+}
+
+// ParseContinent converts a two-letter code or full name into a Continent.
+func ParseContinent(s string) (Continent, error) {
+	switch s {
+	case "AF", "Africa":
+		return Africa, nil
+	case "AS", "Asia":
+		return Asia, nil
+	case "EU", "Europe":
+		return Europe, nil
+	case "NA", "North America":
+		return NorthAmerica, nil
+	case "OC", "Oceania":
+		return Oceania, nil
+	case "SA", "South America", "Latin America":
+		return SouthAmerica, nil
+	}
+	return ContinentUnknown, fmt.Errorf("geo: unknown continent %q", s)
+}
+
+// MeasurementTargets returns the continents whose datacenters probes on
+// continent c measure to. Per the paper's methodology (§4.1), probes measure
+// within their own continent; probes in continents with low datacenter
+// density (Africa and South America) additionally measure to Europe and
+// North America respectively.
+func (c Continent) MeasurementTargets() []Continent {
+	switch c {
+	case Africa:
+		return []Continent{Africa, Europe}
+	case SouthAmerica:
+		return []Continent{SouthAmerica, NorthAmerica}
+	case ContinentUnknown:
+		return nil
+	default:
+		return []Continent{c}
+	}
+}

@@ -1,0 +1,163 @@
+// Package offload models the computation-offloading decision behind the
+// paper's §5 "Computing power" consideration: even with an edge deployed,
+// the cloud's faster processors and accelerators can beat the edge's
+// network-latency advantage. Given a task, a device, and candidate venues
+// (on-device, edge, cloud) with their compute speeds and network costs,
+// the model predicts completion times and locates the crossover where the
+// edge actually wins — reproducing the argument of Cartas et al. [12] that
+// edge inference gains are minimal.
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Venue is a place a task can execute.
+type Venue struct {
+	Name string
+	// GFLOPS is the venue's effective compute throughput for the task.
+	GFLOPS float64
+	// RTTms is the network round trip to reach the venue (0 on-device).
+	RTTms float64
+	// UplinkMbps bounds how fast the task input ships to the venue
+	// (ignored on-device).
+	UplinkMbps float64
+}
+
+// Validate checks the venue parameters.
+func (v Venue) Validate() error {
+	if v.Name == "" {
+		return errors.New("offload: unnamed venue")
+	}
+	if v.GFLOPS <= 0 {
+		return fmt.Errorf("offload: venue %s has non-positive compute %v", v.Name, v.GFLOPS)
+	}
+	if v.RTTms < 0 {
+		return fmt.Errorf("offload: venue %s has negative RTT", v.Name)
+	}
+	if v.RTTms > 0 && v.UplinkMbps <= 0 {
+		return fmt.Errorf("offload: remote venue %s needs uplink bandwidth", v.Name)
+	}
+	return nil
+}
+
+// Remote reports whether reaching the venue crosses the network.
+func (v Venue) Remote() bool { return v.RTTms > 0 }
+
+// Task is one unit of offloadable work.
+type Task struct {
+	Name string
+	// InputMB is the data shipped to a remote venue per invocation.
+	InputMB float64
+	// GFLOP is the compute demand per invocation.
+	GFLOP float64
+	// DeadlineMs is the completion budget (0 = no deadline).
+	DeadlineMs float64
+}
+
+// Validate checks the task parameters.
+func (t Task) Validate() error {
+	if t.Name == "" {
+		return errors.New("offload: unnamed task")
+	}
+	if t.InputMB < 0 || t.GFLOP <= 0 || t.DeadlineMs < 0 {
+		return fmt.Errorf("offload: task %s has invalid parameters", t.Name)
+	}
+	return nil
+}
+
+// CompletionMs predicts the task's completion time at the venue:
+// network round trip + input transfer + compute.
+func CompletionMs(t Task, v Venue) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if err := v.Validate(); err != nil {
+		return 0, err
+	}
+	total := t.GFLOP / v.GFLOPS * 1000 // compute, ms
+	if v.Remote() {
+		total += v.RTTms
+		total += t.InputMB * 8 / v.UplinkMbps * 1000 // transfer, ms
+	}
+	return total, nil
+}
+
+// Choice is one venue's predicted outcome for a task.
+type Choice struct {
+	Venue         Venue   `json:"venue"`
+	CompletionMs  float64 `json:"completion_ms"`
+	MeetsDeadline bool    `json:"meets_deadline"`
+}
+
+// Decide ranks the venues for a task, fastest first.
+func Decide(t Task, venues []Venue) ([]Choice, error) {
+	if len(venues) == 0 {
+		return nil, errors.New("offload: no venues")
+	}
+	out := make([]Choice, 0, len(venues))
+	for _, v := range venues {
+		ms, err := CompletionMs(t, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Choice{
+			Venue:         v,
+			CompletionMs:  ms,
+			MeetsDeadline: t.DeadlineMs == 0 || ms <= t.DeadlineMs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CompletionMs != out[j].CompletionMs {
+			return out[i].CompletionMs < out[j].CompletionMs
+		}
+		return out[i].Venue.Name < out[j].Venue.Name
+	})
+	return out, nil
+}
+
+// Reference venues for the §5 discussion: a 2019-class phone, a modest
+// edge server one wireless hop away, and a GPU-backed cloud region at the
+// measured RTT.
+func ReferenceVenues(edgeRTTms, cloudRTTms, uplinkMbps float64) []Venue {
+	return []Venue{
+		{Name: "device", GFLOPS: 20},
+		{Name: "edge", GFLOPS: 150, RTTms: edgeRTTms, UplinkMbps: uplinkMbps},
+		{Name: "cloud", GFLOPS: 2000, RTTms: cloudRTTms, UplinkMbps: uplinkMbps},
+	}
+}
+
+// CrossoverGFLOP returns the compute demand above which venue b completes
+// faster than venue a for a task with the given input size — the §5
+// crossover: beyond it, the cloud's processing advantage outweighs its
+// extra network latency. Returns an error when no finite crossover exists
+// (the faster-compute venue must also be b).
+func CrossoverGFLOP(inputMB float64, a, b Venue) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if inputMB < 0 {
+		return 0, errors.New("offload: negative input size")
+	}
+	fixed := func(v Venue) float64 {
+		if !v.Remote() {
+			return 0
+		}
+		return v.RTTms + inputMB*8/v.UplinkMbps*1000
+	}
+	// completion(v) = fixed(v) + g/GFLOPS(v)*1000; solve for g where equal.
+	perG := 1000/a.GFLOPS - 1000/b.GFLOPS
+	if perG <= 0 {
+		return 0, fmt.Errorf("offload: %s is not compute-faster than %s", b.Name, a.Name)
+	}
+	diff := fixed(b) - fixed(a)
+	if diff <= 0 {
+		return 0, nil // b wins for any demand
+	}
+	return diff / perG, nil
+}

@@ -1,0 +1,184 @@
+package offload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	badVenues := []Venue{
+		{},
+		{Name: "x", GFLOPS: 0},
+		{Name: "x", GFLOPS: 10, RTTms: -1},
+		{Name: "x", GFLOPS: 10, RTTms: 5, UplinkMbps: 0},
+	}
+	for i, v := range badVenues {
+		if err := v.Validate(); err == nil {
+			t.Errorf("venue case %d accepted", i)
+		}
+	}
+	badTasks := []Task{
+		{},
+		{Name: "t", InputMB: -1, GFLOP: 1},
+		{Name: "t", InputMB: 1, GFLOP: 0},
+		{Name: "t", InputMB: 1, GFLOP: 1, DeadlineMs: -1},
+	}
+	for i, task := range badTasks {
+		if err := task.Validate(); err == nil {
+			t.Errorf("task case %d accepted", i)
+		}
+	}
+	if _, err := Decide(Task{Name: "t", GFLOP: 1}, nil); err == nil {
+		t.Error("no venues accepted")
+	}
+}
+
+func TestCompletionArithmetic(t *testing.T) {
+	task := Task{Name: "infer", InputMB: 10, GFLOP: 50}
+	device := Venue{Name: "device", GFLOPS: 20}
+	// On-device: 50/20*1000 = 2500 ms, no network.
+	ms, err := CompletionMs(task, device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-2500) > 0.01 {
+		t.Errorf("device = %v, want 2500", ms)
+	}
+	// Cloud: 30ms RTT + 10MB over 50Mbps = 1600ms + 50/2000*1000 = 25ms.
+	cloud := Venue{Name: "cloud", GFLOPS: 2000, RTTms: 30, UplinkMbps: 50}
+	ms, err = CompletionMs(task, cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-(30+1600+25)) > 0.01 {
+		t.Errorf("cloud = %v, want 1655", ms)
+	}
+}
+
+func TestDecideRanksAndDeadlines(t *testing.T) {
+	venues := ReferenceVenues(15, 35, 50)
+	// A heavy vision task: the cloud's GPUs win despite the extra RTT —
+	// the §5 "Computing power" argument.
+	heavy := Task{Name: "vision", InputMB: 2, GFLOP: 200, DeadlineMs: 500}
+	choices, err := Decide(heavy, venues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Venue.Name != "cloud" {
+		t.Errorf("heavy task best venue = %s, want cloud", choices[0].Venue.Name)
+	}
+	// A tiny interactive task: shipping it anywhere costs more than
+	// computing locally.
+	tiny := Task{Name: "keypress", InputMB: 0.001, GFLOP: 0.01, DeadlineMs: 20}
+	choices, err = Decide(tiny, venues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Venue.Name != "device" {
+		t.Errorf("tiny task best venue = %s, want device", choices[0].Venue.Name)
+	}
+	if !choices[0].MeetsDeadline {
+		t.Error("tiny task misses its deadline on-device")
+	}
+	// Ranking is ascending.
+	for i := 1; i < len(choices); i++ {
+		if choices[i-1].CompletionMs > choices[i].CompletionMs {
+			t.Fatal("choices not sorted")
+		}
+	}
+}
+
+func TestEdgeWinsOnlyInTheMiddle(t *testing.T) {
+	// The paper's niche: the edge wins for tasks too heavy for the device
+	// but too bandwidth-heavy for the cloud — the edge's advantage is the
+	// fat, uncongested local uplink (§5: "benefits from the edge are
+	// greatest close to the users"), not its compute.
+	venues := []Venue{
+		{Name: "device", GFLOPS: 20},
+		{Name: "edge", GFLOPS: 150, RTTms: 12, UplinkMbps: 100},
+		{Name: "cloud", GFLOPS: 2000, RTTms: 60, UplinkMbps: 20},
+	}
+	mid := Task{Name: "ar-frame", InputMB: 0.8, GFLOP: 8, DeadlineMs: 200}
+	choices, err := Decide(mid, venues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Venue.Name != "edge" {
+		t.Errorf("mid task best venue = %s (%.1fms), want edge", choices[0].Venue.Name, choices[0].CompletionMs)
+	}
+	if !choices[0].MeetsDeadline {
+		t.Error("edge misses the AR deadline")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	edge := Venue{Name: "edge", GFLOPS: 150, RTTms: 12, UplinkMbps: 50}
+	cloud := Venue{Name: "cloud", GFLOPS: 2000, RTTms: 40, UplinkMbps: 50}
+	g, err := CrossoverGFLOP(1, edge, cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 {
+		t.Fatalf("crossover = %v", g)
+	}
+	// At the crossover the completion times match.
+	task := Task{Name: "x", InputMB: 1, GFLOP: g}
+	e, err := CompletionMs(task, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompletionMs(task, cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-c) > 1e-6 {
+		t.Errorf("at crossover: edge %.4f vs cloud %.4f", e, c)
+	}
+	// Below it the edge wins, above it the cloud wins.
+	below := Task{Name: "b", InputMB: 1, GFLOP: g * 0.5}
+	eb, _ := CompletionMs(below, edge)
+	cb, _ := CompletionMs(below, cloud)
+	if eb >= cb {
+		t.Error("edge should win below the crossover")
+	}
+	above := Task{Name: "a", InputMB: 1, GFLOP: g * 2}
+	ea, _ := CompletionMs(above, edge)
+	ca, _ := CompletionMs(above, cloud)
+	if ca >= ea {
+		t.Error("cloud should win above the crossover")
+	}
+	// The slower-compute direction has no crossover.
+	if _, err := CrossoverGFLOP(1, cloud, edge); err == nil {
+		t.Error("inverted crossover accepted")
+	}
+	// Equal fixed costs: b wins immediately.
+	g, err = CrossoverGFLOP(0, Venue{Name: "a", GFLOPS: 10}, Venue{Name: "b", GFLOPS: 20})
+	if err != nil || g != 0 {
+		t.Errorf("free win crossover = %v, %v", g, err)
+	}
+}
+
+func TestCrossoverProperty(t *testing.T) {
+	// For any valid venue pair where b is compute-faster and network-
+	// slower, completion curves cross exactly once at the returned demand.
+	prop := func(rttRaw, inputRaw uint8) bool {
+		edge := Venue{Name: "e", GFLOPS: 100, RTTms: float64(rttRaw%40) + 1, UplinkMbps: 50}
+		cloud := Venue{Name: "c", GFLOPS: 1000, RTTms: float64(rttRaw%40) + 20, UplinkMbps: 50}
+		input := float64(inputRaw) / 50
+		g, err := CrossoverGFLOP(input, edge, cloud)
+		if err != nil {
+			return false
+		}
+		if g == 0 {
+			return true
+		}
+		task := Task{Name: "t", InputMB: input, GFLOP: g}
+		e, err1 := CompletionMs(task, edge)
+		c, err2 := CompletionMs(task, cloud)
+		return err1 == nil && err2 == nil && math.Abs(e-c) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package ping
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/echo"
+)
+
+// ErrTimeout is returned when no reply arrives within the deadline; the
+// measurement records it as packet loss, as the paper's ping methodology
+// does.
+var ErrTimeout = errors.New("ping: timeout")
+
+// Pinger sends echo requests from one transport endpoint and matches
+// replies to compute RTTs. It is safe for concurrent pings to different
+// (or the same) destinations.
+type Pinger struct {
+	tr       Transport
+	id       uint16
+	rttScale float64
+	now      func() time.Time
+
+	mu      sync.Mutex
+	nextSeq uint16
+	pending map[uint16]chan time.Duration
+}
+
+// PingerOption configures a Pinger.
+type PingerOption func(*Pinger)
+
+// WithRTTScale multiplies measured wall-clock RTTs by the given factor.
+// Pair it with netsim.WithTimeScale(1/f) to run compressed simulations that
+// still report full-scale latencies.
+func WithRTTScale(f float64) PingerOption {
+	return func(p *Pinger) {
+		if f > 0 {
+			p.rttScale = f
+		}
+	}
+}
+
+// WithClock overrides the time source (tests).
+func WithClock(now func() time.Time) PingerOption {
+	return func(p *Pinger) {
+		if now != nil {
+			p.now = now
+		}
+	}
+}
+
+// NewPinger wraps a transport and installs its receive handler. The id
+// distinguishes this pinger's traffic, mirroring the ICMP echo identifier.
+func NewPinger(tr Transport, id uint16, opts ...PingerOption) (*Pinger, error) {
+	if tr == nil {
+		return nil, errors.New("ping: nil transport")
+	}
+	p := &Pinger{
+		tr:       tr,
+		id:       id,
+		rttScale: 1,
+		now:      time.Now,
+		pending:  make(map[uint16]chan time.Duration),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	tr.SetHandler(p.onPacket)
+	return p, nil
+}
+
+func (p *Pinger) onPacket(src string, payload []byte) {
+	m, err := echo.Unmarshal(payload)
+	if err != nil || m.Type != echo.TypeEchoReply || m.ID != p.id {
+		return // not ours; drop like a kernel would
+	}
+	elapsed := p.now().Sub(time.Unix(0, m.SentUnixNano))
+	if elapsed < 0 {
+		return
+	}
+	p.mu.Lock()
+	ch, ok := p.pending[m.Seq]
+	if ok {
+		delete(p.pending, m.Seq)
+	}
+	p.mu.Unlock()
+	if ok {
+		// Non-blocking: the waiter may have timed out concurrently.
+		select {
+		case ch <- time.Duration(float64(elapsed) * p.rttScale):
+		default:
+		}
+	}
+}
+
+// Ping sends one echo request to dst and waits for the reply or the
+// timeout. The returned duration is the measured RTT (scaled if WithRTTScale
+// was set).
+func (p *Pinger) Ping(ctx context.Context, dst string, timeout time.Duration) (time.Duration, error) {
+	if timeout <= 0 {
+		return 0, fmt.Errorf("ping: non-positive timeout %v", timeout)
+	}
+	ch := make(chan time.Duration, 1)
+	p.mu.Lock()
+	seq := p.nextSeq
+	p.nextSeq++
+	p.pending[seq] = ch
+	p.mu.Unlock()
+
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+	}()
+
+	req := &echo.Message{
+		Type:         echo.TypeEchoRequest,
+		ID:           p.id,
+		Seq:          seq,
+		SentUnixNano: p.now().UnixNano(),
+	}
+	buf, err := req.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.tr.Send(dst, buf); err != nil {
+		return 0, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rtt := <-ch:
+		return rtt, nil
+	case <-timer.C:
+		return 0, ErrTimeout
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Stats summarizes a ping series, in the shape of the classic ping footer.
+type Stats struct {
+	Sent     int           `json:"sent"`
+	Received int           `json:"received"`
+	Min      time.Duration `json:"min"`
+	Avg      time.Duration `json:"avg"`
+	Max      time.Duration `json:"max"`
+}
+
+// Loss returns the fraction of unanswered requests.
+func (s Stats) Loss() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Sent-s.Received) / float64(s.Sent)
+}
+
+// Series sends count echo requests to dst, spaced by interval, and
+// aggregates the results. A fully lost series returns valid Stats with
+// Received == 0, not an error; the campaign layer decides what loss means.
+func (p *Pinger) Series(ctx context.Context, dst string, count int, interval, timeout time.Duration) (Stats, error) {
+	if count <= 0 {
+		return Stats{}, fmt.Errorf("ping: non-positive count %d", count)
+	}
+	var st Stats
+	var sum time.Duration
+	for i := 0; i < count; i++ {
+		if i > 0 && interval > 0 {
+			select {
+			case <-time.After(interval):
+			case <-ctx.Done():
+				return st, ctx.Err()
+			}
+		}
+		st.Sent++
+		rtt, err := p.Ping(ctx, dst, timeout)
+		switch {
+		case err == nil:
+			st.Received++
+			sum += rtt
+			if st.Min == 0 || rtt < st.Min {
+				st.Min = rtt
+			}
+			if rtt > st.Max {
+				st.Max = rtt
+			}
+		case errors.Is(err, ErrTimeout):
+			// loss: keep going
+		default:
+			return st, err
+		}
+	}
+	if st.Received > 0 {
+		st.Avg = sum / time.Duration(st.Received)
+	}
+	return st, nil
+}

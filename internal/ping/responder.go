@@ -1,0 +1,51 @@
+package ping
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/echo"
+)
+
+// Responder answers echo requests on a transport, playing the role of the
+// VM the paper establishes in every cloud region (§4.1).
+type Responder struct {
+	tr      Transport
+	served  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewResponder installs the responder as the transport's handler.
+func NewResponder(tr Transport) (*Responder, error) {
+	if tr == nil {
+		return nil, errors.New("ping: nil transport")
+	}
+	r := &Responder{tr: tr}
+	tr.SetHandler(r.onPacket)
+	return r, nil
+}
+
+func (r *Responder) onPacket(src string, payload []byte) {
+	m, err := echo.Unmarshal(payload)
+	if err != nil || m.Type != echo.TypeEchoRequest {
+		r.dropped.Add(1)
+		return
+	}
+	rep, err := m.Reply().Marshal()
+	if err != nil {
+		r.dropped.Add(1)
+		return
+	}
+	if err := r.tr.Send(src, rep); err != nil {
+		r.dropped.Add(1)
+		return
+	}
+	r.served.Add(1)
+}
+
+// Served returns how many requests were answered.
+func (r *Responder) Served() uint64 { return r.served.Load() }
+
+// Dropped returns how many packets were discarded (malformed, wrong type,
+// or unsendable replies).
+func (r *Responder) Dropped() uint64 { return r.dropped.Load() }

@@ -1,0 +1,172 @@
+// Package ping implements the measurement engine: a pinger that sends echo
+// requests and measures round-trip times, the datacenter-side responder,
+// and a UDP transport so the same engine runs over real sockets as well as
+// the virtual network.
+package ping
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport moves opaque payloads between named endpoints. Both
+// netsim.Endpoint and UDPTransport satisfy it.
+type Transport interface {
+	// Addr returns this endpoint's name.
+	Addr() string
+	// Send submits a payload toward dst. A nil error does not imply
+	// delivery.
+	Send(dst string, payload []byte) error
+	// SetHandler installs the receive callback.
+	SetHandler(h func(src string, payload []byte))
+}
+
+// UDPRegistry maps endpoint names to UDP socket addresses so transports can
+// find each other. It plays the role of DNS for the loopback deployment.
+type UDPRegistry struct {
+	mu    sync.RWMutex
+	names map[string]*net.UDPAddr
+}
+
+// NewUDPRegistry creates an empty registry.
+func NewUDPRegistry() *UDPRegistry {
+	return &UDPRegistry{names: make(map[string]*net.UDPAddr)}
+}
+
+func (r *UDPRegistry) register(name string, addr *net.UDPAddr) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[name]; dup {
+		return fmt.Errorf("ping: name %q already registered", name)
+	}
+	r.names[name] = addr
+	return nil
+}
+
+func (r *UDPRegistry) unregister(name string) {
+	r.mu.Lock()
+	delete(r.names, name)
+	r.mu.Unlock()
+}
+
+func (r *UDPRegistry) resolve(name string) (*net.UDPAddr, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.names[name]
+	return a, ok
+}
+
+// UDPTransport is a Transport over a real UDP socket on the loopback
+// interface. Datagrams carry the sender's name so receivers can reply by
+// name: [2-byte name length][name][payload].
+type UDPTransport struct {
+	name string
+	reg  *UDPRegistry
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	handler func(src string, payload []byte)
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// maxDatagram bounds receive buffers.
+const maxDatagram = 2048
+
+// NewTransport binds a UDP socket on 127.0.0.1 and registers it under name.
+func (r *UDPRegistry) NewTransport(name string) (*UDPTransport, error) {
+	if name == "" {
+		return nil, errors.New("ping: empty transport name")
+	}
+	if len(name) > 255 {
+		return nil, errors.New("ping: transport name too long")
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("ping: listen: %w", err)
+	}
+	addr, ok := conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		conn.Close()
+		return nil, errors.New("ping: unexpected local address type")
+	}
+	if err := r.register(name, addr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t := &UDPTransport{name: name, reg: r, conn: conn}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr returns the transport's registered name.
+func (t *UDPTransport) Addr() string { return t.name }
+
+// SetHandler installs the receive callback.
+func (t *UDPTransport) SetHandler(h func(src string, payload []byte)) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Send resolves dst through the registry and writes one datagram.
+func (t *UDPTransport) Send(dst string, payload []byte) error {
+	addr, ok := t.reg.resolve(dst)
+	if !ok {
+		return fmt.Errorf("ping: unknown destination %q", dst)
+	}
+	buf := make([]byte, 2+len(t.name)+len(payload))
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(t.name)))
+	copy(buf[2:], t.name)
+	copy(buf[2+len(t.name):], payload)
+	if len(buf) > maxDatagram {
+		return fmt.Errorf("ping: datagram of %d bytes exceeds %d", len(buf), maxDatagram)
+	}
+	_, err := t.conn.WriteToUDP(buf, addr)
+	return err
+}
+
+// Close unregisters the name and shuts the socket down.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.reg.unregister(t.name)
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < 2 {
+			continue
+		}
+		nameLen := int(binary.BigEndian.Uint16(buf[0:2]))
+		if n < 2+nameLen {
+			continue
+		}
+		src := string(buf[2 : 2+nameLen])
+		payload := append([]byte(nil), buf[2+nameLen:n]...)
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(src, payload)
+		}
+	}
+}

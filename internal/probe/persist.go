@@ -1,0 +1,77 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the population as JSONL, one probe per line — the analogue
+// of the probe-metadata dumps RIPE Atlas publishes, so a census can be
+// shared and reloaded without regenerating it.
+func Save(w io.Writer, pop *Population) error {
+	if pop == nil {
+		return errors.New("probe: nil population")
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, p := range pop.All() {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a population back from JSONL, validating every entry.
+func Load(r io.Reader) (*Population, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var probes []*Probe
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var p Probe
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, fmt.Errorf("probe: line %d: %w", line, err)
+		}
+		if !p.Location.Valid() {
+			return nil, fmt.Errorf("probe: line %d: invalid location", line)
+		}
+		probes = append(probes, &p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewPopulation(probes)
+}
+
+// SaveFile writes the census to a file.
+func SaveFile(path string, pop *Population) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, pop); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a census from a file.
+func LoadFile(path string) (*Population, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,81 @@
+package probe
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pop := genDefault(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, pop); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != pop.Len() {
+		t.Fatalf("loaded %d probes, want %d", got.Len(), pop.Len())
+	}
+	for i, want := range pop.All() {
+		p := got.All()[i]
+		if p.ID != want.ID || p.Country != want.Country || p.Continent != want.Continent ||
+			p.Tier != want.Tier || p.Location != want.Location || p.Access != want.Access ||
+			p.Env != want.Env || len(p.Tags) != len(want.Tags) {
+			t.Fatalf("probe %d differs: %+v vs %+v", i, p, want)
+		}
+		for j := range want.Tags {
+			if p.Tags[j] != want.Tags[j] {
+				t.Fatalf("probe %d tag %d differs", i, j)
+			}
+		}
+	}
+	// Derived behaviour survives the round trip.
+	if len(got.Public()) != len(pop.Public()) {
+		t.Error("privileged filtering changed after reload")
+	}
+	if len(got.WithAnyTag(WirelessTags)) != len(pop.WithAnyTag(WirelessTags)) {
+		t.Error("tag queries changed after reload")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken\n")); err == nil {
+		t.Error("corrupt line accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"id":1,"location":{"Lat":999,"Lon":0}}` + "\n")); err == nil {
+		t.Error("invalid location accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"id":0}` + "\n")); err == nil {
+		t.Error("zero ID accepted")
+	}
+	// Blank lines are fine.
+	pop, err := Load(strings.NewReader("\n" + `{"id":1,"country":"DE","continent":3,"tier":1,"location":{"Lat":50,"Lon":8}}` + "\n\n"))
+	if err != nil || pop.Len() != 1 {
+		t.Errorf("blank-line handling: %v, %v", pop, err)
+	}
+	if err := Save(nil, nil); err == nil {
+		t.Error("nil population accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	pop := genDefault(t)
+	path := filepath.Join(t.TempDir(), "census.jsonl")
+	if err := SaveFile(path, pop); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != pop.Len() {
+		t.Errorf("loaded %d, want %d", got.Len(), pop.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

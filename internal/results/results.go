@@ -1,0 +1,255 @@
+// Package results is the dataset layer: the campaign's measurement samples
+// as an append-only JSONL store with streaming readers, plus an in-memory
+// source for tests and benchmarks. The paper's dataset is 3.2M datapoints
+// over nine months (§4.1); everything here streams so the analysis never
+// needs the full dataset in memory.
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Sample is one ping measurement: probe -> region at a point in time.
+type Sample struct {
+	ProbeID int       `json:"probe"`
+	Region  string    `json:"region"` // "provider/id" address
+	Time    time.Time `json:"t"`
+	RTTms   float64   `json:"rtt_ms"`         // meaningful only when !Lost
+	Lost    bool      `json:"lost,omitempty"` // request unanswered
+}
+
+// Validate rejects structurally broken samples.
+func (s Sample) Validate() error {
+	if s.ProbeID <= 0 {
+		return fmt.Errorf("results: bad probe id %d", s.ProbeID)
+	}
+	if s.Region == "" {
+		return errors.New("results: empty region")
+	}
+	if s.Time.IsZero() {
+		return errors.New("results: zero timestamp")
+	}
+	if !s.Lost && s.RTTms <= 0 {
+		return fmt.Errorf("results: non-positive RTT %v on delivered sample", s.RTTms)
+	}
+	return nil
+}
+
+// Source is anything the analysis pipeline can stream samples from.
+type Source interface {
+	// ForEach calls fn for every sample in storage order. It stops at the
+	// first error and returns it.
+	ForEach(fn func(Sample) error) error
+}
+
+// Memory is an in-memory Source.
+type Memory struct{ samples []Sample }
+
+// Add validates and appends one sample.
+func (m *Memory) Add(s Sample) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	m.samples = append(m.samples, s)
+	return nil
+}
+
+// Len returns the number of stored samples.
+func (m *Memory) Len() int { return len(m.samples) }
+
+// ForEach implements Source.
+func (m *Memory) ForEach(fn func(Sample) error) error {
+	for _, s := range m.samples {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Writer streams samples to JSONL.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   uint64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write validates and appends one sample.
+func (w *Writer) Write(s Sample) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := w.enc.Encode(s); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of samples written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush drains the buffer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams samples from JSONL.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r. Lines up to 1 MiB are supported.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next sample, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Sample, error) {
+	for r.sc.Scan() {
+		r.line++
+		raw := r.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var s Sample
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return Sample{}, fmt.Errorf("results: line %d: %w", r.line, err)
+		}
+		if err := s.Validate(); err != nil {
+			return Sample{}, fmt.Errorf("results: line %d: %w", r.line, err)
+		}
+		return s, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Sample{}, err
+	}
+	return Sample{}, io.EOF
+}
+
+// ForEach implements Source semantics over the remaining stream.
+func (r *Reader) ForEach(fn func(Sample) error) error {
+	for {
+		s, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+}
+
+// Meta describes a stored campaign.
+type Meta struct {
+	Seed          uint64    `json:"seed"`
+	Start         time.Time `json:"start"`
+	End           time.Time `json:"end"`
+	IntervalHours float64   `json:"interval_hours"`
+	Probes        int       `json:"probes"`
+	Regions       int       `json:"regions"`
+}
+
+// Validate checks campaign metadata.
+func (m Meta) Validate() error {
+	if m.Start.IsZero() || m.End.IsZero() || !m.End.After(m.Start) {
+		return fmt.Errorf("results: invalid campaign window [%v, %v]", m.Start, m.End)
+	}
+	if m.IntervalHours <= 0 {
+		return fmt.Errorf("results: invalid interval %v", m.IntervalHours)
+	}
+	if m.Probes <= 0 || m.Regions <= 0 {
+		return fmt.Errorf("results: invalid census probes=%d regions=%d", m.Probes, m.Regions)
+	}
+	return nil
+}
+
+const (
+	metaFile    = "meta.json"
+	samplesFile = "samples.jsonl"
+)
+
+// Store is an on-disk campaign dataset: a directory holding meta.json and
+// samples.jsonl.
+type Store struct {
+	dir  string
+	meta Meta
+}
+
+// Create initializes a dataset directory and returns the store plus a
+// writer for its samples. Callers must Flush the writer and Close the
+// returned file via CloseFunc.
+func Create(dir string, meta Meta) (*Store, *Writer, func() error, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), mb, 0o644); err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, samplesFile))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	w := NewWriter(f)
+	closeFn := func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return &Store{dir: dir, meta: meta}, w, closeFn, nil
+}
+
+// Open loads an existing dataset directory.
+func Open(dir string) (*Store, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	var meta Meta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return nil, fmt.Errorf("results: corrupt meta: %w", err)
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, meta: meta}, nil
+}
+
+// Meta returns the campaign metadata.
+func (s *Store) Meta() Meta { return s.meta }
+
+// ForEach streams every stored sample.
+func (s *Store) ForEach(fn func(Sample) error) error {
+	f, err := os.Open(filepath.Join(s.dir, samplesFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return NewReader(f).ForEach(fn)
+}

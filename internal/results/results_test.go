@@ -1,0 +1,196 @@
+package results
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func sample(i int) Sample {
+	return Sample{ProbeID: i, Region: "Amazon/eu-north-1", Time: t0.Add(time.Duration(i) * time.Hour), RTTms: float64(10 + i)}
+}
+
+func TestSampleValidate(t *testing.T) {
+	good := sample(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+	cases := []Sample{
+		{ProbeID: 0, Region: "x", Time: t0, RTTms: 1},
+		{ProbeID: 1, Region: "", Time: t0, RTTms: 1},
+		{ProbeID: 1, Region: "x", RTTms: 1},
+		{ProbeID: 1, Region: "x", Time: t0, RTTms: 0},
+		{ProbeID: 1, Region: "x", Time: t0, RTTms: -5},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid sample accepted: %+v", i, s)
+		}
+	}
+	lost := Sample{ProbeID: 1, Region: "x", Time: t0, Lost: true}
+	if err := lost.Validate(); err != nil {
+		t.Errorf("lost sample rejected: %v", err)
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []Sample{sample(1), sample(2), {ProbeID: 3, Region: "r", Time: t0, Lost: true}}
+	for _, s := range want {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var got []Sample
+	if err := r.ForEach(func(s Sample) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples", len(got))
+	}
+	for i := range want {
+		if got[i].ProbeID != want[i].ProbeID || got[i].RTTms != want[i].RTTms ||
+			got[i].Lost != want[i].Lost || !got[i].Time.Equal(want[i].Time) {
+			t.Errorf("sample %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(Sample{}); err == nil {
+		t.Error("invalid sample written")
+	}
+	if w.Count() != 0 {
+		t.Error("count incremented on failure")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Corrupt JSON.
+	r := NewReader(strings.NewReader("{not json}\n"))
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("corrupt line: %v", err)
+	}
+	// Valid JSON, invalid sample.
+	r = NewReader(strings.NewReader(`{"probe":0,"region":"x","t":"2019-09-01T00:00:00Z","rtt_ms":1}` + "\n"))
+	if _, err := r.Next(); err == nil {
+		t.Error("invalid sample accepted")
+	}
+	// Blank lines are skipped.
+	r = NewReader(strings.NewReader("\n\n" + `{"probe":1,"region":"x","t":"2019-09-01T00:00:00Z","rtt_ms":1}` + "\n\n"))
+	if s, err := r.Next(); err != nil || s.ProbeID != 1 {
+		t.Errorf("blank-line handling: %+v, %v", s, err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("EOF expected, got %v", err)
+	}
+}
+
+func TestForEachStopsOnCallbackError(t *testing.T) {
+	var m Memory
+	for i := 1; i <= 5; i++ {
+		if err := m.Add(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop")
+	seen := 0
+	err := m.ForEach(func(Sample) error {
+		seen++
+		if seen == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || seen != 2 {
+		t.Errorf("err=%v seen=%d", err, seen)
+	}
+}
+
+func TestMemory(t *testing.T) {
+	var m Memory
+	if err := m.Add(Sample{}); err == nil {
+		t.Error("invalid sample accepted")
+	}
+	if err := m.Add(sample(1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestMetaValidate(t *testing.T) {
+	good := Meta{Seed: 1, Start: t0, End: t0.Add(time.Hour), IntervalHours: 3, Probes: 10, Regions: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid meta rejected: %v", err)
+	}
+	bad := []Meta{
+		{},
+		{Start: t0, End: t0, IntervalHours: 3, Probes: 1, Regions: 1},
+		{Start: t0, End: t0.Add(time.Hour), IntervalHours: 0, Probes: 1, Regions: 1},
+		{Start: t0, End: t0.Add(time.Hour), IntervalHours: 3, Probes: 0, Regions: 1},
+		{Start: t0, End: t0.Add(time.Hour), IntervalHours: 3, Probes: 1, Regions: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid meta accepted", i)
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	meta := Meta{Seed: 42, Start: t0, End: t0.Add(24 * time.Hour), IntervalHours: 3, Probes: 2, Regions: 1}
+	_, w, closeFn, err := Create(dir, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := w.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Meta(); got.Seed != 42 || !got.Start.Equal(t0) {
+		t.Errorf("meta = %+v", got)
+	}
+	n := 0
+	if err := st.ForEach(func(s Sample) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("streamed %d samples, want 10", n)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	if _, _, _, err := Create(t.TempDir(), Meta{}); err == nil {
+		t.Error("invalid meta accepted")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir opened")
+	}
+}

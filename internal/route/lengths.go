@@ -1,0 +1,75 @@
+package route
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// LengthReport is the hop-count distribution of nearest-region paths,
+// grouped by continent — the path-length view of the §4.3 infrastructure
+// story: under-served regions traverse more intermediate networks.
+type LengthReport struct {
+	byContinent map[geo.Continent]*stats.Dist
+}
+
+// Lengths expands every public probe's path to its geographically nearest
+// region at time t and tallies hop counts per continent.
+func Lengths(p *atlas.Platform, at time.Time) (*LengthReport, error) {
+	if p == nil {
+		return nil, errors.New("route: nil platform")
+	}
+	rep := &LengthReport{byContinent: make(map[geo.Continent]*stats.Dist)}
+	for _, pr := range p.Population.Public() {
+		region := p.Catalog.Nearest(pr.Location)
+		if region == nil {
+			return nil, errors.New("route: empty catalog")
+		}
+		path, err := p.Path(pr, region)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := Expand(path, pr.Site(), region.Addr(), at)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Lost {
+			continue
+		}
+		d := rep.byContinent[pr.Continent]
+		if d == nil {
+			d = &stats.Dist{}
+			rep.byContinent[pr.Continent] = d
+		}
+		if err := d.Add(float64(len(tr.Hops))); err != nil {
+			return nil, err
+		}
+	}
+	if len(rep.byContinent) == 0 {
+		return nil, errors.New("route: no traces")
+	}
+	return rep, nil
+}
+
+// MedianHops returns the median path length for a continent.
+func (r *LengthReport) MedianHops(ct geo.Continent) (float64, error) {
+	d, ok := r.byContinent[ct]
+	if !ok {
+		return 0, errors.New("route: no data for continent")
+	}
+	return d.Median()
+}
+
+// Continents lists the continents with data, in canonical order.
+func (r *LengthReport) Continents() []geo.Continent {
+	var out []geo.Continent
+	for _, ct := range geo.Continents() {
+		if d, ok := r.byContinent[ct]; ok && d.N() > 0 {
+			out = append(out, ct)
+		}
+	}
+	return out
+}

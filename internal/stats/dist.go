@@ -1,0 +1,203 @@
+// Package stats is the statistics substrate for the analysis pipeline:
+// exact empirical distributions (CDFs, quantiles), streaming quantile
+// estimation for datasets too large to hold in memory, histograms, and
+// time-binned series used by the figure generators.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by queries against a distribution with no samples.
+var ErrEmpty = errors.New("stats: empty distribution")
+
+// Dist accumulates float64 samples and answers exact empirical-distribution
+// queries. The zero value is ready to use.
+type Dist struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+	sumSq   float64
+}
+
+// Add appends one sample. NaN and Inf samples are rejected.
+func (d *Dist) Add(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("stats: invalid sample %v", v)
+	}
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+	d.sumSq += v * v
+	return nil
+}
+
+// AddAll appends many samples, stopping at the first invalid one.
+func (d *Dist) AddAll(vs ...float64) error {
+	for _, v := range vs {
+		if err := d.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// N returns the number of samples.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Mean returns the arithmetic mean.
+func (d *Dist) Mean() (float64, error) {
+	if len(d.samples) == 0 {
+		return 0, ErrEmpty
+	}
+	return d.sum / float64(len(d.samples)), nil
+}
+
+// StdDev returns the population standard deviation.
+func (d *Dist) StdDev() (float64, error) {
+	n := float64(len(d.samples))
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	mean := d.sum / n
+	variance := d.sumSq/n - mean*mean
+	if variance < 0 { // numerical noise
+		variance = 0
+	}
+	return math.Sqrt(variance), nil
+}
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Min returns the smallest sample.
+func (d *Dist) Min() (float64, error) {
+	if len(d.samples) == 0 {
+		return 0, ErrEmpty
+	}
+	d.ensureSorted()
+	return d.samples[0], nil
+}
+
+// Max returns the largest sample.
+func (d *Dist) Max() (float64, error) {
+	if len(d.samples) == 0 {
+		return 0, ErrEmpty
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1], nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics (type-7, the common default).
+func (d *Dist) Quantile(q float64) (float64, error) {
+	if len(d.samples) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	d.ensureSorted()
+	if len(d.samples) == 1 {
+		return d.samples[0], nil
+	}
+	pos := q * float64(len(d.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.samples[lo], nil
+	}
+	frac := pos - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile.
+func (d *Dist) Median() (float64, error) { return d.Quantile(0.5) }
+
+// CDF returns the empirical probability P(X <= x).
+func (d *Dist) CDF(x float64) (float64, error) {
+	if len(d.samples) == 0 {
+		return 0, ErrEmpty
+	}
+	d.ensureSorted()
+	// Index of first sample > x.
+	idx := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(d.samples)), nil
+}
+
+// CDFPoint is one (x, P(X<=x)) pair of an empirical CDF curve.
+type CDFPoint struct {
+	X float64 `json:"x"`
+	P float64 `json:"p"`
+}
+
+// Curve samples the empirical CDF at the given x values, producing the
+// series a figure plots.
+func (d *Dist) Curve(xs []float64) ([]CDFPoint, error) {
+	if len(d.samples) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]CDFPoint, 0, len(xs))
+	for _, x := range xs {
+		p, err := d.CDF(x)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CDFPoint{X: x, P: p})
+	}
+	return out, nil
+}
+
+// Summary bundles the descriptive statistics reported for a distribution.
+type Summary struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+}
+
+// Summarize computes a Summary of the distribution.
+func (d *Dist) Summarize() (Summary, error) {
+	if len(d.samples) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(d.samples)}
+	var err error
+	if s.Min, err = d.Min(); err != nil {
+		return Summary{}, err
+	}
+	if s.P25, err = d.Quantile(0.25); err != nil {
+		return Summary{}, err
+	}
+	if s.Median, err = d.Median(); err != nil {
+		return Summary{}, err
+	}
+	if s.P75, err = d.Quantile(0.75); err != nil {
+		return Summary{}, err
+	}
+	if s.P95, err = d.Quantile(0.95); err != nil {
+		return Summary{}, err
+	}
+	if s.Max, err = d.Max(); err != nil {
+		return Summary{}, err
+	}
+	if s.Mean, err = d.Mean(); err != nil {
+		return Summary{}, err
+	}
+	if s.StdDev, err = d.StdDev(); err != nil {
+		return Summary{}, err
+	}
+	return s, nil
+}

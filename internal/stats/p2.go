@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2 is a streaming quantile estimator implementing the P² algorithm
+// (Jain & Chlamtac, 1985). It estimates a single quantile in O(1) memory,
+// which lets the analysis pipeline stream the full 3.2M-datapoint campaign
+// dataset without holding it in memory.
+type P2 struct {
+	q       float64    // target quantile
+	n       int        // samples seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired-position increments
+	initial []float64  // first five samples before initialization
+}
+
+// NewP2 creates an estimator for quantile q in (0, 1).
+func NewP2(q float64) (*P2, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("stats: P2 quantile %v out of (0,1)", q)
+	}
+	return &P2{q: q}, nil
+}
+
+// Add feeds one observation.
+func (p *P2) Add(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("stats: invalid sample %v", v)
+	}
+	p.n++
+	if p.n <= 5 {
+		p.initial = append(p.initial, v)
+		if p.n == 5 {
+			p.initialize()
+		}
+		return nil
+	}
+	p.update(v)
+	return nil
+}
+
+func (p *P2) initialize() {
+	sort.Float64s(p.initial)
+	copy(p.heights[:], p.initial)
+	p.initial = nil
+	for i := range p.pos {
+		p.pos[i] = float64(i + 1)
+	}
+	p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+	p.incr = [5]float64{0, p.q / 2, p.q, (1 + p.q) / 2, 1}
+}
+
+func (p *P2) update(v float64) {
+	// Find cell k such that heights[k] <= v < heights[k+1], adjusting
+	// extremes.
+	var k int
+	switch {
+	case v < p.heights[0]:
+		p.heights[0] = v
+		k = 0
+	case v >= p.heights[4]:
+		p.heights[4] = v
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if v < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.incr[i]
+	}
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2) linear(i int, d float64) float64 {
+	di := int(d)
+	return p.heights[i] + d*(p.heights[i+di]-p.heights[i])/(p.pos[i+di]-p.pos[i])
+}
+
+// N returns the number of observations fed so far.
+func (p *P2) N() int { return p.n }
+
+// Value returns the current quantile estimate.
+func (p *P2) Value() (float64, error) {
+	switch {
+	case p.n == 0:
+		return 0, ErrEmpty
+	case p.n < 5:
+		// Fall back to the exact quantile of the few samples seen.
+		tmp := append([]float64(nil), p.initial...)
+		sort.Float64s(tmp)
+		pos := p.q * float64(len(tmp)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return tmp[lo], nil
+		}
+		frac := pos - float64(lo)
+		return tmp[lo]*(1-frac) + tmp[hi]*frac, nil
+	default:
+		return p.heights[2], nil
+	}
+}

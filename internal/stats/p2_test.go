@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestP2Validation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2(q); err == nil {
+			t.Errorf("NewP2(%v) accepted", q)
+		}
+	}
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(math.NaN()); err == nil {
+		t.Error("Add(NaN) accepted")
+	}
+	if _, err := p.Value(); err != ErrEmpty {
+		t.Errorf("Value on empty = %v", err)
+	}
+}
+
+func TestP2SmallN(t *testing.T) {
+	// Below 5 samples the estimator falls back to the exact quantile.
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{5, 1, 3} {
+		if err := p.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := p.Value()
+	if err != nil || v != 3 {
+		t.Errorf("median of {5,1,3} = %v, %v; want 3", v, err)
+	}
+}
+
+func TestP2AgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		p, err := NewP2(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var exact Dist
+		for i := 0; i < 50000; i++ {
+			// Lognormal-ish latency shape.
+			v := math.Exp(rng.NormFloat64()*0.5) * 20
+			if err := p.Add(v); err != nil {
+				t.Fatal(err)
+			}
+			if err := exact.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := p.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exact.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// P² should land within a few percent for smooth distributions.
+		if relErr := math.Abs(got-want) / want; relErr > 0.05 {
+			t.Errorf("q=%v: P2=%v exact=%v relerr=%.3f", q, got, want, relErr)
+		}
+		if p.N() != 50000 {
+			t.Errorf("N = %d", p.N())
+		}
+	}
+}
+
+func TestP2Monotone(t *testing.T) {
+	// Feeding a sorted ramp: the median estimate must sit inside the range.
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1001; i++ {
+		if err := p.Add(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := p.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 400 || v > 600 {
+		t.Errorf("median of 1..1001 estimated at %v", v)
+	}
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TimeSeries bins timestamped samples into fixed windows and reports a
+// per-bin aggregate. Figure 7 uses it to plot wired vs wireless medians over
+// the measurement period.
+type TimeSeries struct {
+	start time.Time
+	width time.Duration
+	bins  map[int]*Dist
+}
+
+// NewTimeSeries creates a series whose first bin starts at start and whose
+// bins are width wide.
+func NewTimeSeries(start time.Time, width time.Duration) (*TimeSeries, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("stats: non-positive bin width %v", width)
+	}
+	return &TimeSeries{start: start, width: width, bins: make(map[int]*Dist)}, nil
+}
+
+// Add records a sample at time t. Samples before the series start are
+// rejected.
+func (ts *TimeSeries) Add(t time.Time, v float64) error {
+	if t.Before(ts.start) {
+		return fmt.Errorf("stats: sample at %v precedes series start %v", t, ts.start)
+	}
+	idx := int(t.Sub(ts.start) / ts.width)
+	d := ts.bins[idx]
+	if d == nil {
+		d = &Dist{}
+		ts.bins[idx] = d
+	}
+	return d.Add(v)
+}
+
+// SeriesPoint is one aggregated bin of a time series.
+type SeriesPoint struct {
+	Start  time.Time `json:"start"`  // bin start
+	N      int       `json:"n"`      // samples in the bin
+	Median float64   `json:"median"` // bin median
+	P25    float64   `json:"p25"`
+	P75    float64   `json:"p75"`
+}
+
+// Points returns the non-empty bins in time order with their medians and
+// quartiles.
+func (ts *TimeSeries) Points() ([]SeriesPoint, error) {
+	idxs := make([]int, 0, len(ts.bins))
+	for i := range ts.bins {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]SeriesPoint, 0, len(idxs))
+	for _, i := range idxs {
+		d := ts.bins[i]
+		med, err := d.Median()
+		if err != nil {
+			return nil, err
+		}
+		p25, err := d.Quantile(0.25)
+		if err != nil {
+			return nil, err
+		}
+		p75, err := d.Quantile(0.75)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SeriesPoint{
+			Start:  ts.start.Add(time.Duration(i) * ts.width),
+			N:      d.N(),
+			Median: med,
+			P25:    p25,
+			P75:    p75,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesValidation(t *testing.T) {
+	start := time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := NewTimeSeries(start, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	ts, err := NewTimeSeries(start, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Add(start.Add(-time.Minute), 1); err == nil {
+		t.Error("pre-start sample accepted")
+	}
+}
+
+func TestTimeSeriesBinning(t *testing.T) {
+	start := time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+	ts, err := NewTimeSeries(start, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Day 0: samples 10, 20, 30 -> median 20. Day 2: 100 -> median 100.
+	for _, v := range []float64{10, 20, 30} {
+		if err := ts.Add(start.Add(time.Hour), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Add(start.Add(49*time.Hour), 100); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ts.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 (empty day skipped)", len(pts))
+	}
+	if pts[0].Median != 20 || pts[0].N != 3 {
+		t.Errorf("day 0 = %+v", pts[0])
+	}
+	if !pts[0].Start.Equal(start) {
+		t.Errorf("day 0 start = %v", pts[0].Start)
+	}
+	if pts[1].Median != 100 || pts[1].N != 1 {
+		t.Errorf("day 2 = %+v", pts[1])
+	}
+	if !pts[1].Start.Equal(start.Add(48 * time.Hour)) {
+		t.Errorf("day 2 start = %v", pts[1].Start)
+	}
+	// Points are in time order.
+	if !pts[0].Start.Before(pts[1].Start) {
+		t.Error("points out of order")
+	}
+}

@@ -1,0 +1,72 @@
+// Package tcping implements the TCP-style probing the paper plans as an
+// extension (§5, "Network vs. application latency"): a three-way-handshake
+// protocol whose connect time measures the network RTT the way
+// tcptraceroute-style tools do, plus a request/response phase whose
+// time-to-first-byte additionally includes server processing — the
+// application-level latency the discussion contrasts with ping.
+package tcping
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Message types of the handshake protocol.
+const (
+	TypeSYN uint8 = 1 + iota
+	TypeSYNACK
+	TypeACK
+	TypeREQ
+	TypeRESP
+)
+
+// segmentLen is the fixed wire size of a segment.
+const segmentLen = 13
+
+// Common decode errors.
+var (
+	ErrShortSegment = errors.New("tcping: segment truncated")
+	ErrBadType      = errors.New("tcping: unknown segment type")
+)
+
+// Segment is one protocol message.
+//
+// Wire layout (big endian):
+//
+//	byte  0     Type
+//	bytes 1-4   ConnID
+//	bytes 5-12  SentUnixNano
+type Segment struct {
+	Type         uint8
+	ConnID       uint32
+	SentUnixNano int64
+}
+
+// Marshal encodes the segment.
+func (s *Segment) Marshal() ([]byte, error) {
+	if s.Type < TypeSYN || s.Type > TypeRESP {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, s.Type)
+	}
+	buf := make([]byte, segmentLen)
+	buf[0] = s.Type
+	binary.BigEndian.PutUint32(buf[1:5], s.ConnID)
+	binary.BigEndian.PutUint64(buf[5:13], uint64(s.SentUnixNano))
+	return buf, nil
+}
+
+// UnmarshalSegment decodes and validates a segment.
+func UnmarshalSegment(buf []byte) (*Segment, error) {
+	if len(buf) < segmentLen {
+		return nil, ErrShortSegment
+	}
+	s := &Segment{
+		Type:         buf[0],
+		ConnID:       binary.BigEndian.Uint32(buf[1:5]),
+		SentUnixNano: int64(binary.BigEndian.Uint64(buf[5:13])),
+	}
+	if s.Type < TypeSYN || s.Type > TypeRESP {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, s.Type)
+	}
+	return s, nil
+}

@@ -1,0 +1,102 @@
+package trends
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Point is one Figure 1 x-position: a year with its four series values.
+type Point struct {
+	Year        int     `json:"year"`
+	EdgePubs    int     `json:"edge_pubs"`
+	CloudPubs   int     `json:"cloud_pubs"`
+	EdgeSearch  float64 `json:"edge_search"`  // 0-100
+	CloudSearch float64 `json:"cloud_search"` // 0-100
+}
+
+// Era labels the three periods Figure 1 distinguishes.
+type Era string
+
+// The three eras.
+const (
+	EraCDN   Era = "CDN"
+	EraCloud Era = "Cloud"
+	EraEdge  Era = "Edge"
+)
+
+// Series is the complete Figure 1 dataset.
+type Series struct {
+	Points []Point `json:"points"` // ascending years
+}
+
+// BuildSeries assembles Figure 1 from its two sources the way the paper
+// did: publication counts crawled from the scholar server, search interest
+// fetched from the trends API.
+func BuildSeries(ctx context.Context, c *Crawler, tc *TrendsClient) (*Series, error) {
+	if c == nil {
+		return nil, errors.New("trends: nil crawler")
+	}
+	if tc == nil {
+		return nil, errors.New("trends: nil trends client")
+	}
+	edge, err := c.YearlyCounts(ctx, EdgeComputing)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := c.YearlyCounts(ctx, CloudComputing)
+	if err != nil {
+		return nil, err
+	}
+	edgeSearch, err := tc.Popularity(ctx, EdgeComputing)
+	if err != nil {
+		return nil, err
+	}
+	cloudSearch, err := tc.Popularity(ctx, CloudComputing)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{}
+	for _, y := range Years() {
+		s.Points = append(s.Points, Point{
+			Year:        y,
+			EdgePubs:    edge[y],
+			CloudPubs:   cloud[y],
+			EdgeSearch:  edgeSearch[y],
+			CloudSearch: cloudSearch[y],
+		})
+	}
+	return s, nil
+}
+
+// EraOf classifies one year: the CDN era before cloud interest takes off,
+// the cloud era until edge interest becomes significant, the edge era
+// after.
+func (s *Series) EraOf(year int) (Era, error) {
+	for _, p := range s.Points {
+		if p.Year != year {
+			continue
+		}
+		switch {
+		case p.CloudSearch < 20 && p.EdgeSearch < 10:
+			return EraCDN, nil
+		case p.EdgeSearch < 15:
+			return EraCloud, nil
+		default:
+			return EraEdge, nil
+		}
+	}
+	return "", fmt.Errorf("trends: year %d not in series", year)
+}
+
+// Eras maps every year to its era.
+func (s *Series) Eras() map[int]Era {
+	out := make(map[int]Era, len(s.Points))
+	for _, p := range s.Points {
+		era, err := s.EraOf(p.Year)
+		if err == nil {
+			out[p.Year] = era
+		}
+	}
+	return out
+}

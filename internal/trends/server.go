@@ -1,0 +1,83 @@
+package trends
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+)
+
+// PageSize is the number of results per scholar page.
+const PageSize = 10
+
+// maxRendered caps how many results a query will paginate through; beyond
+// it, only the "About N results" header is authoritative — exactly like the
+// real service.
+const maxRendered = 200
+
+// ScholarServer serves scholar-like HTML result pages over the synthetic
+// corpus. The crawler scrapes it the way the paper's crawler scraped Google
+// Scholar.
+//
+// Query interface (a subset of the real one):
+//
+//	GET /scholar?q=<term>&as_ylo=<year>&as_yhi=<year>&start=<offset>
+type ScholarServer struct {
+	corpus *Corpus
+}
+
+// NewScholarServer wraps a corpus.
+func NewScholarServer(corpus *Corpus) (*ScholarServer, error) {
+	if corpus == nil {
+		return nil, errors.New("trends: nil corpus")
+	}
+	return &ScholarServer{corpus: corpus}, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *ScholarServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/scholar" {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query()
+	term := Term(q.Get("q"))
+	ylo, err := strconv.Atoi(q.Get("as_ylo"))
+	if err != nil {
+		http.Error(w, "bad as_ylo", http.StatusBadRequest)
+		return
+	}
+	yhi, err := strconv.Atoi(q.Get("as_yhi"))
+	if err != nil {
+		http.Error(w, "bad as_yhi", http.StatusBadRequest)
+		return
+	}
+	if ylo != yhi {
+		http.Error(w, "only single-year windows supported", http.StatusBadRequest)
+		return
+	}
+	start := 0
+	if v := q.Get("start"); v != "" {
+		if start, err = strconv.Atoi(v); err != nil || start < 0 {
+			http.Error(w, "bad start", http.StatusBadRequest)
+			return
+		}
+	}
+	total, err := s.corpus.Count(term, ylo)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><body>\n<div id=\"gs_ab_md\">About %d results</div>\n", total)
+	rendered := total
+	if rendered > maxRendered {
+		rendered = maxRendered
+	}
+	for i := start; i < rendered && i < start+PageSize; i++ {
+		fmt.Fprintf(w, "<div class=\"gs_r\"><h3>%s</h3></div>\n",
+			html.EscapeString(s.corpus.Title(term, ylo, i)))
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}

@@ -1,0 +1,105 @@
+package trends
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// TrendsServer serves the web-search-interest series over a JSON API
+// shaped like the widget endpoint the real trends service exposes — the
+// second data source of Figure 1 (the paper cites trends.google.com).
+//
+//	GET /api/widget?q=<term>  ->  {"term": "...", "points": [{"year": 2010, "value": 80.2}, ...]}
+type TrendsServer struct{}
+
+// NewTrendsServer creates the handler.
+func NewTrendsServer() *TrendsServer { return &TrendsServer{} }
+
+// widgetResponse is the wire format.
+type widgetResponse struct {
+	Term   string        `json:"term"`
+	Points []widgetPoint `json:"points"`
+}
+
+type widgetPoint struct {
+	Year  int     `json:"year"`
+	Value float64 `json:"value"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *TrendsServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/api/widget" {
+		http.NotFound(w, r)
+		return
+	}
+	term := Term(r.URL.Query().Get("q"))
+	resp := widgetResponse{Term: string(term)}
+	for _, y := range Years() {
+		v, err := SearchPopularity(term, y)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		resp.Points = append(resp.Points, widgetPoint{Year: y, Value: v})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// TrendsClient fetches search-interest series from a TrendsServer.
+type TrendsClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewTrendsClient targets a server base URL.
+func NewTrendsClient(base string, hc *http.Client) (*TrendsClient, error) {
+	if base == "" {
+		return nil, errors.New("trends: empty base URL")
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &TrendsClient{base: base, hc: hc}, nil
+}
+
+// Popularity fetches the yearly interest series for a term.
+func (c *TrendsClient) Popularity(ctx context.Context, term Term) (map[int]float64, error) {
+	u := c.base + "/api/widget?q=" + url.QueryEscape(string(term))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trends: %s: %s", u, resp.Status)
+	}
+	var wr widgetResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		return nil, fmt.Errorf("trends: bad widget payload: %w", err)
+	}
+	if wr.Term != string(term) {
+		return nil, fmt.Errorf("trends: server answered for %q, asked %q", wr.Term, term)
+	}
+	out := make(map[int]float64, len(wr.Points))
+	for _, p := range wr.Points {
+		if p.Value < 0 || p.Value > 100 {
+			return nil, fmt.Errorf("trends: value %v out of [0,100] for %d", p.Value, p.Year)
+		}
+		out[p.Year] = p.Value
+	}
+	return out, nil
+}
