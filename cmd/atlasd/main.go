@@ -10,17 +10,32 @@
 //
 //	curl 'http://localhost:8080/api/v1/probes?country=DE&tag=wifi&limit=3'
 //	curl 'http://localhost:8080/api/v1/regions'
+//	curl 'http://localhost:8080/api/v1/status'     # platform snapshot
+//	curl 'http://localhost:8080/metrics'           # Prometheus exposition
+//
+// -debug addr serves net/http/pprof on a separate listener (opt-in, keep
+// it off public interfaces). SIGINT/SIGTERM shut the server down
+// gracefully: in-flight requests finish, running measurements settle, and
+// a final metrics summary is logged.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/atlas"
+	"repro/internal/obs"
 	"repro/internal/world"
 )
 
@@ -33,22 +48,40 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "world seed")
 		scale  = flag.Float64("scale", 0.01, "time compression for live pings (0,1]")
 		grant  = flag.String("grant", "demo=100000", "comma-separated account=credits grants")
+		debug  = flag.String("debug", "", "serve net/http/pprof on this address (opt-in)")
 	)
 	flag.Parse()
-	srv, err := build(*probes, *seed, *scale, *grant)
+	app, err := build(*probes, *seed, *scale, *grant)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if err := serve(app, *addr, *debug); err != nil {
+		log.Fatal(err)
+	}
 }
 
-func build(probes int, seed uint64, scale float64, grants string) (http.Handler, error) {
+// app bundles the built platform server with the pieces shutdown and
+// telemetry need after construction.
+type app struct {
+	srv      *atlas.Server
+	live     *atlas.LiveService
+	registry *obs.Registry
+	metrics  *atlas.Metrics
+}
+
+// ServeHTTP delegates to the platform API server.
+func (a *app) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.srv.ServeHTTP(w, r) }
+
+func build(probes int, seed uint64, scale float64, grants string) (*app, error) {
 	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
 	if err != nil {
 		return nil, err
 	}
+	registry := obs.NewRegistry()
+	metrics := atlas.NewMetrics(registry)
+	w.Platform.Metrics = metrics
 	ledger := atlas.NewLedger()
+	ledger.Instrument(metrics)
 	for _, g := range strings.Split(grants, ",") {
 		if g == "" {
 			continue
@@ -66,14 +99,79 @@ func build(probes int, seed uint64, scale float64, grants string) (http.Handler,
 		}
 		log.Printf("granted %d credits to %q", credits, account)
 	}
-	live, err := atlas.NewLiveService(w.Platform, ledger, scale)
+	live, err := atlas.NewLiveService(w.Platform, ledger, scale, atlas.WithLiveMetrics(metrics))
 	if err != nil {
 		return nil, err
 	}
-	srv, err := atlas.NewServer(w.Platform, ledger, live)
+	srv, err := atlas.NewServer(w.Platform, ledger, live, atlas.WithServerMetrics(metrics))
 	if err != nil {
 		return nil, err
 	}
 	log.Printf("world: %d probes, %d regions", w.Probes.Len(), w.Catalog.Len())
-	return srv, nil
+	return &app{srv: srv, live: live, registry: registry, metrics: metrics}, nil
+}
+
+// shutdownTimeout bounds how long a graceful shutdown waits for in-flight
+// requests and running measurements.
+const shutdownTimeout = 10 * time.Second
+
+// serve runs the HTTP server (and the optional pprof listener) until
+// SIGINT/SIGTERM, then shuts down gracefully.
+func serve(a *app, addr, debugAddr string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: a}
+	if debugAddr != "" {
+		go serveDebug(debugAddr)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	log.Printf("shutting down (waiting up to %v for in-flight work)", shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := httpSrv.Shutdown(sctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = nil // best effort: report the final counters regardless
+	}
+	// Let running measurement polls settle and flush the last samples.
+	a.live.Close()
+	logFinal(a.metrics)
+	return err
+}
+
+// logFinal emits the final telemetry summary so a terminated server
+// leaves its last counters in the log.
+func logFinal(m *atlas.Metrics) {
+	log.Printf("final: %d requests, %d measurements (%d done, %d failed, %d stopped), %d results, %d ping timeouts, %d credits spent",
+		m.ReqTotal.Sum(),
+		m.MeasurementsCreated.Value(),
+		m.MeasurementsDone.Value(),
+		m.MeasurementsFailed.Value(),
+		m.MeasurementsStopped.Value(),
+		m.ResultsCollected.Value(),
+		m.Ping.Timeouts.Value(),
+		m.CreditsSpent.Value())
+}
+
+// serveDebug exposes the pprof profiling handlers on their own listener.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof on http://%s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("debug server: %v", err)
+	}
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -75,5 +77,75 @@ func TestBuildRejectsBadFlags(t *testing.T) {
 func TestBuildEmptyGrantListOK(t *testing.T) {
 	if _, err := build(200, 1, 0.01, ""); err != nil {
 		t.Errorf("empty grants rejected: %v", err)
+	}
+}
+
+func TestBuildServesTelemetry(t *testing.T) {
+	app, err := build(200, 1, 0.01, "demo=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.live.Close()
+	ts := httptest.NewServer(app)
+	defer ts.Close()
+
+	// Prometheus exposition is live from the start.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"# TYPE atlas_credits_granted_total counter",
+		"atlas_credits_granted_total 500",
+		"# TYPE ping_timeouts_total counter",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The status snapshot reflects the built world.
+	stResp, err := http.Get(ts.URL + "/api/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stResp.Body.Close()
+	var st struct {
+		Probes  int     `json:"probes"`
+		Regions int     `json:"regions"`
+		Uptime  float64 `json:"uptime_seconds"`
+	}
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes != 200 || st.Regions != 101 {
+		t.Errorf("status census = %+v", st)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	app, err := build(200, 1, 0.01, "demo=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(app)
+	// Request, then shut down the way serve() does: HTTP drain first,
+	// then the live service; final telemetry must not panic.
+	if resp, err := http.Get(srv.URL + "/api/v1/regions"); err == nil {
+		resp.Body.Close()
+	}
+	srv.Close()
+	app.live.Close()
+	logFinal(app.metrics)
+	if got := app.metrics.ReqTotal.Sum(); got != 1 {
+		t.Errorf("final request count = %d, want 1", got)
 	}
 }

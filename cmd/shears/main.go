@@ -8,6 +8,11 @@
 //	shears -out ./dataset            # test-scale campaign (default)
 //	shears -out ./dataset -full      # paper-scale: 9 months, ~3.2M samples
 //	shears -out ./dataset -days 60   # custom window
+//
+// Observability: the driver prints periodic progress lines (samples/sec,
+// ETA, per-continent tallies) every -progress interval while the campaign
+// runs, and -trace out.json dumps the span tree of the whole run
+// (world build -> campaign rounds -> result write -> figure generation).
 package main
 
 import (
@@ -18,6 +23,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/apps"
@@ -26,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/figures"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/world"
 )
@@ -34,26 +43,45 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shears: ")
 	var (
-		out    = flag.String("out", "dataset", "output directory for the campaign dataset")
-		probes = flag.Int("probes", 3300, "probe census size")
-		seed   = flag.Uint64("seed", 1, "world and campaign seed")
-		full   = flag.Bool("full", false, "run the paper-scale nine-month campaign")
-		days   = flag.Int("days", 0, "override campaign length in days (0 = config default)")
-		quiet  = flag.Bool("quiet", false, "skip figure output; only build the dataset")
-		figDir = flag.String("figdir", "", "also write figure artifacts (CSV + SVG) into this directory")
+		out      = flag.String("out", "dataset", "output directory for the campaign dataset")
+		probes   = flag.Int("probes", 3300, "probe census size")
+		seed     = flag.Uint64("seed", 1, "world and campaign seed")
+		full     = flag.Bool("full", false, "run the paper-scale nine-month campaign")
+		days     = flag.Int("days", 0, "override campaign length in days (0 = config default)")
+		quiet    = flag.Bool("quiet", false, "skip figure output; only build the dataset")
+		figDir   = flag.String("figdir", "", "also write figure artifacts (CSV + SVG) into this directory")
+		trace    = flag.String("trace", "", "write the run's span tree as JSON to this file")
+		progress = flag.Duration("progress", 5*time.Second, "campaign progress reporting interval (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*out, *probes, *seed, *full, *days, *quiet, *figDir); err != nil {
+	if err := run(*out, *probes, *seed, *full, *days, *quiet, *figDir, *trace, *progress); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, probes int, seed uint64, full bool, days int, quiet bool, figDir string) error {
+func run(out string, probes int, seed uint64, full bool, days int, quiet bool, figDir, tracePath string, progressEvery time.Duration) (err error) {
 	start := time.Now()
-	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
-	if err != nil {
-		return err
+	reg := obs.NewRegistry()
+	m := atlas.NewMetrics(reg)
+	root := obs.NewTrace("shears.run")
+	root.SetAttr("seed", seed)
+	root.SetAttr("probes", probes)
+	defer func() {
+		root.End()
+		if tracePath != "" {
+			if werr := writeTrace(tracePath, root); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	}()
+
+	buildSpan := root.Child("world.build")
+	w, buildErr := world.Build(world.Config{Seed: seed, Probes: probes})
+	buildSpan.End()
+	if buildErr != nil {
+		return buildErr
 	}
+	w.Platform.Metrics = m
 	cfg := atlas.TestCampaign()
 	if full {
 		cfg = atlas.PaperCampaign()
@@ -70,18 +98,30 @@ func run(out string, probes int, seed uint64, full bool, days int, quiet bool, f
 	if err != nil {
 		return err
 	}
-	n, err := w.Platform.RunCampaign(context.Background(), cfg, writer.Write)
+	writer.Instrument(results.NewMetrics(reg))
+
+	campSpan := root.Child("campaign")
+	ctx := obs.ContextWith(context.Background(), campSpan)
+	stopProgress := startProgress(m, cfg.Rounds(), progressEvery)
+	n, err := w.Platform.RunCampaign(ctx, cfg, writer.Write)
+	stopProgress()
+	campSpan.End()
 	if err != nil {
 		closeFn()
 		return err
 	}
-	if err := closeFn(); err != nil {
+	flushSpan := root.Child("results.flush")
+	err = closeFn()
+	flushSpan.End()
+	if err != nil {
 		return err
 	}
 	log.Printf("campaign: %d samples written to %s in %v", n, out, time.Since(start).Round(time.Millisecond))
 
+	figSpan := root.Child("figures")
+	defer figSpan.End()
 	if figDir != "" {
-		if err := writeArtifacts(figDir, store, w, cfg); err != nil {
+		if err := writeArtifacts(figDir, store, w, cfg, figSpan); err != nil {
 			return err
 		}
 		log.Printf("figure artifacts written to %s", figDir)
@@ -89,15 +129,98 @@ func run(out string, probes int, seed uint64, full bool, days int, quiet bool, f
 	if quiet {
 		return nil
 	}
-	return printFigures(store, w, cfg)
+	return printFigures(store, w, cfg, figSpan)
 }
 
-// writeArtifacts exports the dataset figures as CSV and SVG files.
-func writeArtifacts(dir string, src results.Source, w *world.World, cfg atlas.CampaignConfig) error {
+// writeTrace dumps the span tree to path.
+func writeTrace(path string, root *obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := root.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("trace written to %s", path)
+	return nil
+}
+
+// startProgress launches the periodic campaign progress reporter. The
+// returned stop function halts it and waits for the goroutine to exit.
+func startProgress(m *atlas.Metrics, totalRounds int, every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		started := time.Now()
+		var lastSamples uint64
+		lastAt := started
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				samples := m.CampaignSamples.Sum()
+				rate := float64(samples-lastSamples) / now.Sub(lastAt).Seconds()
+				lastSamples, lastAt = samples, now
+				roundsDone := m.CampaignRoundsDone.Value()
+				eta := "?"
+				if roundsDone > 0 && totalRounds > 0 {
+					perRound := time.Since(started).Seconds() / roundsDone
+					eta = time.Duration(perRound * (float64(totalRounds) - roundsDone) * float64(time.Second)).Round(time.Second).String()
+				}
+				log.Printf("progress: round %.0f/%d (%.1f%%), %d samples, %.0f samples/s, ETA %s%s",
+					roundsDone, totalRounds, 100*roundsDone/float64(totalRounds),
+					samples, rate, eta, continentTally(m))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// continentTally formats the per-continent sample counts, largest first.
+func continentTally(m *atlas.Metrics) string {
+	type tally struct {
+		code string
+		n    uint64
+	}
+	var ts []tally
+	m.CampaignSamples.Walk(func(labels []string, v uint64) {
+		ts = append(ts, tally{labels[0], v})
+	})
+	if len(ts) == 0 {
+		return ""
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].n > ts[j].n })
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("%s=%d", t.code, t.n)
+	}
+	return ", " + strings.Join(parts, " ")
+}
+
+// writeArtifacts exports the dataset figures as CSV and SVG files, one
+// child span per artifact.
+func writeArtifacts(dir string, src results.Source, w *world.World, cfg atlas.CampaignConfig, span *obs.Span) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	write := func(name string, fn func(io.Writer) error) error {
+		s := span.Child("artifact:" + name)
+		defer s.End()
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
 			return err
@@ -162,7 +285,7 @@ func writeArtifacts(dir string, src results.Source, w *world.World, cfg atlas.Ca
 	return write("figure8.csv", func(f io.Writer) error { return figures.Figure8CSV(f, rep8) })
 }
 
-func printFigures(src results.Source, w *world.World, cfg atlas.CampaignConfig) error {
+func printFigures(src results.Source, w *world.World, cfg atlas.CampaignConfig, span *obs.Span) error {
 	ctx := context.Background()
 	emit := func(name string, lines []string) {
 		fmt.Printf("\n=== Figure %s ===\n", name)
@@ -170,83 +293,104 @@ func printFigures(src results.Source, w *world.World, cfg atlas.CampaignConfig) 
 			fmt.Println(l)
 		}
 	}
+	// figure runs fn under a child span and prints its lines.
+	figure := func(name string, fn func() ([]string, error)) error {
+		s := span.Child("figure:" + name)
+		defer s.End()
+		lines, err := fn()
+		if err != nil {
+			return err
+		}
+		emit(name, lines)
+		return nil
+	}
 
-	_, l1, err := figures.Figure1(ctx, 1)
-	if err != nil {
+	if err := figure("1 (zeitgeist)", func() ([]string, error) {
+		_, l, err := figures.Figure1(ctx, 1)
+		return l, err
+	}); err != nil {
 		return err
 	}
-	emit("1 (zeitgeist)", l1)
-
-	l2, err := figures.Figure2(apps.Paper())
-	if err != nil {
+	if err := figure("2 (application requirements)", func() ([]string, error) {
+		return figures.Figure2(apps.Paper())
+	}); err != nil {
 		return err
 	}
-	emit("2 (application requirements)", l2)
-
-	l3a, err := figures.Figure3a(w.Catalog)
-	if err != nil {
+	if err := figure("3a (cloud regions)", func() ([]string, error) {
+		return figures.Figure3a(w.Catalog)
+	}); err != nil {
 		return err
 	}
-	emit("3a (cloud regions)", l3a)
-
-	l3b, err := figures.Figure3b(w.Probes)
-	if err != nil {
+	if err := figure("3b (probes)", func() ([]string, error) {
+		return figures.Figure3b(w.Probes)
+	}); err != nil {
 		return err
 	}
-	emit("3b (probes)", l3b)
-
-	_, l4, err := figures.Figure4(src, w.Index)
-	if err != nil {
+	if err := figure("4 (proximity to the cloud)", func() ([]string, error) {
+		_, l, err := figures.Figure4(src, w.Index)
+		return l, err
+	}); err != nil {
 		return err
 	}
-	emit("4 (proximity to the cloud)", l4)
-
-	_, l5, err := figures.Figure5(src, w.Index)
-	if err != nil {
+	if err := figure("5 (min RTT CDF by continent)", func() ([]string, error) {
+		_, l, err := figures.Figure5(src, w.Index)
+		return l, err
+	}); err != nil {
 		return err
 	}
-	emit("5 (min RTT CDF by continent)", l5)
-
-	_, l6, err := figures.Figure6(src, w.Index)
-	if err != nil {
+	if err := figure("6 (all pings to closest DC)", func() ([]string, error) {
+		_, l, err := figures.Figure6(src, w.Index)
+		return l, err
+	}); err != nil {
 		return err
 	}
-	emit("6 (all pings to closest DC)", l6)
 
+	// Figure 7's report feeds Figure 8, so it is computed once outside
+	// the closure and both spans still cover their own work.
+	f7span := span.Child("figure:7 (wired vs wireless)")
 	rep7, l7, err := figures.Figure7(src, w.Index, cfg.Start)
+	f7span.End()
 	if err != nil {
 		return err
 	}
 	emit("7 (wired vs wireless)", l7)
 
-	_, l8, err := figures.Figure8(rep7, apps.Paper())
-	if err != nil {
+	if err := figure("8 (feasibility zone)", func() ([]string, error) {
+		_, l, err := figures.Figure8(rep7, apps.Paper())
+		return l, err
+	}); err != nil {
 		return err
 	}
-	emit("8 (feasibility zone)", l8)
 
 	// §4.3 and §5 companion tables.
-	delayRep, err := delay.WhereIsTheDelay(w.Platform, delay.DefaultConfig())
-	if err != nil {
+	if err := figure("§4.3 (where is the delay?)", func() ([]string, error) {
+		rep, err := delay.WhereIsTheDelay(w.Platform, delay.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return rep.Format(), nil
+	}); err != nil {
 		return err
 	}
-	emit("§4.3 (where is the delay?)", delayRep.Format())
-
-	provRep, err := core.ProviderComparison(src, w.Index)
-	if err != nil {
+	if err := figure("§4.1 (per-provider reachability)", func() ([]string, error) {
+		rep, err := core.ProviderComparison(src, w.Index)
+		if err != nil {
+			return nil, err
+		}
+		var lines []string
+		for _, row := range rep.Rows {
+			lines = append(lines, fmt.Sprintf("%-16s median=%6.1fms p95=%7.1fms loss=%.2f%% (n=%d)",
+				row.Provider, row.Summary.Median, row.Summary.P95, 100*row.LossRate, row.Summary.N))
+		}
+		return lines, nil
+	}); err != nil {
 		return err
 	}
-	var provLines []string
-	for _, row := range provRep.Rows {
-		provLines = append(provLines, fmt.Sprintf("%-16s median=%6.1fms p95=%7.1fms loss=%.2f%% (n=%d)",
-			row.Provider, row.Summary.Median, row.Summary.P95, 100*row.LossRate, row.Summary.N))
-	}
-	emit("§4.1 (per-provider reachability)", provLines)
-
-	bwRep, err := bandwidth.Justify(apps.Paper(), bandwidth.Metro(), 0.95)
-	if err != nil {
-		return err
-	}
-	emit("§5 (backhaul demand per application)", bwRep.Format())
-	return nil
+	return figure("§5 (backhaul demand per application)", func() ([]string, error) {
+		rep, err := bandwidth.Justify(apps.Paper(), bandwidth.Metro(), 0.95)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Format(), nil
+	})
 }

@@ -1,16 +1,20 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
 func TestRunBuildsDataset(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
-	if err := run(dir, 200, 1, false, 2, true, ""); err != nil {
+	if err := run(dir, 200, 1, false, 2, true, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	store, err := results.Open(dir)
@@ -34,13 +38,13 @@ func TestRunBuildsDataset(t *testing.T) {
 func TestRunWithFigures(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
 	// 4 days is enough for every figure including the weekly Fig 7 bins.
-	if err := run(dir, 250, 1, false, 4, false, ""); err != nil {
+	if err := run(dir, 250, 1, false, 4, false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run(t.TempDir(), 0, 1, false, 1, true, ""); err == nil {
+	if err := run(t.TempDir(), 0, 1, false, 1, true, "", "", 0); err == nil {
 		t.Error("zero probes accepted")
 	}
 }
@@ -48,7 +52,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 func TestRunWritesArtifacts(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
 	figDir := filepath.Join(t.TempDir(), "figs")
-	if err := run(dir, 250, 1, false, 7, true, figDir); err != nil {
+	if err := run(dir, 250, 1, false, 7, true, figDir, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -63,6 +67,66 @@ func TestRunWritesArtifacts(t *testing.T) {
 		}
 		if info.Size() == 0 {
 			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+// TestRunWritesTrace is the campaign-scale telemetry smoke test: a small
+// run with -trace must emit a well-formed span tree whose root covers
+// world build -> campaign (with per-round fan-out) -> figure generation.
+func TestRunWritesTrace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	// A tiny progress interval exercises the reporter goroutine too.
+	if err := run(dir, 250, 1, false, 4, false, "", tracePath, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root obs.SpanDump
+	if err := json.Unmarshal(raw, &root); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if root.Name != "shears.run" || root.End.IsZero() || root.DurationMs <= 0 {
+		t.Fatalf("bad root span: %+v", root)
+	}
+	byName := map[string]obs.SpanDump{}
+	for _, c := range root.Children {
+		byName[c.Name] = c
+	}
+	for _, want := range []string{"world.build", "campaign", "results.flush", "figures"} {
+		c, ok := byName[want]
+		if !ok {
+			t.Errorf("root lacks %q child; has %d children", want, len(root.Children))
+			continue
+		}
+		if c.End.IsZero() {
+			t.Errorf("%q span not closed", want)
+		}
+	}
+	camp := byName["campaign"]
+	if len(camp.Children) != 32 { // 4 days x 8 rounds
+		t.Errorf("campaign has %d round spans, want 32", len(camp.Children))
+	}
+	var samples float64
+	for _, r := range camp.Children {
+		if r.Name != "round" {
+			t.Errorf("unexpected campaign child %q", r.Name)
+		}
+		samples += r.Attrs["samples"].(float64)
+	}
+	if samples == 0 {
+		t.Error("round spans carry no samples")
+	}
+	figs := byName["figures"]
+	if len(figs.Children) == 0 {
+		t.Error("figures span has no children")
+	}
+	for _, c := range figs.Children {
+		if !strings.HasPrefix(c.Name, "figure:") {
+			t.Errorf("unexpected figures child %q", c.Name)
 		}
 	}
 }

@@ -24,6 +24,15 @@ type Ledger struct {
 	balance  map[string]int64
 	spent    map[string]int64
 	earnedBy map[string]int64
+	metrics  *Metrics
+}
+
+// Instrument attaches telemetry: grants, charges, and refunds increment
+// the platform credit counters from then on.
+func (l *Ledger) Instrument(m *Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = m
 }
 
 // NewLedger creates an empty ledger.
@@ -48,6 +57,9 @@ func (l *Ledger) Grant(account string, credits int64) error {
 	defer l.mu.Unlock()
 	l.balance[account] += credits
 	l.earnedBy[account] += credits
+	if l.metrics != nil {
+		l.metrics.CreditsGranted.Add(uint64(credits))
+	}
 	return nil
 }
 
@@ -64,6 +76,9 @@ func (l *Ledger) Charge(account string, credits int64) error {
 	}
 	l.balance[account] -= credits
 	l.spent[account] += credits
+	if l.metrics != nil {
+		l.metrics.CreditsSpent.Add(uint64(credits))
+	}
 	return nil
 }
 
@@ -79,6 +94,9 @@ func (l *Ledger) Refund(account string, credits int64) error {
 	}
 	l.balance[account] += credits
 	l.spent[account] -= credits
+	if l.metrics != nil {
+		l.metrics.CreditsRefunded.Add(uint64(credits))
+	}
 	return nil
 }
 

@@ -90,6 +90,7 @@ type LiveService struct {
 	ledger    *Ledger
 	net       *netsim.Network
 	timeScale float64
+	metrics   *Metrics
 
 	mu      sync.Mutex
 	nextID  int
@@ -99,29 +100,46 @@ type LiveService struct {
 	closed  bool
 }
 
+// LiveOption configures a LiveService.
+type LiveOption func(*LiveService)
+
+// WithLiveMetrics instruments the service: measurement lifecycle and
+// result counters on the service itself, packet counters on the virtual
+// network, and echo/RTT instruments on every probe pinger.
+func WithLiveMetrics(m *Metrics) LiveOption {
+	return func(s *LiveService) { s.metrics = m }
+}
+
 // NewLiveService builds the virtual network, attaches a responder in every
 // cloud region, and is then ready to accept measurements. timeScale
 // compresses simulated delays (0.01 runs a 100 ms ping in 1 ms wall time);
 // reported RTTs are scaled back to full scale.
-func NewLiveService(p *Platform, ledger *Ledger, timeScale float64) (*LiveService, error) {
+func NewLiveService(p *Platform, ledger *Ledger, timeScale float64, opts ...LiveOption) (*LiveService, error) {
 	if p == nil || ledger == nil {
 		return nil, errors.New("atlas: nil component")
 	}
 	if timeScale <= 0 || timeScale > 1 {
 		return nil, fmt.Errorf("atlas: time scale %v out of (0,1]", timeScale)
 	}
-	n, err := netsim.NewNetwork(p, netsim.WithTimeScale(timeScale))
-	if err != nil {
-		return nil, err
-	}
 	s := &LiveService{
 		platform:  p,
 		ledger:    ledger,
-		net:       n,
 		timeScale: timeScale,
 		byID:      make(map[int]*Measurement),
 		pingers:   make(map[int]*ping.Pinger),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	netOpts := []netsim.Option{netsim.WithTimeScale(timeScale)}
+	if s.metrics != nil && s.metrics.Net != nil {
+		netOpts = append(netOpts, netsim.WithMetrics(s.metrics.Net))
+	}
+	n, err := netsim.NewNetwork(p, netOpts...)
+	if err != nil {
+		return nil, err
+	}
+	s.net = n
 	for _, r := range p.Catalog.All() {
 		ep, err := n.Attach(r.Addr())
 		if err != nil {
@@ -147,7 +165,11 @@ func (s *LiveService) pinger(probeID int) (*ping.Pinger, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := ping.NewPinger(ep, uint16(probeID), ping.WithRTTScale(1/s.timeScale))
+	pingOpts := []ping.PingerOption{ping.WithRTTScale(1 / s.timeScale)}
+	if s.metrics != nil && s.metrics.Ping != nil {
+		pingOpts = append(pingOpts, ping.WithMetrics(s.metrics.Ping))
+	}
+	p, err := ping.NewPinger(ep, uint16(probeID), pingOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +200,9 @@ func (s *LiveService) Create(account string, spec MeasurementSpec) (int, error) 
 	s.byID[id] = m
 	s.wg.Add(1)
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.MeasurementsCreated.Inc()
+	}
 
 	go s.run(ctx, m)
 	return id, nil
@@ -229,6 +254,12 @@ func (s *LiveService) run(ctx context.Context, m *Measurement) {
 					mu.Unlock()
 					return
 				}
+				if s.metrics != nil {
+					s.metrics.ResultsCollected.Inc()
+					if sample.Lost {
+						s.metrics.ProbeTimeouts.Inc()
+					}
+				}
 				s.mu.Lock()
 				m.Results = append(m.Results, sample)
 				s.mu.Unlock()
@@ -237,7 +268,6 @@ func (s *LiveService) run(ctx context.Context, m *Measurement) {
 	}
 	wg.Wait()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch {
 	case ctx.Err() != nil:
 		m.Status = StatusStopped
@@ -246,6 +276,18 @@ func (s *LiveService) run(ctx context.Context, m *Measurement) {
 		m.Error = firstErr.Error()
 	default:
 		m.Status = StatusDone
+	}
+	final := m.Status
+	s.mu.Unlock()
+	if s.metrics != nil {
+		switch final {
+		case StatusDone:
+			s.metrics.MeasurementsDone.Inc()
+		case StatusFailed:
+			s.metrics.MeasurementsFailed.Inc()
+		case StatusStopped:
+			s.metrics.MeasurementsStopped.Inc()
+		}
 	}
 }
 

@@ -25,6 +25,10 @@ type Platform struct {
 	Catalog    *cloud.Catalog
 	Model      *netem.Model
 
+	// Metrics, when set before a campaign runs, receives per-round
+	// progress and per-continent sample tallies from RunCampaign.
+	Metrics *Metrics
+
 	mu    sync.Mutex
 	paths map[pathKey]*netem.Path
 

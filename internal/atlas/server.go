@@ -21,33 +21,68 @@ type Server struct {
 	ledger   *Ledger
 	live     *LiveService
 	mux      *http.ServeMux
+	metrics  *Metrics
+	started  time.Time
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerMetrics instruments every route with request/duration/error
+// accounting and additionally serves GET /metrics (Prometheus text
+// exposition of the metrics' registry).
+func WithServerMetrics(m *Metrics) ServerOption {
+	return func(s *Server) { s.metrics = m }
 }
 
 // NewServer wires the HTTP handlers.
-func NewServer(p *Platform, ledger *Ledger, live *LiveService) (*Server, error) {
+func NewServer(p *Platform, ledger *Ledger, live *LiveService, opts ...ServerOption) (*Server, error) {
 	if p == nil || ledger == nil || live == nil {
 		return nil, errors.New("atlas: nil component")
 	}
-	s := &Server{platform: p, ledger: ledger, live: live, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/v1/probes", s.handleProbes)
-	s.mux.HandleFunc("GET /api/v1/probes/{id}", s.handleProbe)
-	s.mux.HandleFunc("GET /api/v1/regions", s.handleRegions)
-	s.mux.HandleFunc("GET /api/v1/credits/{account}", s.handleCredits)
-	s.mux.HandleFunc("POST /api/v1/measurements", s.handleCreate)
-	s.mux.HandleFunc("GET /api/v1/measurements", s.handleList)
-	s.mux.HandleFunc("GET /api/v1/measurements/{id}", s.handleMeasurement)
-	s.mux.HandleFunc("GET /api/v1/measurements/{id}/results", s.handleResults)
-	s.mux.HandleFunc("DELETE /api/v1/measurements/{id}", s.handleStop)
+	s := &Server{platform: p, ledger: ledger, live: live, mux: http.NewServeMux(), started: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	for _, r := range []struct {
+		pattern string
+		route   string // metric label: one value per pattern, no IDs
+		h       http.HandlerFunc
+	}{
+		{"GET /api/v1/probes", "probes", s.handleProbes},
+		{"GET /api/v1/probes/{id}", "probe", s.handleProbe},
+		{"GET /api/v1/regions", "regions", s.handleRegions},
+		{"GET /api/v1/credits/{account}", "credits", s.handleCredits},
+		{"POST /api/v1/measurements", "measurement_create", s.handleCreate},
+		{"GET /api/v1/measurements", "measurement_list", s.handleList},
+		{"GET /api/v1/measurements/{id}", "measurement_get", s.handleMeasurement},
+		{"GET /api/v1/measurements/{id}/results", "measurement_results", s.handleResults},
+		{"DELETE /api/v1/measurements/{id}", "measurement_stop", s.handleStop},
+		{"GET /api/v1/status", "status", s.handleStatus},
+	} {
+		s.mux.HandleFunc(r.pattern, s.metrics.instrument(r.route, r.h))
+	}
+	if s.metrics != nil && s.metrics.Registry != nil {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// writeJSON sends a JSON response. The status header goes out first, so
+// an encode failure cannot change the response anymore; it is surfaced to
+// the request-metrics middleware (which counts it per route) instead of
+// being silently discarded.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.encodeErr = err
+		}
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
@@ -256,4 +291,60 @@ func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
 	m, _ := s.live.Get(id)
 	m.Results = nil
 	writeJSON(w, http.StatusOK, m)
+}
+
+// CampaignStatusDTO is the campaign-progress slice of the status report.
+type CampaignStatusDTO struct {
+	RoundsDone         float64           `json:"rounds_done"`
+	RoundsTotal        float64           `json:"rounds_total"`
+	Samples            uint64            `json:"samples"`
+	SamplesLost        uint64            `json:"samples_lost"`
+	SamplesByContinent map[string]uint64 `json:"samples_by_continent,omitempty"`
+}
+
+// StatusDTO is the platform self-observability snapshot served at
+// GET /api/v1/status, in the spirit of RIPE Atlas's status APIs.
+type StatusDTO struct {
+	UptimeSeconds    float64           `json:"uptime_seconds"`
+	Probes           int               `json:"probes"`
+	Regions          int               `json:"regions"`
+	Measurements     map[Status]int    `json:"measurements"`
+	ResultsCollected uint64            `json:"results_collected"`
+	ProbeTimeouts    uint64            `json:"probe_timeouts"`
+	Campaign         CampaignStatusDTO `json:"campaign"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := StatusDTO{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Probes:        s.platform.Population.Len(),
+		Regions:       s.platform.Catalog.Len(),
+		Measurements:  make(map[Status]int),
+	}
+	for _, m := range s.live.List("") {
+		st.Measurements[m.Status]++
+	}
+	if m := s.metrics; m != nil {
+		st.ResultsCollected = m.ResultsCollected.Value()
+		st.ProbeTimeouts = m.ProbeTimeouts.Value()
+		st.Campaign = CampaignStatusDTO{
+			RoundsDone:  m.CampaignRoundsDone.Value(),
+			RoundsTotal: m.CampaignRoundsTotal.Value(),
+			Samples:     m.CampaignSamples.Sum(),
+			SamplesLost: m.CampaignLost.Value(),
+		}
+		m.CampaignSamples.Walk(func(labels []string, v uint64) {
+			if st.Campaign.SamplesByContinent == nil {
+				st.Campaign.SamplesByContinent = make(map[string]uint64)
+			}
+			st.Campaign.SamplesByContinent[labels[0]] = v
+		})
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.Registry.WriteText(w)
 }

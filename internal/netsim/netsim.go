@@ -54,6 +54,7 @@ type Network struct {
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
 	stats     Stats
+	metrics   *Metrics
 	closed    bool
 	inflight  sync.WaitGroup
 	timers    map[*time.Timer]struct{}
@@ -82,11 +83,15 @@ func NewNetwork(linker Linker, opts ...Option) (*Network, error) {
 	n := &Network{
 		linker:    linker,
 		endpoints: make(map[string]*Endpoint),
+		metrics:   &Metrics{}, // nil obs fields: recording is a no-op
 		timers:    make(map[*time.Timer]struct{}),
 		timeScale: 1,
 	}
 	for _, o := range opts {
 		o(n)
+	}
+	if n.metrics == nil {
+		n.metrics = &Metrics{}
 	}
 	return n, nil
 }
@@ -150,6 +155,7 @@ func (n *Network) Close() {
 			if _, ok := n.timers[t]; ok {
 				delete(n.timers, t)
 				n.stats.Dropped++
+				n.metrics.Dropped.Inc()
 				n.inflight.Done()
 			}
 			n.mu.Unlock()
@@ -166,6 +172,7 @@ func (n *Network) send(src, dst string, payload []byte) error {
 	}
 	n.stats.Sent++
 	n.mu.Unlock()
+	n.metrics.Sent.Inc()
 
 	var delay time.Duration
 	var lost bool
@@ -177,10 +184,12 @@ func (n *Network) send(src, dst string, payload []byte) error {
 	}
 	if err != nil {
 		n.count(func(s *Stats) { s.LinkerError++ })
+		n.metrics.LinkerError.Inc()
 		return fmt.Errorf("netsim: %s -> %s: %w", src, dst, err)
 	}
 	if lost {
 		n.count(func(s *Stats) { s.Dropped++ })
+		n.metrics.Dropped.Inc()
 		return nil // loss is silent, like the real network
 	}
 	data := append([]byte(nil), payload...)
@@ -191,6 +200,7 @@ func (n *Network) send(src, dst string, payload []byte) error {
 	defer n.mu.Unlock()
 	if n.closed {
 		n.stats.Dropped++
+		n.metrics.Dropped.Inc()
 		return nil
 	}
 	n.inflight.Add(1)
@@ -221,10 +231,12 @@ func (n *Network) deliver(src, dst string, payload []byte) {
 	if ep == nil || h == nil {
 		n.stats.Unroutable++
 		n.mu.Unlock()
+		n.metrics.Unroutable.Inc()
 		return
 	}
 	n.stats.Delivered++
 	n.mu.Unlock()
+	n.metrics.Delivered.Inc()
 	h(src, payload)
 }
 

@@ -1,0 +1,30 @@
+package ping
+
+import "repro/internal/obs"
+
+// Metrics are the pinger-engine telemetry instruments: echo requests
+// sent, replies matched, timeouts, and the measured RTT distribution. A
+// nil *Metrics (and nil fields, courtesy of obs nil-safety) disables
+// recording without any call-site guards.
+type Metrics struct {
+	Sent     *obs.Counter
+	Received *obs.Counter
+	Timeouts *obs.Counter
+	RTTms    *obs.Histogram
+}
+
+// NewMetrics registers the pinger instruments on reg. Multiple pingers
+// may share one Metrics; the counters aggregate across them.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Sent:     reg.Counter("ping_echoes_sent_total", "Echo requests submitted to the transport."),
+		Received: reg.Counter("ping_echoes_received_total", "Echo replies matched to a pending request."),
+		Timeouts: reg.Counter("ping_timeouts_total", "Echo requests that expired without a reply."),
+		RTTms:    reg.Histogram("ping_rtt_ms", "Measured round-trip times in milliseconds.", obs.RTTBucketsMs),
+	}
+}
+
+// WithMetrics attaches telemetry instruments to a Pinger.
+func WithMetrics(m *Metrics) PingerOption {
+	return func(p *Pinger) { p.metrics = m }
+}

@@ -23,6 +23,7 @@ type Pinger struct {
 	id       uint16
 	rttScale float64
 	now      func() time.Time
+	metrics  *Metrics
 
 	mu      sync.Mutex
 	nextSeq uint16
@@ -129,12 +130,22 @@ func (p *Pinger) Ping(ctx context.Context, dst string, timeout time.Duration) (t
 	if err := p.tr.Send(dst, buf); err != nil {
 		return 0, err
 	}
+	if p.metrics != nil {
+		p.metrics.Sent.Inc()
+	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case rtt := <-ch:
+		if p.metrics != nil {
+			p.metrics.Received.Inc()
+			p.metrics.RTTms.Observe(float64(rtt) / float64(time.Millisecond))
+		}
 		return rtt, nil
 	case <-timer.C:
+		if p.metrics != nil {
+			p.metrics.Timeouts.Inc()
+		}
 		return 0, ErrTimeout
 	case <-ctx.Done():
 		return 0, ctx.Err()

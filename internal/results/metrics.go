@@ -1,0 +1,38 @@
+package results
+
+import "repro/internal/obs"
+
+// Metrics are the dataset-writer throughput instruments: samples appended
+// and encoded bytes pushed toward the underlying writer.
+type Metrics struct {
+	Samples *obs.Counter
+	Bytes   *obs.Counter
+}
+
+// NewMetrics registers the writer instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Samples: reg.Counter("results_samples_written_total", "Samples appended to the dataset."),
+		Bytes:   reg.Counter("results_bytes_written_total", "Encoded JSONL bytes written (pre-buffer)."),
+	}
+}
+
+// Instrument attaches throughput instruments to the writer. Call it
+// before the first Write; samples already written are not back-counted.
+func (w *Writer) Instrument(m *Metrics) {
+	if w != nil {
+		w.metrics = m
+	}
+}
+
+// countingWriter sits between the JSON encoder and the buffer, crediting
+// encoded bytes to the writer's metrics.
+type countingWriter struct{ w *Writer }
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.bw.Write(p)
+	if c.w.metrics != nil {
+		c.w.metrics.Bytes.Add(uint64(n))
+	}
+	return n, err
+}

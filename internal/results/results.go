@@ -76,15 +76,17 @@ func (m *Memory) ForEach(fn func(Sample) error) error {
 
 // Writer streams samples to JSONL.
 type Writer struct {
-	bw  *bufio.Writer
-	enc *json.Encoder
-	n   uint64
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	n       uint64
+	metrics *Metrics
 }
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+	wr := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	wr.enc = json.NewEncoder(countingWriter{w: wr})
+	return wr
 }
 
 // Write validates and appends one sample.
@@ -96,6 +98,9 @@ func (w *Writer) Write(s Sample) error {
 		return err
 	}
 	w.n++
+	if w.metrics != nil {
+		w.metrics.Samples.Inc()
+	}
 	return nil
 }
 

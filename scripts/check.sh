@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# check.sh is the tier-1+ verification gate: formatting, vet, build, and
+# the full test suite under the race detector. CI and pre-merge runs
+# should use this instead of bare `go test ./...`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
