@@ -7,6 +7,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -186,6 +187,33 @@ func BenchmarkCampaignGeneration(b *testing.B) {
 		total += n
 	}
 	b.ReportMetric(float64(total)/float64(b.N), "samples/op")
+}
+
+// BenchmarkCampaignParallel sweeps the execution engine's worker count
+// over the TestCampaign workload. The merged dataset is byte-identical
+// across the sweep (asserted by TestEngineByteIdenticalToSerial); this
+// benchmark quantifies the throughput side of that guarantee.
+func BenchmarkCampaignParallel(b *testing.B) {
+	e := getEnv(b)
+	cfg := e.cfg // 30 days, ~190k samples on the 400-probe bench world
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				n, err := e.w.Platform.RunCampaignOpts(ctx, cfg,
+					atlas.CampaignOptions{Workers: workers},
+					func(results.Sample) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += n
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "samples/op")
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
 }
 
 // BenchmarkPathRTT measures raw latency-model sampling speed.

@@ -8,6 +8,15 @@
 //	shears -out ./dataset            # test-scale campaign (default)
 //	shears -out ./dataset -full      # paper-scale: 9 months, ~3.2M samples
 //	shears -out ./dataset -days 60   # custom window
+//	shears -out ./dataset -workers 8 # shard the campaign across 8 workers
+//	shears -out ./dataset -resume    # continue an interrupted run
+//
+// The campaign runs on the parallel execution engine (internal/engine):
+// -workers shards the probe population across goroutines while keeping
+// the output byte-identical to a serial run, and the engine checkpoints
+// its progress into <out>/checkpoint.json every -checkpoint-every rounds
+// so -resume continues an interrupted run from the last watermark
+// instead of restarting.
 //
 // Observability: the driver prints periodic progress lines (samples/sec,
 // ETA, per-continent tallies) every -progress interval while the campaign
@@ -23,6 +32,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -33,81 +43,163 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/core"
 	"repro/internal/delay"
+	"repro/internal/engine"
 	"repro/internal/figures"
 	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/world"
 )
 
+// options bundles the driver's knobs (one field per flag).
+type options struct {
+	out             string
+	probes          int
+	seed            uint64
+	full            bool
+	days            int
+	quiet           bool
+	figDir          string
+	tracePath       string
+	progressEvery   time.Duration
+	workers         int // <= 0 means GOMAXPROCS
+	resume          bool
+	checkpointEvery int // rounds; 0 disables checkpointing
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shears: ")
-	var (
-		out      = flag.String("out", "dataset", "output directory for the campaign dataset")
-		probes   = flag.Int("probes", 3300, "probe census size")
-		seed     = flag.Uint64("seed", 1, "world and campaign seed")
-		full     = flag.Bool("full", false, "run the paper-scale nine-month campaign")
-		days     = flag.Int("days", 0, "override campaign length in days (0 = config default)")
-		quiet    = flag.Bool("quiet", false, "skip figure output; only build the dataset")
-		figDir   = flag.String("figdir", "", "also write figure artifacts (CSV + SVG) into this directory")
-		trace    = flag.String("trace", "", "write the run's span tree as JSON to this file")
-		progress = flag.Duration("progress", 5*time.Second, "campaign progress reporting interval (0 disables)")
-	)
+	var o options
+	flag.StringVar(&o.out, "out", "dataset", "output directory for the campaign dataset")
+	flag.IntVar(&o.probes, "probes", 3300, "probe census size")
+	flag.Uint64Var(&o.seed, "seed", 1, "world and campaign seed")
+	flag.BoolVar(&o.full, "full", false, "run the paper-scale nine-month campaign")
+	flag.IntVar(&o.days, "days", 0, "override campaign length in days (0 = config default)")
+	flag.BoolVar(&o.quiet, "quiet", false, "skip figure output; only build the dataset")
+	flag.StringVar(&o.figDir, "figdir", "", "also write figure artifacts (CSV + SVG) into this directory")
+	flag.StringVar(&o.tracePath, "trace", "", "write the run's span tree as JSON to this file")
+	flag.DurationVar(&o.progressEvery, "progress", 5*time.Second, "campaign progress reporting interval (0 disables)")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "campaign worker count (output is identical for any value)")
+	flag.BoolVar(&o.resume, "resume", false, "resume an interrupted campaign from <out>/checkpoint.json")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", engine.DefaultCheckpointEvery, "rounds between checkpoints (0 disables checkpointing)")
 	flag.Parse()
-	if err := run(*out, *probes, *seed, *full, *days, *quiet, *figDir, *trace, *progress); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, probes int, seed uint64, full bool, days int, quiet bool, figDir, tracePath string, progressEvery time.Duration) (err error) {
+// checkpointFile is the engine checkpoint's name inside the dataset dir.
+const checkpointFile = "checkpoint.json"
+
+func run(o options) (err error) {
 	start := time.Now()
 	reg := obs.NewRegistry()
 	m := atlas.NewMetrics(reg)
 	root := obs.NewTrace("shears.run")
-	root.SetAttr("seed", seed)
-	root.SetAttr("probes", probes)
+	root.SetAttr("seed", o.seed)
+	root.SetAttr("probes", o.probes)
 	defer func() {
 		root.End()
-		if tracePath != "" {
-			if werr := writeTrace(tracePath, root); werr != nil && err == nil {
+		if o.tracePath != "" {
+			if werr := writeTrace(o.tracePath, root); werr != nil && err == nil {
 				err = werr
 			}
 		}
 	}()
 
 	buildSpan := root.Child("world.build")
-	w, buildErr := world.Build(world.Config{Seed: seed, Probes: probes})
+	w, buildErr := world.Build(world.Config{Seed: o.seed, Probes: o.probes})
 	buildSpan.End()
 	if buildErr != nil {
 		return buildErr
 	}
 	w.Platform.Metrics = m
 	cfg := atlas.TestCampaign()
-	if full {
+	if o.full {
 		cfg = atlas.PaperCampaign()
 	}
-	if days > 0 {
-		cfg.End = cfg.Start.Add(time.Duration(days) * 24 * time.Hour)
+	if o.days > 0 {
+		cfg.End = cfg.Start.Add(time.Duration(o.days) * 24 * time.Hour)
 	}
-	log.Printf("world: %d probes in %d countries, %d regions, campaign %s..%s",
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("world: %d probes in %d countries, %d regions, campaign %s..%s, %d workers",
 		w.Probes.Len(), len(w.Probes.Countries()), w.Catalog.Len(),
-		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
+		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"), workers)
 
-	meta := cfg.Meta(seed, w.Probes.Len(), w.Catalog.Len())
-	store, writer, closeFn, err := results.Create(out, meta)
-	if err != nil {
-		return err
+	// Open the sink: a fresh dataset, or — on resume — the existing one
+	// truncated back to the checkpoint's durable offset.
+	fingerprint := cfg.Fingerprint(o.seed, w.Probes.Len())
+	ckPath := filepath.Join(o.out, checkpointFile)
+	var (
+		store        *results.Store
+		writer       *results.Writer
+		closeFn      func() error
+		base         int64
+		startRound   int
+		startSamples uint64
+	)
+	if o.resume {
+		cp, err := engine.LoadCheckpoint(ckPath)
+		if err != nil {
+			return err
+		}
+		if cp.Fingerprint != fingerprint {
+			return fmt.Errorf("checkpoint %s belongs to a different campaign (fingerprint %s, want %s); "+
+				"rerun with the original -seed/-probes/-full/-days or start fresh", ckPath, cp.Fingerprint, fingerprint)
+		}
+		store, err = results.Open(o.out)
+		if err != nil {
+			return err
+		}
+		writer, closeFn, err = store.Resume(cp.SinkOffset)
+		if err != nil {
+			return err
+		}
+		base = cp.SinkOffset
+		startRound, startSamples = cp.Round+1, cp.Samples
+		log.Printf("resume: %d/%d rounds done, %d samples, sink at byte %d",
+			startRound, cfg.Rounds(), startSamples, base)
+	} else {
+		meta := cfg.Meta(o.seed, w.Probes.Len(), w.Catalog.Len())
+		store, writer, closeFn, err = results.Create(o.out, meta)
+		if err != nil {
+			return err
+		}
 	}
 	writer.Instrument(results.NewMetrics(reg))
 
+	campaignOpts := atlas.CampaignOptions{
+		Workers:       workers,
+		Fingerprint:   fingerprint,
+		StartRound:    startRound,
+		StartSamples:  startSamples,
+		EngineMetrics: engine.NewMetrics(reg),
+	}
+	if o.checkpointEvery > 0 {
+		campaignOpts.CheckpointPath = ckPath
+		campaignOpts.CheckpointEvery = o.checkpointEvery
+		campaignOpts.Commit = func() (int64, error) {
+			if err := writer.Flush(); err != nil {
+				return 0, err
+			}
+			return base + int64(writer.BytesWritten()), nil
+		}
+	}
+
 	campSpan := root.Child("campaign")
 	ctx := obs.ContextWith(context.Background(), campSpan)
-	stopProgress := startProgress(m, cfg.Rounds(), progressEvery)
-	n, err := w.Platform.RunCampaign(ctx, cfg, writer.Write)
+	stopProgress := startProgress(m, cfg.Rounds(), o.progressEvery)
+	n, err := w.Platform.RunCampaignOpts(ctx, cfg, campaignOpts, writer.Write)
 	stopProgress()
 	campSpan.End()
 	if err != nil {
 		closeFn()
+		if o.checkpointEvery > 0 {
+			log.Printf("campaign interrupted after %d samples; rerun with -resume to continue from %s", n, ckPath)
+		}
 		return err
 	}
 	flushSpan := root.Child("results.flush")
@@ -116,17 +208,21 @@ func run(out string, probes int, seed uint64, full bool, days int, quiet bool, f
 	if err != nil {
 		return err
 	}
-	log.Printf("campaign: %d samples written to %s in %v", n, out, time.Since(start).Round(time.Millisecond))
+	// The run completed: the checkpoint has nothing left to resume.
+	if err := os.Remove(ckPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	log.Printf("campaign: %d samples written to %s in %v", n, o.out, time.Since(start).Round(time.Millisecond))
 
 	figSpan := root.Child("figures")
 	defer figSpan.End()
-	if figDir != "" {
-		if err := writeArtifacts(figDir, store, w, cfg, figSpan); err != nil {
+	if o.figDir != "" {
+		if err := writeArtifacts(o.figDir, store, w, cfg, figSpan); err != nil {
 			return err
 		}
-		log.Printf("figure artifacts written to %s", figDir)
+		log.Printf("figure artifacts written to %s", o.figDir)
 	}
-	if quiet {
+	if o.quiet {
 		return nil
 	}
 	return printFigures(store, w, cfg, figSpan)

@@ -1,21 +1,27 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/results"
 )
 
 func TestRunBuildsDataset(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
-	if err := run(dir, 200, 1, false, 2, true, "", "", 0); err != nil {
+	if err := run(options{out: dir, probes: 200, seed: 1, days: 2, quiet: true}); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.json")); !os.IsNotExist(err) {
+		t.Error("completed run left a checkpoint behind")
 	}
 	store, err := results.Open(dir)
 	if err != nil {
@@ -38,13 +44,13 @@ func TestRunBuildsDataset(t *testing.T) {
 func TestRunWithFigures(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
 	// 4 days is enough for every figure including the weekly Fig 7 bins.
-	if err := run(dir, 250, 1, false, 4, false, "", "", 0); err != nil {
+	if err := run(options{out: dir, probes: 250, seed: 1, days: 4}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run(t.TempDir(), 0, 1, false, 1, true, "", "", 0); err == nil {
+	if err := run(options{out: t.TempDir(), probes: 0, seed: 1, days: 1, quiet: true}); err == nil {
 		t.Error("zero probes accepted")
 	}
 }
@@ -52,7 +58,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 func TestRunWritesArtifacts(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
 	figDir := filepath.Join(t.TempDir(), "figs")
-	if err := run(dir, 250, 1, false, 7, true, figDir, "", 0); err != nil {
+	if err := run(options{out: dir, probes: 250, seed: 1, days: 7, quiet: true, figDir: figDir}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -78,7 +84,7 @@ func TestRunWritesTrace(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
 	tracePath := filepath.Join(t.TempDir(), "trace.json")
 	// A tiny progress interval exercises the reporter goroutine too.
-	if err := run(dir, 250, 1, false, 4, false, "", tracePath, time.Millisecond); err != nil {
+	if err := run(options{out: dir, probes: 250, seed: 1, days: 4, tracePath: tracePath, progressEvery: time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tracePath)
@@ -128,5 +134,50 @@ func TestRunWritesTrace(t *testing.T) {
 		if !strings.HasPrefix(c.Name, "figure:") {
 			t.Errorf("unexpected figures child %q", c.Name)
 		}
+	}
+}
+
+// TestRunWorkerCountInvariance is the end-to-end determinism check: the
+// same flags with different -workers produce byte-identical datasets.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	read := func(workers int) []byte {
+		dir := filepath.Join(t.TempDir(), "ds")
+		if err := run(options{out: dir, probes: 200, seed: 3, days: 2, quiet: true, workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "samples.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := read(1)
+	if parallel := read(7); !bytes.Equal(serial, parallel) {
+		t.Error("workers=7 dataset differs from workers=1")
+	}
+}
+
+func TestRunResumeErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	// Nothing to resume: no checkpoint exists.
+	err := run(options{out: dir, probes: 200, seed: 1, days: 1, quiet: true, resume: true})
+	if !errors.Is(err, engine.ErrNoCheckpoint) {
+		t.Fatalf("resume without checkpoint: err = %v, want ErrNoCheckpoint", err)
+	}
+
+	// A checkpoint from different campaign parameters must be refused.
+	if err := run(options{out: dir, probes: 200, seed: 1, days: 1, quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	cp := engine.Checkpoint{
+		Version: 1, Fingerprint: "deadbeefdeadbeef", Workers: 2,
+		Round: 3, Samples: 10, SinkOffset: 100,
+	}
+	if err := cp.Save(filepath.Join(dir, "checkpoint.json")); err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{out: dir, probes: 200, seed: 9, days: 1, quiet: true, resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("fingerprint mismatch not refused: %v", err)
 	}
 }

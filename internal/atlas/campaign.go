@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/probe"
 	"repro/internal/results"
 )
 
@@ -102,14 +103,15 @@ func (c CampaignConfig) Meta(seed uint64, probes, regions int) results.Meta {
 // Observability: a span carried in ctx (obs.ContextWith) gets one child
 // span per round; p.Metrics, when set, receives round progress gauges and
 // per-continent sample tallies as the campaign runs.
+//
+// RunCampaign is the serial path; RunCampaignOpts runs the same workload
+// through the parallel execution engine with identical output.
 func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig, sink func(results.Sample) error) (uint64, error) {
-	if err := cfg.Validate(); err != nil {
-		return 0, err
-	}
-	probes := p.Population.Public()
-	if len(probes) == 0 {
-		return 0, fmt.Errorf("atlas: no public probes")
-	}
+	return p.RunCampaignOpts(ctx, cfg, CampaignOptions{}, sink)
+}
+
+// runSerial is the single-goroutine campaign loop.
+func (p *Platform) runSerial(ctx context.Context, cfg CampaignConfig, probes []*probe.Probe, sink func(results.Sample) error) (uint64, error) {
 	var emitted uint64
 	rounds := cfg.Rounds()
 	m := p.Metrics
@@ -120,76 +122,145 @@ func (p *Platform) RunCampaign(ctx context.Context, cfg CampaignConfig, sink fun
 		m.CampaignRoundsTotal.Set(float64(rounds))
 		m.CampaignRoundsDone.Set(0)
 	}
-	// Per-continent counters, resolved once: the sample loop is the
-	// hottest path in the system (3.2M iterations at paper scale).
-	samplesBy := make(map[geo.Continent]*obs.Counter)
+	tally := p.newCampaignTally()
 	for round := 0; round < rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return emitted, err
 		}
-		at := cfg.Start.Add(time.Duration(round) * cfg.Interval)
 		roundSpan := span.Child("round")
 		roundSpan.SetAttr("round", round)
-		roundSpan.SetAttr("at", at.Format(time.RFC3339))
-		roundStart := emitted
-		for _, pr := range probes {
-			targets := p.Targets(pr)
-			if len(targets) == 0 {
-				continue
-			}
-			if cfg.Participation < 1 && !participates(pr.ID, round, cfg.Participation) {
-				continue
-			}
-			for k := 0; k < cfg.TargetsPerRound; k++ {
-				// Rotate deterministically through the target list so each
-				// probe covers every region over the campaign.
-				idx := (round*cfg.TargetsPerRound + k + pr.ID) % len(targets)
-				r := targets[idx]
-				path, err := p.Path(pr, r)
-				if err != nil {
-					return emitted, err
-				}
-				s := results.Sample{ProbeID: pr.ID, Region: r.Addr(), Time: at}
-				best := 0.0
-				got := false
-				for rep := 0; rep < cfg.PingsPerTarget; rep++ {
-					ms, lost := path.RTT(at.Add(time.Duration(rep) * time.Second))
-					if lost {
-						continue
-					}
-					if !got || ms < best {
-						best, got = ms, true
-					}
-				}
-				if got {
-					s.RTTms = best
-				} else {
-					s.Lost = true
-				}
-				if err := sink(s); err != nil {
-					return emitted, err
-				}
-				emitted++
-				if m != nil {
-					c, ok := samplesBy[pr.Continent]
-					if !ok {
-						c = m.CampaignSamples.With(pr.Continent.Code())
-						samplesBy[pr.Continent] = c
-					}
-					c.Inc()
-					if s.Lost {
-						m.CampaignLost.Inc()
-					}
-				}
-			}
+		roundSpan.SetAttr("at", cfg.RoundTime(round).Format(time.RFC3339))
+		n, err := p.synthesizeRound(ctx, cfg, round, probes, tally, sink)
+		emitted += n
+		if err != nil {
+			return emitted, err
 		}
-		roundSpan.SetAttr("samples", emitted-roundStart)
+		roundSpan.SetAttr("samples", n)
 		roundSpan.End()
 		if m != nil {
 			m.CampaignRoundsDone.Set(float64(round + 1))
 		}
 	}
 	span.SetAttr("samples", emitted)
+	return emitted, nil
+}
+
+// RoundTime returns the timestamp of one measurement round.
+func (c CampaignConfig) RoundTime(round int) time.Time {
+	return c.Start.Add(time.Duration(round) * c.Interval)
+}
+
+// ctxCheckEvery bounds how many samples a round synthesizes between
+// context checks: at paper scale one round is ~3,300 probes × targets, so
+// a per-round check alone would make cancellation (SIGINT) lag by whole
+// rounds.
+const ctxCheckEvery = 256
+
+// campaignTally holds the per-continent sample counters resolved once up
+// front: the sample loop is the hottest path in the system (3.2M
+// iterations at paper scale), and the eager read-only array is also what
+// makes the tally safe to share across engine shards.
+type campaignTally struct {
+	samples [geo.SouthAmerica + 1]*obs.Counter // indexed by Continent
+	lost    *obs.Counter
+}
+
+// newCampaignTally resolves the counters, or returns nil without metrics.
+func (p *Platform) newCampaignTally() *campaignTally {
+	if p.Metrics == nil {
+		return nil
+	}
+	t := &campaignTally{lost: p.Metrics.CampaignLost}
+	for _, ct := range geo.Continents() {
+		t.samples[ct] = p.Metrics.CampaignSamples.With(ct.Code())
+	}
+	return t
+}
+
+// localTally accumulates one round's counts on the stack so the shared
+// atomic counters are touched once per round rather than once per
+// sample: with eight shard workers incrementing the same few cache
+// lines, per-sample atomics measurably erode worker scaling.
+type localTally struct {
+	samples [geo.SouthAmerica + 1]uint64
+	lost    uint64
+}
+
+// flushTo folds the local counts into the shared counters.
+func (l *localTally) flushTo(t *campaignTally) {
+	for ct, n := range l.samples {
+		if n > 0 {
+			t.samples[ct].Add(n)
+		}
+	}
+	if l.lost > 0 {
+		t.lost.Add(l.lost)
+	}
+}
+
+// synthesizeRound emits one round's samples for the given probe slice in
+// deterministic (probe, target) order. It is the shared core of the
+// serial path and the engine's shard workers: a shard is just a
+// contiguous sub-slice of the public probe population, so concatenating
+// shard outputs in shard order reproduces the serial stream exactly.
+func (p *Platform) synthesizeRound(ctx context.Context, cfg CampaignConfig, round int, probes []*probe.Probe, tally *campaignTally, emit func(results.Sample) error) (uint64, error) {
+	at := cfg.RoundTime(round)
+	var emitted uint64
+	var local localTally
+	if tally != nil {
+		defer local.flushTo(tally)
+	}
+	for _, pr := range probes {
+		targets := p.Targets(pr)
+		if len(targets) == 0 {
+			continue
+		}
+		if cfg.Participation < 1 && !participates(pr.ID, round, cfg.Participation) {
+			continue
+		}
+		for k := 0; k < cfg.TargetsPerRound; k++ {
+			// Rotate deterministically through the target list so each
+			// probe covers every region over the campaign.
+			idx := (round*cfg.TargetsPerRound + k + pr.ID) % len(targets)
+			r := targets[idx]
+			path, err := p.Path(pr, r)
+			if err != nil {
+				return emitted, err
+			}
+			s := results.Sample{ProbeID: pr.ID, Region: r.Addr(), Time: at}
+			best := 0.0
+			got := false
+			for rep := 0; rep < cfg.PingsPerTarget; rep++ {
+				ms, lost := path.RTT(at.Add(time.Duration(rep) * time.Second))
+				if lost {
+					continue
+				}
+				if !got || ms < best {
+					best, got = ms, true
+				}
+			}
+			if got {
+				s.RTTms = best
+			} else {
+				s.Lost = true
+			}
+			if err := emit(s); err != nil {
+				return emitted, err
+			}
+			emitted++
+			if emitted%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return emitted, err
+				}
+			}
+			if tally != nil {
+				local.samples[pr.Continent]++
+				if s.Lost {
+					local.lost++
+				}
+			}
+		}
+	}
 	return emitted, nil
 }
 

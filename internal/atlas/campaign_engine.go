@@ -1,0 +1,164 @@
+package atlas
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/probe"
+	"repro/internal/results"
+)
+
+// CampaignOptions select the campaign execution strategy. The zero value
+// is the serial path; anything else routes through internal/engine.
+type CampaignOptions struct {
+	// Workers is the shard/worker count. Values <= 1 run serially (unless
+	// checkpointing or resuming, which always use the engine). The merged
+	// output is byte-identical for every worker count.
+	Workers int
+
+	// CheckpointPath enables periodic checkpointing (requires Commit).
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in merged rounds
+	// (default engine.DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Commit flushes the sink and reports its durable byte offset; called
+	// at every checkpoint.
+	Commit engine.CommitFunc
+	// Fingerprint identifies the run configuration inside checkpoints;
+	// see CampaignConfig.Fingerprint.
+	Fingerprint string
+
+	// StartRound/StartSamples resume an interrupted run from a checkpoint
+	// watermark: rounds before StartRound are skipped and StartSamples
+	// seeds the emitted-sample total.
+	StartRound   int
+	StartSamples uint64
+
+	// EngineMetrics, when set, receives shard progress, queue depth,
+	// merge stall, retry and checkpoint instruments.
+	EngineMetrics *engine.Metrics
+}
+
+// serial reports whether the options select the plain single-goroutine
+// loop rather than the execution engine.
+func (o CampaignOptions) serial() bool {
+	return o.Workers <= 1 && o.CheckpointPath == "" && o.StartRound == 0 && o.StartSamples == 0
+}
+
+// RunCampaignOpts runs the campaign under the given execution options,
+// delegating to the parallel engine when they ask for more than the
+// serial loop: the public probe population is split into contiguous
+// shards (one per worker), every shard synthesizes its rounds on its own
+// goroutine, and the engine merges shard batches round-major in shard
+// order — reproducing the serial sample stream byte for byte for any
+// worker count, because each sample's value depends only on the seeded
+// latency model and the sample's (probe, target, time) identity.
+func (p *Platform) RunCampaignOpts(ctx context.Context, cfg CampaignConfig, opts CampaignOptions, sink func(results.Sample) error) (uint64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	probes := p.Population.Public()
+	if len(probes) == 0 {
+		return 0, fmt.Errorf("atlas: no public probes")
+	}
+	if opts.serial() {
+		return p.runSerial(ctx, cfg, probes, sink)
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(probes) {
+		workers = len(probes)
+	}
+	shards := shardProbes(probes, workers)
+	rounds := cfg.Rounds()
+	m := p.Metrics
+	span := obs.From(ctx)
+	span.SetAttr("rounds", rounds)
+	span.SetAttr("probes", len(probes))
+	span.SetAttr("workers", workers)
+	if opts.StartRound > 0 {
+		span.SetAttr("resume_round", opts.StartRound)
+	}
+	if m != nil {
+		m.CampaignRoundsTotal.Set(float64(rounds))
+		m.CampaignRoundsDone.Set(float64(opts.StartRound))
+	}
+	tally := p.newCampaignTally()
+
+	// Upper bound on one (shard, round) cell, so worker batch buffers
+	// never reallocate mid-round.
+	hint := (len(probes) + workers - 1) / workers * cfg.TargetsPerRound
+
+	n, err := engine.Run(ctx, engine.Config{
+		Workers:         workers,
+		Rounds:          rounds,
+		BatchHint:       hint,
+		StartRound:      opts.StartRound,
+		StartSamples:    opts.StartSamples,
+		CheckpointPath:  opts.CheckpointPath,
+		CheckpointEvery: opts.CheckpointEvery,
+		Commit:          opts.Commit,
+		Fingerprint:     opts.Fingerprint,
+		Metrics:         opts.EngineMetrics,
+		Gen: func(ctx context.Context, shard, round int, emit func(results.Sample) error) error {
+			_, err := p.synthesizeRound(ctx, cfg, round, shards[shard], tally, emit)
+			return err
+		},
+		Sink: sink,
+		OnRound: func(round int, samples uint64) {
+			// Rounds are generated concurrently, so per-round spans mark
+			// merge completion events rather than synthesis intervals;
+			// they keep the trace's round fan-out (and per-round sample
+			// attribution) identical in shape to the serial path.
+			rs := span.Child("round")
+			rs.SetAttr("round", round)
+			rs.SetAttr("at", cfg.RoundTime(round).Format(time.RFC3339))
+			rs.SetAttr("samples", samples)
+			rs.End()
+			if m != nil {
+				m.CampaignRoundsDone.Set(float64(round + 1))
+			}
+		},
+	})
+	span.SetAttr("samples", n)
+	return n, err
+}
+
+// shardProbes splits the probe slice into n contiguous chunks whose sizes
+// differ by at most one, preserving ID order. Shard boundaries depend on
+// n, but the round-major shard-order merge makes the concatenated stream
+// independent of it.
+func shardProbes(probes []*probe.Probe, n int) [][]*probe.Probe {
+	out := make([][]*probe.Probe, 0, n)
+	base, rem := len(probes)/n, len(probes)%n
+	i := 0
+	for s := 0; s < n; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		out = append(out, probes[i:i+size])
+		i += size
+	}
+	return out
+}
+
+// Fingerprint identifies a campaign execution for checkpoint
+// compatibility: the same (config, seed, census) produces the same
+// fingerprint, and resuming under a different one is refused. The worker
+// count is deliberately excluded — it does not affect the output.
+func (c CampaignConfig) Fingerprint(seed uint64, probes int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%g|%d",
+		seed, probes,
+		c.Start.UTC().UnixNano(), c.End.UTC().UnixNano(), int64(c.Interval),
+		c.TargetsPerRound, c.Participation, c.PingsPerTarget)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

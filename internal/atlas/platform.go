@@ -29,8 +29,11 @@ type Platform struct {
 	// progress and per-continent sample tallies from RunCampaign.
 	Metrics *Metrics
 
-	mu    sync.Mutex
-	paths map[pathKey]*netem.Path
+	// paths caches pathKey -> *netem.Path. It is a sync.Map because the
+	// campaign engine hits it from every shard worker on every sample:
+	// after first-round warmup the cache is read-only, which is the
+	// append-mostly access pattern sync.Map makes lock-free.
+	paths sync.Map
 
 	targets map[geo.Continent][]*cloud.Region
 }
@@ -55,7 +58,6 @@ func NewPlatform(pop *probe.Population, cat *cloud.Catalog, model *netem.Model) 
 		Population: pop,
 		Catalog:    cat,
 		Model:      model,
-		paths:      make(map[pathKey]*netem.Path),
 		targets:    make(map[geo.Continent][]*cloud.Region),
 	}
 	for _, ct := range geo.Continents() {
@@ -71,12 +73,13 @@ func (p *Platform) Targets(pr *probe.Probe) []*cloud.Region {
 }
 
 // Path returns the (cached) network path between a probe and a region.
+// It is safe for concurrent use; racing derivations of the same key are
+// deterministic (the model is immutable) and collapse to one canonical
+// instance via LoadOrStore.
 func (p *Platform) Path(pr *probe.Probe, r *cloud.Region) (*netem.Path, error) {
 	key := pathKey{probeID: pr.ID, region: r.Addr()}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if path, ok := p.paths[key]; ok {
-		return path, nil
+	if v, ok := p.paths.Load(key); ok {
+		return v.(*netem.Path), nil
 	}
 	path, err := p.Model.Path(pr.Site(), netem.Target{
 		ID:        r.Addr(),
@@ -87,7 +90,9 @@ func (p *Platform) Path(pr *probe.Probe, r *cloud.Region) (*netem.Path, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.paths[key] = path
+	if v, loaded := p.paths.LoadOrStore(key, path); loaded {
+		return v.(*netem.Path), nil
+	}
 	return path, nil
 }
 

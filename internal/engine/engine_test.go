@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/results"
+)
+
+// testGen emits perShard samples per (shard, round) cell with identities
+// encoding the cell, so merge order is fully observable.
+func testGen(shards, perShard int) GenFunc {
+	return func(ctx context.Context, shard, round int, emit func(results.Sample) error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := 0; i < perShard; i++ {
+			s := results.Sample{
+				ProbeID: shard*1_000_000 + round*1_000 + i + 1,
+				Region:  fmt.Sprintf("prov/r%d", shard),
+				Time:    time.Unix(int64(round), 0).UTC(),
+				RTTms:   float64(round + 1),
+			}
+			if err := emit(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// serialOrder is the canonical expectation: round-major, shard-ascending.
+func serialOrder(shards, rounds, perShard int) []results.Sample {
+	var out []results.Sample
+	gen := testGen(shards, perShard)
+	for round := 0; round < rounds; round++ {
+		for s := 0; s < shards; s++ {
+			gen(context.Background(), s, round, func(smp results.Sample) error {
+				out = append(out, smp)
+				return nil
+			})
+		}
+	}
+	return out
+}
+
+func TestRunMergesInCanonicalOrder(t *testing.T) {
+	const rounds, perShard = 9, 7
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		var got []results.Sample
+		n, err := Run(context.Background(), Config{
+			Workers: workers,
+			Rounds:  rounds,
+			Gen:     testGen(workers, perShard),
+			Sink: func(s results.Sample) error {
+				got = append(got, s)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := serialOrder(workers, rounds, perShard)
+		if n != uint64(len(want)) {
+			t.Fatalf("workers=%d: emitted %d, want %d", workers, n, len(want))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: merged order diverges from canonical order", workers)
+		}
+	}
+}
+
+func TestRunGenErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	gen := func(ctx context.Context, shard, round int, emit func(results.Sample) error) error {
+		if shard == 1 && round == 2 {
+			return boom
+		}
+		return testGen(3, 2)(ctx, shard, round, emit)
+	}
+	_, err := Run(context.Background(), Config{
+		Workers: 3,
+		Rounds:  5,
+		Gen:     gen,
+		Sink:    func(results.Sample) error { return nil },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRunSinkErrorStops(t *testing.T) {
+	sentinel := errors.New("disk full")
+	var wrote int
+	n, err := Run(context.Background(), Config{
+		Workers: 2,
+		Rounds:  4,
+		Gen:     testGen(2, 3),
+		Sink: func(results.Sample) error {
+			if wrote == 7 {
+				return sentinel
+			}
+			wrote++
+			return nil
+		},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if n != 7 {
+		t.Fatalf("emitted = %d, want 7", n)
+	}
+}
+
+func TestRunRetriesTransientSinkErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	fails := 2
+	var got []results.Sample
+	n, err := Run(context.Background(), Config{
+		Workers: 2,
+		Rounds:  3,
+		Gen:     testGen(2, 2),
+		Metrics: m,
+		Sink: func(s results.Sample) error {
+			if fails > 0 {
+				fails--
+				return Transient(errors.New("flaky"))
+			}
+			got = append(got, s)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialOrder(2, 3, 2)
+	if n != uint64(len(want)) || !reflect.DeepEqual(got, want) {
+		t.Fatalf("retried run emitted %d samples, want %d in canonical order", n, len(want))
+	}
+	if v := m.SinkRetries.Value(); v != 2 {
+		t.Fatalf("sink retries counter = %d, want 2", v)
+	}
+}
+
+func TestRunTransientRetryLimit(t *testing.T) {
+	calls := 0
+	_, err := Run(context.Background(), Config{
+		Workers:    1,
+		Rounds:     1,
+		MaxRetries: 2,
+		Gen:        testGen(1, 1),
+		Sink: func(results.Sample) error {
+			calls++
+			return Transient(errors.New("always failing"))
+		},
+	})
+	if err == nil {
+		t.Fatal("permanently transient sink accepted")
+	}
+	if calls != 3 { // initial attempt + 2 retries
+		t.Fatalf("sink called %d times, want 3", calls)
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int
+	_, err := Run(ctx, Config{
+		Workers: 2,
+		Rounds:  1_000,
+		Gen:     testGen(2, 4),
+		Sink: func(results.Sample) error {
+			n++
+			if n == 10 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunChecksAndResumesFromCheckpoint(t *testing.T) {
+	const workers, rounds, perShard = 3, 12, 5
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "checkpoint.json")
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+
+	// The "sink" is an in-memory log whose durable offset is its length at
+	// the last commit; the tail past that offset simulates unflushed or
+	// partial post-checkpoint output that resume must discard.
+	var log []results.Sample
+	commit := func() (int64, error) { return int64(len(log)), nil }
+
+	// First run: fail permanently partway through round 9, after the
+	// round-7 checkpoint (CheckpointEvery=4 -> checkpoints at rounds 3, 7).
+	sentinel := errors.New("power cut")
+	var emitted int
+	_, err := Run(context.Background(), Config{
+		Workers:         workers,
+		Rounds:          rounds,
+		CheckpointEvery: 4,
+		CheckpointPath:  ckPath,
+		Commit:          commit,
+		Fingerprint:     "fp-1",
+		Metrics:         m,
+		Gen:             testGen(workers, perShard),
+		Sink: func(s results.Sample) error {
+			if emitted == 9*workers*perShard+4 { // mid round 9
+				return sentinel
+			}
+			log = append(log, s)
+			emitted++
+			return nil
+		},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("interrupted run err = %v, want %v", err, sentinel)
+	}
+	if v := m.CheckpointWrites.Value(); v != 2 {
+		t.Fatalf("checkpoint writes = %d, want 2", v)
+	}
+
+	cp, err := LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Round != 7 || cp.Fingerprint != "fp-1" || cp.Workers != workers {
+		t.Fatalf("checkpoint = %+v, want round 7 fp-1", cp)
+	}
+	if cp.Samples != uint64((cp.Round+1)*workers*perShard) {
+		t.Fatalf("checkpoint samples = %d, want %d", cp.Samples, (cp.Round+1)*workers*perShard)
+	}
+	if cp.SinkOffset != int64(cp.Samples) {
+		t.Fatalf("checkpoint offset = %d, want %d", cp.SinkOffset, cp.Samples)
+	}
+
+	// Resume: truncate the log to the durable offset and continue from the
+	// watermark, with a different worker count to prove shard-count
+	// independence of the merged stream.
+	log = log[:cp.SinkOffset]
+	n, err := Run(context.Background(), Config{
+		Workers:      5,
+		Rounds:       rounds,
+		StartRound:   cp.Round + 1,
+		StartSamples: cp.Samples,
+		Gen:          testGen(5, perShard),
+		Sink: func(s results.Sample) error {
+			log = append(log, s)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the prefix expectation with the original shard count and the
+	// suffix with the resumed one: both describe the same logical stream
+	// when per-cell content depends only on (shard, round).
+	want := serialOrder(workers, cp.Round+1, perShard)
+	want = append(want, serialOrder(5, rounds, perShard)[len(serialOrder(5, cp.Round+1, perShard)):]...)
+	if n != uint64(len(want)) {
+		t.Fatalf("resumed total = %d, want %d", n, len(want))
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatal("resumed stream diverges from uninterrupted stream")
+	}
+}
+
+func TestCheckpointSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	cp := Checkpoint{
+		Version: 1, Fingerprint: "abc", Workers: 4, Round: 17,
+		Samples: 1234, SinkOffset: 99_000,
+		Shards: []ShardMark{{0, 17}, {1, 17}, {2, 17}, {3, 17}},
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, cp) {
+		t.Fatalf("roundtrip = %+v, want %+v", got, cp)
+	}
+
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing.json")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing file err = %v, want ErrNoCheckpoint", err)
+	}
+
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+
+	bad := cp
+	bad.Version = 9
+	if err := bad.Save(path); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+	base := errors.New("io")
+	te := Transient(base)
+	if !IsTransient(te) || !errors.Is(te, base) {
+		t.Fatal("transient wrapper broken")
+	}
+	if IsTransient(base) {
+		t.Fatal("unmarked error reported transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", te)) {
+		t.Fatal("wrapped transient not detected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Rounds: 1}); err == nil {
+		t.Fatal("nil Gen/Sink accepted")
+	}
+	_, err := Run(context.Background(), Config{
+		Rounds: 2, StartRound: 5,
+		Gen:  testGen(1, 1),
+		Sink: func(results.Sample) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("StartRound past Rounds accepted")
+	}
+}

@@ -26,11 +26,12 @@ func (w *Writer) Instrument(m *Metrics) {
 }
 
 // countingWriter sits between the JSON encoder and the buffer, crediting
-// encoded bytes to the writer's metrics.
+// encoded bytes to the writer's byte offset and metrics.
 type countingWriter struct{ w *Writer }
 
 func (c countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.bw.Write(p)
+	c.w.bytes += uint64(n)
 	if c.w.metrics != nil {
 		c.w.metrics.Bytes.Add(uint64(n))
 	}

@@ -79,6 +79,7 @@ type Writer struct {
 	bw      *bufio.Writer
 	enc     *json.Encoder
 	n       uint64
+	bytes   uint64
 	metrics *Metrics
 }
 
@@ -107,8 +108,20 @@ func (w *Writer) Write(s Sample) error {
 // Count returns the number of samples written.
 func (w *Writer) Count() uint64 { return w.n }
 
+// BytesWritten returns the encoded bytes accepted so far (buffered bytes
+// included). After a successful Flush it equals the bytes pushed to the
+// underlying writer, which is what checkpoint offsets are made of.
+func (w *Writer) BytesWritten() uint64 { return w.bytes }
+
 // Flush drains the buffer.
 func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// MaxLineBytes is the longest JSONL line the Reader accepts. The default
+// bufio.Scanner token limit is 64 KiB, which real-world JSONL (embedded
+// traceroutes, annotation blobs) can exceed; lines past this limit
+// surface bufio.ErrTooLong with the offending line number instead of a
+// bare scanner error.
+const MaxLineBytes = 16 << 20
 
 // Reader streams samples from JSONL.
 type Reader struct {
@@ -116,10 +129,10 @@ type Reader struct {
 	line int
 }
 
-// NewReader wraps r. Lines up to 1 MiB are supported.
+// NewReader wraps r. Lines up to MaxLineBytes are supported.
 func NewReader(r io.Reader) *Reader {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	return &Reader{sc: sc}
 }
 
@@ -141,6 +154,11 @@ func (r *Reader) Next() (Sample, error) {
 		return s, nil
 	}
 	if err := r.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops before consuming the oversized line, so
+			// the failing line is the one after the last delivered.
+			return Sample{}, fmt.Errorf("results: line %d exceeds %d bytes: %w", r.line+1, MaxLineBytes, err)
+		}
 		return Sample{}, err
 	}
 	return Sample{}, io.EOF
@@ -248,6 +266,43 @@ func Open(dir string) (*Store, error) {
 
 // Meta returns the campaign metadata.
 func (s *Store) Meta() Meta { return s.meta }
+
+// Resume reopens the samples file for appending at the given byte
+// offset, truncating whatever follows it (the partial round after the
+// last checkpoint). It returns a writer positioned at the offset plus a
+// close function mirroring Create's.
+func (s *Store) Resume(offset int64) (*Writer, func() error, error) {
+	f, err := os.OpenFile(filepath.Join(s.dir, samplesFile), os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if offset < 0 || offset > st.Size() {
+		f.Close()
+		return nil, nil, fmt.Errorf("results: resume offset %d outside file of %d bytes", offset, st.Size())
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := NewWriter(f)
+	closeFn := func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return w, closeFn, nil
+}
 
 // ForEach streams every stored sample.
 func (s *Store) ForEach(fn func(Sample) error) error {

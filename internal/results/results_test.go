@@ -1,6 +1,7 @@
 package results
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"io"
@@ -192,5 +193,135 @@ func TestStoreErrors(t *testing.T) {
 	}
 	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing dir opened")
+	}
+}
+
+func TestReaderLargeLine(t *testing.T) {
+	// A line far beyond bufio.Scanner's 64 KiB default must stream fine.
+	s := sample(1)
+	s.Region = "Amazon/" + strings.Repeat("x", 512*1024)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatalf("512 KiB line: %v", err)
+	}
+	if got.Region != s.Region {
+		t.Error("large region mangled")
+	}
+}
+
+func TestReaderOversizedLineSurfacesErrTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 1; i <= 2; i++ {
+		if err := w.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"probe":3,"region":"Amazon/` + strings.Repeat("y", MaxLineBytes) + `"}` + "\n")
+
+	r := NewReader(&buf)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.Next()
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+}
+
+func TestWriterBytesWritten(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 1; i <= 5; i++ {
+		if err := w.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.BytesWritten(); got != uint64(buf.Len()) {
+		t.Errorf("BytesWritten = %d, flushed %d", got, buf.Len())
+	}
+}
+
+func TestStoreResumeTruncates(t *testing.T) {
+	dir := t.TempDir()
+	meta := Meta{Seed: 1, Start: t0, End: t0.Add(time.Hour), IntervalHours: 1, Probes: 5, Regions: 3}
+	_, w, closeFn, err := Create(dir, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := w.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	offset := int64(w.BytesWritten()) // durable watermark after 4 samples
+	// Simulate a partial post-checkpoint round.
+	for i := 5; i <= 7; i++ {
+		if err := w.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, closeFn2, err := st.Resume(offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i <= 6; i++ {
+		if err := w2.Write(sample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closeFn2(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []int
+	if err := st.ForEach(func(s Sample) error { ids = append(ids, s.ProbeID); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5, 6}
+	if len(ids) != len(want) {
+		t.Fatalf("resumed store has %d samples, want %d", len(ids), len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sample %d = probe %d, want %d", i, ids[i], want[i])
+		}
+	}
+
+	if _, _, err := st.Resume(1 << 40); err == nil {
+		t.Error("offset past EOF accepted")
+	}
+	if _, _, err := st.Resume(-1); err == nil {
+		t.Error("negative offset accepted")
 	}
 }

@@ -22,4 +22,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke =="
+# One iteration of every benchmark: catches bit-rot in bench code
+# without paying for real measurement runs.
+go test -run='^$' -bench=. -benchtime=1x ./...
+
 echo "OK"
