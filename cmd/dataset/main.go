@@ -1,25 +1,34 @@
 // Command dataset inspects a stored campaign dataset without loading it
-// into memory: streaming summary statistics (using the P² estimator for
-// quantiles), per-continent/per-band tallies, and filtered re-export.
+// into memory: streaming summary statistics (using a mergeable bucket
+// sketch for quantiles), per-continent/per-band tallies, and filtered
+// re-export. Every op runs on the parallel byte-range scanner; -workers
+// shards the file and the output is identical for any worker count.
 //
 // Usage:
 //
 //	dataset -data ./dataset stats
 //	dataset -data ./dataset continents
-//	dataset -data ./dataset hist
-//	dataset -data ./dataset filter -continent AF -out ./africa
+//	dataset -data ./dataset -workers 8 hist
+//	dataset -data ./dataset -continent AF -out ./africa filter
+//
+// Flags precede the op: flag parsing stops at the first positional
+// argument.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/results"
+	"repro/internal/scan"
 	"repro/internal/stats"
 	"repro/internal/world"
 )
@@ -31,13 +40,14 @@ func main() {
 		data      = flag.String("data", "dataset", "dataset directory")
 		continent = flag.String("continent", "", "continent filter for the filter op (two-letter code)")
 		out       = flag.String("out", "", "output directory for the filter op")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "scan worker count (output is identical for any value)")
 	)
 	flag.Parse()
 	op := flag.Arg(0)
 	if op == "" {
 		op = "stats"
 	}
-	lines, err := run(*data, op, *continent, *out)
+	lines, err := run(*data, op, *continent, *out, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,105 +56,152 @@ func main() {
 	}
 }
 
-func run(data, op, continent, out string) ([]string, error) {
+func run(data, op, continent, out string, workers int) ([]string, error) {
 	store, err := results.Open(data)
 	if err != nil {
 		return nil, err
 	}
 	switch op {
 	case "stats":
-		return statsOp(store)
+		return statsOp(store, workers)
 	case "continents":
-		return continentsOp(store)
+		return continentsOp(store, workers)
 	case "filter":
-		return filterOp(store, continent, out)
+		return filterOp(store, continent, out, workers)
 	case "hist":
-		return histOp(store)
+		return histOp(store, workers)
 	default:
 		return nil, fmt.Errorf("unknown op %q (want stats, continents, hist, or filter)", op)
 	}
 }
 
-// statsOp streams the dataset once, keeping O(1) state.
-func statsOp(store *results.Store) ([]string, error) {
-	meta := store.Meta()
-	var (
-		total, lost   uint64
-		sum, min, max float64
-		p50, p95      *stats.P2
-		firstRTT      = true
-	)
-	var err error
-	if p50, err = stats.NewP2(0.5); err != nil {
-		return nil, err
-	}
-	if p95, err = stats.NewP2(0.95); err != nil {
-		return nil, err
-	}
-	err = store.ForEach(func(s results.Sample) error {
-		total++
-		if s.Lost {
-			lost++
-			return nil
-		}
-		sum += s.RTTms
-		if firstRTT || s.RTTms < min {
-			min = s.RTTms
-		}
-		if firstRTT || s.RTTms > max {
-			max = s.RTTms
-		}
-		firstRTT = false
-		if err := p50.Add(s.RTTms); err != nil {
-			return err
-		}
-		return p95.Add(s.RTTms)
+// scanWith runs one pass per worker over the store's samples file and
+// returns the first (merged) pass. Scan throughput goes to stderr so ops
+// keep their exact stdout shape.
+func scanWith(store *results.Store, workers int, newPass func() scan.Pass) (scan.Pass, error) {
+	var passes []scan.Pass
+	st, err := scan.File(context.Background(), scan.Config{
+		Path:    store.SamplesPath(),
+		Workers: workers,
+		NewPasses: func(int) ([]scan.Pass, error) {
+			p := newPass()
+			passes = append(passes, p)
+			return []scan.Pass{p}, nil
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	if total == 0 {
+	log.Printf("scan: %d samples in %v (%.1f MB/s, %.0f samples/s, %d workers)",
+		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.SamplesPerSec(), st.Workers)
+	return passes[0], nil
+}
+
+// statsPass keeps O(1) summary state: exact count/min/max/mean plus a
+// mergeable quantile sketch, so shards combine without replaying samples.
+type statsPass struct {
+	total, lost   uint64
+	sum, min, max float64
+	delivered     uint64
+	sketch        *stats.QuantileSketch
+}
+
+func newStatsPass() *statsPass { return &statsPass{sketch: stats.NewRTTSketch()} }
+
+func (p *statsPass) Observe(s results.Sample) error {
+	p.total++
+	if s.Lost {
+		p.lost++
+		return nil
+	}
+	p.sum += s.RTTms
+	if p.delivered == 0 || s.RTTms < p.min {
+		p.min = s.RTTms
+	}
+	if p.delivered == 0 || s.RTTms > p.max {
+		p.max = s.RTTms
+	}
+	p.delivered++
+	return p.sketch.Add(s.RTTms)
+}
+
+func (p *statsPass) Merge(other scan.Pass) error {
+	o := other.(*statsPass)
+	p.total += o.total
+	p.lost += o.lost
+	p.sum += o.sum
+	if o.delivered > 0 {
+		if p.delivered == 0 || o.min < p.min {
+			p.min = o.min
+		}
+		if p.delivered == 0 || o.max > p.max {
+			p.max = o.max
+		}
+	}
+	p.delivered += o.delivered
+	return p.sketch.Merge(o.sketch)
+}
+
+// statsOp scans the dataset once, keeping O(1) state per worker.
+func statsOp(store *results.Store, workers int) ([]string, error) {
+	meta := store.Meta()
+	merged, err := scanWith(store, workers, func() scan.Pass { return newStatsPass() })
+	if err != nil {
+		return nil, err
+	}
+	p := merged.(*statsPass)
+	if p.total == 0 {
 		return nil, fmt.Errorf("dataset is empty")
 	}
-	delivered := total - lost
+	delivered := p.total - p.lost
 	lines := []string{
 		fmt.Sprintf("campaign: seed=%d %s..%s interval=%.0fh probes=%d regions=%d",
 			meta.Seed, meta.Start.Format("2006-01-02"), meta.End.Format("2006-01-02"),
 			meta.IntervalHours, meta.Probes, meta.Regions),
 		fmt.Sprintf("samples: %d total, %d delivered, %d lost (%.2f%%)",
-			total, delivered, lost, 100*float64(lost)/float64(total)),
+			p.total, delivered, p.lost, 100*float64(p.lost)/float64(p.total)),
 	}
 	if delivered > 0 {
-		med, err := p50.Value()
+		med, err := p.sketch.Quantile(0.5)
 		if err != nil {
 			return nil, err
 		}
-		q95, err := p95.Value()
+		q95, err := p.sketch.Quantile(0.95)
 		if err != nil {
 			return nil, err
 		}
 		lines = append(lines, fmt.Sprintf("rtt: min=%.1fms p50~%.1fms p95~%.1fms max=%.1fms mean=%.1fms",
-			min, med, q95, max, sum/float64(delivered)))
+			p.min, med, q95, p.max, p.sum/float64(delivered)))
 	}
 	return lines, nil
 }
 
-// histOp renders an ASCII histogram of the delivered RTTs (0-300 ms in
-// 10 ms bins, plus an overflow bucket), streaming the dataset once.
-func histOp(store *results.Store) ([]string, error) {
-	h, err := stats.NewHistogram(0, 300, 30)
-	if err != nil {
-		return nil, err
+// histPass wraps the fixed-bin histogram, whose counts merge exactly.
+type histPass struct{ h *stats.Histogram }
+
+func (p *histPass) Observe(s results.Sample) error {
+	if s.Lost {
+		return nil
 	}
-	err = store.ForEach(func(s results.Sample) error {
-		if s.Lost {
-			return nil
+	return p.h.Add(s.RTTms)
+}
+
+func (p *histPass) Merge(other scan.Pass) error { return p.h.Merge(other.(*histPass).h) }
+
+// histOp renders an ASCII histogram of the delivered RTTs (0-300 ms in
+// 10 ms bins, plus an overflow bucket), scanning the dataset once.
+func histOp(store *results.Store, workers int) ([]string, error) {
+	merged, err := scanWith(store, workers, func() scan.Pass {
+		h, err := stats.NewHistogram(0, 300, 30)
+		if err != nil {
+			panic(err) // static bounds; cannot fail
 		}
-		return h.Add(s.RTTms)
+		return &histPass{h: h}
 	})
 	if err != nil {
 		return nil, err
 	}
+	h := merged.(*histPass).h
 	if h.Total() == 0 {
 		return nil, fmt.Errorf("dataset has no delivered samples")
 	}
@@ -172,46 +229,92 @@ func histOp(store *results.Store) ([]string, error) {
 	return lines, nil
 }
 
+// continentsPass tallies delivered samples per continent.
+type continentsPass struct {
+	idx    *core.Index
+	counts map[geo.Continent]uint64
+	within map[geo.Continent]uint64
+}
+
+func (p *continentsPass) Observe(s results.Sample) error {
+	if s.Lost {
+		return nil
+	}
+	ct, ok := p.idx.Continent(s.ProbeID)
+	if !ok {
+		return nil
+	}
+	p.counts[ct]++
+	if s.RTTms <= core.PLms {
+		p.within[ct]++
+	}
+	return nil
+}
+
+func (p *continentsPass) Merge(other scan.Pass) error {
+	o := other.(*continentsPass)
+	for ct, n := range o.counts {
+		p.counts[ct] += n
+	}
+	for ct, n := range o.within {
+		p.within[ct] += n
+	}
+	return nil
+}
+
 // continentsOp tallies delivered samples per continent; it rebuilds the
 // probe census from the stored seed to map probe IDs.
-func continentsOp(store *results.Store) ([]string, error) {
+func continentsOp(store *results.Store, workers int) ([]string, error) {
 	meta := store.Meta()
 	w, err := world.Build(world.Config{Seed: meta.Seed, Probes: meta.Probes})
 	if err != nil {
 		return nil, err
 	}
-	counts := make(map[geo.Continent]uint64)
-	var within map[geo.Continent]uint64 = make(map[geo.Continent]uint64)
-	err = store.ForEach(func(s results.Sample) error {
-		if s.Lost {
-			return nil
+	merged, err := scanWith(store, workers, func() scan.Pass {
+		return &continentsPass{
+			idx:    w.Index,
+			counts: make(map[geo.Continent]uint64),
+			within: make(map[geo.Continent]uint64),
 		}
-		ct, ok := w.Index.Continent(s.ProbeID)
-		if !ok {
-			return nil
-		}
-		counts[ct]++
-		if s.RTTms <= core.PLms {
-			within[ct]++
-		}
-		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	p := merged.(*continentsPass)
 	lines := []string{"continent       samples     within-PL"}
 	for _, ct := range geo.Continents() {
-		if counts[ct] == 0 {
+		if p.counts[ct] == 0 {
 			continue
 		}
 		lines = append(lines, fmt.Sprintf("%-14s %9d  %11.1f%%",
-			ct.String(), counts[ct], 100*float64(within[ct])/float64(counts[ct])))
+			ct.String(), p.counts[ct], 100*float64(p.within[ct])/float64(p.counts[ct])))
 	}
 	return lines, nil
 }
 
+// filterPass buffers the samples matching the continent filter; shards
+// concatenate in file order on merge, so the re-export preserves the
+// original sample order exactly.
+type filterPass struct {
+	idx  *core.Index
+	ct   geo.Continent
+	kept []results.Sample
+}
+
+func (p *filterPass) Observe(s results.Sample) error {
+	if got, ok := p.idx.Continent(s.ProbeID); ok && got == p.ct {
+		p.kept = append(p.kept, s)
+	}
+	return nil
+}
+
+func (p *filterPass) Merge(other scan.Pass) error {
+	p.kept = append(p.kept, other.(*filterPass).kept...)
+	return nil
+}
+
 // filterOp re-exports the samples of one continent into a new dataset.
-func filterOp(store *results.Store, continent, out string) ([]string, error) {
+func filterOp(store *results.Store, continent, out string, workers int) ([]string, error) {
 	if continent == "" || out == "" {
 		return nil, fmt.Errorf("filter needs -continent and -out")
 	}
@@ -227,19 +330,22 @@ func filterOp(store *results.Store, continent, out string) ([]string, error) {
 	if _, err := os.Stat(out); err == nil {
 		return nil, fmt.Errorf("output %s already exists", out)
 	}
+	merged, err := scanWith(store, workers, func() scan.Pass {
+		return &filterPass{idx: w.Index, ct: ct}
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := merged.(*filterPass).kept
 	_, writer, closeFn, err := results.Create(out, meta)
 	if err != nil {
 		return nil, err
 	}
-	err = store.ForEach(func(s results.Sample) error {
-		if got, ok := w.Index.Continent(s.ProbeID); ok && got == ct {
-			return writer.Write(s)
+	for _, s := range kept {
+		if err := writer.Write(s); err != nil {
+			closeFn()
+			return nil, err
 		}
-		return nil
-	})
-	if err != nil {
-		closeFn()
-		return nil, err
 	}
 	n := writer.Count()
 	if err := closeFn(); err != nil {

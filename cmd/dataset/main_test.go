@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -35,7 +37,7 @@ func buildDataset(t *testing.T) string {
 
 func TestStatsOp(t *testing.T) {
 	dir := buildDataset(t)
-	lines, err := run(dir, "stats", "", "")
+	lines, err := run(dir, "stats", "", "", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func TestStatsOp(t *testing.T) {
 
 func TestContinentsOp(t *testing.T) {
 	dir := buildDataset(t)
-	lines, err := run(dir, "continents", "", "")
+	lines, err := run(dir, "continents", "", "", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func TestContinentsOp(t *testing.T) {
 func TestFilterOp(t *testing.T) {
 	dir := buildDataset(t)
 	out := filepath.Join(t.TempDir(), "africa")
-	lines, err := run(dir, "filter", "AF", out)
+	lines, err := run(dir, "filter", "AF", out, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,30 +86,30 @@ func TestFilterOp(t *testing.T) {
 		t.Error("filtered dataset empty")
 	}
 	// Re-filtering into the same directory is refused.
-	if _, err := run(dir, "filter", "AF", out); err == nil {
+	if _, err := run(dir, "filter", "AF", out, 4); err == nil {
 		t.Error("overwrite accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := buildDataset(t)
-	if _, err := run(filepath.Join(t.TempDir(), "missing"), "stats", "", ""); err == nil {
+	if _, err := run(filepath.Join(t.TempDir(), "missing"), "stats", "", "", 4); err == nil {
 		t.Error("missing dataset accepted")
 	}
-	if _, err := run(dir, "explode", "", ""); err == nil {
+	if _, err := run(dir, "explode", "", "", 4); err == nil {
 		t.Error("unknown op accepted")
 	}
-	if _, err := run(dir, "filter", "", ""); err == nil {
+	if _, err := run(dir, "filter", "", "", 4); err == nil {
 		t.Error("filter without args accepted")
 	}
-	if _, err := run(dir, "filter", "XX", t.TempDir()+"/x"); err == nil {
+	if _, err := run(dir, "filter", "XX", t.TempDir()+"/x", 4); err == nil {
 		t.Error("bad continent accepted")
 	}
 }
 
 func TestHistOp(t *testing.T) {
 	dir := buildDataset(t)
-	lines, err := run(dir, "hist", "", "")
+	lines, err := run(dir, "hist", "", "", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,5 +122,40 @@ func TestHistOp(t *testing.T) {
 	}
 	if !strings.Contains(joined, ">=300ms") {
 		t.Error("overflow bucket missing")
+	}
+}
+
+// TestOpsWorkerInvariance checks every op emits identical output for any
+// scan worker count, including the byte-exact filtered re-export.
+func TestOpsWorkerInvariance(t *testing.T) {
+	dir := buildDataset(t)
+	for _, op := range []string{"stats", "continents", "hist"} {
+		serial, err := run(dir, op, "", "", 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", op, err)
+		}
+		for _, n := range []int{2, 7} {
+			parallel, err := run(dir, op, "", "", n)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", op, n, err)
+			}
+			if strings.Join(serial, "\n") != strings.Join(parallel, "\n") {
+				t.Errorf("%s output differs between workers=1 and workers=%d", op, n)
+			}
+		}
+	}
+	filtered := func(workers int) []byte {
+		out := filepath.Join(t.TempDir(), "eu")
+		if _, err := run(dir, "filter", "EU", out, workers); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(out, "samples.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(filtered(1), filtered(7)) {
+		t.Error("filtered dataset differs between workers=1 and workers=7")
 	}
 }

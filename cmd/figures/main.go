@@ -7,8 +7,12 @@
 //	figures -fig 4 -data ./dataset     # from a stored campaign
 //	figures -fig 7                     # synthesize a small campaign first
 //	figures -fig 1                     # dataset-independent figures
+//	figures -fig 6 -data ./dataset -workers 8
 //
 // Dataset-independent figures: 1, 2, 3a, 3b. Dataset figures: 4, 5, 6, 7, 8.
+// Stored datasets are read with the parallel scanner (-workers shards the
+// file; the output is identical for any worker count); synthesized campaigns
+// are analyzed in memory.
 package main
 
 import (
@@ -17,13 +21,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/atlas"
+	"repro/internal/core"
 	"repro/internal/figures"
 	"repro/internal/results"
+	"repro/internal/scan"
 	"repro/internal/world"
 )
 
@@ -31,14 +38,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig    = flag.String("fig", "", "figure to render: 1, 2, 3a, 3b, 4, 5, 6, 7, 8")
-		data   = flag.String("data", "", "stored dataset directory (optional)")
-		probes = flag.Int("probes", 400, "probe count when synthesizing")
-		seed   = flag.Uint64("seed", 1, "world seed when synthesizing")
-		asCSV  = flag.Bool("csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
+		fig     = flag.String("fig", "", "figure to render: 1, 2, 3a, 3b, 4, 5, 6, 7, 8")
+		data    = flag.String("data", "", "stored dataset directory (optional)")
+		probes  = flag.Int("probes", 400, "probe count when synthesizing")
+		seed    = flag.Uint64("seed", 1, "world seed when synthesizing")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "scan worker count for stored datasets")
 	)
 	flag.Parse()
-	lines, err := render(*fig, *data, *probes, *seed, *asCSV)
+	lines, err := render(*fig, *data, *probes, *seed, *workers, *asCSV)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,9 +55,9 @@ func main() {
 	}
 }
 
-func render(fig, data string, probes int, seed uint64, asCSV bool) ([]string, error) {
+func render(fig, data string, probes int, seed uint64, workers int, asCSV bool) ([]string, error) {
 	if asCSV {
-		return renderCSV(fig, data, probes, seed)
+		return renderCSV(fig, data, probes, seed, workers)
 	}
 	ctx := context.Background()
 	switch fig {
@@ -71,25 +79,37 @@ func render(fig, data string, probes int, seed uint64, asCSV bool) ([]string, er
 		return figures.Figure3b(w.Probes)
 	}
 
-	src, start, err := loadOrSynthesize(ctx, w, data)
+	d, err := loadOrSynthesize(ctx, w, data, workers)
 	if err != nil {
 		return nil, err
 	}
 	switch fig {
 	case "4":
-		_, lines, err := figures.Figure4(src, w.Index)
-		return lines, err
+		rep, err := d.proximity(w.Index)
+		if err != nil {
+			return nil, err
+		}
+		return figures.Figure4Lines(rep), nil
 	case "5":
-		_, lines, err := figures.Figure5(src, w.Index)
-		return lines, err
+		rep, err := d.minRTT(w.Index)
+		if err != nil {
+			return nil, err
+		}
+		return figures.CDFLines(rep)
 	case "6":
-		_, lines, err := figures.Figure6(src, w.Index)
-		return lines, err
+		rep, err := d.fullDist(w.Index)
+		if err != nil {
+			return nil, err
+		}
+		return figures.CDFLines(rep)
 	case "7":
-		_, lines, err := figures.Figure7(src, w.Index, start)
-		return lines, err
+		rep, err := d.lastMile(w.Index)
+		if err != nil {
+			return nil, err
+		}
+		return figures.Figure7Lines(rep)
 	case "8":
-		rep7, _, err := figures.Figure7(src, w.Index, start)
+		rep7, err := d.lastMile(w.Index)
 		if err != nil {
 			return nil, err
 		}
@@ -100,26 +120,102 @@ func render(fig, data string, probes int, seed uint64, asCSV bool) ([]string, er
 	}
 }
 
+// dataset is a figure's sample source: a stored campaign scanned in
+// parallel, or a freshly synthesized in-memory one analyzed sequentially.
+type dataset struct {
+	store   *results.Store // non-nil when loaded from disk
+	mem     *results.Memory
+	start   time.Time
+	workers int
+}
+
 // loadOrSynthesize opens the stored dataset, or runs a fresh test-scale
 // campaign against the supplied world.
-func loadOrSynthesize(ctx context.Context, w *world.World, data string) (results.Source, time.Time, error) {
+func loadOrSynthesize(ctx context.Context, w *world.World, data string, workers int) (*dataset, error) {
 	if data != "" {
 		store, err := results.Open(data)
 		if err != nil {
-			return nil, time.Time{}, err
+			return nil, err
 		}
-		return store, store.Meta().Start, nil
+		return &dataset{store: store, start: store.Meta().Start, workers: workers}, nil
 	}
 	cfg := atlas.TestCampaign()
 	var mem results.Memory
 	if _, err := w.Platform.RunCampaign(ctx, cfg, mem.Add); err != nil {
-		return nil, time.Time{}, err
+		return nil, err
 	}
-	return &mem, cfg.Start, nil
+	return &dataset{mem: &mem, start: cfg.Start}, nil
+}
+
+// runPass feeds one analysis pass with every sample: a parallel byte-range
+// scan for stored datasets, a sequential walk for in-memory ones. The
+// merged result is identical either way.
+func runPass[P core.Pass](d *dataset, newPass func() (P, error)) (P, error) {
+	if d.store == nil {
+		p, err := newPass()
+		if err != nil {
+			return p, err
+		}
+		return p, core.RunPasses(d.mem, p)
+	}
+	var passes []P
+	st, err := scan.File(context.Background(), scan.Config{
+		Path:    d.store.SamplesPath(),
+		Workers: d.workers,
+		NewPasses: func(int) ([]scan.Pass, error) {
+			p, err := newPass()
+			if err != nil {
+				return nil, err
+			}
+			passes = append(passes, p)
+			return []scan.Pass{p}, nil
+		},
+	})
+	if err != nil {
+		var zero P
+		return zero, err
+	}
+	log.Printf("scan: %d samples in %v (%.1f MB/s, %d workers)",
+		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.Workers)
+	return passes[0], nil
+}
+
+func (d *dataset) proximity(idx *core.Index) (*core.ProximityReport, error) {
+	p, err := runPass(d, func() (*core.ProximityPass, error) { return core.NewProximityPass(idx), nil })
+	if err != nil {
+		return nil, err
+	}
+	return p.Report()
+}
+
+func (d *dataset) minRTT(idx *core.Index) (*core.CDFReport, error) {
+	p, err := runPass(d, func() (*core.MinRTTPass, error) { return core.NewMinRTTPass(idx), nil })
+	if err != nil {
+		return nil, err
+	}
+	return p.Report()
+}
+
+func (d *dataset) fullDist(idx *core.Index) (*core.CDFReport, error) {
+	p, err := runPass(d, func() (*core.FullDistPass, error) { return core.NewFullDistPass(idx), nil })
+	if err != nil {
+		return nil, err
+	}
+	return p.Report()
+}
+
+func (d *dataset) lastMile(idx *core.Index) (*core.LastMileReport, error) {
+	p, err := runPass(d, func() (*core.LastMilePass, error) {
+		return core.NewLastMilePass(idx, d.start, 7*24*time.Hour)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.Report()
 }
 
 // renderCSV emits the machine-readable form of a figure.
-func renderCSV(fig, data string, probes int, seed uint64) ([]string, error) {
+func renderCSV(fig, data string, probes int, seed uint64, workers int) ([]string, error) {
 	ctx := context.Background()
 	var buf bytes.Buffer
 	if fig == "1" {
@@ -137,22 +233,21 @@ func renderCSV(fig, data string, probes int, seed uint64) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	src, start, err := loadOrSynthesize(ctx, w, data)
+	d, err := loadOrSynthesize(ctx, w, data, workers)
 	if err != nil {
 		return nil, err
 	}
 	switch fig {
 	case "4":
-		rep, _, err := figures.Figure4(src, w.Index)
+		rep, err := d.proximity(w.Index)
 		if err != nil {
 			return nil, err
 		}
-		err = figures.Figure4CSV(&buf, rep)
-		if err != nil {
+		if err := figures.Figure4CSV(&buf, rep); err != nil {
 			return nil, err
 		}
 	case "5":
-		rep, _, err := figures.Figure5(src, w.Index)
+		rep, err := d.minRTT(w.Index)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +255,7 @@ func renderCSV(fig, data string, probes int, seed uint64) ([]string, error) {
 			return nil, err
 		}
 	case "6":
-		rep, _, err := figures.Figure6(src, w.Index)
+		rep, err := d.fullDist(w.Index)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +263,7 @@ func renderCSV(fig, data string, probes int, seed uint64) ([]string, error) {
 			return nil, err
 		}
 	case "7":
-		rep, _, err := figures.Figure7(src, w.Index, start)
+		rep, err := d.lastMile(w.Index)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +271,7 @@ func renderCSV(fig, data string, probes int, seed uint64) ([]string, error) {
 			return nil, err
 		}
 	case "8":
-		rep7, _, err := figures.Figure7(src, w.Index, start)
+		rep7, err := d.lastMile(w.Index)
 		if err != nil {
 			return nil, err
 		}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/obs"
 	"repro/internal/results"
+	"repro/internal/scan"
 	"repro/internal/world"
 )
 
@@ -216,8 +217,20 @@ func run(o options) (err error) {
 
 	figSpan := root.Child("figures")
 	defer figSpan.End()
+	if o.quiet && o.figDir == "" {
+		return nil
+	}
+	// One fused parallel scan of the dataset computes every figure report;
+	// the renderers below only format what it already aggregated.
+	scanCtx := obs.ContextWith(context.Background(), figSpan)
+	rep, st, err := core.ScanStore(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scan.NewMetrics(reg))
+	if err != nil {
+		return err
+	}
+	log.Printf("scan: %d samples in %v (%.1f MB/s, %d workers)",
+		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.Workers)
 	if o.figDir != "" {
-		if err := writeArtifacts(o.figDir, store, w, cfg, figSpan); err != nil {
+		if err := writeArtifacts(o.figDir, rep, cfg, figSpan); err != nil {
 			return err
 		}
 		log.Printf("figure artifacts written to %s", o.figDir)
@@ -225,7 +238,7 @@ func run(o options) (err error) {
 	if o.quiet {
 		return nil
 	}
-	return printFigures(store, w, cfg, figSpan)
+	return printFigures(rep, w, figSpan)
 }
 
 // writeTrace dumps the span tree to path.
@@ -308,9 +321,9 @@ func continentTally(m *atlas.Metrics) string {
 	return ", " + strings.Join(parts, " ")
 }
 
-// writeArtifacts exports the dataset figures as CSV and SVG files, one
-// child span per artifact.
-func writeArtifacts(dir string, src results.Source, w *world.World, cfg atlas.CampaignConfig, span *obs.Span) error {
+// writeArtifacts exports the dataset figures as CSV and SVG files from the
+// fused scan's reports, one child span per artifact.
+func writeArtifacts(dir string, rep *core.SuiteReport, cfg atlas.CampaignConfig, span *obs.Span) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -337,51 +350,35 @@ func writeArtifacts(dir string, src results.Source, w *world.World, cfg atlas.Ca
 	if err := write("figure1.svg", func(f io.Writer) error { return figures.Figure1SVG(f, series) }); err != nil {
 		return err
 	}
-	rep4, _, err := figures.Figure4(src, w.Index)
-	if err != nil {
+	if err := write("figure4.csv", func(f io.Writer) error { return figures.Figure4CSV(f, rep.Proximity) }); err != nil {
 		return err
 	}
-	if err := write("figure4.csv", func(f io.Writer) error { return figures.Figure4CSV(f, rep4) }); err != nil {
+	if err := write("figure5.csv", func(f io.Writer) error { return figures.CDFCSV(f, rep.MinRTT) }); err != nil {
 		return err
 	}
-	rep5, _, err := figures.Figure5(src, w.Index)
-	if err != nil {
+	if err := write("figure5.svg", func(f io.Writer) error { return figures.CDFSVG(f, rep.MinRTT, "Figure 5: min RTT CDF by continent") }); err != nil {
 		return err
 	}
-	if err := write("figure5.csv", func(f io.Writer) error { return figures.CDFCSV(f, rep5) }); err != nil {
+	if err := write("figure6.csv", func(f io.Writer) error { return figures.CDFCSV(f, rep.FullDist) }); err != nil {
 		return err
 	}
-	if err := write("figure5.svg", func(f io.Writer) error { return figures.CDFSVG(f, rep5, "Figure 5: min RTT CDF by continent") }); err != nil {
+	if err := write("figure6.svg", func(f io.Writer) error { return figures.CDFSVG(f, rep.FullDist, "Figure 6: all pings to closest DC") }); err != nil {
 		return err
 	}
-	rep6, _, err := figures.Figure6(src, w.Index)
-	if err != nil {
+	if err := write("figure7.csv", func(f io.Writer) error { return figures.Figure7CSV(f, rep.LastMile) }); err != nil {
 		return err
 	}
-	if err := write("figure6.csv", func(f io.Writer) error { return figures.CDFCSV(f, rep6) }); err != nil {
+	if err := write("figure7.svg", func(f io.Writer) error { return figures.Figure7SVG(f, rep.LastMile, cfg.Start) }); err != nil {
 		return err
 	}
-	if err := write("figure6.svg", func(f io.Writer) error { return figures.CDFSVG(f, rep6, "Figure 6: all pings to closest DC") }); err != nil {
-		return err
-	}
-	rep7, _, err := figures.Figure7(src, w.Index, cfg.Start)
-	if err != nil {
-		return err
-	}
-	if err := write("figure7.csv", func(f io.Writer) error { return figures.Figure7CSV(f, rep7) }); err != nil {
-		return err
-	}
-	if err := write("figure7.svg", func(f io.Writer) error { return figures.Figure7SVG(f, rep7, cfg.Start) }); err != nil {
-		return err
-	}
-	rep8, _, err := figures.Figure8(rep7, apps.Paper())
+	rep8, _, err := figures.Figure8(rep.LastMile, apps.Paper())
 	if err != nil {
 		return err
 	}
 	return write("figure8.csv", func(f io.Writer) error { return figures.Figure8CSV(f, rep8) })
 }
 
-func printFigures(src results.Source, w *world.World, cfg atlas.CampaignConfig, span *obs.Span) error {
+func printFigures(rep *core.SuiteReport, w *world.World, span *obs.Span) error {
 	ctx := context.Background()
 	emit := func(name string, lines []string) {
 		fmt.Printf("\n=== Figure %s ===\n", name)
@@ -423,36 +420,27 @@ func printFigures(src results.Source, w *world.World, cfg atlas.CampaignConfig, 
 		return err
 	}
 	if err := figure("4 (proximity to the cloud)", func() ([]string, error) {
-		_, l, err := figures.Figure4(src, w.Index)
-		return l, err
+		return figures.Figure4Lines(rep.Proximity), nil
 	}); err != nil {
 		return err
 	}
 	if err := figure("5 (min RTT CDF by continent)", func() ([]string, error) {
-		_, l, err := figures.Figure5(src, w.Index)
-		return l, err
+		return figures.CDFLines(rep.MinRTT)
 	}); err != nil {
 		return err
 	}
 	if err := figure("6 (all pings to closest DC)", func() ([]string, error) {
-		_, l, err := figures.Figure6(src, w.Index)
-		return l, err
+		return figures.CDFLines(rep.FullDist)
 	}); err != nil {
 		return err
 	}
-
-	// Figure 7's report feeds Figure 8, so it is computed once outside
-	// the closure and both spans still cover their own work.
-	f7span := span.Child("figure:7 (wired vs wireless)")
-	rep7, l7, err := figures.Figure7(src, w.Index, cfg.Start)
-	f7span.End()
-	if err != nil {
+	if err := figure("7 (wired vs wireless)", func() ([]string, error) {
+		return figures.Figure7Lines(rep.LastMile)
+	}); err != nil {
 		return err
 	}
-	emit("7 (wired vs wireless)", l7)
-
 	if err := figure("8 (feasibility zone)", func() ([]string, error) {
-		_, l, err := figures.Figure8(rep7, apps.Paper())
+		_, l, err := figures.Figure8(rep.LastMile, apps.Paper())
 		return l, err
 	}); err != nil {
 		return err
@@ -469,12 +457,8 @@ func printFigures(src results.Source, w *world.World, cfg atlas.CampaignConfig, 
 		return err
 	}
 	if err := figure("§4.1 (per-provider reachability)", func() ([]string, error) {
-		rep, err := core.ProviderComparison(src, w.Index)
-		if err != nil {
-			return nil, err
-		}
 		var lines []string
-		for _, row := range rep.Rows {
+		for _, row := range rep.Provider.Rows {
 			lines = append(lines, fmt.Sprintf("%-16s median=%6.1fms p95=%7.1fms loss=%.2f%% (n=%d)",
 				row.Provider, row.Summary.Median, row.Summary.P95, 100*row.LossRate, row.Summary.N))
 		}

@@ -130,10 +130,21 @@ func TestRunWritesTrace(t *testing.T) {
 	if len(figs.Children) == 0 {
 		t.Error("figures span has no children")
 	}
+	var sawScan bool
 	for _, c := range figs.Children {
+		if c.Name == "scan" {
+			sawScan = true
+			if c.Attrs["samples"].(float64) == 0 {
+				t.Error("scan span carries no samples")
+			}
+			continue
+		}
 		if !strings.HasPrefix(c.Name, "figure:") {
 			t.Errorf("unexpected figures child %q", c.Name)
 		}
+	}
+	if !sawScan {
+		t.Error("figures span lacks the fused dataset scan child")
 	}
 }
 

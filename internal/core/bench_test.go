@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchmarkAllFiguresLegacy measures the pre-fusion cost of a full figure
+// regeneration: one sequential scan of the stored dataset per analysis
+// (seven scans total, decoding through encoding/json each time).
+func BenchmarkAllFiguresLegacy(b *testing.B) {
+	store, w, cfg := fileDataset(b)
+	info, err := os.Stat(store.SamplesPath())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(7 * info.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Proximity(store, w.Index); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.MinRTTByProbe(store, w.Index); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.FullDistribution(store, w.Index); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.LastMile(store, w.Index, cfg.Start, 7*24*time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.LastMileSignificance(store, w.Index); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Diurnal(store, w.Index); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.ProviderComparison(store, w.Index); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllFiguresFused measures the same workload as one fused
+// parallel scan: every pass fed from a single pass over the file, decoded
+// by the fast-path decoder across GOMAXPROCS workers.
+func BenchmarkAllFiguresFused(b *testing.B) {
+	store, w, cfg := fileDataset(b)
+	info, err := os.Stat(store.SamplesPath())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(info.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.ScanStore(context.Background(), store, w.Index,
+			cfg.Start, 7*24*time.Hour, runtime.GOMAXPROCS(0), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -77,42 +77,16 @@ func DefaultGrid() []float64 {
 
 // MinRTTByProbe builds Figure 5: the CDF, per continent, of each probe's
 // minimum observed RTT to any datacenter over the whole campaign (§4.2).
+// It is a single-pass wrapper over MinRTTPass.
 func MinRTTByProbe(src results.Source, idx *Index) (*CDFReport, error) {
 	if src == nil || idx == nil {
 		return nil, errors.New("analysis: nil source or index")
 	}
-	mins := make(map[int]float64)
-	err := src.ForEach(func(s results.Sample) error {
-		if s.Lost || !idx.Known(s.ProbeID) {
-			return nil
-		}
-		if cur, ok := mins[s.ProbeID]; !ok || s.RTTms < cur {
-			mins[s.ProbeID] = s.RTTms
-		}
-		return nil
-	})
-	if err != nil {
+	p := NewMinRTTPass(idx)
+	if err := RunPasses(src, p); err != nil {
 		return nil, err
 	}
-	if len(mins) == 0 {
-		return nil, errors.New("analysis: no delivered samples")
-	}
-	rep := &CDFReport{byContinent: make(map[geo.Continent]*stats.Dist)}
-	for probeID, min := range mins {
-		ct, ok := idx.Continent(probeID)
-		if !ok {
-			continue
-		}
-		d := rep.byContinent[ct]
-		if d == nil {
-			d = &stats.Dist{}
-			rep.byContinent[ct] = d
-		}
-		if err := d.Add(min); err != nil {
-			return nil, err
-		}
-	}
-	return rep, nil
+	return p.Report()
 }
 
 // NearestRegion determines, per probe, the datacenter with the lowest
@@ -122,63 +96,25 @@ func NearestRegion(src results.Source, idx *Index) (map[int]string, error) {
 	if src == nil || idx == nil {
 		return nil, errors.New("analysis: nil source or index")
 	}
-	type best struct {
-		region string
-		rtt    float64
-	}
-	bests := make(map[int]best)
-	err := src.ForEach(func(s results.Sample) error {
-		if s.Lost || !idx.Known(s.ProbeID) {
-			return nil
-		}
-		if b, ok := bests[s.ProbeID]; !ok || s.RTTms < b.rtt {
-			bests[s.ProbeID] = best{region: s.Region, rtt: s.RTTms}
-		}
-		return nil
-	})
-	if err != nil {
+	p := &nearestPass{idx: idx, bests: make(nearestTracker)}
+	if err := RunPasses(src, p); err != nil {
 		return nil, err
 	}
-	if len(bests) == 0 {
-		return nil, errors.New("analysis: no delivered samples")
-	}
-	out := make(map[int]string, len(bests))
-	for id, b := range bests {
-		out[id] = b.region
-	}
-	return out, nil
+	return p.report()
 }
 
 // FullDistribution builds Figure 6: the CDF, per continent, of all ping
-// measurements from every probe to its closest datacenter (§4.3). It makes
-// two passes: one to find each probe's nearest region, one to collect that
-// region's samples.
+// measurements from every probe to its closest datacenter (§4.3). It is a
+// single-pass wrapper over FullDistPass, which folds nearest-region
+// tracking into the same scan that buffers the samples — the former
+// two-pass implementation (NearestRegion, then a re-scan) is gone.
 func FullDistribution(src results.Source, idx *Index) (*CDFReport, error) {
-	nearest, err := NearestRegion(src, idx)
-	if err != nil {
+	if src == nil || idx == nil {
+		return nil, errors.New("analysis: nil source or index")
+	}
+	p := NewFullDistPass(idx)
+	if err := RunPasses(src, p); err != nil {
 		return nil, err
 	}
-	rep := &CDFReport{byContinent: make(map[geo.Continent]*stats.Dist)}
-	err = src.ForEach(func(s results.Sample) error {
-		if s.Lost || nearest[s.ProbeID] != s.Region {
-			return nil
-		}
-		ct, ok := idx.Continent(s.ProbeID)
-		if !ok {
-			return nil
-		}
-		d := rep.byContinent[ct]
-		if d == nil {
-			d = &stats.Dist{}
-			rep.byContinent[ct] = d
-		}
-		return d.Add(s.RTTms)
-	})
-	if err != nil {
-		return nil, err
-	}
-	if len(rep.byContinent) == 0 {
-		return nil, errors.New("analysis: no delivered samples")
-	}
-	return rep, nil
+	return p.Report()
 }

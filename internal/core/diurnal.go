@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"repro/internal/results"
-	"repro/internal/stats"
 )
 
 // DiurnalReport bins delivered samples by the probe's local hour of day,
@@ -22,44 +21,16 @@ type DiurnalReport struct {
 }
 
 // Diurnal computes the local-hour profile over every delivered sample.
+// It is a single-pass wrapper over DiurnalPass.
 func Diurnal(src results.Source, idx *Index) (*DiurnalReport, error) {
 	if src == nil || idx == nil {
 		return nil, errors.New("core: nil source or index")
 	}
-	var bins [24]stats.Dist
-	err := src.ForEach(func(s results.Sample) error {
-		if s.Lost {
-			return nil
-		}
-		lon, ok := idx.Longitude(s.ProbeID)
-		if !ok {
-			return nil
-		}
-		utc := float64(s.Time.Hour()) + float64(s.Time.Minute())/60
-		local := math.Mod(utc+lon/15+48, 24)
-		return bins[int(local)%24].Add(s.RTTms)
-	})
-	if err != nil {
+	p := NewDiurnalPass(idx)
+	if err := RunPasses(src, p); err != nil {
 		return nil, err
 	}
-	rep := &DiurnalReport{}
-	nonEmpty := 0
-	for h := range bins {
-		rep.Counts[h] = bins[h].N()
-		if bins[h].N() == 0 {
-			continue
-		}
-		med, err := bins[h].Median()
-		if err != nil {
-			return nil, err
-		}
-		rep.Medians[h] = med
-		nonEmpty++
-	}
-	if nonEmpty == 0 {
-		return nil, errors.New("core: no delivered samples")
-	}
-	return rep, nil
+	return p.Report()
 }
 
 // Peak returns the local hour with the highest median RTT and its value.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"repro/internal/geo"
 	"time"
 
 	"repro/internal/results"
@@ -22,56 +21,20 @@ type LastMileReport struct {
 // "deployed in similar regions in both sets" enter the comparison: we keep
 // tier-1/tier-2 countries, where the access link rather than the transit
 // path dominates the difference.
+// It is a single-pass wrapper over LastMilePass, which fuses the former
+// separate nearest-region scan into the same pass.
 func LastMile(src results.Source, idx *Index, start time.Time, binWidth time.Duration) (*LastMileReport, error) {
 	if src == nil || idx == nil {
 		return nil, errors.New("analysis: nil source or index")
 	}
-	nearest, err := NearestRegion(src, idx)
+	p, err := NewLastMilePass(idx, start, binWidth)
 	if err != nil {
 		return nil, err
 	}
-	wired, err := stats.NewTimeSeries(start, binWidth)
-	if err != nil {
+	if err := RunPasses(src, p); err != nil {
 		return nil, err
 	}
-	wireless, err := stats.NewTimeSeries(start, binWidth)
-	if err != nil {
-		return nil, err
-	}
-	err = src.ForEach(func(s results.Sample) error {
-		if s.Lost || nearest[s.ProbeID] != s.Region {
-			return nil
-		}
-		if tier, ok := idx.Tier(s.ProbeID); !ok || tier > geo.Tier2 {
-			return nil
-		}
-		access, ok := idx.Access(s.ProbeID)
-		if !ok {
-			return nil
-		}
-		switch access {
-		case AccessWired:
-			return wired.Add(s.Time, s.RTTms)
-		case AccessWireless:
-			return wireless.Add(s.Time, s.RTTms)
-		default:
-			return nil // untagged probes are excluded from Fig. 7
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	rep := &LastMileReport{}
-	if rep.Wired, err = wired.Points(); err != nil {
-		return nil, err
-	}
-	if rep.Wireless, err = wireless.Points(); err != nil {
-		return nil, err
-	}
-	if len(rep.Wired) == 0 || len(rep.Wireless) == 0 {
-		return nil, errors.New("analysis: a last-mile class has no samples")
-	}
-	return rep, nil
+	return p.Report()
 }
 
 // MedianRatio returns the campaign-wide wireless/wired ratio of the median
@@ -123,29 +86,9 @@ func LastMileSignificance(src results.Source, idx *Index) (stats.KSResult, error
 	if src == nil || idx == nil {
 		return stats.KSResult{}, errors.New("core: nil source or index")
 	}
-	nearest, err := NearestRegion(src, idx)
-	if err != nil {
+	p := newLastMileAccum(idx)
+	if err := RunPasses(src, p); err != nil {
 		return stats.KSResult{}, err
 	}
-	var wired, wireless stats.Dist
-	err = src.ForEach(func(s results.Sample) error {
-		if s.Lost || nearest[s.ProbeID] != s.Region {
-			return nil
-		}
-		if tier, ok := idx.Tier(s.ProbeID); !ok || tier > geo.Tier2 {
-			return nil
-		}
-		access, _ := idx.Access(s.ProbeID)
-		switch access {
-		case AccessWired:
-			return wired.Add(s.RTTms)
-		case AccessWireless:
-			return wireless.Add(s.RTTms)
-		}
-		return nil
-	})
-	if err != nil {
-		return stats.KSResult{}, err
-	}
-	return stats.KolmogorovSmirnov(&wired, &wireless)
+	return p.Significance()
 }

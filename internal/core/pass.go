@@ -1,0 +1,674 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/results"
+	"repro/internal/scan"
+	"repro/internal/stats"
+)
+
+// Pass is the streaming-aggregate contract shared with the parallel
+// scanner: Observe every sample, Merge a later shard's partial state,
+// and (per concrete type) Report the finished analysis. Every figure's
+// analysis is a Pass, so one scan of the dataset can feed all of them
+// at once — sequentially via RunPasses, or sharded via scan.File.
+type Pass = scan.Pass
+
+// RunPasses streams src once, feeding every sample to each pass in
+// order. It is the sequential single-scan driver; the legacy per-figure
+// functions are thin wrappers over it.
+func RunPasses(src results.Source, passes ...Pass) error {
+	if src == nil {
+		return errors.New("analysis: nil source")
+	}
+	return src.ForEach(func(s results.Sample) error {
+		for _, p := range passes {
+			if err := p.Observe(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// nearestBest tracks one probe's lowest-RTT region. Strict < with
+// first-wins ties matches the sequential fold: observing shards in file
+// order and merging earlier-shard-wins reproduces it exactly.
+type nearestBest struct {
+	region string
+	rtt    float64
+}
+
+type nearestTracker map[int]nearestBest
+
+func (n nearestTracker) observe(s results.Sample) {
+	if b, ok := n[s.ProbeID]; !ok || s.RTTms < b.rtt {
+		n[s.ProbeID] = nearestBest{region: s.Region, rtt: s.RTTms}
+	}
+}
+
+// merge folds a later shard's tracker in; the receiver (earlier shard)
+// wins ties, mirroring file-order first-wins.
+func (n nearestTracker) merge(other nearestTracker) {
+	for id, ob := range other {
+		if b, ok := n[id]; !ok || ob.rtt < b.rtt {
+			n[id] = ob
+		}
+	}
+}
+
+// sortedProbeIDs returns the tracker's keys ascending, for deterministic
+// report-time iteration.
+func sortedProbeIDs[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// mergeTypeError is the uniform complaint for a Merge called with a
+// different pass type.
+func mergeTypeError(want string, got Pass) error {
+	return fmt.Errorf("analysis: cannot merge %T into %s", got, want)
+}
+
+// ProximityPass accumulates Figure 4: per-country minimum RTT.
+type ProximityPass struct {
+	idx       *Index
+	byCountry map[string]*proximityAcc
+}
+
+type proximityAcc struct {
+	min     float64
+	samples int
+}
+
+// NewProximityPass builds the pass.
+func NewProximityPass(idx *Index) *ProximityPass {
+	return &ProximityPass{idx: idx, byCountry: make(map[string]*proximityAcc)}
+}
+
+// Observe implements Pass.
+func (p *ProximityPass) Observe(s results.Sample) error {
+	if s.Lost {
+		return nil
+	}
+	country, ok := p.idx.Country(s.ProbeID)
+	if !ok {
+		return nil // privileged or unknown probe: filtered
+	}
+	a := p.byCountry[country]
+	if a == nil {
+		a = &proximityAcc{min: s.RTTms}
+		p.byCountry[country] = a
+	} else if s.RTTms < a.min {
+		a.min = s.RTTms
+	}
+	a.samples++
+	return nil
+}
+
+// Merge implements Pass. Minima and counts merge exactly, so the result
+// is independent of the sharding.
+func (p *ProximityPass) Merge(other Pass) error {
+	o, ok := other.(*ProximityPass)
+	if !ok {
+		return mergeTypeError("ProximityPass", other)
+	}
+	for country, oa := range o.byCountry {
+		a := p.byCountry[country]
+		if a == nil {
+			p.byCountry[country] = oa
+			continue
+		}
+		if oa.min < a.min {
+			a.min = oa.min
+		}
+		a.samples += oa.samples
+	}
+	return nil
+}
+
+// Report finishes the analysis.
+func (p *ProximityPass) Report() (*ProximityReport, error) {
+	if len(p.byCountry) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	rep := &ProximityReport{Rows: make([]ProximityRow, 0, len(p.byCountry))}
+	for iso, a := range p.byCountry {
+		row := ProximityRow{
+			Country:  iso,
+			Name:     p.idx.CountryName(iso),
+			MinRTTms: a.min,
+			Band:     BandOf(a.min),
+			Samples:  a.samples,
+		}
+		if c, ok := p.idx.Countries().Lookup(iso); ok {
+			row.Continent = c.Continent
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].MinRTTms != rep.Rows[j].MinRTTms {
+			return rep.Rows[i].MinRTTms < rep.Rows[j].MinRTTms
+		}
+		return rep.Rows[i].Country < rep.Rows[j].Country
+	})
+	return rep, nil
+}
+
+// MinRTTPass accumulates Figure 5: each probe's minimum observed RTT.
+type MinRTTPass struct {
+	idx  *Index
+	mins map[int]float64
+}
+
+// NewMinRTTPass builds the pass.
+func NewMinRTTPass(idx *Index) *MinRTTPass {
+	return &MinRTTPass{idx: idx, mins: make(map[int]float64)}
+}
+
+// Observe implements Pass.
+func (p *MinRTTPass) Observe(s results.Sample) error {
+	if s.Lost || !p.idx.Known(s.ProbeID) {
+		return nil
+	}
+	if cur, ok := p.mins[s.ProbeID]; !ok || s.RTTms < cur {
+		p.mins[s.ProbeID] = s.RTTms
+	}
+	return nil
+}
+
+// Merge implements Pass; min-of-mins is exact.
+func (p *MinRTTPass) Merge(other Pass) error {
+	o, ok := other.(*MinRTTPass)
+	if !ok {
+		return mergeTypeError("MinRTTPass", other)
+	}
+	for id, min := range o.mins {
+		if cur, ok := p.mins[id]; !ok || min < cur {
+			p.mins[id] = min
+		}
+	}
+	return nil
+}
+
+// Report finishes the analysis, grouping per-probe minima by continent
+// in ascending probe order so the report is deterministic.
+func (p *MinRTTPass) Report() (*CDFReport, error) {
+	if len(p.mins) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	rep := &CDFReport{byContinent: make(map[geo.Continent]*stats.Dist)}
+	for _, probeID := range sortedProbeIDs(p.mins) {
+		ct, ok := p.idx.Continent(probeID)
+		if !ok {
+			continue
+		}
+		d := rep.byContinent[ct]
+		if d == nil {
+			d = &stats.Dist{}
+			rep.byContinent[ct] = d
+		}
+		if err := d.Add(p.mins[probeID]); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// nearestPass backs NearestRegion as a single pass.
+type nearestPass struct {
+	idx   *Index
+	bests nearestTracker
+}
+
+func (p *nearestPass) Observe(s results.Sample) error {
+	if s.Lost || !p.idx.Known(s.ProbeID) {
+		return nil
+	}
+	p.bests.observe(s)
+	return nil
+}
+
+func (p *nearestPass) Merge(other Pass) error {
+	o, ok := other.(*nearestPass)
+	if !ok {
+		return mergeTypeError("nearestPass", other)
+	}
+	p.bests.merge(o.bests)
+	return nil
+}
+
+func (p *nearestPass) report() (map[int]string, error) {
+	if len(p.bests) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	out := make(map[int]string, len(p.bests))
+	for id, b := range p.bests {
+		out[id] = b.region
+	}
+	return out, nil
+}
+
+// FullDistPass accumulates Figure 6 in a single pass: it tracks each
+// probe's nearest region while buffering every delivered (probe, region)
+// RTT stream, then keeps only the nearest region's stream at report
+// time. This replaces FullDistribution's two passes (NearestRegion, then
+// a re-scan) with one, at the cost of holding the delivered samples in
+// memory — about one float per delivered sample, which at the paper's
+// 3.2M-sample scale is a few tens of MB.
+type FullDistPass struct {
+	idx     *Index
+	nearest nearestTracker
+	byProbe map[int]map[string]*stats.Dist
+}
+
+// NewFullDistPass builds the pass.
+func NewFullDistPass(idx *Index) *FullDistPass {
+	return &FullDistPass{
+		idx:     idx,
+		nearest: make(nearestTracker),
+		byProbe: make(map[int]map[string]*stats.Dist),
+	}
+}
+
+// Observe implements Pass.
+func (p *FullDistPass) Observe(s results.Sample) error {
+	if s.Lost || !p.idx.Known(s.ProbeID) {
+		return nil
+	}
+	p.nearest.observe(s)
+	regions := p.byProbe[s.ProbeID]
+	if regions == nil {
+		regions = make(map[string]*stats.Dist)
+		p.byProbe[s.ProbeID] = regions
+	}
+	d := regions[s.Region]
+	if d == nil {
+		d = &stats.Dist{}
+		regions[s.Region] = d
+	}
+	return d.Add(s.RTTms)
+}
+
+// Merge implements Pass. Buffered streams merge by replay (Dist.Merge),
+// so each (probe, region) stream stays in file order for any sharding.
+func (p *FullDistPass) Merge(other Pass) error {
+	o, ok := other.(*FullDistPass)
+	if !ok {
+		return mergeTypeError("FullDistPass", other)
+	}
+	p.nearest.merge(o.nearest)
+	for id, oRegions := range o.byProbe {
+		regions := p.byProbe[id]
+		if regions == nil {
+			p.byProbe[id] = oRegions
+			continue
+		}
+		for region, od := range oRegions {
+			d := regions[region]
+			if d == nil {
+				regions[region] = od
+				continue
+			}
+			if err := d.Merge(od); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Report selects each probe's nearest-region stream and groups by
+// continent, iterating probes in ascending order for determinism.
+func (p *FullDistPass) Report() (*CDFReport, error) {
+	if len(p.nearest) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	rep := &CDFReport{byContinent: make(map[geo.Continent]*stats.Dist)}
+	for _, probeID := range sortedProbeIDs(p.nearest) {
+		ct, ok := p.idx.Continent(probeID)
+		if !ok {
+			continue
+		}
+		src := p.byProbe[probeID][p.nearest[probeID].region]
+		if src == nil {
+			continue
+		}
+		d := rep.byContinent[ct]
+		if d == nil {
+			d = &stats.Dist{}
+			rep.byContinent[ct] = d
+		}
+		if err := d.Merge(src); err != nil {
+			return nil, err
+		}
+	}
+	if len(rep.byContinent) == 0 {
+		return nil, errors.New("analysis: no delivered samples")
+	}
+	return rep, nil
+}
+
+// timedRTT is one buffered nearest-region candidate sample.
+type timedRTT struct {
+	t   time.Time
+	rtt float64
+}
+
+// LastMilePass accumulates Figure 7 and its significance test in a
+// single pass: the nearest-region tracker runs over all known probes,
+// while per-(probe, region) sample streams are buffered only for the
+// tier-1/tier-2 wired- or wireless-tagged probes that enter the
+// comparison. Report time picks each probe's nearest-region stream.
+type LastMilePass struct {
+	idx     *Index
+	start   time.Time
+	width   time.Duration
+	nearest nearestTracker
+	byProbe map[int]map[string][]timedRTT
+}
+
+// NewLastMilePass builds the pass; the bin geometry is validated up
+// front so a bad width fails before any scanning.
+func NewLastMilePass(idx *Index, start time.Time, binWidth time.Duration) (*LastMilePass, error) {
+	if _, err := stats.NewTimeSeries(start, binWidth); err != nil {
+		return nil, err
+	}
+	p := newLastMileAccum(idx)
+	p.start, p.width = start, binWidth
+	return p, nil
+}
+
+// newLastMileAccum builds the accumulator without bin geometry — enough
+// for Significance, which does not bin.
+func newLastMileAccum(idx *Index) *LastMilePass {
+	return &LastMilePass{
+		idx:     idx,
+		width:   time.Hour, // placeholder; Report validates real geometry
+		nearest: make(nearestTracker),
+		byProbe: make(map[int]map[string][]timedRTT),
+	}
+}
+
+// Observe implements Pass.
+func (p *LastMilePass) Observe(s results.Sample) error {
+	if s.Lost || !p.idx.Known(s.ProbeID) {
+		return nil
+	}
+	p.nearest.observe(s)
+	if tier, ok := p.idx.Tier(s.ProbeID); !ok || tier > geo.Tier2 {
+		return nil
+	}
+	switch access, _ := p.idx.Access(s.ProbeID); access {
+	case AccessWired, AccessWireless:
+	default:
+		return nil // untagged probes are excluded from Fig. 7
+	}
+	regions := p.byProbe[s.ProbeID]
+	if regions == nil {
+		regions = make(map[string][]timedRTT)
+		p.byProbe[s.ProbeID] = regions
+	}
+	regions[s.Region] = append(regions[s.Region], timedRTT{t: s.Time, rtt: s.RTTms})
+	return nil
+}
+
+// Merge implements Pass; buffered streams concatenate in shard order,
+// reconstructing file order.
+func (p *LastMilePass) Merge(other Pass) error {
+	o, ok := other.(*LastMilePass)
+	if !ok {
+		return mergeTypeError("LastMilePass", other)
+	}
+	p.nearest.merge(o.nearest)
+	for id, oRegions := range o.byProbe {
+		regions := p.byProbe[id]
+		if regions == nil {
+			p.byProbe[id] = oRegions
+			continue
+		}
+		for region, os := range oRegions {
+			regions[region] = append(regions[region], os...)
+		}
+	}
+	return nil
+}
+
+// forEachKept walks the nearest-region samples of the qualifying probes
+// in ascending probe order.
+func (p *LastMilePass) forEachKept(fn func(access AccessClass, s timedRTT) error) error {
+	if len(p.nearest) == 0 {
+		return errors.New("analysis: no delivered samples")
+	}
+	for _, probeID := range sortedProbeIDs(p.byProbe) {
+		access, _ := p.idx.Access(probeID)
+		for _, s := range p.byProbe[probeID][p.nearest[probeID].region] {
+			if err := fn(access, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Report finishes Figure 7.
+func (p *LastMilePass) Report() (*LastMileReport, error) {
+	wired, err := stats.NewTimeSeries(p.start, p.width)
+	if err != nil {
+		return nil, err
+	}
+	wireless, err := stats.NewTimeSeries(p.start, p.width)
+	if err != nil {
+		return nil, err
+	}
+	err = p.forEachKept(func(access AccessClass, s timedRTT) error {
+		if access == AccessWired {
+			return wired.Add(s.t, s.rtt)
+		}
+		return wireless.Add(s.t, s.rtt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &LastMileReport{}
+	if rep.Wired, err = wired.Points(); err != nil {
+		return nil, err
+	}
+	if rep.Wireless, err = wireless.Points(); err != nil {
+		return nil, err
+	}
+	if len(rep.Wired) == 0 || len(rep.Wireless) == 0 {
+		return nil, errors.New("analysis: a last-mile class has no samples")
+	}
+	return rep, nil
+}
+
+// Significance runs the wired-vs-wireless Kolmogorov-Smirnov test over
+// the same population Report uses.
+func (p *LastMilePass) Significance() (stats.KSResult, error) {
+	var wired, wireless stats.Dist
+	err := p.forEachKept(func(access AccessClass, s timedRTT) error {
+		if access == AccessWired {
+			return wired.Add(s.rtt)
+		}
+		return wireless.Add(s.rtt)
+	})
+	if err != nil {
+		return stats.KSResult{}, err
+	}
+	return stats.KolmogorovSmirnov(&wired, &wireless)
+}
+
+// localHour maps a UTC timestamp to the probe's approximate local hour
+// (15 degrees of longitude per hour).
+func localHour(t time.Time, lon float64) int {
+	utc := float64(t.Hour()) + float64(t.Minute())/60
+	return int(math.Mod(utc+lon/15+48, 24)) % 24
+}
+
+// providerOf extracts the operator prefix of a "provider/id" region
+// address.
+func providerOf(region string) (string, bool) {
+	provider, _, ok := strings.Cut(region, "/")
+	return provider, ok
+}
+
+// DiurnalPass accumulates the local-hour congestion profile.
+type DiurnalPass struct {
+	idx  *Index
+	bins [24]stats.Dist
+}
+
+// NewDiurnalPass builds the pass.
+func NewDiurnalPass(idx *Index) *DiurnalPass {
+	return &DiurnalPass{idx: idx}
+}
+
+// Observe implements Pass.
+func (p *DiurnalPass) Observe(s results.Sample) error {
+	if s.Lost {
+		return nil
+	}
+	lon, ok := p.idx.Longitude(s.ProbeID)
+	if !ok {
+		return nil
+	}
+	return p.bins[localHour(s.Time, lon)].Add(s.RTTms)
+}
+
+// Merge implements Pass; per-bin replay keeps each hour's stream in
+// file order.
+func (p *DiurnalPass) Merge(other Pass) error {
+	o, ok := other.(*DiurnalPass)
+	if !ok {
+		return mergeTypeError("DiurnalPass", other)
+	}
+	for h := range p.bins {
+		if err := p.bins[h].Merge(&o.bins[h]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report finishes the profile.
+func (p *DiurnalPass) Report() (*DiurnalReport, error) {
+	rep := &DiurnalReport{}
+	nonEmpty := 0
+	for h := range p.bins {
+		rep.Counts[h] = p.bins[h].N()
+		if p.bins[h].N() == 0 {
+			continue
+		}
+		med, err := p.bins[h].Median()
+		if err != nil {
+			return nil, err
+		}
+		rep.Medians[h] = med
+		nonEmpty++
+	}
+	if nonEmpty == 0 {
+		return nil, errors.New("core: no delivered samples")
+	}
+	return rep, nil
+}
+
+// ProviderPass accumulates the per-provider latency comparison.
+type ProviderPass struct {
+	idx        *Index
+	byProvider map[string]*providerAcc
+}
+
+type providerAcc struct {
+	dist *stats.Dist
+	lost int
+}
+
+// NewProviderPass builds the pass.
+func NewProviderPass(idx *Index) *ProviderPass {
+	return &ProviderPass{idx: idx, byProvider: make(map[string]*providerAcc)}
+}
+
+// Observe implements Pass.
+func (p *ProviderPass) Observe(s results.Sample) error {
+	if !p.idx.Known(s.ProbeID) {
+		return nil
+	}
+	provider, ok := providerOf(s.Region)
+	if !ok {
+		return nil
+	}
+	a := p.byProvider[provider]
+	if a == nil {
+		a = &providerAcc{dist: &stats.Dist{}}
+		p.byProvider[provider] = a
+	}
+	if s.Lost {
+		a.lost++
+		return nil
+	}
+	return a.dist.Add(s.RTTms)
+}
+
+// Merge implements Pass. Per-provider streams merge by replay, so the
+// mean/stddev folds in the summary match a sequential run bitwise.
+func (p *ProviderPass) Merge(other Pass) error {
+	o, ok := other.(*ProviderPass)
+	if !ok {
+		return mergeTypeError("ProviderPass", other)
+	}
+	for provider, oa := range o.byProvider {
+		a := p.byProvider[provider]
+		if a == nil {
+			p.byProvider[provider] = oa
+			continue
+		}
+		if err := a.dist.Merge(oa.dist); err != nil {
+			return err
+		}
+		a.lost += oa.lost
+	}
+	return nil
+}
+
+// Report finishes the comparison.
+func (p *ProviderPass) Report() (*ProviderReport, error) {
+	if len(p.byProvider) == 0 {
+		return nil, errors.New("core: no samples")
+	}
+	rep := &ProviderReport{}
+	for provider, a := range p.byProvider {
+		if a.dist.N() == 0 {
+			continue
+		}
+		sum, err := a.dist.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		total := a.dist.N() + a.lost
+		rep.Rows = append(rep.Rows, ProviderRow{
+			Provider: provider,
+			Summary:  sum,
+			Lost:     a.lost,
+			LossRate: float64(a.lost) / float64(total),
+		})
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Summary.Median != rep.Rows[j].Summary.Median {
+			return rep.Rows[i].Summary.Median < rep.Rows[j].Summary.Median
+		}
+		return rep.Rows[i].Provider < rep.Rows[j].Provider
+	})
+	return rep, nil
+}

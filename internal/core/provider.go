@@ -2,8 +2,6 @@ package core
 
 import (
 	"errors"
-	"sort"
-	"strings"
 
 	"repro/internal/results"
 	"repro/internal/stats"
@@ -28,64 +26,16 @@ type ProviderReport struct {
 
 // ProviderComparison streams the dataset once and aggregates per provider.
 // The provider is the prefix of the region address ("Amazon/eu-west-1").
+// It is a single-pass wrapper over ProviderPass.
 func ProviderComparison(src results.Source, idx *Index) (*ProviderReport, error) {
 	if src == nil || idx == nil {
 		return nil, errors.New("core: nil source or index")
 	}
-	type acc struct {
-		dist *stats.Dist
-		lost int
-	}
-	byProvider := make(map[string]*acc)
-	err := src.ForEach(func(s results.Sample) error {
-		if !idx.Known(s.ProbeID) {
-			return nil
-		}
-		provider, _, ok := strings.Cut(s.Region, "/")
-		if !ok {
-			return nil
-		}
-		a := byProvider[provider]
-		if a == nil {
-			a = &acc{dist: &stats.Dist{}}
-			byProvider[provider] = a
-		}
-		if s.Lost {
-			a.lost++
-			return nil
-		}
-		return a.dist.Add(s.RTTms)
-	})
-	if err != nil {
+	p := NewProviderPass(idx)
+	if err := RunPasses(src, p); err != nil {
 		return nil, err
 	}
-	if len(byProvider) == 0 {
-		return nil, errors.New("core: no samples")
-	}
-	rep := &ProviderReport{}
-	for provider, a := range byProvider {
-		if a.dist.N() == 0 {
-			continue
-		}
-		sum, err := a.dist.Summarize()
-		if err != nil {
-			return nil, err
-		}
-		total := a.dist.N() + a.lost
-		rep.Rows = append(rep.Rows, ProviderRow{
-			Provider: provider,
-			Summary:  sum,
-			Lost:     a.lost,
-			LossRate: float64(a.lost) / float64(total),
-		})
-	}
-	sort.Slice(rep.Rows, func(i, j int) bool {
-		if rep.Rows[i].Summary.Median != rep.Rows[j].Summary.Median {
-			return rep.Rows[i].Summary.Median < rep.Rows[j].Summary.Median
-		}
-		return rep.Rows[i].Provider < rep.Rows[j].Provider
-	})
-	return rep, nil
+	return p.Report()
 }
 
 // Lookup returns one provider's row.

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/geo"
 	"repro/internal/results"
@@ -69,61 +68,17 @@ type ProximityReport struct {
 }
 
 // Proximity streams the dataset once and extracts the per-country minimum
-// RTT to any datacenter (Fig. 4, §4.2).
+// RTT to any datacenter (Fig. 4, §4.2). It is a single-pass wrapper over
+// ProximityPass; fused multi-figure scans run the pass directly.
 func Proximity(src results.Source, idx *Index) (*ProximityReport, error) {
 	if src == nil || idx == nil {
 		return nil, errors.New("analysis: nil source or index")
 	}
-	type acc struct {
-		min     float64
-		samples int
-	}
-	byCountry := make(map[string]*acc)
-	err := src.ForEach(func(s results.Sample) error {
-		if s.Lost {
-			return nil
-		}
-		country, ok := idx.Country(s.ProbeID)
-		if !ok {
-			return nil // privileged or unknown probe: filtered
-		}
-		a := byCountry[country]
-		if a == nil {
-			a = &acc{min: s.RTTms}
-			byCountry[country] = a
-		} else if s.RTTms < a.min {
-			a.min = s.RTTms
-		}
-		a.samples++
-		return nil
-	})
-	if err != nil {
+	p := NewProximityPass(idx)
+	if err := RunPasses(src, p); err != nil {
 		return nil, err
 	}
-	if len(byCountry) == 0 {
-		return nil, errors.New("analysis: no delivered samples")
-	}
-	rep := &ProximityReport{Rows: make([]ProximityRow, 0, len(byCountry))}
-	for iso, a := range byCountry {
-		row := ProximityRow{
-			Country:  iso,
-			Name:     idx.CountryName(iso),
-			MinRTTms: a.min,
-			Band:     BandOf(a.min),
-			Samples:  a.samples,
-		}
-		if c, ok := idx.Countries().Lookup(iso); ok {
-			row.Continent = c.Continent
-		}
-		rep.Rows = append(rep.Rows, row)
-	}
-	sort.Slice(rep.Rows, func(i, j int) bool {
-		if rep.Rows[i].MinRTTms != rep.Rows[j].MinRTTms {
-			return rep.Rows[i].MinRTTms < rep.Rows[j].MinRTTms
-		}
-		return rep.Rows[i].Country < rep.Rows[j].Country
-	})
-	return rep, nil
+	return p.Report()
 }
 
 // CountByBand tallies countries per Figure 4 band.

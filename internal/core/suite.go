@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/results"
+	"repro/internal/scan"
+	"repro/internal/stats"
+)
+
+// Suite bundles one instance of every per-figure analysis pass so a single
+// scan of the dataset can feed all of them. Each worker of a parallel scan
+// owns its own Suite; after the scan the merged state lives in the first
+// worker's passes.
+type Suite struct {
+	Proximity *ProximityPass
+	MinRTT    *MinRTTPass
+	FullDist  *FullDistPass
+	LastMile  *LastMilePass
+	Diurnal   *DiurnalPass
+	Provider  *ProviderPass
+}
+
+// NewSuite builds a fresh pass set. start and binWidth parameterize the
+// Figure 7 time series exactly as LastMile does.
+func NewSuite(idx *Index, start time.Time, binWidth time.Duration) (*Suite, error) {
+	if idx == nil {
+		return nil, errors.New("analysis: nil index")
+	}
+	lm, err := NewLastMilePass(idx, start, binWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Proximity: NewProximityPass(idx),
+		MinRTT:    NewMinRTTPass(idx),
+		FullDist:  NewFullDistPass(idx),
+		LastMile:  lm,
+		Diurnal:   NewDiurnalPass(idx),
+		Provider:  NewProviderPass(idx),
+	}, nil
+}
+
+// Passes returns the suite's passes in a fixed order, matching across
+// workers so the scanner can merge them pairwise.
+func (s *Suite) Passes() []Pass {
+	return []Pass{s.Proximity, s.MinRTT, s.FullDist, s.LastMile, s.Diurnal, s.Provider}
+}
+
+// SuiteReport holds every figure's report, produced from one scan.
+type SuiteReport struct {
+	Proximity    *ProximityReport
+	MinRTT       *CDFReport
+	FullDist     *CDFReport
+	LastMile     *LastMileReport
+	Significance stats.KSResult
+	Diurnal      *DiurnalReport
+	Provider     *ProviderReport
+}
+
+// Report finalizes all passes. The Figure 7 pass serves double duty: its
+// buffered populations back both the time series and the KS significance
+// test, so neither costs an extra scan.
+func (s *Suite) Report() (*SuiteReport, error) {
+	rep := &SuiteReport{}
+	var err error
+	if rep.Proximity, err = s.Proximity.Report(); err != nil {
+		return nil, err
+	}
+	if rep.MinRTT, err = s.MinRTT.Report(); err != nil {
+		return nil, err
+	}
+	if rep.FullDist, err = s.FullDist.Report(); err != nil {
+		return nil, err
+	}
+	if rep.LastMile, err = s.LastMile.Report(); err != nil {
+		return nil, err
+	}
+	if rep.Significance, err = s.LastMile.Significance(); err != nil {
+		return nil, err
+	}
+	if rep.Diurnal, err = s.Diurnal.Report(); err != nil {
+		return nil, err
+	}
+	if rep.Provider, err = s.Provider.Report(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// RunSuite computes every figure report in one sequential pass over src.
+func RunSuite(src results.Source, idx *Index, start time.Time, binWidth time.Duration) (*SuiteReport, error) {
+	if src == nil || idx == nil {
+		return nil, errors.New("analysis: nil source or index")
+	}
+	s, err := NewSuite(idx, start, binWidth)
+	if err != nil {
+		return nil, err
+	}
+	if err := RunPasses(src, s.Passes()...); err != nil {
+		return nil, err
+	}
+	return s.Report()
+}
+
+// ScanStore computes every figure report with one parallel scan over the
+// store's samples file. workers <= 0 means one worker per CPU; m may be nil.
+// The report is byte-for-byte identical to RunSuite's for any worker count.
+func ScanStore(ctx context.Context, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, workers int, m *scan.Metrics) (*SuiteReport, scan.Stats, error) {
+	if store == nil || idx == nil {
+		return nil, scan.Stats{}, errors.New("analysis: nil store or index")
+	}
+	var suites []*Suite
+	st, err := scan.File(ctx, scan.Config{
+		Path:    store.SamplesPath(),
+		Workers: workers,
+		Metrics: m,
+		NewPasses: func(worker int) ([]scan.Pass, error) {
+			s, err := NewSuite(idx, start, binWidth)
+			if err != nil {
+				return nil, err
+			}
+			suites = append(suites, s)
+			return s.Passes(), nil
+		},
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	rep, err := suites[0].Report()
+	return rep, st, err
+}

@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+// The equivalence test and the benchmarks share one file-backed campaign
+// dataset, built on first use and removed by TestMain.
+var (
+	fileOnce  sync.Once
+	fileDir   string
+	fileErr   error
+	fileWorld *world.World
+	fileCfg   atlas.CampaignConfig
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fileDir != "" {
+		os.RemoveAll(fileDir)
+	}
+	os.Exit(code)
+}
+
+// fileDataset returns a stored month-long test campaign (~400 probes).
+func fileDataset(tb testing.TB) (*results.Store, *world.World, atlas.CampaignConfig) {
+	tb.Helper()
+	fileOnce.Do(func() {
+		fileDir, fileErr = os.MkdirTemp("", "core-suite-*")
+		if fileErr != nil {
+			return
+		}
+		fileWorld, fileErr = world.Build(world.Config{Seed: 7, Probes: 400})
+		if fileErr != nil {
+			return
+		}
+		fileCfg = atlas.TestCampaign()
+		var writer *results.Writer
+		var closeFn func() error
+		_, writer, closeFn, fileErr = results.Create(filepath.Join(fileDir, "ds"),
+			fileCfg.Meta(7, fileWorld.Probes.Len(), fileWorld.Catalog.Len()))
+		if fileErr != nil {
+			return
+		}
+		if _, fileErr = fileWorld.Platform.RunCampaign(context.Background(), fileCfg, writer.Write); fileErr != nil {
+			closeFn()
+			return
+		}
+		fileErr = closeFn()
+	})
+	if fileErr != nil {
+		tb.Fatal(fileErr)
+	}
+	store, err := results.Open(filepath.Join(fileDir, "ds"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return store, fileWorld, fileCfg
+}
+
+// TestScanStoreMatchesLegacy is the fused pipeline's acceptance check: for
+// any worker count, the parallel single-scan suite renders byte-identical
+// figure lines and CSVs to the legacy one-analysis-per-scan path, and its
+// non-rendered reports are deeply equal.
+func TestScanStoreMatchesLegacy(t *testing.T) {
+	store, w, cfg := fileDataset(t)
+
+	_, lines4, err := figures.Figure4(store, w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lines5, err := figures.Figure5(store, w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lines6, err := figures.Figure6(store, w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep7, lines7, err := figures.Figure7(store, w.Index, cfg.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider, err := core.ProviderComparison(store, w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diurnal, err := core.Diurnal(store, w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := core.LastMileSignificance(store, w.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyCSV := map[string][]byte{}
+	{
+		rep4, _, err := figures.Figure4(store, w.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep5, _, err := figures.Figure5(store, w.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep6, _, err := figures.Figure6(store, w.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := figures.Figure4CSV(&buf, rep4); err != nil {
+			t.Fatal(err)
+		}
+		legacyCSV["4"] = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		if err := figures.CDFCSV(&buf, rep5); err != nil {
+			t.Fatal(err)
+		}
+		legacyCSV["5"] = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		if err := figures.CDFCSV(&buf, rep6); err != nil {
+			t.Fatal(err)
+		}
+		legacyCSV["6"] = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		if err := figures.Figure7CSV(&buf, rep7); err != nil {
+			t.Fatal(err)
+		}
+		legacyCSV["7"] = append([]byte(nil), buf.Bytes()...)
+	}
+
+	for _, workers := range []int{1, 2, 4, 7} {
+		rep, st, err := core.ScanStore(context.Background(), store, w.Index, cfg.Start, 7*24*time.Hour, workers, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.Workers != workers {
+			t.Errorf("workers=%d: scan used %d workers", workers, st.Workers)
+		}
+		check := func(name string, legacy, fused []string) {
+			if strings.Join(legacy, "\n") != strings.Join(fused, "\n") {
+				t.Errorf("workers=%d: figure %s lines differ from legacy", workers, name)
+			}
+		}
+		check("4", lines4, figures.Figure4Lines(rep.Proximity))
+		f5, err := figures.CDFLines(rep.MinRTT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("5", lines5, f5)
+		f6, err := figures.CDFLines(rep.FullDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("6", lines6, f6)
+		f7, err := figures.Figure7Lines(rep.LastMile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("7", lines7, f7)
+
+		var buf bytes.Buffer
+		if err := figures.Figure4CSV(&buf, rep.Proximity); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), legacyCSV["4"]) {
+			t.Errorf("workers=%d: figure 4 CSV differs from legacy", workers)
+		}
+		buf.Reset()
+		if err := figures.CDFCSV(&buf, rep.MinRTT); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), legacyCSV["5"]) {
+			t.Errorf("workers=%d: figure 5 CSV differs from legacy", workers)
+		}
+		buf.Reset()
+		if err := figures.CDFCSV(&buf, rep.FullDist); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), legacyCSV["6"]) {
+			t.Errorf("workers=%d: figure 6 CSV differs from legacy", workers)
+		}
+		buf.Reset()
+		if err := figures.Figure7CSV(&buf, rep.LastMile); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), legacyCSV["7"]) {
+			t.Errorf("workers=%d: figure 7 CSV differs from legacy", workers)
+		}
+
+		if !reflect.DeepEqual(rep.Provider, provider) {
+			t.Errorf("workers=%d: provider report differs from legacy", workers)
+		}
+		if !reflect.DeepEqual(rep.Diurnal, diurnal) {
+			t.Errorf("workers=%d: diurnal report differs from legacy", workers)
+		}
+		if rep.Significance != ks {
+			t.Errorf("workers=%d: KS result differs: %+v vs %+v", workers, rep.Significance, ks)
+		}
+	}
+}
+
+// TestRunSuiteMatchesScanStore pins the sequential fused path to the
+// parallel one.
+func TestRunSuiteMatchesScanStore(t *testing.T) {
+	store, w, cfg := fileDataset(t)
+	seq, err := core.RunSuite(store, w.Index, cfg.Start, 7*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := core.ScanStore(context.Background(), store, w.Index, cfg.Start, 7*24*time.Hour, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Provider, par.Provider) || !reflect.DeepEqual(seq.Diurnal, par.Diurnal) ||
+		seq.Significance != par.Significance {
+		t.Error("RunSuite and ScanStore disagree")
+	}
+}

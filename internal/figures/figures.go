@@ -111,16 +111,22 @@ func Figure4(src results.Source, idx *core.Index) (*core.ProximityReport, []stri
 	if err != nil {
 		return nil, nil, err
 	}
+	return rep, Figure4Lines(rep), nil
+}
+
+// Figure4Lines renders an already-computed proximity report, letting fused
+// scans reuse the exact Figure 4 formatting without re-reading the dataset.
+func Figure4Lines(rep *core.ProximityReport) []string {
 	bands := rep.CountByBand()
 	lines := []string{fmt.Sprintf("countries: <10ms=%d  10-20ms=%d  20-100ms=%d  >=100ms=%d  (within PL: %d/%d)",
 		bands[core.BandSub10], bands[core.Band10to20], bands[core.Band20to100],
 		bands[core.BandOver100], rep.CountWithin(core.PLms), len(rep.Rows))}
-	lines = append(lines, rep.Format()...)
-	return rep, lines, nil
+	return append(lines, rep.Format()...)
 }
 
-// cdfLines renders one CDF report at the canonical thresholds.
-func cdfLines(rep *core.CDFReport) ([]string, error) {
+// CDFLines renders one CDF report at the canonical thresholds — the shared
+// body of Figures 5 and 6.
+func CDFLines(rep *core.CDFReport) ([]string, error) {
 	marks := []float64{10, core.MTPms, 50, core.PLms, 150, core.HRTms}
 	var lines []string
 	for _, ct := range rep.Continents() {
@@ -144,7 +150,7 @@ func Figure5(src results.Source, idx *core.Index) (*core.CDFReport, []string, er
 	if err != nil {
 		return nil, nil, err
 	}
-	lines, err := cdfLines(rep)
+	lines, err := CDFLines(rep)
 	return rep, lines, err
 }
 
@@ -154,7 +160,7 @@ func Figure6(src results.Source, idx *core.Index) (*core.CDFReport, []string, er
 	if err != nil {
 		return nil, nil, err
 	}
-	lines, err := cdfLines(rep)
+	lines, err := CDFLines(rep)
 	return rep, lines, err
 }
 
@@ -164,13 +170,19 @@ func Figure7(src results.Source, idx *core.Index, start time.Time) (*core.LastMi
 	if err != nil {
 		return nil, nil, err
 	}
+	lines, err := Figure7Lines(rep)
+	return rep, lines, err
+}
+
+// Figure7Lines renders an already-computed last-mile report.
+func Figure7Lines(rep *core.LastMileReport) ([]string, error) {
 	ratio, err := rep.MedianRatio()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	added, err := rep.AddedLatencyMs()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	lines := []string{fmt.Sprintf("wireless/wired ratio=%.2fx  added=%.1fms", ratio, added)}
 	n := len(rep.Wired)
@@ -181,7 +193,7 @@ func Figure7(src results.Source, idx *core.Index, start time.Time) (*core.LastMi
 		lines = append(lines, fmt.Sprintf("week %2d  wired=%.1fms  wireless=%.1fms",
 			i+1, rep.Wired[i].Median, rep.Wireless[i].Median))
 	}
-	return rep, lines, nil
+	return lines, nil
 }
 
 // Figure8 derives the feasibility zone from the measured last-mile data and

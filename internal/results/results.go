@@ -304,6 +304,11 @@ func (s *Store) Resume(offset int64) (*Writer, func() error, error) {
 	return w, closeFn, nil
 }
 
+// SamplesPath returns the path of the underlying JSONL samples file,
+// for consumers (like the parallel scanner) that read the dataset by
+// byte range rather than through ForEach.
+func (s *Store) SamplesPath() string { return filepath.Join(s.dir, samplesFile) }
+
 // ForEach streams every stored sample.
 func (s *Store) ForEach(fn func(Sample) error) error {
 	f, err := os.Open(filepath.Join(s.dir, samplesFile))

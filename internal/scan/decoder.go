@@ -1,0 +1,365 @@
+package scan
+
+import (
+	"encoding/json"
+	"strconv"
+	"time"
+
+	"repro/internal/results"
+)
+
+// Decoder turns one JSONL line into a results.Sample. The hot path is a
+// hand-rolled parser for the exact byte shape results.Writer emits
+// (compact object, known keys, RFC3339 UTC timestamps); it allocates
+// only for never-seen region strings, which it interns per decoder. Any
+// line the fast path cannot prove it handles byte-for-byte like
+// encoding/json — escapes, whitespace, unknown or duplicate keys,
+// unusual number or timestamp spellings — falls back to json.Unmarshal,
+// so the decoder's visible behaviour is exactly the stdlib's.
+//
+// A Decoder is not safe for concurrent use; the scanner gives each
+// worker its own.
+type Decoder struct {
+	intern map[string]string
+	// Fallbacks counts lines routed through encoding/json.
+	Fallbacks uint64
+}
+
+// NewDecoder returns a ready Decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{intern: make(map[string]string)}
+}
+
+// Decode parses one line (without its trailing newline). The returned
+// sample is identical to what json.Unmarshal into a zero Sample yields,
+// and errors are json.Unmarshal's.
+func (d *Decoder) Decode(line []byte) (results.Sample, error) {
+	if s, ok := d.fast(line); ok {
+		return s, nil
+	}
+	d.Fallbacks++
+	var s results.Sample
+	if err := json.Unmarshal(line, &s); err != nil {
+		return results.Sample{}, err
+	}
+	return s, nil
+}
+
+// Key bitmask for duplicate detection.
+const (
+	keyProbe = 1 << iota
+	keyRegion
+	keyTime
+	keyRTT
+	keyLost
+)
+
+// fast parses the compact encoding. ok=false means "use the fallback",
+// never "invalid line" — the fallback owns error semantics.
+func (d *Decoder) fast(b []byte) (results.Sample, bool) {
+	var s results.Sample
+	n := len(b)
+	if n < 2 || b[0] != '{' || b[n-1] != '}' {
+		return results.Sample{}, false
+	}
+	if n == 2 { // {} decodes to the zero Sample
+		return s, true
+	}
+	i := 1
+	var seen uint8
+	for {
+		// "key":
+		if b[i] != '"' {
+			return results.Sample{}, false
+		}
+		j := i + 1
+		for j < n-1 && b[j] != '"' {
+			// Escapes and control bytes change meaning; non-ASCII may be
+			// invalid UTF-8, which json coerces to U+FFFD. All bail.
+			if b[j] == '\\' || b[j] < 0x20 || b[j] >= 0x80 {
+				return results.Sample{}, false
+			}
+			j++
+		}
+		if j >= n-1 || j+1 >= n-1 || b[j+1] != ':' {
+			return results.Sample{}, false
+		}
+		key := b[i+1 : j]
+		i = j + 2
+
+		// Value: either a string token (which may contain ',' and must be
+		// walked char by char) or a bare token ending at ',' or the final
+		// '}'.
+		var str, raw []byte
+		isString := false
+		if i < n-1 && b[i] == '"' {
+			isString = true
+			j = i + 1
+			for j < n-1 && b[j] != '"' {
+				if b[j] == '\\' || b[j] < 0x20 || b[j] >= 0x80 {
+					return results.Sample{}, false
+				}
+				j++
+			}
+			if j >= n-1 {
+				return results.Sample{}, false
+			}
+			str = b[i+1 : j]
+			i = j + 1
+		} else {
+			j = i
+			for j < n-1 && b[j] != ',' {
+				j++
+			}
+			raw = b[i:j]
+			if len(raw) == 0 {
+				return results.Sample{}, false
+			}
+			i = j
+		}
+
+		var bit uint8
+		switch string(key) { // compiled to a no-alloc comparison
+		case "probe":
+			bit = keyProbe
+			if isString {
+				return results.Sample{}, false
+			}
+			v, ok := parseJSONInt(raw)
+			if !ok {
+				return results.Sample{}, false
+			}
+			s.ProbeID = v
+		case "region":
+			bit = keyRegion
+			if !isString {
+				return results.Sample{}, false
+			}
+			s.Region = d.internString(str)
+		case "t":
+			bit = keyTime
+			if !isString {
+				return results.Sample{}, false
+			}
+			t, ok := parseRFC3339UTC(str)
+			if !ok {
+				return results.Sample{}, false
+			}
+			s.Time = t
+		case "rtt_ms":
+			bit = keyRTT
+			if isString || !validJSONNumber(raw) {
+				return results.Sample{}, false
+			}
+			v, err := strconv.ParseFloat(string(raw), 64)
+			if err != nil {
+				return results.Sample{}, false
+			}
+			s.RTTms = v
+		case "lost":
+			bit = keyLost
+			if isString {
+				return results.Sample{}, false
+			}
+			switch string(raw) {
+			case "true":
+				s.Lost = true
+			case "false":
+				s.Lost = false
+			default:
+				return results.Sample{}, false
+			}
+		default:
+			return results.Sample{}, false
+		}
+		if seen&bit != 0 { // duplicate key: json is last-wins, punt
+			return results.Sample{}, false
+		}
+		seen |= bit
+
+		if i == n-1 {
+			return s, true
+		}
+		if b[i] != ',' {
+			return results.Sample{}, false
+		}
+		i++
+		if i >= n-1 {
+			return results.Sample{}, false
+		}
+	}
+}
+
+// internString returns a string for b, reusing a previously allocated
+// copy when the same bytes were seen before. Region addresses repeat
+// across millions of samples, so this removes nearly every string
+// allocation from the hot path (the map lookup itself does not allocate).
+func (d *Decoder) internString(b []byte) string {
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	d.intern[s] = s
+	return s
+}
+
+// parseJSONInt parses a JSON integer token for an int target the way
+// encoding/json would: strict grammar (no leading zeros), and any
+// fraction or exponent bails to the fallback since json rejects those
+// for integer fields.
+func parseJSONInt(b []byte) (int, bool) {
+	i := 0
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i >= len(b):
+		return 0, false
+	case b[i] == '0':
+		i++
+	case b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return 0, false
+	}
+	if i != len(b) {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(string(b), 10, 0)
+	if err != nil {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// validJSONNumber reports whether b matches the JSON number grammar
+// exactly. strconv.ParseFloat is more permissive than JSON ("01",
+// ".5", "+1", "Inf", hex floats), so the grammar is checked first.
+func validJSONNumber(b []byte) bool {
+	i := 0
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i >= len(b):
+		return false
+	case b[i] == '0':
+		i++
+	case b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(b)
+}
+
+// parseRFC3339UTC parses "YYYY-MM-DDTHH:MM:SS[.fffffffff]Z" — the only
+// shape time.Time.MarshalJSON emits for UTC times. Everything else
+// (offsets, lowercase t/z, over-long fractions) bails to the fallback.
+// Field ranges are validated explicitly because time.Date normalises
+// out-of-range components that time.Parse — and therefore the fallback —
+// rejects.
+func parseRFC3339UTC(b []byte) (time.Time, bool) {
+	n := len(b)
+	if n < 20 || b[n-1] != 'Z' {
+		return time.Time{}, false
+	}
+	if b[4] != '-' || b[7] != '-' || b[10] != 'T' || b[13] != ':' || b[16] != ':' {
+		return time.Time{}, false
+	}
+	year, ok := atoiFixed(b[0:4])
+	if !ok {
+		return time.Time{}, false
+	}
+	month, ok := atoiFixed(b[5:7])
+	if !ok || month < 1 || month > 12 {
+		return time.Time{}, false
+	}
+	day, ok := atoiFixed(b[8:10])
+	if !ok || day < 1 || day > daysIn(month, year) {
+		return time.Time{}, false
+	}
+	hour, ok := atoiFixed(b[11:13])
+	if !ok || hour > 23 {
+		return time.Time{}, false
+	}
+	minute, ok := atoiFixed(b[14:16])
+	if !ok || minute > 59 {
+		return time.Time{}, false
+	}
+	sec, ok := atoiFixed(b[17:19])
+	if !ok || sec > 59 { // leap seconds bail: time.Parse rejects :60
+		return time.Time{}, false
+	}
+	nsec := 0
+	if n > 20 {
+		if b[19] != '.' {
+			return time.Time{}, false
+		}
+		frac := b[20 : n-1]
+		if len(frac) == 0 || len(frac) > 9 {
+			return time.Time{}, false
+		}
+		for _, c := range frac {
+			if c < '0' || c > '9' {
+				return time.Time{}, false
+			}
+			nsec = nsec*10 + int(c-'0')
+		}
+		for k := len(frac); k < 9; k++ {
+			nsec *= 10
+		}
+	}
+	return time.Date(year, time.Month(month), day, hour, minute, sec, nsec, time.UTC), true
+}
+
+// atoiFixed parses an all-digit field.
+func atoiFixed(b []byte) (int, bool) {
+	v := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, true
+}
+
+func daysIn(month, year int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default: // February
+		if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+			return 29
+		}
+		return 28
+	}
+}

@@ -1,0 +1,253 @@
+package scan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+	"unsafe"
+
+	"repro/internal/results"
+)
+
+// checkAgainstStdlib asserts the decoder contract on one line: Decode
+// must succeed exactly when json.Unmarshal succeeds, and on success the
+// samples must be identical (field-by-field, with time compared by both
+// Equal and re-marshalled bytes so location differences surface).
+func checkAgainstStdlib(t *testing.T, line []byte) {
+	t.Helper()
+	d := NewDecoder()
+	got, gotErr := d.Decode(line)
+	var want results.Sample
+	wantErr := json.Unmarshal(line, &want)
+	if (gotErr != nil) != (wantErr != nil) {
+		t.Fatalf("line %q: Decode err = %v, json err = %v", line, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("line %q: Decode err %q != json err %q", line, gotErr, wantErr)
+		}
+		return
+	}
+	if got.ProbeID != want.ProbeID || got.Region != want.Region ||
+		got.RTTms != want.RTTms || got.Lost != want.Lost || !got.Time.Equal(want.Time) {
+		t.Fatalf("line %q: Decode = %+v, json = %+v", line, got, want)
+	}
+	gb, err1 := json.Marshal(got)
+	wb, err2 := json.Marshal(want)
+	if err1 != nil || err2 != nil || !bytes.Equal(gb, wb) {
+		t.Fatalf("line %q: re-marshal mismatch %q vs %q (%v, %v)", line, gb, wb, err1, err2)
+	}
+}
+
+func TestDecoderFastPath(t *testing.T) {
+	lines := []string{
+		`{"probe":42,"region":"aws/us-east-1","t":"2026-01-02T03:04:05Z","rtt_ms":12.5}`,
+		`{"probe":42,"region":"aws/us-east-1","t":"2026-01-02T03:04:05.123456789Z","rtt_ms":12.5}`,
+		`{"probe":1,"region":"gcp/x","t":"2026-02-28T23:59:59Z","rtt_ms":0.001,"lost":true}`,
+		`{"probe":1,"region":"gcp/x","t":"2024-02-29T00:00:00Z","rtt_ms":1e2}`,
+		`{"probe":1,"region":"gcp/x","t":"2026-06-30T12:00:00.5Z","rtt_ms":1.5e-2}`,
+		`{}`,
+		`{"lost":false,"rtt_ms":3,"t":"2026-01-01T00:00:00Z","region":"r","probe":7}`, // any key order
+		`{"probe":-3}`, // json accepts negatives; Validate rejects later
+		`{"probe":0,"rtt_ms":-1.25}`,
+	}
+	for _, l := range lines {
+		d := NewDecoder()
+		if _, ok := d.fast([]byte(l)); !ok {
+			t.Errorf("line %q: expected fast path", l)
+		}
+		checkAgainstStdlib(t, []byte(l))
+	}
+}
+
+func TestDecoderFallbackCases(t *testing.T) {
+	// Every line here must bail out of the fast path (so stdlib semantics
+	// apply by construction) — malformed lines, unknown fields, escapes,
+	// odd numbers and timestamps.
+	lines := []string{
+		``,
+		`{`,
+		`null`,
+		`42`,
+		`[1,2]`,
+		`{"probe":1,}`,
+		`{"probe" :1}`,                            // whitespace
+		`{"probe": 1}`,                            // whitespace
+		`{"probe":1,"region":"a\/b"}`,             // escaped string
+		`{"region":"tab\there"}`,                  // escaped string
+		`{"region":"\u0041ws"}`,                   // unicode escape
+		`{"region":"caf` + "\xc3\xa9" + `"}`,      // non-ASCII (valid UTF-8)
+		`{"region":"` + "\xff\xfe" + `"}`,         // invalid UTF-8: json coerces to U+FFFD
+		`{"probe":01}`,                            // leading zero
+		`{"probe":1.5}`,                           // float into int field
+		`{"probe":1e2}`,                           // exponent into int field
+		`{"rtt_ms":.5}`,                           // bare fraction
+		`{"rtt_ms":+1}`,                           // leading plus
+		`{"rtt_ms":1.}`,                           // trailing dot
+		`{"rtt_ms":0x10}`,                         // hex
+		`{"rtt_ms":Infinity}`,                     // not JSON
+		`{"rtt_ms":NaN}`,                          // not JSON
+		`{"rtt_ms":1e999}`,                        // float64 overflow
+		`{"probe":99999999999999999999}`,          // int overflow
+		`{"lost":1}`,                              // number into bool
+		`{"lost":null}`,                           // null is a no-op in json
+		`{"rtt_ms":null}`,                         // null is a no-op in json
+		`{"extra":1}`,                             // unknown field (json ignores)
+		`{"probe":1,"probe":2}`,                   // duplicate key (json last-wins)
+		`{"t":"2026-01-02T03:04:05+02:00"}`,       // zone offset
+		`{"t":"2026-01-02t03:04:05Z"}`,            // lowercase t
+		`{"t":"2026-01-02T03:04:05z"}`,            // lowercase z
+		`{"t":"2026-13-01T00:00:00Z"}`,            // month out of range
+		`{"t":"2026-02-29T00:00:00Z"}`,            // non-leap Feb 29
+		`{"t":"2026-04-31T00:00:00Z"}`,            // April 31
+		`{"t":"2026-01-00T00:00:00Z"}`,            // day zero
+		`{"t":"2026-01-01T24:00:00Z"}`,            // hour 24
+		`{"t":"2026-01-01T00:60:00Z"}`,            // minute 60
+		`{"t":"2026-06-30T23:59:60Z"}`,            // leap second
+		`{"t":"2026-01-01T00:00:00.0000000001Z"}`, // >9 fraction digits
+		`{"t":"2026-01-01T00:00:00."}`,            // truncated
+		`{"t":"not a time"}`,
+		`{"t":1234567890}`, // number into time
+		`{"region":7}`,     // number into string
+		`{"probe":"7"}`,    // string into int
+		`{"probe":1}trailing`,
+		`{"":1}`,
+	}
+	for _, l := range lines {
+		d := NewDecoder()
+		if _, ok := d.fast([]byte(l)); ok {
+			t.Errorf("line %q: fast path accepted, want fallback", l)
+		}
+		checkAgainstStdlib(t, []byte(l))
+	}
+}
+
+func TestDecoderCountsFallbacks(t *testing.T) {
+	d := NewDecoder()
+	if _, err := d.Decode([]byte(`{"probe":1,"region":"r","t":"2026-01-01T00:00:00Z","rtt_ms":5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fallbacks != 0 {
+		t.Errorf("fast line counted as fallback")
+	}
+	if _, err := d.Decode([]byte(`{"probe": 1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", d.Fallbacks)
+	}
+}
+
+func TestDecoderInternsRegions(t *testing.T) {
+	d := NewDecoder()
+	a, err := d.Decode([]byte(`{"region":"aws/eu-west-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Decode([]byte(`{"region":"aws/eu-west-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same backing pointer, not just equal contents.
+	if unsafeStringData(a.Region) != unsafeStringData(b.Region) {
+		t.Error("repeated region strings were not interned")
+	}
+}
+
+func unsafeStringData(s string) *byte { return unsafe.StringData(s) }
+
+// TestDecoderDifferential is the fuzz-style contract check: seeded
+// random lines — valid samples, mutations, and structured garbage — all
+// decode identically to encoding/json.
+func TestDecoderDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	regions := []string{"aws/us-east-1", "gcp/europe-west4", "azure/eastus", "x", "a/b/c", "with space", `q"uote`}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	randomLine := func() []byte {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // well-formed sample, via the real writer encoding
+			s := results.Sample{
+				ProbeID: rng.Intn(2000) - 10,
+				Region:  regions[rng.Intn(len(regions))],
+				Time:    base.Add(time.Duration(rng.Int63n(int64(90 * 24 * time.Hour)))),
+				RTTms:   rng.Float64() * 500,
+				Lost:    rng.Intn(10) == 0,
+			}
+			if rng.Intn(5) == 0 {
+				s.Time = s.Time.Add(time.Duration(rng.Intn(1e9))) // fractional seconds
+			}
+			b, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		case 6: // mutate one byte of a valid line
+			b, err := json.Marshal(results.Sample{ProbeID: 1, Region: "r", Time: base, RTTms: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			return b
+		case 7: // random key soup
+			keys := []string{"probe", "region", "t", "rtt_ms", "lost", "probe", "bogus"}
+			vals := []string{`1`, `"r"`, `"2026-01-01T00:00:00Z"`, `3.5`, `true`, `null`, `[1]`, `{"x":2}`, `1e4`, `-0`, `0.5`}
+			var sb strings.Builder
+			sb.WriteByte('{')
+			n := rng.Intn(5)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%q:%s", keys[rng.Intn(len(keys))], vals[rng.Intn(len(vals))])
+			}
+			sb.WriteByte('}')
+			return []byte(sb.String())
+		case 8: // odd timestamps
+			ts := []string{
+				"2026-01-01T00:00:00Z", "2026-01-01T00:00:00+00:00", "2026-12-31T23:59:59.999999999Z",
+				"2026-02-29T00:00:00Z", "2000-02-29T12:00:00Z", "1999-01-01T00:00:00Z",
+				"2026-1-01T00:00:00Z", "2026-01-01 00:00:00Z", "2026-01-01T00:00:00",
+			}
+			return []byte(fmt.Sprintf(`{"t":%q}`, ts[rng.Intn(len(ts))]))
+		default: // odd numbers
+			ns := []string{"0", "-0", "00", "1.0", "1.", ".1", "1e5", "1E5", "1e+5", "1e-5", "1e", "--1", "9007199254740993", "3.141592653589793"}
+			key := []string{"probe", "rtt_ms"}[rng.Intn(2)]
+			return []byte(fmt.Sprintf(`{%q:%s}`, key, ns[rng.Intn(len(ns))]))
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		checkAgainstStdlib(t, randomLine())
+	}
+}
+
+func BenchmarkSampleDecode(b *testing.B) {
+	line := []byte(`{"probe":1377,"region":"aws/eu-central-1","t":"2026-03-14T15:09:26.535897932Z","rtt_ms":26.535897}`)
+	b.Run("fast", func(b *testing.B) {
+		d := NewDecoder()
+		b.ReportAllocs()
+		b.SetBytes(int64(len(line)))
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Decode(line); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if d.Fallbacks != 0 {
+			b.Fatalf("benchmark line fell back %d times", d.Fallbacks)
+		}
+	})
+	b.Run("stdlib", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(line)))
+		for i := 0; i < b.N; i++ {
+			var s results.Sample
+			if err := json.Unmarshal(line, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package scan is the parallel dataset scanner: it splits a JSONL
+// sample store into line-aligned byte-range shards, decodes each shard
+// on its own worker with a low-allocation fast-path decoder, feeds
+// per-worker partial aggregates (Passes), and merges the partials in
+// shard order. Because shards are contiguous and merged in file order,
+// a scan produces the same report bytes for any worker count — the same
+// determinism guarantee internal/engine gives the generation side.
+package scan
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/results"
+)
+
+// Pass is one streaming aggregate: it observes every sample of a shard
+// and can fold another worker's partial state into itself. Merge is
+// always called with partials from later shards, in shard order, so an
+// order-sensitive accumulation (a float sum, a first-wins minimum)
+// reconstructs the sequential file-order fold exactly.
+type Pass interface {
+	Observe(s results.Sample) error
+	// Merge folds other — the same Pass type built by a later worker —
+	// into the receiver.
+	Merge(other Pass) error
+}
+
+// Config describes one scan.
+type Config struct {
+	// Path is the JSONL samples file to scan.
+	Path string
+	// Workers is the shard/worker count; values < 1 use GOMAXPROCS.
+	Workers int
+	// NewPasses builds the pass set for one worker. It is called
+	// sequentially with worker = 0..n-1 before any decoding starts; the
+	// caller keeps its own reference to the worker-0 passes, which
+	// receive every merge and hold the final state when File returns.
+	// All workers must produce the same pass types in the same order.
+	NewPasses func(worker int) ([]Pass, error)
+	// Metrics, when set, receives scan_* instruments.
+	Metrics *Metrics
+}
+
+// Stats summarises one completed scan.
+type Stats struct {
+	Workers   int             // shards actually scanned
+	Samples   uint64          // samples decoded and observed
+	Bytes     int64           // file bytes covered
+	Fallbacks uint64          // lines decoded through encoding/json
+	Duration  time.Duration   // wall-clock scan time
+	Busy      []time.Duration // per-worker busy time, shard order
+}
+
+// SamplesPerSec returns the scan's decode throughput.
+func (st Stats) SamplesPerSec() float64 {
+	if st.Duration <= 0 {
+		return 0
+	}
+	return float64(st.Samples) / st.Duration.Seconds()
+}
+
+// MBPerSec returns the scan's byte throughput in MB/s.
+func (st Stats) MBPerSec() float64 {
+	if st.Duration <= 0 {
+		return 0
+	}
+	return float64(st.Bytes) / 1e6 / st.Duration.Seconds()
+}
+
+// Utilization returns the mean fraction of the scan wall-clock each
+// worker spent busy, in [0, 1].
+func (st Stats) Utilization() float64 {
+	if st.Duration <= 0 || st.Workers == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range st.Busy {
+		busy += b
+	}
+	return busy.Seconds() / (st.Duration.Seconds() * float64(st.Workers))
+}
+
+// File scans the samples file at cfg.Path through the configured pass
+// set. On success the worker-0 passes (retained by the caller via
+// NewPasses) hold the fully merged aggregates. Line handling matches
+// results.Reader: empty lines are skipped, each sample is validated,
+// and lines beyond results.MaxLineBytes fail the scan.
+func File(ctx context.Context, cfg Config) (Stats, error) {
+	if cfg.Path == "" || cfg.NewPasses == nil {
+		return Stats{}, fmt.Errorf("scan: missing Path or NewPasses")
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	span := obs.From(ctx).Child("scan")
+	defer span.End()
+	f, err := os.Open(cfg.Path)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer f.Close()
+	shards, size, err := shardFile(f, workers)
+	if err != nil {
+		return Stats{}, err
+	}
+	if len(shards) == 0 {
+		// Empty file: build the worker-0 passes so the caller can report
+		// (typically an empty-dataset error) from a consistent state.
+		if _, err := cfg.NewPasses(0); err != nil {
+			return Stats{}, err
+		}
+		return Stats{Workers: 0, Bytes: 0}, nil
+	}
+
+	passes := make([][]Pass, len(shards))
+	for w := range shards {
+		ps, err := cfg.NewPasses(w)
+		if err != nil {
+			return Stats{}, err
+		}
+		if w > 0 && len(ps) != len(passes[0]) {
+			return Stats{}, fmt.Errorf("scan: worker %d built %d passes, worker 0 built %d", w, len(ps), len(passes[0]))
+		}
+		passes[w] = ps
+	}
+
+	start := time.Now()
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		errs      = make([]error, len(shards))
+		samples   = make([]uint64, len(shards))
+		fallbacks = make([]uint64, len(shards))
+		busy      = make([]time.Duration, len(shards))
+	)
+	for w, sh := range shards {
+		wg.Add(1)
+		go func(w int, sh Shard) {
+			defer wg.Done()
+			t0 := time.Now()
+			samples[w], fallbacks[w], errs[w] = scanShard(scanCtx, f, sh, passes[w])
+			busy[w] = time.Since(t0)
+			if errs[w] != nil {
+				cancel() // fail fast: stop the other shards
+			}
+		}(w, sh)
+	}
+	wg.Wait()
+
+	st := Stats{Workers: len(shards), Bytes: size, Busy: busy}
+	for w := range shards {
+		st.Samples += samples[w]
+		st.Fallbacks += fallbacks[w]
+	}
+	// First error in shard (= file) order, so the reported failure is
+	// deterministic even when several shards fail.
+	for w, err := range errs {
+		if err != nil {
+			st.Duration = time.Since(start)
+			return st, fmt.Errorf("scan: shard %d (offset %d): %w", w, shards[w].Off, err)
+		}
+	}
+
+	// Merge partials into the worker-0 passes in shard order.
+	for w := 1; w < len(shards); w++ {
+		for i, p := range passes[0] {
+			if err := p.Merge(passes[w][i]); err != nil {
+				st.Duration = time.Since(start)
+				return st, fmt.Errorf("scan: merging shard %d pass %d: %w", w, i, err)
+			}
+		}
+	}
+	st.Duration = time.Since(start)
+	span.SetAttr("workers", st.Workers)
+	span.SetAttr("samples", st.Samples)
+	span.SetAttr("bytes", st.Bytes)
+	span.SetAttr("fallbacks", st.Fallbacks)
+	span.SetAttr("samples_per_sec", st.SamplesPerSec())
+	cfg.Metrics.observe(st)
+	return st, nil
+}
+
+// scanShard decodes one byte range and feeds every sample to ps.
+func scanShard(ctx context.Context, f *os.File, sh Shard, ps []Pass) (samples, fallbacks uint64, err error) {
+	sc := bufio.NewScanner(io.NewSectionReader(f, sh.Off, sh.Len))
+	sc.Buffer(make([]byte, 0, 64*1024), results.MaxLineBytes)
+	dec := NewDecoder()
+	var line uint64
+	for sc.Scan() {
+		line++
+		if line%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return samples, dec.Fallbacks, err
+			}
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		s, err := dec.Decode(raw)
+		if err != nil {
+			return samples, dec.Fallbacks, err
+		}
+		if err := s.Validate(); err != nil {
+			return samples, dec.Fallbacks, err
+		}
+		for _, p := range ps {
+			if err := p.Observe(s); err != nil {
+				return samples, dec.Fallbacks, err
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return samples, dec.Fallbacks, fmt.Errorf("line %d exceeds %d bytes: %w", line+1, results.MaxLineBytes, err)
+		}
+		return samples, dec.Fallbacks, err
+	}
+	return samples, dec.Fallbacks, nil
+}

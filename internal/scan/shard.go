@@ -1,0 +1,88 @@
+package scan
+
+import (
+	"bytes"
+	"io"
+	"os"
+)
+
+// Shard is one contiguous byte range of the samples file, aligned so it
+// begins at the start of a line and ends immediately after a newline
+// (or at EOF). Shards are produced in file order and cover the file
+// exactly, so concatenating them in shard order reconstructs the byte
+// stream a sequential reader would see — the property the deterministic
+// merge builds on.
+type Shard struct {
+	Off int64
+	Len int64
+}
+
+// shardFile cuts the file into at most n line-aligned shards of roughly
+// equal size, returning them in file order along with the file size.
+// Fewer than n shards come back when alignment collapses neighbouring
+// cuts (tiny files, very long lines); an empty file yields no shards.
+func shardFile(f *os.File, n int) ([]Shard, int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, 0, nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	cuts := make([]int64, n+1)
+	cuts[n] = size
+	for i := 1; i < n; i++ {
+		target := size * int64(i) / int64(n)
+		if target < cuts[i-1] {
+			target = cuts[i-1]
+		}
+		aligned, err := alignForward(f, target, size)
+		if err != nil {
+			return nil, 0, err
+		}
+		cuts[i] = aligned
+	}
+	shards := make([]Shard, 0, n)
+	for i := 0; i < n; i++ {
+		if cuts[i+1] > cuts[i] {
+			shards = append(shards, Shard{Off: cuts[i], Len: cuts[i+1] - cuts[i]})
+		}
+	}
+	return shards, size, nil
+}
+
+// alignForward returns the first line-start position at or after target:
+// one byte past the first '\n' found at index >= target-1. Starting the
+// search at target-1 keeps a target that already sits on a line start
+// where it is instead of skipping the following line. If no newline
+// remains, the file's tail is one unterminated line and the boundary is
+// EOF.
+func alignForward(f *os.File, target, size int64) (int64, error) {
+	if target <= 0 {
+		return 0, nil
+	}
+	pos := target - 1
+	buf := make([]byte, 64*1024)
+	for pos < size {
+		want := int64(len(buf))
+		if rem := size - pos; rem < want {
+			want = rem
+		}
+		n, err := f.ReadAt(buf[:want], pos)
+		if idx := bytes.IndexByte(buf[:n], '\n'); idx >= 0 {
+			return pos + int64(idx) + 1, nil
+		}
+		pos += int64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return size, nil
+}

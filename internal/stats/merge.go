@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge folds other's samples into d by replaying them through Add in
+// their stored insertion order. Replay — rather than summing the cached
+// sum/sumSq accumulators — keeps the float folds associative with a
+// sequential run: when contiguous dataset shards are merged in shard
+// order, d's accumulators equal the bitwise result of adding every
+// sample in original file order, for any shard count. other is not
+// modified; merging a distribution into itself is rejected.
+func (d *Dist) Merge(other *Dist) error {
+	if other == nil {
+		return nil
+	}
+	if other == d {
+		return fmt.Errorf("stats: cannot merge distribution into itself")
+	}
+	// Replaying other.samples directly is only order-faithful while other
+	// has never been queried (queries sort in place). Scan merges satisfy
+	// this — partials are merged before any report runs — and for queried
+	// distributions the sorted replay still yields an equivalent sample
+	// multiset, so every rank-based query is unaffected.
+	for _, v := range other.samples {
+		if err := d.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge folds other's bins into ts. Both series must share the same
+// start and bin width so bin indices line up; per-bin distributions are
+// merged by replay (see Dist.Merge) to stay order-faithful under
+// shard-ordered merging.
+func (ts *TimeSeries) Merge(other *TimeSeries) error {
+	if other == nil {
+		return nil
+	}
+	if !other.start.Equal(ts.start) || other.width != ts.width {
+		return fmt.Errorf("stats: cannot merge series start=%v width=%v into start=%v width=%v",
+			other.start, other.width, ts.start, ts.width)
+	}
+	idxs := make([]int, 0, len(other.bins))
+	for i := range other.bins {
+		idxs = append(idxs, i)
+	}
+	// Deterministic bin visit order; per-bin replay order is what matters
+	// for the float folds, but a stable iteration keeps error selection
+	// (first failing bin) reproducible too.
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		d := ts.bins[i]
+		if d == nil {
+			d = &Dist{}
+			ts.bins[i] = d
+		}
+		if err := d.Merge(other.bins[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge adds other's counts into h. The histograms must have identical
+// bounds and bin counts. Counts are integers, so histogram merging is
+// exact and order-independent.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if other.min != h.min || other.max != h.max || len(other.counts) != len(h.counts) {
+		return fmt.Errorf("stats: cannot merge histogram [%v,%v)/%d into [%v,%v)/%d",
+			other.min, other.max, len(other.counts), h.min, h.max, len(h.counts))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.underflow += other.underflow
+	h.overflow += other.overflow
+	h.total += other.total
+	return nil
+}

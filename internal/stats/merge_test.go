@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDistMergeMatchesSequentialFold is the determinism contract the
+// parallel scanner depends on: splitting a sample stream into contiguous
+// shards, folding each shard into its own Dist, and merging the partials
+// in shard order must reproduce the sequential fold bitwise — including
+// the float sum/sumSq accumulators, which are order-sensitive.
+func TestDistMergeMatchesSequentialFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 10007)
+	for i := range samples {
+		samples[i] = 1 + 400*rng.Float64()
+	}
+	var seq Dist
+	if err := seq.AddAll(samples...); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		parts := make([]*Dist, shards)
+		for s := 0; s < shards; s++ {
+			parts[s] = &Dist{}
+			lo, hi := len(samples)*s/shards, len(samples)*(s+1)/shards
+			if err := parts[s].AddAll(samples[lo:hi]...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.N() != seq.N() || merged.sum != seq.sum || merged.sumSq != seq.sumSq {
+			t.Errorf("shards=%d: merged (n=%d sum=%x sumSq=%x) != sequential (n=%d sum=%x sumSq=%x)",
+				shards, merged.N(), merged.sum, merged.sumSq, seq.N(), seq.sum, seq.sumSq)
+		}
+		mm, _ := merged.Median()
+		sm, _ := seq.Median()
+		if mm != sm {
+			t.Errorf("shards=%d: median %v != %v", shards, mm, sm)
+		}
+	}
+}
+
+func TestDistMergeRejectsSelf(t *testing.T) {
+	var d Dist
+	if err := d.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Merge(&d); err == nil {
+		t.Error("self-merge accepted")
+	}
+	if err := d.Merge(nil); err != nil {
+		t.Errorf("nil merge = %v, want nil", err)
+	}
+}
+
+func TestTimeSeriesMerge(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func() *TimeSeries {
+		ts, err := NewTimeSeries(start, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	rng := rand.New(rand.NewSource(3))
+	type obs struct {
+		t time.Time
+		v float64
+	}
+	var all []obs
+	for i := 0; i < 500; i++ {
+		all = append(all, obs{
+			t: start.Add(time.Duration(rng.Intn(72)) * time.Minute * 10),
+			v: 1 + 100*rng.Float64(),
+		})
+	}
+	seq := mk()
+	for _, o := range all {
+		if err := seq.Add(o.t, o.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := mk(), mk()
+	for i, o := range all {
+		dst := a
+		if i >= len(all)/2 {
+			dst = b
+		}
+		if err := dst.Add(o.t, o.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("points: got %d bins, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bin %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	other, err := NewTimeSeries(start.Add(time.Minute), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Error("mismatched series start accepted")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	mk := func() *Histogram {
+		h, err := NewHistogram(0, 300, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	seq, a, b := mk(), mk(), mk()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		v := -10 + 400*rng.Float64()
+		if math.IsNaN(v) {
+			continue
+		}
+		if err := seq.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		dst := a
+		if i%2 == 1 {
+			dst = b
+		}
+		if err := dst.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != seq.Total() || a.Underflow() != seq.Underflow() || a.Overflow() != seq.Overflow() {
+		t.Errorf("merged totals %d/%d/%d != sequential %d/%d/%d",
+			a.Total(), a.Underflow(), a.Overflow(), seq.Total(), seq.Underflow(), seq.Overflow())
+	}
+	ab, sb := a.Bins(), seq.Bins()
+	for i := range sb {
+		if ab[i] != sb[i] {
+			t.Errorf("bin %d: got %+v, want %+v", i, ab[i], sb[i])
+		}
+	}
+
+	narrow, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(narrow); err == nil {
+		t.Error("mismatched histogram bounds accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileSketchAccuracy(t *testing.T) {
+	s := NewRTTSketch()
+	var exact Dist
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.2 + 3.5) // lognormal around ~33ms
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := exact.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exact.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("q=%v: sketch %v vs exact %v (rel err %.3f > 3%%)", q, got, want, rel)
+		}
+	}
+}
+
+// TestQuantileSketchMergeInvariant checks the property the parallel
+// scanner needs: any sharding of the input merges to the identical
+// sketch, so quantile estimates cannot vary with the worker count.
+func TestQuantileSketchMergeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 9001)
+	for i := range samples {
+		samples[i] = 0.5 + 500*rng.Float64()
+	}
+	whole := NewRTTSketch()
+	for _, v := range samples {
+		if err := whole.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantP50, err := whole.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP95, err := whole.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		parts := make([]*QuantileSketch, shards)
+		for i := range parts {
+			parts[i] = NewRTTSketch()
+			lo, hi := len(samples)*i/shards, len(samples)*(i+1)/shards
+			for _, v := range samples[lo:hi] {
+				if err := parts[i].Add(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.N() != whole.N() {
+			t.Errorf("shards=%d: N=%d, want %d", shards, merged.N(), whole.N())
+		}
+		p50, _ := merged.Quantile(0.5)
+		p95, _ := merged.Quantile(0.95)
+		if p50 != wantP50 || p95 != wantP95 {
+			t.Errorf("shards=%d: p50=%v p95=%v, want %v %v", shards, p50, p95, wantP50, wantP95)
+		}
+	}
+}
+
+func TestQuantileSketchEdges(t *testing.T) {
+	s := NewRTTSketch()
+	if _, err := s.Quantile(0.5); err != ErrEmpty {
+		t.Errorf("empty sketch quantile err = %v, want ErrEmpty", err)
+	}
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := s.Add(v); err == nil {
+			t.Errorf("Add(%v) accepted", v)
+		}
+	}
+	// Clamping: below-range and above-range values land in end buckets.
+	if err := s.Add(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(1e9); err != nil {
+		t.Fatal(err)
+	}
+	lo, err := s.Quantile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0.01 {
+		t.Errorf("bottom-bucket estimate = %v, want 0.01", lo)
+	}
+	hi, err := s.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi < 9e4 {
+		t.Errorf("top-bucket estimate = %v, want near 1e5", hi)
+	}
+	if _, err := s.Quantile(1.5); err == nil {
+		t.Error("quantile 1.5 accepted")
+	}
+
+	other, err := NewQuantileSketch(0.01, 1e5, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Merge(other); err == nil {
+		t.Error("mismatched sketch params accepted")
+	}
+	if _, err := NewQuantileSketch(0, 1, 1.02); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewQuantileSketch(1, 2, 1); err == nil {
+		t.Error("gamma=1 accepted")
+	}
+}

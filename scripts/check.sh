@@ -19,6 +19,12 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go test -race (concurrency suites, uncached) =="
+# The scanner, the fused analysis passes, and the campaign engine are the
+# shard-and-merge packages; run them uncached so every gate exercises the
+# race detector on fresh schedules.
+go test -race -count=1 ./internal/scan ./internal/core ./internal/engine
+
 echo "== go test -race =="
 go test -race ./...
 
