@@ -1,8 +1,10 @@
 // Command dataset inspects a stored campaign dataset without loading it
 // into memory: streaming summary statistics (using a mergeable bucket
-// sketch for quantiles), per-continent/per-band tallies, and filtered
-// re-export. Every op runs on the parallel byte-range scanner; -workers
-// shards the file and the output is identical for any worker count.
+// sketch for quantiles), per-continent/per-band tallies, filtered
+// re-export, and format conversion. Every op runs on either storage
+// format (binary samples.bin or JSONL samples.jsonl) via the parallel
+// scanner; -workers shards the file and the output is identical for any
+// worker count.
 //
 // Usage:
 //
@@ -10,6 +12,12 @@
 //	dataset -data ./dataset continents
 //	dataset -data ./dataset -workers 8 hist
 //	dataset -data ./dataset -continent AF -out ./africa filter
+//	dataset -data ./dataset -out ./ds-jsonl -to jsonl convert
+//	dataset -data ./dataset -since 2019-07-08T00:00:00Z -until 2019-07-15T00:00:00Z stats
+//
+// -since/-until restrict the scan ops to a time window; on binary
+// stores the scanner skips whole blocks via their zone maps, so a
+// narrow window touches only a fraction of the file.
 //
 // Flags precede the op: flag parsing stops at the first positional
 // argument.
@@ -25,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/colf"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/results"
@@ -33,21 +42,35 @@ import (
 	"repro/internal/world"
 )
 
+// options bundles the command's knobs (one field per flag) plus the op.
+type options struct {
+	data      string
+	op        string
+	continent string
+	out       string
+	workers   int
+	to        string // convert target format; empty flips the source format
+	since     string // RFC 3339 window start for scan ops
+	until     string // RFC 3339 window end (exclusive) for scan ops
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dataset: ")
-	var (
-		data      = flag.String("data", "dataset", "dataset directory")
-		continent = flag.String("continent", "", "continent filter for the filter op (two-letter code)")
-		out       = flag.String("out", "", "output directory for the filter op")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "scan worker count (output is identical for any value)")
-	)
+	var o options
+	flag.StringVar(&o.data, "data", "dataset", "dataset directory")
+	flag.StringVar(&o.continent, "continent", "", "continent filter for the filter op (two-letter code)")
+	flag.StringVar(&o.out, "out", "", "output directory for the filter and convert ops")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "scan worker count (output is identical for any value)")
+	flag.StringVar(&o.to, "to", "", "convert target format: binary or jsonl (default: the other format)")
+	flag.StringVar(&o.since, "since", "", "restrict scan ops to samples at or after this RFC 3339 time")
+	flag.StringVar(&o.until, "until", "", "restrict scan ops to samples before this RFC 3339 time")
 	flag.Parse()
-	op := flag.Arg(0)
-	if op == "" {
-		op = "stats"
+	o.op = flag.Arg(0)
+	if o.op == "" {
+		o.op = "stats"
 	}
-	lines, err := run(*data, op, *continent, *out, *workers)
+	lines, err := run(o)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,33 +79,61 @@ func main() {
 	}
 }
 
-func run(data, op, continent, out string, workers int) ([]string, error) {
-	store, err := results.Open(data)
+func run(o options) ([]string, error) {
+	store, err := results.Open(o.data)
 	if err != nil {
 		return nil, err
 	}
-	switch op {
-	case "stats":
-		return statsOp(store, workers)
-	case "continents":
-		return continentsOp(store, workers)
-	case "filter":
-		return filterOp(store, continent, out, workers)
-	case "hist":
-		return histOp(store, workers)
-	default:
-		return nil, fmt.Errorf("unknown op %q (want stats, continents, hist, or filter)", op)
+	pred, err := windowPredicate(o.since, o.until)
+	if err != nil {
+		return nil, err
 	}
+	switch o.op {
+	case "stats":
+		return statsOp(store, pred, o.workers)
+	case "continents":
+		return continentsOp(store, pred, o.workers)
+	case "filter":
+		return filterOp(store, pred, o.continent, o.out, o.workers)
+	case "hist":
+		return histOp(store, pred, o.workers)
+	case "convert":
+		return convertOp(store, o.out, o.to)
+	default:
+		return nil, fmt.Errorf("unknown op %q (want stats, continents, hist, filter, or convert)", o.op)
+	}
+}
+
+// windowPredicate builds the scan predicate for the -since/-until
+// window; both empty yields nil (scan everything).
+func windowPredicate(since, until string) (*colf.Predicate, error) {
+	if since == "" && until == "" {
+		return nil, nil
+	}
+	var p colf.Predicate
+	var err error
+	if since != "" {
+		if p.Since, err = time.Parse(time.RFC3339, since); err != nil {
+			return nil, fmt.Errorf("bad -since: %w", err)
+		}
+	}
+	if until != "" {
+		if p.Until, err = time.Parse(time.RFC3339, until); err != nil {
+			return nil, fmt.Errorf("bad -until: %w", err)
+		}
+	}
+	return &p, nil
 }
 
 // scanWith runs one pass per worker over the store's samples file and
 // returns the first (merged) pass. Scan throughput goes to stderr so ops
 // keep their exact stdout shape.
-func scanWith(store *results.Store, workers int, newPass func() scan.Pass) (scan.Pass, error) {
+func scanWith(store *results.Store, pred *colf.Predicate, workers int, newPass func() scan.Pass) (scan.Pass, error) {
 	var passes []scan.Pass
 	st, err := scan.File(context.Background(), scan.Config{
-		Path:    store.SamplesPath(),
-		Workers: workers,
+		Path:      store.SamplesPath(),
+		Workers:   workers,
+		Predicate: pred,
 		NewPasses: func(int) ([]scan.Pass, error) {
 			p := newPass()
 			passes = append(passes, p)
@@ -92,9 +143,72 @@ func scanWith(store *results.Store, workers int, newPass func() scan.Pass) (scan
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("scan: %d samples in %v (%.1f MB/s, %.0f samples/s, %d workers)",
-		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.SamplesPerSec(), st.Workers)
+	if st.Binary {
+		log.Printf("scan: %d samples in %v (%.1f MB/s, %.0f samples/s, %d workers, %d/%d blocks read, %d skipped)",
+			st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.SamplesPerSec(), st.Workers,
+			st.BlocksRead, st.BlocksTotal, st.BlocksSkipped)
+	} else {
+		log.Printf("scan: %d samples in %v (%.1f MB/s, %.0f samples/s, %d workers)",
+			st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.SamplesPerSec(), st.Workers)
+	}
 	return passes[0], nil
+}
+
+// convertOp re-encodes the dataset into the other storage format (or
+// the one named by -to), preserving sample order exactly.
+func convertOp(store *results.Store, out, to string) ([]string, error) {
+	if out == "" {
+		return nil, fmt.Errorf("convert needs -out")
+	}
+	target := results.FormatBinary
+	if to == "" {
+		if store.Format() == results.FormatBinary {
+			target = results.FormatJSONL
+		}
+	} else {
+		var err error
+		if target, err = results.ParseFormat(to); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := os.Stat(out); err == nil {
+		return nil, fmt.Errorf("output %s already exists", out)
+	}
+	_, sink, err := results.Create(out, store.Meta(), target)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.ForEach(sink.Write); err != nil {
+		sink.Close()
+		return nil, err
+	}
+	n := sink.Count()
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	srcSize, err := sampleFileSize(store)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := results.Open(out)
+	if err != nil {
+		return nil, err
+	}
+	dstSize, err := sampleFileSize(dst)
+	if err != nil {
+		return nil, err
+	}
+	return []string{fmt.Sprintf("converted %d samples %s (%d bytes) -> %s %s (%d bytes)",
+		n, store.Format(), srcSize, target, out, dstSize)}, nil
+}
+
+// sampleFileSize returns the on-disk size of the store's samples file.
+func sampleFileSize(store *results.Store) (int64, error) {
+	fi, err := os.Stat(store.SamplesPath())
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
 }
 
 // statsPass keeps O(1) summary state: exact count/min/max/mean plus a
@@ -143,9 +257,9 @@ func (p *statsPass) Merge(other scan.Pass) error {
 }
 
 // statsOp scans the dataset once, keeping O(1) state per worker.
-func statsOp(store *results.Store, workers int) ([]string, error) {
+func statsOp(store *results.Store, pred *colf.Predicate, workers int) ([]string, error) {
 	meta := store.Meta()
-	merged, err := scanWith(store, workers, func() scan.Pass { return newStatsPass() })
+	merged, err := scanWith(store, pred, workers, func() scan.Pass { return newStatsPass() })
 	if err != nil {
 		return nil, err
 	}
@@ -153,11 +267,17 @@ func statsOp(store *results.Store, workers int) ([]string, error) {
 	if p.total == 0 {
 		return nil, fmt.Errorf("dataset is empty")
 	}
+	size, err := sampleFileSize(store)
+	if err != nil {
+		return nil, err
+	}
 	delivered := p.total - p.lost
 	lines := []string{
 		fmt.Sprintf("campaign: seed=%d %s..%s interval=%.0fh probes=%d regions=%d",
 			meta.Seed, meta.Start.Format("2006-01-02"), meta.End.Format("2006-01-02"),
 			meta.IntervalHours, meta.Probes, meta.Regions),
+		fmt.Sprintf("storage: format=%s, %d bytes on disk (%.1f bytes/sample)",
+			store.Format(), size, float64(size)/float64(p.total)),
 		fmt.Sprintf("samples: %d total, %d delivered, %d lost (%.2f%%)",
 			p.total, delivered, p.lost, 100*float64(p.lost)/float64(p.total)),
 	}
@@ -190,8 +310,8 @@ func (p *histPass) Merge(other scan.Pass) error { return p.h.Merge(other.(*histP
 
 // histOp renders an ASCII histogram of the delivered RTTs (0-300 ms in
 // 10 ms bins, plus an overflow bucket), scanning the dataset once.
-func histOp(store *results.Store, workers int) ([]string, error) {
-	merged, err := scanWith(store, workers, func() scan.Pass {
+func histOp(store *results.Store, pred *colf.Predicate, workers int) ([]string, error) {
+	merged, err := scanWith(store, pred, workers, func() scan.Pass {
 		h, err := stats.NewHistogram(0, 300, 30)
 		if err != nil {
 			panic(err) // static bounds; cannot fail
@@ -264,13 +384,13 @@ func (p *continentsPass) Merge(other scan.Pass) error {
 
 // continentsOp tallies delivered samples per continent; it rebuilds the
 // probe census from the stored seed to map probe IDs.
-func continentsOp(store *results.Store, workers int) ([]string, error) {
+func continentsOp(store *results.Store, pred *colf.Predicate, workers int) ([]string, error) {
 	meta := store.Meta()
 	w, err := world.Build(world.Config{Seed: meta.Seed, Probes: meta.Probes})
 	if err != nil {
 		return nil, err
 	}
-	merged, err := scanWith(store, workers, func() scan.Pass {
+	merged, err := scanWith(store, pred, workers, func() scan.Pass {
 		return &continentsPass{
 			idx:    w.Index,
 			counts: make(map[geo.Continent]uint64),
@@ -313,8 +433,9 @@ func (p *filterPass) Merge(other scan.Pass) error {
 	return nil
 }
 
-// filterOp re-exports the samples of one continent into a new dataset.
-func filterOp(store *results.Store, continent, out string, workers int) ([]string, error) {
+// filterOp re-exports the samples of one continent into a new dataset,
+// keeping the source's storage format.
+func filterOp(store *results.Store, pred *colf.Predicate, continent, out string, workers int) ([]string, error) {
 	if continent == "" || out == "" {
 		return nil, fmt.Errorf("filter needs -continent and -out")
 	}
@@ -330,25 +451,25 @@ func filterOp(store *results.Store, continent, out string, workers int) ([]strin
 	if _, err := os.Stat(out); err == nil {
 		return nil, fmt.Errorf("output %s already exists", out)
 	}
-	merged, err := scanWith(store, workers, func() scan.Pass {
+	merged, err := scanWith(store, pred, workers, func() scan.Pass {
 		return &filterPass{idx: w.Index, ct: ct}
 	})
 	if err != nil {
 		return nil, err
 	}
 	kept := merged.(*filterPass).kept
-	_, writer, closeFn, err := results.Create(out, meta)
+	_, sink, err := results.Create(out, meta, store.Format())
 	if err != nil {
 		return nil, err
 	}
 	for _, s := range kept {
-		if err := writer.Write(s); err != nil {
-			closeFn()
+		if err := sink.Write(s); err != nil {
+			sink.Close()
 			return nil, err
 		}
 	}
-	n := writer.Count()
-	if err := closeFn(); err != nil {
+	n := sink.Count()
+	if err := sink.Close(); err != nil {
 		return nil, err
 	}
 	return []string{fmt.Sprintf("wrote %d %s samples to %s", n, ct, out)}, nil

@@ -7,14 +7,16 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/atlas"
 	"repro/internal/results"
 	"repro/internal/world"
 )
 
-// buildDataset writes a small campaign to disk and returns its directory.
-func buildDataset(t *testing.T) string {
+// buildDataset writes a small campaign to disk in the given storage
+// format and returns its directory.
+func buildDataset(t *testing.T, format results.Format) string {
 	t.Helper()
 	w, err := world.Build(world.Config{Seed: 1, Probes: 200})
 	if err != nil {
@@ -22,27 +24,27 @@ func buildDataset(t *testing.T) string {
 	}
 	cfg := atlas.TestCampaign()
 	dir := filepath.Join(t.TempDir(), "ds")
-	_, writer, closeFn, err := results.Create(dir, cfg.Meta(1, 200, w.Catalog.Len()))
+	_, sink, err := results.Create(dir, cfg.Meta(1, 200, w.Catalog.Len()), format)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Platform.RunCampaign(context.Background(), cfg, writer.Write); err != nil {
+	if _, err := w.Platform.RunCampaign(context.Background(), cfg, sink.Write); err != nil {
 		t.Fatal(err)
 	}
-	if err := closeFn(); err != nil {
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return dir
 }
 
 func TestStatsOp(t *testing.T) {
-	dir := buildDataset(t)
-	lines, err := run(dir, "stats", "", "", 4)
+	dir := buildDataset(t, results.FormatBinary)
+	lines, err := run(options{data: dir, op: "stats", workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	joined := strings.Join(lines, "\n")
-	for _, want := range []string{"campaign:", "samples:", "rtt:", "p50~"} {
+	for _, want := range []string{"campaign:", "samples:", "rtt:", "p50~", "storage: format=binary", "bytes/sample"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("stats output missing %q:\n%s", want, joined)
 		}
@@ -50,8 +52,8 @@ func TestStatsOp(t *testing.T) {
 }
 
 func TestContinentsOp(t *testing.T) {
-	dir := buildDataset(t)
-	lines, err := run(dir, "continents", "", "", 4)
+	dir := buildDataset(t, results.FormatBinary)
+	lines, err := run(options{data: dir, op: "continents", workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,19 +66,23 @@ func TestContinentsOp(t *testing.T) {
 }
 
 func TestFilterOp(t *testing.T) {
-	dir := buildDataset(t)
+	dir := buildDataset(t, results.FormatBinary)
 	out := filepath.Join(t.TempDir(), "africa")
-	lines, err := run(dir, "filter", "AF", out, 4)
+	lines, err := run(options{data: dir, op: "filter", continent: "AF", out: out, workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lines) != 1 || !strings.Contains(lines[0], "Africa") {
 		t.Errorf("filter output: %v", lines)
 	}
-	// The filtered dataset opens and contains only African probes.
+	// The filtered dataset opens, keeps the source's binary format, and
+	// contains only African probes.
 	store, err := results.Open(out)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if store.Format() != results.FormatBinary {
+		t.Errorf("filtered store format = %v, want binary", store.Format())
 	}
 	n := 0
 	if err := store.ForEach(func(results.Sample) error { n++; return nil }); err != nil {
@@ -86,30 +92,42 @@ func TestFilterOp(t *testing.T) {
 		t.Error("filtered dataset empty")
 	}
 	// Re-filtering into the same directory is refused.
-	if _, err := run(dir, "filter", "AF", out, 4); err == nil {
+	if _, err := run(options{data: dir, op: "filter", continent: "AF", out: out, workers: 4}); err == nil {
 		t.Error("overwrite accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	dir := buildDataset(t)
-	if _, err := run(filepath.Join(t.TempDir(), "missing"), "stats", "", "", 4); err == nil {
+	dir := buildDataset(t, results.FormatBinary)
+	if _, err := run(options{data: filepath.Join(t.TempDir(), "missing"), op: "stats", workers: 4}); err == nil {
 		t.Error("missing dataset accepted")
 	}
-	if _, err := run(dir, "explode", "", "", 4); err == nil {
+	if _, err := run(options{data: dir, op: "explode", workers: 4}); err == nil {
 		t.Error("unknown op accepted")
 	}
-	if _, err := run(dir, "filter", "", "", 4); err == nil {
+	if _, err := run(options{data: dir, op: "filter", workers: 4}); err == nil {
 		t.Error("filter without args accepted")
 	}
-	if _, err := run(dir, "filter", "XX", t.TempDir()+"/x", 4); err == nil {
+	if _, err := run(options{data: dir, op: "filter", continent: "XX", out: t.TempDir() + "/x", workers: 4}); err == nil {
 		t.Error("bad continent accepted")
+	}
+	if _, err := run(options{data: dir, op: "stats", workers: 4, since: "yesterday"}); err == nil {
+		t.Error("bad -since accepted")
+	}
+	if _, err := run(options{data: dir, op: "stats", workers: 4, until: "not-a-time"}); err == nil {
+		t.Error("bad -until accepted")
+	}
+	if _, err := run(options{data: dir, op: "convert", workers: 4}); err == nil {
+		t.Error("convert without -out accepted")
+	}
+	if _, err := run(options{data: dir, op: "convert", out: t.TempDir() + "/c", to: "parquet"}); err == nil {
+		t.Error("unknown convert target accepted")
 	}
 }
 
 func TestHistOp(t *testing.T) {
-	dir := buildDataset(t)
-	lines, err := run(dir, "hist", "", "", 4)
+	dir := buildDataset(t, results.FormatBinary)
+	lines, err := run(options{data: dir, op: "hist", workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,37 +143,142 @@ func TestHistOp(t *testing.T) {
 	}
 }
 
-// TestOpsWorkerInvariance checks every op emits identical output for any
-// scan worker count, including the byte-exact filtered re-export.
-func TestOpsWorkerInvariance(t *testing.T) {
-	dir := buildDataset(t)
-	for _, op := range []string{"stats", "continents", "hist"} {
-		serial, err := run(dir, op, "", "", 1)
-		if err != nil {
-			t.Fatalf("%s workers=1: %v", op, err)
-		}
-		for _, n := range []int{2, 7} {
-			parallel, err := run(dir, op, "", "", n)
+// TestConvertOp round-trips a JSONL dataset through the binary format
+// and back, checking the final JSONL bytes are identical to the source
+// and that the binary encoding is at most half the size.
+func TestConvertOp(t *testing.T) {
+	dir := buildDataset(t, results.FormatJSONL)
+	bin := filepath.Join(t.TempDir(), "bin")
+	// Empty -to flips the source format: jsonl -> binary.
+	lines, err := run(options{data: dir, op: "convert", out: bin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "-> binary") {
+		t.Errorf("convert output: %v", lines)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "samples.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := os.Stat(filepath.Join(bin, "samples.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Size() > int64(len(src))/2 {
+		t.Errorf("binary file is %d bytes, want <= half of %d-byte JSONL", bi.Size(), len(src))
+	}
+	// And back: binary -> jsonl must reproduce the source byte for byte.
+	back := filepath.Join(t.TempDir(), "back")
+	if _, err := run(options{data: bin, op: "convert", out: back, to: "jsonl"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(back, "samples.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Error("jsonl -> binary -> jsonl round trip is not byte-identical")
+	}
+	// Converting onto an existing directory is refused.
+	if _, err := run(options{data: dir, op: "convert", out: bin}); err == nil {
+		t.Error("overwrite accepted")
+	}
+}
+
+// TestOpsFormatEquivalence pins every scan op's stdout to be identical
+// on a JSONL store and its binary conversion, with and without a time
+// window.
+func TestOpsFormatEquivalence(t *testing.T) {
+	jdir := buildDataset(t, results.FormatJSONL)
+	bdir := filepath.Join(t.TempDir(), "bin")
+	if _, err := run(options{data: jdir, op: "convert", out: bdir}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := atlas.TestCampaign()
+	since := cfg.Start.Add(7 * 24 * time.Hour).Format(time.RFC3339)
+	until := cfg.Start.Add(10 * 24 * time.Hour).Format(time.RFC3339)
+	for _, op := range []string{"continents", "hist"} {
+		for _, window := range []bool{false, true} {
+			o := options{data: jdir, op: op, workers: 3}
+			if window {
+				o.since, o.until = since, until
+			}
+			want, err := run(o)
 			if err != nil {
-				t.Fatalf("%s workers=%d: %v", op, n, err)
+				t.Fatalf("%s jsonl window=%v: %v", op, window, err)
 			}
-			if strings.Join(serial, "\n") != strings.Join(parallel, "\n") {
-				t.Errorf("%s output differs between workers=1 and workers=%d", op, n)
+			o.data = bdir
+			got, err := run(o)
+			if err != nil {
+				t.Fatalf("%s binary window=%v: %v", op, window, err)
+			}
+			if strings.Join(want, "\n") != strings.Join(got, "\n") {
+				t.Errorf("%s window=%v: jsonl and binary outputs differ", op, window)
 			}
 		}
 	}
-	filtered := func(workers int) []byte {
-		out := filepath.Join(t.TempDir(), "eu")
-		if _, err := run(dir, "filter", "EU", out, workers); err != nil {
-			t.Fatal(err)
+	// stats reports the storage line, so compare the remaining lines.
+	strip := func(lines []string) string {
+		var kept []string
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "storage:") {
+				kept = append(kept, l)
+			}
 		}
-		b, err := os.ReadFile(filepath.Join(out, "samples.jsonl"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return b
+		return strings.Join(kept, "\n")
 	}
-	if !bytes.Equal(filtered(1), filtered(7)) {
-		t.Error("filtered dataset differs between workers=1 and workers=7")
+	want, err := run(options{data: jdir, op: "stats", workers: 3, since: since, until: until})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run(options{data: bdir, op: "stats", workers: 3, since: since, until: until})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strip(want) != strip(got) {
+		t.Errorf("windowed stats differ:\njsonl:\n%s\nbinary:\n%s", strip(want), strip(got))
+	}
+}
+
+// TestOpsWorkerInvariance checks every op emits identical output for any
+// scan worker count on both storage formats, including the byte-exact
+// filtered re-export.
+func TestOpsWorkerInvariance(t *testing.T) {
+	for _, format := range []results.Format{results.FormatJSONL, results.FormatBinary} {
+		dir := buildDataset(t, format)
+		for _, op := range []string{"stats", "continents", "hist"} {
+			serial, err := run(options{data: dir, op: op, workers: 1})
+			if err != nil {
+				t.Fatalf("%s %s workers=1: %v", format, op, err)
+			}
+			for _, n := range []int{2, 7} {
+				parallel, err := run(options{data: dir, op: op, workers: n})
+				if err != nil {
+					t.Fatalf("%s %s workers=%d: %v", format, op, n, err)
+				}
+				if strings.Join(serial, "\n") != strings.Join(parallel, "\n") {
+					t.Errorf("%s %s output differs between workers=1 and workers=%d", format, op, n)
+				}
+			}
+		}
+		filtered := func(workers int) []byte {
+			out := filepath.Join(t.TempDir(), "eu")
+			if _, err := run(options{data: dir, op: "filter", continent: "EU", out: out, workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			store, err := results.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(store.SamplesPath())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		if !bytes.Equal(filtered(1), filtered(7)) {
+			t.Errorf("%s filtered dataset differs between workers=1 and workers=7", format)
+		}
 	}
 }

@@ -36,14 +36,14 @@ func TestRenderFromStoredDataset(t *testing.T) {
 	}
 	cfg := atlas.TestCampaign()
 	dir := t.TempDir()
-	_, writer, closeFn, err := results.Create(dir, cfg.Meta(2, w.Probes.Len(), w.Catalog.Len()))
+	_, sink, err := results.Create(dir, cfg.Meta(2, w.Probes.Len(), w.Catalog.Len()), results.FormatBinary)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Platform.RunCampaign(context.Background(), cfg, writer.Write); err != nil {
+	if _, err := w.Platform.RunCampaign(context.Background(), cfg, sink.Write); err != nil {
 		t.Fatal(err)
 	}
-	if err := closeFn(); err != nil {
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 	for _, fig := range []string{"4", "5", "6", "7", "8"} {

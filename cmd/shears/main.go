@@ -64,7 +64,8 @@ type options struct {
 	progressEvery   time.Duration
 	workers         int // <= 0 means GOMAXPROCS
 	resume          bool
-	checkpointEvery int // rounds; 0 disables checkpointing
+	checkpointEvery int    // rounds; 0 disables checkpointing
+	format          string // dataset storage format; empty means binary
 }
 
 func main() {
@@ -83,6 +84,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "campaign worker count (output is identical for any value)")
 	flag.BoolVar(&o.resume, "resume", false, "resume an interrupted campaign from <out>/checkpoint.json")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", engine.DefaultCheckpointEvery, "rounds between checkpoints (0 disables checkpointing)")
+	flag.StringVar(&o.format, "format", "binary", "dataset storage format: binary (columnar samples.bin) or jsonl")
 	flag.Parse()
 	if err := run(o); err != nil {
 		log.Fatal(err)
@@ -136,9 +138,7 @@ func run(o options) (err error) {
 	ckPath := filepath.Join(o.out, checkpointFile)
 	var (
 		store        *results.Store
-		writer       *results.Writer
-		closeFn      func() error
-		base         int64
+		sink         *results.Sink
 		startRound   int
 		startSamples uint64
 	)
@@ -155,22 +155,25 @@ func run(o options) (err error) {
 		if err != nil {
 			return err
 		}
-		writer, closeFn, err = store.Resume(cp.SinkOffset)
+		sink, err = store.Resume(cp.SinkOffset)
 		if err != nil {
 			return err
 		}
-		base = cp.SinkOffset
 		startRound, startSamples = cp.Round+1, cp.Samples
-		log.Printf("resume: %d/%d rounds done, %d samples, sink at byte %d",
-			startRound, cfg.Rounds(), startSamples, base)
+		log.Printf("resume: %d/%d rounds done, %d samples, %s sink at byte %d",
+			startRound, cfg.Rounds(), startSamples, store.Format(), cp.SinkOffset)
 	} else {
+		format, err := results.ParseFormat(o.format)
+		if err != nil {
+			return err
+		}
 		meta := cfg.Meta(o.seed, w.Probes.Len(), w.Catalog.Len())
-		store, writer, closeFn, err = results.Create(o.out, meta)
+		store, sink, err = results.Create(o.out, meta, format)
 		if err != nil {
 			return err
 		}
 	}
-	writer.Instrument(results.NewMetrics(reg))
+	sink.Instrument(results.NewMetrics(reg))
 
 	campaignOpts := atlas.CampaignOptions{
 		Workers:       workers,
@@ -182,29 +185,27 @@ func run(o options) (err error) {
 	if o.checkpointEvery > 0 {
 		campaignOpts.CheckpointPath = ckPath
 		campaignOpts.CheckpointEvery = o.checkpointEvery
-		campaignOpts.Commit = func() (int64, error) {
-			if err := writer.Flush(); err != nil {
-				return 0, err
-			}
-			return base + int64(writer.BytesWritten()), nil
-		}
+		// Commit flushes and fsyncs the samples file, so the checkpoint's
+		// offset is always durable on disk — and, for binary stores, a
+		// block boundary Resume can truncate to.
+		campaignOpts.Commit = sink.Commit
 	}
 
 	campSpan := root.Child("campaign")
 	ctx := obs.ContextWith(context.Background(), campSpan)
 	stopProgress := startProgress(m, cfg.Rounds(), o.progressEvery)
-	n, err := w.Platform.RunCampaignOpts(ctx, cfg, campaignOpts, writer.Write)
+	n, err := w.Platform.RunCampaignOpts(ctx, cfg, campaignOpts, sink.Write)
 	stopProgress()
 	campSpan.End()
 	if err != nil {
-		closeFn()
+		sink.Close()
 		if o.checkpointEvery > 0 {
 			log.Printf("campaign interrupted after %d samples; rerun with -resume to continue from %s", n, ckPath)
 		}
 		return err
 	}
 	flushSpan := root.Child("results.flush")
-	err = closeFn()
+	err = sink.Close()
 	flushSpan.End()
 	if err != nil {
 		return err

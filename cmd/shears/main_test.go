@@ -27,6 +27,9 @@ func TestRunBuildsDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if store.Format() != results.FormatBinary {
+		t.Errorf("default store format = %v, want binary", store.Format())
+	}
 	meta := store.Meta()
 	if meta.Probes != 200 || meta.Regions != 101 {
 		t.Errorf("meta = %+v", meta)
@@ -149,22 +152,28 @@ func TestRunWritesTrace(t *testing.T) {
 }
 
 // TestRunWorkerCountInvariance is the end-to-end determinism check: the
-// same flags with different -workers produce byte-identical datasets.
+// same flags with different -workers produce byte-identical datasets,
+// in both storage formats.
 func TestRunWorkerCountInvariance(t *testing.T) {
-	read := func(workers int) []byte {
-		dir := filepath.Join(t.TempDir(), "ds")
-		if err := run(options{out: dir, probes: 200, seed: 3, days: 2, quiet: true, workers: workers}); err != nil {
-			t.Fatal(err)
+	for _, tc := range []struct {
+		format string
+		file   string
+	}{{"", "samples.bin"}, {"jsonl", "samples.jsonl"}} {
+		read := func(workers int) []byte {
+			dir := filepath.Join(t.TempDir(), "ds")
+			if err := run(options{out: dir, probes: 200, seed: 3, days: 2, quiet: true, workers: workers, format: tc.format}); err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(dir, tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
 		}
-		b, err := os.ReadFile(filepath.Join(dir, "samples.jsonl"))
-		if err != nil {
-			t.Fatal(err)
+		serial := read(1)
+		if parallel := read(7); !bytes.Equal(serial, parallel) {
+			t.Errorf("format=%q: workers=7 dataset differs from workers=1", tc.format)
 		}
-		return b
-	}
-	serial := read(1)
-	if parallel := read(7); !bytes.Equal(serial, parallel) {
-		t.Error("workers=7 dataset differs from workers=1")
 	}
 }
 

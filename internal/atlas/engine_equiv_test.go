@@ -82,17 +82,11 @@ func TestEngineKillAndResume(t *testing.T) {
 	dir := t.TempDir()
 	ckPath := filepath.Join(dir, "checkpoint.json")
 	meta := cfg.Meta(7, p.Population.Len(), p.Catalog.Len())
-	_, writer, closeFn, err := results.Create(dir, meta)
+	_, sink, err := results.Create(dir, meta, results.FormatJSONL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	em := engine.NewMetrics(obs.NewRegistry())
-	commit := func() (int64, error) {
-		if err := writer.Flush(); err != nil {
-			return 0, err
-		}
-		return int64(writer.BytesWritten()), nil
-	}
 
 	// Kill the run partway: the sink dies permanently after ~62% of the
 	// samples, well past several CheckpointEvery=8 checkpoints.
@@ -103,7 +97,7 @@ func TestEngineKillAndResume(t *testing.T) {
 		Workers:         4,
 		CheckpointPath:  ckPath,
 		CheckpointEvery: 8,
-		Commit:          commit,
+		Commit:          sink.Commit,
 		Fingerprint:     fp,
 		EngineMetrics:   em,
 	}, func(s results.Sample) error {
@@ -111,12 +105,12 @@ func TestEngineKillAndResume(t *testing.T) {
 			return kill
 		}
 		seen++
-		return writer.Write(s)
+		return sink.Write(s)
 	})
 	if !errors.Is(err, kill) {
 		t.Fatalf("interrupted run err = %v, want simulated kill", err)
 	}
-	if err := closeFn(); err != nil {
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if em.CheckpointWrites.Value() == 0 {
@@ -140,29 +134,23 @@ func TestEngineKillAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	writer2, closeFn2, err := reopened.Resume(cp.SinkOffset)
+	sink2, err := reopened.Resume(cp.SinkOffset)
 	if err != nil {
 		t.Fatal(err)
-	}
-	commit2 := func() (int64, error) {
-		if err := writer2.Flush(); err != nil {
-			return 0, err
-		}
-		return cp.SinkOffset + int64(writer2.BytesWritten()), nil
 	}
 	n, err := p.RunCampaignOpts(context.Background(), cfg, CampaignOptions{
 		Workers:         3,
 		CheckpointPath:  ckPath,
 		CheckpointEvery: 8,
-		Commit:          commit2,
+		Commit:          sink2.Commit,
 		Fingerprint:     fp,
 		StartRound:      cp.Round + 1,
 		StartSamples:    cp.Samples,
-	}, writer2.Write)
+	}, sink2.Write)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := closeFn2(); err != nil {
+	if err := sink2.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if n != total {
@@ -175,6 +163,106 @@ func TestEngineKillAndResume(t *testing.T) {
 	}
 	if !bytes.Equal(got, reference) {
 		t.Fatal("resumed dataset diverges from uninterrupted run")
+	}
+}
+
+// TestEngineKillAndResumeBinary mirrors the kill-and-resume check on a
+// binary (colf) store. Block boundaries depend on where checkpoints
+// flushed, so the file bytes legitimately differ from an uninterrupted
+// run — the decoded sample stream must not.
+func TestEngineKillAndResumeBinary(t *testing.T) {
+	p := smallPlatform(t)
+	cfg := equivCampaign()
+	fp := cfg.Fingerprint(7, p.Population.Len())
+
+	// Reference: the decoded sample stream of one uninterrupted run.
+	var reference []results.Sample
+	total, err := p.RunCampaignOpts(context.Background(), cfg, CampaignOptions{Workers: 4},
+		func(s results.Sample) error { reference = append(reference, s); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "checkpoint.json")
+	meta := cfg.Meta(7, p.Population.Len(), p.Catalog.Len())
+	_, sink, err := results.Create(dir, meta, results.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kill := errors.New("simulated kill")
+	limit := total * 5 / 8
+	var seen uint64
+	_, err = p.RunCampaignOpts(context.Background(), cfg, CampaignOptions{
+		Workers:         4,
+		CheckpointPath:  ckPath,
+		CheckpointEvery: 8,
+		Commit:          sink.Commit,
+		Fingerprint:     fp,
+	}, func(s results.Sample) error {
+		if seen == limit {
+			return kill
+		}
+		seen++
+		return sink.Write(s)
+	})
+	if !errors.Is(err, kill) {
+		t.Fatalf("interrupted run err = %v, want simulated kill", err)
+	}
+	// A real kill never runs Close: the file ends in flushed blocks with
+	// no trailing index, plus whatever the last checkpoint didn't cover.
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := engine.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Format() != results.FormatBinary {
+		t.Fatalf("reopened store format %v", reopened.Format())
+	}
+	sink2, err := reopened.Resume(cp.SinkOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.RunCampaignOpts(context.Background(), cfg, CampaignOptions{
+		Workers:         3,
+		CheckpointPath:  ckPath,
+		CheckpointEvery: 8,
+		Commit:          sink2.Commit,
+		Fingerprint:     fp,
+		StartRound:      cp.Round + 1,
+		StartSamples:    cp.Samples,
+	}, sink2.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("resumed run total = %d, want %d", n, total)
+	}
+
+	var got []results.Sample
+	if err := reopened.ForEach(func(s results.Sample) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(got)) != total {
+		t.Fatalf("resumed store holds %d samples, want %d", len(got), total)
+	}
+	for i := range got {
+		a, b := got[i], reference[i]
+		if a.ProbeID != b.ProbeID || a.Region != b.Region || !a.Time.Equal(b.Time) ||
+			a.RTTms != b.RTTms || a.Lost != b.Lost {
+			t.Fatalf("sample %d diverges after resume: %+v vs %+v", i, a, b)
+		}
 	}
 }
 

@@ -1,0 +1,36 @@
+package colf
+
+import "repro/internal/obs"
+
+// Metrics are the columnar reader's instruments, recorded by scanners
+// that read colf datasets. A nil *Metrics disables recording.
+type Metrics struct {
+	// BlocksRead counts blocks decoded.
+	BlocksRead *obs.Counter
+	// BlocksSkipped counts blocks skipped via zone maps.
+	BlocksSkipped *obs.Counter
+	// BytesDecoded counts encoded block bytes actually decoded.
+	BytesDecoded *obs.Counter
+}
+
+// NewMetrics registers the colf instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		BlocksRead: reg.Counter("colf_blocks_read_total",
+			"Columnar blocks decoded by dataset scans."),
+		BlocksSkipped: reg.Counter("colf_blocks_skipped_total",
+			"Columnar blocks skipped via zone-map pushdown."),
+		BytesDecoded: reg.Counter("colf_bytes_decoded_total",
+			"Encoded columnar bytes decoded by dataset scans."),
+	}
+}
+
+// Observe records one scan's block accounting.
+func (m *Metrics) Observe(read, skipped int, bytesDecoded int64) {
+	if m == nil {
+		return
+	}
+	m.BlocksRead.Add(uint64(read))
+	m.BlocksSkipped.Add(uint64(skipped))
+	m.BytesDecoded.Add(uint64(bytesDecoded))
+}

@@ -1,0 +1,455 @@
+package colf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Reader locates the blocks of a colf stream. Opening reads only the
+// file-level index (or, when the index is missing after a crash,
+// rebuilds it from the block footers); payloads stay untouched until a
+// BlockDecoder asks for them.
+type Reader struct {
+	r      io.ReaderAt
+	size   int64
+	blocks []BlockInfo
+}
+
+// NewReader indexes the colf stream held by r. A zero-length stream is
+// an empty dataset; anything else must start with the colf header.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size == 0 {
+		return &Reader{r: r, size: 0}, nil
+	}
+	if size < HeaderSize {
+		return nil, fmt.Errorf("colf: file of %d bytes is shorter than the header", size)
+	}
+	var hdr [HeaderSize]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if !Sniff(hdr[:]) {
+		return nil, fmt.Errorf("colf: bad file header % x", hdr)
+	}
+	rd := &Reader{r: r, size: size}
+	blocks, ok, err := loadIndex(r, size)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// No trailing index (interrupted run): rebuild from the block
+		// footers, verifying payload CRCs along the way.
+		if blocks, err = ScanBlocks(r, size, true); err != nil {
+			return nil, err
+		}
+	}
+	rd.blocks = blocks
+	return rd, nil
+}
+
+// Open indexes the colf file at path. The returned closer owns the
+// file handle; the Reader stays valid until it is closed.
+func Open(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+// Blocks returns the stream's blocks in file order. The slice is
+// shared; don't mutate it.
+func (r *Reader) Blocks() []BlockInfo { return r.blocks }
+
+// Rows returns the total row count from the zone maps.
+func (r *Reader) Rows() uint64 {
+	var n uint64
+	for _, b := range r.blocks {
+		n += uint64(b.Zone.Rows)
+	}
+	return n
+}
+
+// ForEachRow decodes every block in file order and calls fn per row.
+func (r *Reader) ForEachRow(fn func(Row) error) error {
+	dec := NewBlockDecoder()
+	for _, bi := range r.blocks {
+		blk, err := dec.Decode(r.r, bi)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < blk.Rows(); i++ {
+			if err := fn(blk.Row(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadIndex tries the trailing file-level index. ok=false means the
+// trailer is absent (not an error: the stream may simply never have
+// been finished); a present-but-corrupt index is an error.
+func loadIndex(r io.ReaderAt, size int64) ([]BlockInfo, bool, error) {
+	if size < HeaderSize+indexTrailerSize {
+		return nil, false, nil
+	}
+	var trailer [indexTrailerSize]byte
+	if _, err := r.ReadAt(trailer[:], size-indexTrailerSize); err != nil {
+		return nil, false, err
+	}
+	if string(trailer[4:]) != string(indexMagic[:]) {
+		return nil, false, nil
+	}
+	idxLen := int64(binary.LittleEndian.Uint32(trailer[:4]))
+	idxStart := size - indexTrailerSize - idxLen
+	if idxStart < HeaderSize {
+		return nil, false, fmt.Errorf("colf: index of %d bytes does not fit the file", idxLen)
+	}
+	body := make([]byte, idxLen)
+	if _, err := r.ReadAt(body, idxStart); err != nil {
+		return nil, false, err
+	}
+	c := &byteCursor{b: body}
+	count, err := c.uvarint()
+	if err != nil {
+		return nil, false, fmt.Errorf("colf: corrupt index: %w", err)
+	}
+	if count > uint64(size/8) {
+		return nil, false, fmt.Errorf("colf: corrupt index: %d blocks in a %d-byte file", count, size)
+	}
+	blocks := make([]BlockInfo, 0, count)
+	prevOff, prevEnd := int64(0), int64(HeaderSize)
+	for i := uint64(0); i < count; i++ {
+		offDelta, err := c.uvarint()
+		if err != nil {
+			return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
+		}
+		length, err := c.uvarint()
+		if err != nil {
+			return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
+		}
+		zone, err := decodeZone(c)
+		if err != nil {
+			return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
+		}
+		bi := BlockInfo{Off: prevOff + int64(offDelta), Len: int64(length), Zone: zone}
+		if bi.Off != prevEnd || bi.Len < 12 || bi.Off+bi.Len > idxStart {
+			return nil, false, fmt.Errorf("colf: index entry %d places block at [%d,%d) outside [%d,%d)",
+				i, bi.Off, bi.Off+bi.Len, prevEnd, idxStart)
+		}
+		prevOff, prevEnd = bi.Off, bi.Off+bi.Len
+		blocks = append(blocks, bi)
+	}
+	if c.remaining() != 0 {
+		return nil, false, fmt.Errorf("colf: %d trailing bytes after index entries", c.remaining())
+	}
+	if prevEnd != idxStart {
+		return nil, false, fmt.Errorf("colf: index covers bytes up to %d, data ends at %d", prevEnd, idxStart)
+	}
+	return blocks, true, nil
+}
+
+// ScanBlocks walks the block chain from the header to end, parsing
+// each block's footer (and, when verify is set, checking its CRC
+// against the payload). It fails on a torn or truncated block — the
+// state a crash leaves behind, which checkpoint-based resume repairs
+// by truncating to a known block boundary.
+func ScanBlocks(r io.ReaderAt, end int64, verify bool) ([]BlockInfo, error) {
+	var blocks []BlockInfo
+	var head [8]byte
+	off := int64(HeaderSize)
+	for off < end {
+		if end-off < 8 {
+			return nil, fmt.Errorf("colf: %d stray bytes at offset %d (torn block?)", end-off, off)
+		}
+		if _, err := r.ReadAt(head[:], off); err != nil {
+			return nil, err
+		}
+		bodyLen := int64(binary.LittleEndian.Uint32(head[0:4]))
+		payloadLen := int64(binary.LittleEndian.Uint32(head[4:8]))
+		if bodyLen > maxBlockBytes || payloadLen+4 > bodyLen {
+			return nil, fmt.Errorf("colf: implausible block lengths (%d, %d) at offset %d", bodyLen, payloadLen, off)
+		}
+		if off+8+bodyLen > end {
+			return nil, fmt.Errorf("colf: block at offset %d runs past byte %d (torn block?)", off, end)
+		}
+		footer := make([]byte, bodyLen-payloadLen)
+		if _, err := r.ReadAt(footer, off+8+payloadLen); err != nil {
+			return nil, err
+		}
+		c := &byteCursor{b: footer[:len(footer)-4]}
+		zone, err := decodeZone(c)
+		if err != nil {
+			return nil, fmt.Errorf("colf: block at offset %d: %w", off, err)
+		}
+		if c.remaining() != 0 {
+			return nil, fmt.Errorf("colf: block at offset %d: %d stray footer bytes", off, c.remaining())
+		}
+		if verify {
+			payload := make([]byte, payloadLen)
+			if _, err := r.ReadAt(payload, off+8); err != nil {
+				return nil, err
+			}
+			crc := crc32.ChecksumIEEE(head[4:8])
+			crc = crc32.Update(crc, crc32.IEEETable, payload)
+			crc = crc32.Update(crc, crc32.IEEETable, footer[:len(footer)-4])
+			if got := binary.LittleEndian.Uint32(footer[len(footer)-4:]); got != crc {
+				return nil, fmt.Errorf("colf: block at offset %d fails CRC (%08x != %08x)", off, got, crc)
+			}
+		}
+		blocks = append(blocks, BlockInfo{Off: off, Len: 8 + bodyLen, Zone: zone})
+		off += 8 + bodyLen
+	}
+	return blocks, nil
+}
+
+// BlocksTo walks the block chain up to exactly offset, verifying CRCs,
+// and returns the blocks of that prefix. It errors when offset is not
+// a block boundary — the caller is about to truncate there, and
+// cutting a block in half would corrupt the stream.
+func BlocksTo(r io.ReaderAt, offset int64) ([]BlockInfo, error) {
+	if offset < HeaderSize {
+		return nil, fmt.Errorf("colf: offset %d is inside the file header", offset)
+	}
+	blocks, err := ScanBlocks(r, offset, true)
+	if err != nil {
+		return nil, fmt.Errorf("colf: offset %d is not a block boundary: %w", offset, err)
+	}
+	return blocks, nil
+}
+
+// Block holds one decoded block in columnar form. Slices are owned by
+// the BlockDecoder and overwritten by its next Decode.
+type Block struct {
+	Probe    []int
+	TimeNano []int64
+	Region   []string
+	RTT      []float64
+	Lost     []bool
+}
+
+// Rows returns the decoded row count.
+func (b *Block) Rows() int { return len(b.Probe) }
+
+// Row assembles row i.
+func (b *Block) Row(i int) Row {
+	return Row{Probe: b.Probe[i], TimeNano: b.TimeNano[i], Region: b.Region[i], RTT: b.RTT[i], Lost: b.Lost[i]}
+}
+
+// BlockDecoder decodes blocks, reusing its buffers and interning
+// region strings across blocks so a long scan allocates almost
+// nothing per block. Not safe for concurrent use; scanners give each
+// worker its own.
+type BlockDecoder struct {
+	buf    []byte
+	blk    Block
+	dict   []string
+	intern map[string]string
+}
+
+// NewBlockDecoder returns a ready decoder.
+func NewBlockDecoder() *BlockDecoder {
+	return &BlockDecoder{intern: make(map[string]string)}
+}
+
+// Decode reads and decodes the block described by bi. The returned
+// Block is valid until the next Decode call.
+func (d *BlockDecoder) Decode(r io.ReaderAt, bi BlockInfo) (*Block, error) {
+	if bi.Len < 12 || bi.Len > maxBlockBytes {
+		return nil, fmt.Errorf("colf: implausible block length %d at offset %d", bi.Len, bi.Off)
+	}
+	if cap(d.buf) < int(bi.Len) {
+		d.buf = make([]byte, bi.Len)
+	}
+	buf := d.buf[:bi.Len]
+	if _, err := r.ReadAt(buf, bi.Off); err != nil {
+		return nil, err
+	}
+	bodyLen := int64(binary.LittleEndian.Uint32(buf[0:4]))
+	payloadLen := int64(binary.LittleEndian.Uint32(buf[4:8]))
+	if 8+bodyLen != bi.Len || payloadLen+4 > bodyLen {
+		return nil, fmt.Errorf("colf: block at offset %d: lengths (%d, %d) disagree with index length %d",
+			bi.Off, bodyLen, payloadLen, bi.Len)
+	}
+	payload := buf[8 : 8+payloadLen]
+	footer := buf[8+payloadLen : 8+bodyLen-4]
+	crc := crc32.ChecksumIEEE(buf[4:8])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	crc = crc32.Update(crc, crc32.IEEETable, footer)
+	if got := binary.LittleEndian.Uint32(buf[8+bodyLen-4:]); got != crc {
+		return nil, fmt.Errorf("colf: block at offset %d fails CRC (%08x != %08x)", bi.Off, got, crc)
+	}
+	fc := &byteCursor{b: footer}
+	zone, err := decodeZone(fc)
+	if err != nil {
+		return nil, fmt.Errorf("colf: block at offset %d: corrupt footer: %w", bi.Off, err)
+	}
+	rows := zone.Rows
+	if rows > int(payloadLen)+1 {
+		// Every row costs at least one payload byte in some column.
+		return nil, fmt.Errorf("colf: block at offset %d claims %d rows in %d payload bytes", bi.Off, rows, payloadLen)
+	}
+
+	c := &byteCursor{b: payload}
+	probeSec, err := section(c)
+	if err != nil {
+		return nil, err
+	}
+	timeSec, err := section(c)
+	if err != nil {
+		return nil, err
+	}
+	regionSec, err := section(c)
+	if err != nil {
+		return nil, err
+	}
+	rttSec, err := section(c)
+	if err != nil {
+		return nil, err
+	}
+	lostSec, err := section(c)
+	if err != nil {
+		return nil, err
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("colf: block at offset %d: %d stray payload bytes", bi.Off, c.remaining())
+	}
+
+	blk := &d.blk
+	blk.Probe = grow(blk.Probe, rows)
+	blk.TimeNano = grow(blk.TimeNano, rows)
+	blk.Region = grow(blk.Region, rows)
+	blk.RTT = grow(blk.RTT, rows)
+	blk.Lost = grow(blk.Lost, rows)
+
+	// Probe and time columns: delta chains restarting at zero.
+	prev := int64(0)
+	for i := 0; i < rows; i++ {
+		dlt, err := probeSec.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += dlt
+		blk.Probe[i] = int(prev)
+	}
+	if probeSec.remaining() != 0 {
+		return nil, fmt.Errorf("colf: block at offset %d: stray probe bytes", bi.Off)
+	}
+	prev = 0
+	for i := 0; i < rows; i++ {
+		dlt, err := timeSec.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += dlt
+		blk.TimeNano[i] = prev
+	}
+	if timeSec.remaining() != 0 {
+		return nil, fmt.Errorf("colf: block at offset %d: stray time bytes", bi.Off)
+	}
+
+	// Region column: dictionary then codes.
+	dictN, err := regionSec.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dictN > uint64(rows) {
+		return nil, fmt.Errorf("colf: block at offset %d: dictionary of %d entries for %d rows", bi.Off, dictN, rows)
+	}
+	d.dict = d.dict[:0]
+	for i := uint64(0); i < dictN; i++ {
+		n, err := regionSec.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := regionSec.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		d.dict = append(d.dict, d.internString(raw))
+	}
+	for i := 0; i < rows; i++ {
+		code, err := regionSec.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if code >= uint64(len(d.dict)) {
+			return nil, fmt.Errorf("colf: block at offset %d: region code %d outside dictionary of %d", bi.Off, code, len(d.dict))
+		}
+		blk.Region[i] = d.dict[code]
+	}
+	if regionSec.remaining() != 0 {
+		return nil, fmt.Errorf("colf: block at offset %d: stray region bytes", bi.Off)
+	}
+
+	// RTT column: raw bits.
+	if rttSec.remaining() != rows*8 {
+		return nil, fmt.Errorf("colf: block at offset %d: RTT column holds %d bytes for %d rows", bi.Off, rttSec.remaining(), rows)
+	}
+	for i := 0; i < rows; i++ {
+		v, err := rttSec.floatBits()
+		if err != nil {
+			return nil, err
+		}
+		blk.RTT[i] = v
+	}
+
+	// Loss bitmap.
+	want := (rows + 7) / 8
+	bits, err := lostSec.bytes(want)
+	if err != nil || lostSec.remaining() != 0 {
+		return nil, fmt.Errorf("colf: block at offset %d: loss bitmap holds %d bytes, want %d", bi.Off, len(lostSec.b), want)
+	}
+	for i := 0; i < rows; i++ {
+		blk.Lost[i] = bits[i/8]&(1<<(i%8)) != 0
+	}
+
+	return blk, nil
+}
+
+// section carves the next length-prefixed column section into its own
+// cursor.
+func section(c *byteCursor) (*byteCursor, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.bytes(int(n))
+	if err != nil {
+		return nil, err
+	}
+	return &byteCursor{b: raw}, nil
+}
+
+// grow returns a slice of length n, reusing s's capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// internString returns a shared string for b, allocating only the
+// first time a spelling is seen.
+func (d *BlockDecoder) internString(b []byte) string {
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	d.intern[s] = s
+	return s
+}

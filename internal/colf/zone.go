@@ -1,0 +1,243 @@
+package colf
+
+import (
+	"fmt"
+	"time"
+)
+
+// Zone is one block's per-column summary: row count and min/max per
+// column. Readers use it two ways — integrity (the decoded block must
+// reproduce it) and skipping (a predicate that excludes the zone's
+// ranges excludes every row of the block without decoding it).
+type Zone struct {
+	// Rows is the block's row count.
+	Rows int
+	// MinProbe/MaxProbe bound the probe ID column.
+	MinProbe, MaxProbe int
+	// MinTime/MaxTime bound the timestamp column, Unix nanoseconds.
+	MinTime, MaxTime int64
+	// Delivered counts rows with Lost == false. MinRTT/MaxRTT bound the
+	// RTT column over delivered rows only and are zero when none were.
+	Delivered      int
+	MinRTT, MaxRTT float64
+	// MinRegion/MaxRegion bound the region column lexicographically.
+	MinRegion, MaxRegion string
+}
+
+// observe folds one row into the zone.
+func (z *Zone) observe(r Row) {
+	if z.Rows == 0 {
+		z.MinProbe, z.MaxProbe = r.Probe, r.Probe
+		z.MinTime, z.MaxTime = r.TimeNano, r.TimeNano
+		z.MinRegion, z.MaxRegion = r.Region, r.Region
+	} else {
+		if r.Probe < z.MinProbe {
+			z.MinProbe = r.Probe
+		}
+		if r.Probe > z.MaxProbe {
+			z.MaxProbe = r.Probe
+		}
+		if r.TimeNano < z.MinTime {
+			z.MinTime = r.TimeNano
+		}
+		if r.TimeNano > z.MaxTime {
+			z.MaxTime = r.TimeNano
+		}
+		if r.Region < z.MinRegion {
+			z.MinRegion = r.Region
+		}
+		if r.Region > z.MaxRegion {
+			z.MaxRegion = r.Region
+		}
+	}
+	z.Rows++
+	if !r.Lost {
+		if z.Delivered == 0 {
+			z.MinRTT, z.MaxRTT = r.RTT, r.RTT
+		} else {
+			if r.RTT < z.MinRTT {
+				z.MinRTT = r.RTT
+			}
+			if r.RTT > z.MaxRTT {
+				z.MaxRTT = r.RTT
+			}
+		}
+		z.Delivered++
+	}
+}
+
+// appendZone encodes z. The same encoding serves block footers and the
+// file-level index.
+func appendZone(b []byte, z Zone) []byte {
+	b = appendUvarint(b, uint64(z.Rows))
+	b = appendVarint(b, int64(z.MinProbe))
+	b = appendVarint(b, int64(z.MaxProbe))
+	b = appendVarint(b, z.MinTime)
+	b = appendVarint(b, z.MaxTime)
+	b = appendUvarint(b, uint64(z.Delivered))
+	if z.Delivered > 0 {
+		b = appendFloatBits(b, z.MinRTT)
+		b = appendFloatBits(b, z.MaxRTT)
+	}
+	b = appendUvarint(b, uint64(len(z.MinRegion)))
+	b = append(b, z.MinRegion...)
+	b = appendUvarint(b, uint64(len(z.MaxRegion)))
+	b = append(b, z.MaxRegion...)
+	return b
+}
+
+// decodeZone parses one zone from the cursor.
+func decodeZone(c *byteCursor) (Zone, error) {
+	var z Zone
+	rows, err := c.uvarint()
+	if err != nil {
+		return z, err
+	}
+	if rows > uint64(maxBlockBytes) {
+		return z, fmt.Errorf("colf: implausible zone row count %d", rows)
+	}
+	z.Rows = int(rows)
+	minP, err := c.varint()
+	if err != nil {
+		return z, err
+	}
+	maxP, err := c.varint()
+	if err != nil {
+		return z, err
+	}
+	z.MinProbe, z.MaxProbe = int(minP), int(maxP)
+	if z.MinTime, err = c.varint(); err != nil {
+		return z, err
+	}
+	if z.MaxTime, err = c.varint(); err != nil {
+		return z, err
+	}
+	delivered, err := c.uvarint()
+	if err != nil {
+		return z, err
+	}
+	if delivered > rows {
+		return z, fmt.Errorf("colf: zone delivered %d exceeds rows %d", delivered, rows)
+	}
+	z.Delivered = int(delivered)
+	if z.Delivered > 0 {
+		if z.MinRTT, err = c.floatBits(); err != nil {
+			return z, err
+		}
+		if z.MaxRTT, err = c.floatBits(); err != nil {
+			return z, err
+		}
+	}
+	n, err := c.uvarint()
+	if err != nil {
+		return z, err
+	}
+	raw, err := c.bytes(int(n))
+	if err != nil {
+		return z, err
+	}
+	z.MinRegion = string(raw)
+	if n, err = c.uvarint(); err != nil {
+		return z, err
+	}
+	if raw, err = c.bytes(int(n)); err != nil {
+		return z, err
+	}
+	z.MaxRegion = string(raw)
+	return z, nil
+}
+
+// Predicate is a conjunction of per-column range filters. MatchZone is
+// the block-skipping side: it answers "may this block contain a
+// matching row?" and errs toward true, so skipping is always safe.
+// Row-level filtering stays the consumer's job — a scan pass must
+// still test every decoded row (MatchRow), because kept blocks carry
+// non-matching rows too. Zero-valued fields leave their column
+// unconstrained.
+type Predicate struct {
+	// Since/Until restrict timestamps to the half-open window
+	// [Since, Until). Zero times leave the corresponding side open.
+	Since, Until time.Time
+	// MinProbe/MaxProbe restrict probe IDs to an inclusive range; zero
+	// leaves the corresponding side open (probe IDs are positive).
+	MinProbe, MaxProbe int
+	// RegionPrefix restricts the region address to one prefix, e.g. one
+	// provider's "Amazon/" namespace.
+	RegionPrefix string
+}
+
+// Empty reports whether the predicate constrains nothing.
+func (p *Predicate) Empty() bool {
+	return p == nil || (p.Since.IsZero() && p.Until.IsZero() &&
+		p.MinProbe == 0 && p.MaxProbe == 0 && p.RegionPrefix == "")
+}
+
+// MatchZone reports whether a block with zone z may contain a matching
+// row. A false return proves no row matches.
+func (p *Predicate) MatchZone(z Zone) bool {
+	if p == nil {
+		return true
+	}
+	if !p.Since.IsZero() && z.MaxTime < p.Since.UnixNano() {
+		return false
+	}
+	if !p.Until.IsZero() && z.MinTime >= p.Until.UnixNano() {
+		return false
+	}
+	if p.MinProbe != 0 && z.MaxProbe < p.MinProbe {
+		return false
+	}
+	if p.MaxProbe != 0 && z.MinProbe > p.MaxProbe {
+		return false
+	}
+	if p.RegionPrefix != "" {
+		// A region with the prefix exists in [MinRegion, MaxRegion] only
+		// if the range reaches the prefix: not entirely below it and not
+		// entirely past its last possible expansion.
+		if z.MaxRegion < p.RegionPrefix {
+			return false
+		}
+		if hi, bounded := prefixSuccessor(p.RegionPrefix); bounded && z.MinRegion >= hi {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchRow is the row-level mirror of MatchZone: exact, not
+// conservative.
+func (p *Predicate) MatchRow(probe int, timeNano int64, region string) bool {
+	if p == nil {
+		return true
+	}
+	if !p.Since.IsZero() && timeNano < p.Since.UnixNano() {
+		return false
+	}
+	if !p.Until.IsZero() && timeNano >= p.Until.UnixNano() {
+		return false
+	}
+	if p.MinProbe != 0 && probe < p.MinProbe {
+		return false
+	}
+	if p.MaxProbe != 0 && probe > p.MaxProbe {
+		return false
+	}
+	if p.RegionPrefix != "" && (len(region) < len(p.RegionPrefix) || region[:len(p.RegionPrefix)] != p.RegionPrefix) {
+		return false
+	}
+	return true
+}
+
+// prefixSuccessor returns the smallest string greater than every
+// string with the given prefix, and whether such a bound exists (it
+// does not when the prefix is all 0xFF bytes).
+func prefixSuccessor(prefix string) (string, bool) {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
+}

@@ -36,7 +36,9 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// fileDataset returns a stored month-long test campaign (~400 probes).
+// fileDataset returns a stored month-long test campaign (~400 probes)
+// in JSONL form. A binary twin of the same campaign lives next to it;
+// fileDatasetBinary opens that one.
 func fileDataset(tb testing.TB) (*results.Store, *world.World, atlas.CampaignConfig) {
 	tb.Helper()
 	fileOnce.Do(func() {
@@ -49,18 +51,35 @@ func fileDataset(tb testing.TB) (*results.Store, *world.World, atlas.CampaignCon
 			return
 		}
 		fileCfg = atlas.TestCampaign()
-		var writer *results.Writer
-		var closeFn func() error
-		_, writer, closeFn, fileErr = results.Create(filepath.Join(fileDir, "ds"),
-			fileCfg.Meta(7, fileWorld.Probes.Len(), fileWorld.Catalog.Len()))
+		meta := fileCfg.Meta(7, fileWorld.Probes.Len(), fileWorld.Catalog.Len())
+		var sink *results.Sink
+		_, sink, fileErr = results.Create(filepath.Join(fileDir, "ds"), meta, results.FormatJSONL)
 		if fileErr != nil {
 			return
 		}
-		if _, fileErr = fileWorld.Platform.RunCampaign(context.Background(), fileCfg, writer.Write); fileErr != nil {
-			closeFn()
+		if _, fileErr = fileWorld.Platform.RunCampaign(context.Background(), fileCfg, sink.Write); fileErr != nil {
+			sink.Close()
 			return
 		}
-		fileErr = closeFn()
+		if fileErr = sink.Close(); fileErr != nil {
+			return
+		}
+		// Binary twin: the same samples re-encoded into a colf store.
+		var src *results.Store
+		src, fileErr = results.Open(filepath.Join(fileDir, "ds"))
+		if fileErr != nil {
+			return
+		}
+		var bsink *results.Sink
+		_, bsink, fileErr = results.Create(filepath.Join(fileDir, "ds-bin"), meta, results.FormatBinary)
+		if fileErr != nil {
+			return
+		}
+		if fileErr = src.ForEach(bsink.Write); fileErr != nil {
+			bsink.Close()
+			return
+		}
+		fileErr = bsink.Close()
 	})
 	if fileErr != nil {
 		tb.Fatal(fileErr)
@@ -68,6 +87,20 @@ func fileDataset(tb testing.TB) (*results.Store, *world.World, atlas.CampaignCon
 	store, err := results.Open(filepath.Join(fileDir, "ds"))
 	if err != nil {
 		tb.Fatal(err)
+	}
+	return store, fileWorld, fileCfg
+}
+
+// fileDatasetBinary returns the binary twin of fileDataset's campaign.
+func fileDatasetBinary(tb testing.TB) (*results.Store, *world.World, atlas.CampaignConfig) {
+	tb.Helper()
+	fileDataset(tb) // ensure both stores exist
+	store, err := results.Open(filepath.Join(fileDir, "ds-bin"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if store.Format() != results.FormatBinary {
+		tb.Fatalf("ds-bin detected as %v", store.Format())
 	}
 	return store, fileWorld, fileCfg
 }
@@ -210,6 +243,75 @@ func TestScanStoreMatchesLegacy(t *testing.T) {
 		}
 		if rep.Significance != ks {
 			t.Errorf("workers=%d: KS result differs: %+v vs %+v", workers, rep.Significance, ks)
+		}
+	}
+}
+
+// renderSuite renders a fused scan report to its user-visible bytes:
+// every figure's lines and CSVs, concatenated deterministically.
+func renderSuite(tb testing.TB, rep *core.SuiteReport) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	write := func(lines []string, err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+		buf.WriteString(strings.Join(lines, "\n"))
+		buf.WriteString("\n--\n")
+	}
+	write(figures.Figure4Lines(rep.Proximity), nil)
+	write(figures.CDFLines(rep.MinRTT))
+	write(figures.CDFLines(rep.FullDist))
+	write(figures.Figure7Lines(rep.LastMile))
+	if err := figures.Figure4CSV(&buf, rep.Proximity); err != nil {
+		tb.Fatal(err)
+	}
+	if err := figures.CDFCSV(&buf, rep.MinRTT); err != nil {
+		tb.Fatal(err)
+	}
+	if err := figures.CDFCSV(&buf, rep.FullDist); err != nil {
+		tb.Fatal(err)
+	}
+	if err := figures.Figure7CSV(&buf, rep.LastMile); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestScanStoreFormatEquivalence is the storage tentpole's acceptance
+// check: the fused suite renders byte-identical figure lines and CSVs
+// from the JSONL store and its binary twin, for every worker count.
+func TestScanStoreFormatEquivalence(t *testing.T) {
+	jstore, w, cfg := fileDataset(t)
+	bstore, _, _ := fileDatasetBinary(t)
+
+	var reference []byte
+	for _, tc := range []struct {
+		name  string
+		store *results.Store
+	}{{"jsonl", jstore}, {"binary", bstore}} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			rep, st, err := core.ScanStore(context.Background(), tc.store, w.Index, cfg.Start, 7*24*time.Hour, workers, nil)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if tc.name == "binary" {
+				if !st.Binary {
+					t.Fatalf("binary store scanned as %d-worker JSONL", st.Workers)
+				}
+				if st.BlocksRead != st.BlocksTotal || st.BlocksSkipped != 0 {
+					t.Errorf("unfiltered binary scan read %d/%d blocks, skipped %d",
+						st.BlocksRead, st.BlocksTotal, st.BlocksSkipped)
+				}
+			}
+			got := renderSuite(t, rep)
+			if reference == nil {
+				reference = got
+				continue
+			}
+			if !bytes.Equal(got, reference) {
+				t.Errorf("%s workers=%d: rendered figures diverge from jsonl workers=1", tc.name, workers)
+			}
 		}
 	}
 }

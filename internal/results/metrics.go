@@ -13,7 +13,7 @@ type Metrics struct {
 func NewMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
 		Samples: reg.Counter("results_samples_written_total", "Samples appended to the dataset."),
-		Bytes:   reg.Counter("results_bytes_written_total", "Encoded JSONL bytes written (pre-buffer)."),
+		Bytes:   reg.Counter("results_bytes_written_total", "Encoded sample bytes written to the dataset."),
 	}
 }
 

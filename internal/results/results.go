@@ -14,6 +14,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/colf"
 )
 
 // Sample is one ping measurement: probe -> region at a point in time.
@@ -207,48 +209,55 @@ func (m Meta) Validate() error {
 const (
 	metaFile    = "meta.json"
 	samplesFile = "samples.jsonl"
+	binaryFile  = "samples.bin"
 )
 
-// Store is an on-disk campaign dataset: a directory holding meta.json and
-// samples.jsonl.
+// Store is an on-disk campaign dataset: a directory holding meta.json
+// plus the samples file — samples.bin (binary columnar, the default)
+// or samples.jsonl (line JSON). Open detects the format from which
+// file exists.
 type Store struct {
-	dir  string
-	meta Meta
+	dir    string
+	meta   Meta
+	format Format
 }
 
-// Create initializes a dataset directory and returns the store plus a
-// writer for its samples. Callers must Flush the writer and Close the
-// returned file via CloseFunc.
-func Create(dir string, meta Meta) (*Store, *Writer, func() error, error) {
+// Create initializes a dataset directory in the given storage format
+// and returns the store plus a sink for its samples. Callers must
+// Close the sink.
+func Create(dir string, meta Meta, format Format) (*Store, *Sink, error) {
 	if err := meta.Validate(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	mb, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	if err := os.WriteFile(filepath.Join(dir, metaFile), mb, 0o644); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	f, err := os.Create(filepath.Join(dir, samplesFile))
+	// A dataset holds exactly one samples file; drop any leftover of the
+	// other format so Open's sniffing cannot pick up stale data.
+	other := FormatJSONL
+	if format == FormatJSONL {
+		other = FormatBinary
+	}
+	if err := os.Remove(filepath.Join(dir, other.file())); err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, format.file()))
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	w := NewWriter(f)
-	closeFn := func() error {
-		if err := w.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}
-	return &Store{dir: dir, meta: meta}, w, closeFn, nil
+	return &Store{dir: dir, meta: meta, format: format}, newSink(f, format, 0, nil), nil
 }
 
-// Open loads an existing dataset directory.
+// Open loads an existing dataset directory, detecting the storage
+// format: a samples.bin file marks a binary store, otherwise the store
+// reads samples.jsonl.
 func Open(dir string) (*Store, error) {
 	mb, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
@@ -261,57 +270,79 @@ func Open(dir string) (*Store, error) {
 	if err := meta.Validate(); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, meta: meta}, nil
+	format := FormatJSONL
+	if _, err := os.Stat(filepath.Join(dir, binaryFile)); err == nil {
+		format = FormatBinary
+	}
+	return &Store{dir: dir, meta: meta, format: format}, nil
 }
 
 // Meta returns the campaign metadata.
 func (s *Store) Meta() Meta { return s.meta }
 
+// Format returns the store's storage format.
+func (s *Store) Format() Format { return s.format }
+
 // Resume reopens the samples file for appending at the given byte
 // offset, truncating whatever follows it (the partial round after the
-// last checkpoint). It returns a writer positioned at the offset plus a
-// close function mirroring Create's.
-func (s *Store) Resume(offset int64) (*Writer, func() error, error) {
-	f, err := os.OpenFile(filepath.Join(s.dir, samplesFile), os.O_RDWR, 0)
+// last checkpoint). For binary stores the offset must be a block
+// boundary — which every Sink.Commit offset is — and the blocks before
+// it are re-indexed so Close can write a complete file index.
+func (s *Store) Resume(offset int64) (*Sink, error) {
+	f, err := os.OpenFile(s.SamplesPath(), os.O_RDWR, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, err
 	}
 	if offset < 0 || offset > st.Size() {
 		f.Close()
-		return nil, nil, fmt.Errorf("results: resume offset %d outside file of %d bytes", offset, st.Size())
+		return nil, fmt.Errorf("results: resume offset %d outside file of %d bytes", offset, st.Size())
+	}
+	var existing []colf.BlockInfo
+	if s.format == FormatBinary && offset > 0 {
+		if existing, err = colf.BlocksTo(f, offset); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	if err := f.Truncate(offset); err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, err
 	}
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, err
 	}
-	w := NewWriter(f)
-	closeFn := func() error {
-		if err := w.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}
-	return w, closeFn, nil
+	return newSink(f, s.format, offset, existing), nil
 }
 
-// SamplesPath returns the path of the underlying JSONL samples file,
-// for consumers (like the parallel scanner) that read the dataset by
-// byte range rather than through ForEach.
-func (s *Store) SamplesPath() string { return filepath.Join(s.dir, samplesFile) }
+// SamplesPath returns the path of the underlying samples file, for
+// consumers (like the parallel scanner) that read the dataset by byte
+// range rather than through ForEach. The scanner sniffs the encoding
+// from the file's leading bytes.
+func (s *Store) SamplesPath() string { return filepath.Join(s.dir, s.format.file()) }
 
-// ForEach streams every stored sample.
+// ForEach streams every stored sample in storage order.
 func (s *Store) ForEach(fn func(Sample) error) error {
-	f, err := os.Open(filepath.Join(s.dir, samplesFile))
+	if s.format == FormatBinary {
+		r, closer, err := colf.Open(s.SamplesPath())
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		return r.ForEachRow(func(row colf.Row) error {
+			smp := fromRow(row)
+			if err := smp.Validate(); err != nil {
+				return err
+			}
+			return fn(smp)
+		})
+	}
+	f, err := os.Open(s.SamplesPath())
 	if err != nil {
 		return err
 	}

@@ -156,43 +156,91 @@ func TestMetaValidate(t *testing.T) {
 }
 
 func TestStoreRoundTrip(t *testing.T) {
-	dir := filepath.Join(t.TempDir(), "campaign")
-	meta := Meta{Seed: 42, Start: t0, End: t0.Add(24 * time.Hour), IntervalHours: 3, Probes: 2, Regions: 1}
-	_, w, closeFn, err := Create(dir, meta)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 1; i <= 10; i++ {
-		if err := w.Write(sample(i)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := closeFn(); err != nil {
-		t.Fatal(err)
-	}
+	for _, format := range []Format{FormatJSONL, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "campaign")
+			meta := Meta{Seed: 42, Start: t0, End: t0.Add(24 * time.Hour), IntervalHours: 3, Probes: 2, Regions: 1}
+			_, sink, err := Create(dir, meta, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 10; i++ {
+				if err := sink.Write(sample(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if sink.Count() != 10 {
+				t.Errorf("sink Count = %d", sink.Count())
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
 
-	st, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := st.Meta(); got.Seed != 42 || !got.Start.Equal(t0) {
-		t.Errorf("meta = %+v", got)
-	}
-	n := 0
-	if err := st.ForEach(func(s Sample) error { n++; return nil }); err != nil {
-		t.Fatal(err)
-	}
-	if n != 10 {
-		t.Errorf("streamed %d samples, want 10", n)
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Format() != format {
+				t.Errorf("detected format %v, want %v", st.Format(), format)
+			}
+			if got := st.Meta(); got.Seed != 42 || !got.Start.Equal(t0) {
+				t.Errorf("meta = %+v", got)
+			}
+			var got []Sample
+			if err := st.ForEach(func(s Sample) error { got = append(got, s); return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 10 {
+				t.Fatalf("streamed %d samples, want 10", len(got))
+			}
+			for i, s := range got {
+				want := sample(i + 1)
+				if s.ProbeID != want.ProbeID || s.Region != want.Region || !s.Time.Equal(want.Time) ||
+					s.RTTms != want.RTTms || s.Lost != want.Lost {
+					t.Errorf("sample %d: %+v vs %+v", i, s, want)
+				}
+			}
+		})
 	}
 }
 
 func TestStoreErrors(t *testing.T) {
-	if _, _, _, err := Create(t.TempDir(), Meta{}); err == nil {
+	if _, _, err := Create(t.TempDir(), Meta{}, FormatJSONL); err == nil {
 		t.Error("invalid meta accepted")
 	}
 	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing dir opened")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{"": FormatBinary, "binary": FormatBinary, "bin": FormatBinary,
+		"jsonl": FormatJSONL, "json": FormatJSONL}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("parquet"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestBinarySinkRejectsOutOfRangeTime(t *testing.T) {
+	_, sink, err := Create(t.TempDir(), Meta{Seed: 1, Start: t0, End: t0.Add(time.Hour),
+		IntervalHours: 1, Probes: 1, Regions: 1}, FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	s := sample(1)
+	s.Time = time.Date(1400, 1, 1, 0, 0, 0, 0, time.UTC) // outside UnixNano's range
+	if err := sink.Write(s); err == nil {
+		t.Error("pre-1678 timestamp accepted by binary sink")
+	}
+	if sink.Count() != 0 {
+		t.Errorf("rejected sample counted: %d", sink.Count())
 	}
 }
 
@@ -262,66 +310,114 @@ func TestWriterBytesWritten(t *testing.T) {
 }
 
 func TestStoreResumeTruncates(t *testing.T) {
+	for _, format := range []Format{FormatJSONL, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			meta := Meta{Seed: 1, Start: t0, End: t0.Add(time.Hour), IntervalHours: 1, Probes: 5, Regions: 3}
+			_, sink, err := Create(dir, meta, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 4; i++ {
+				if err := sink.Write(sample(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			offset, err := sink.Commit() // durable watermark after 4 samples
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Simulate a partial post-checkpoint round.
+			for i := 5; i <= 7; i++ {
+				if err := sink.Write(sample(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink2, err := st.Resume(offset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 5; i <= 6; i++ {
+				if err := sink2.Write(sample(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sink2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			var ids []int
+			if err := st.ForEach(func(s Sample) error { ids = append(ids, s.ProbeID); return nil }); err != nil {
+				t.Fatal(err)
+			}
+			want := []int{1, 2, 3, 4, 5, 6}
+			if len(ids) != len(want) {
+				t.Fatalf("resumed store has %d samples, want %d", len(ids), len(want))
+			}
+			for i := range want {
+				if ids[i] != want[i] {
+					t.Fatalf("sample %d = probe %d, want %d", i, ids[i], want[i])
+				}
+			}
+
+			if _, err := st.Resume(1 << 40); err == nil {
+				t.Error("offset past EOF accepted")
+			}
+			if _, err := st.Resume(-1); err == nil {
+				t.Error("negative offset accepted")
+			}
+		})
+	}
+}
+
+func TestBinaryResumeRejectsMidBlockOffset(t *testing.T) {
 	dir := t.TempDir()
 	meta := Meta{Seed: 1, Start: t0, End: t0.Add(time.Hour), IntervalHours: 1, Probes: 5, Regions: 3}
-	_, w, closeFn, err := Create(dir, meta)
+	_, sink, err := Create(dir, meta, FormatBinary)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 1; i <= 4; i++ {
-		if err := w.Write(sample(i)); err != nil {
+	for i := 1; i <= 20; i++ {
+		if err := sink.Write(sample(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := w.Flush(); err != nil {
+	offset, err := sink.Commit()
+	if err != nil {
 		t.Fatal(err)
 	}
-	offset := int64(w.BytesWritten()) // durable watermark after 4 samples
-	// Simulate a partial post-checkpoint round.
-	for i := 5; i <= 7; i++ {
-		if err := w.Write(sample(i)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := closeFn(); err != nil {
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
-
 	st, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2, closeFn2, err := st.Resume(offset)
+	if _, err := st.Resume(offset - 3); err == nil {
+		t.Error("mid-block resume offset accepted")
+	}
+	// The failed resume must not have truncated anything: the commit
+	// offset still works and the data is intact.
+	sink2, err := st.Resume(offset)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 5; i <= 6; i++ {
-		if err := w2.Write(sample(i)); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := closeFn2(); err != nil {
+	if err := sink2.Close(); err != nil {
 		t.Fatal(err)
 	}
-
-	var ids []int
-	if err := st.ForEach(func(s Sample) error { ids = append(ids, s.ProbeID); return nil }); err != nil {
+	n := 0
+	if err := st.ForEach(func(Sample) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
-	want := []int{1, 2, 3, 4, 5, 6}
-	if len(ids) != len(want) {
-		t.Fatalf("resumed store has %d samples, want %d", len(ids), len(want))
-	}
-	for i := range want {
-		if ids[i] != want[i] {
-			t.Fatalf("sample %d = probe %d, want %d", i, ids[i], want[i])
-		}
-	}
-
-	if _, _, err := st.Resume(1 << 40); err == nil {
-		t.Error("offset past EOF accepted")
-	}
-	if _, _, err := st.Resume(-1); err == nil {
-		t.Error("negative offset accepted")
+	if n != 20 {
+		t.Errorf("store holds %d samples, want 20", n)
 	}
 }

@@ -1,0 +1,233 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/colf"
+)
+
+// Format identifies the on-disk encoding of a store's samples file.
+type Format int
+
+const (
+	// FormatJSONL is the line-oriented JSON encoding (samples.jsonl).
+	FormatJSONL Format = iota
+	// FormatBinary is the colf columnar block encoding (samples.bin).
+	FormatBinary
+)
+
+// String returns the flag spelling of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatJSONL:
+		return "jsonl"
+	case FormatBinary:
+		return "binary"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// file returns the samples file name the format stores under.
+func (f Format) file() string {
+	if f == FormatBinary {
+		return binaryFile
+	}
+	return samplesFile
+}
+
+// ParseFormat maps a flag spelling to a Format. The empty string
+// selects the default, binary.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "binary", "bin", "colf":
+		return FormatBinary, nil
+	case "jsonl", "json":
+		return FormatJSONL, nil
+	}
+	return 0, fmt.Errorf("results: unknown dataset format %q (want binary or jsonl)", s)
+}
+
+// The binary format stores timestamps as Unix nanoseconds, which only
+// represent times in roughly [1678, 2262); anything outside is refused
+// at write time rather than silently wrapped.
+var (
+	minBinaryTime = time.Date(1678, 1, 1, 0, 0, 0, 0, time.UTC)
+	maxBinaryTime = time.Date(2261, 12, 31, 23, 59, 59, 0, time.UTC)
+)
+
+// toRow converts a validated sample to colf's row form.
+func toRow(s Sample) (colf.Row, error) {
+	if s.Time.Before(minBinaryTime) || s.Time.After(maxBinaryTime) {
+		return colf.Row{}, fmt.Errorf("results: timestamp %v outside the binary format's nanosecond range", s.Time)
+	}
+	return colf.Row{
+		Probe:    s.ProbeID,
+		TimeNano: s.Time.UnixNano(),
+		Region:   s.Region,
+		RTT:      s.RTTms,
+		Lost:     s.Lost,
+	}, nil
+}
+
+// fromRow converts a decoded row back to a sample. Times come back in
+// UTC, which is also what the JSONL encoding round-trips through
+// RFC 3339.
+func fromRow(r colf.Row) Sample {
+	return Sample{
+		ProbeID: r.Probe,
+		Region:  r.Region,
+		Time:    time.Unix(0, r.TimeNano).UTC(),
+		RTTms:   r.RTT,
+		Lost:    r.Lost,
+	}
+}
+
+// Sink appends samples to a store's samples file in its storage
+// format. It is the write half of a Store: engines stream samples in,
+// Commit durably flushes at checkpoint time, and Close finalizes the
+// file (for binary stores, appending the block index).
+type Sink struct {
+	f       *os.File
+	format  Format
+	base    int64 // samples-file offset where this sink started
+	jw      *Writer
+	cw      *colf.Writer
+	metrics *Metrics
+	counted uint64 // binary bytes already credited to metrics
+	closed  bool
+}
+
+// newSink wraps an open samples file positioned at base.
+func newSink(f *os.File, format Format, base int64, existing []colf.BlockInfo) *Sink {
+	s := &Sink{f: f, format: format, base: base}
+	if format == FormatBinary {
+		s.cw = colf.NewWriterAt(f, base, existing)
+	} else {
+		s.jw = NewWriter(f)
+	}
+	return s
+}
+
+// Format returns the sink's storage format.
+func (s *Sink) Format() Format { return s.format }
+
+// Instrument attaches throughput instruments. Call it before the first
+// Write; samples already written are not back-counted.
+func (s *Sink) Instrument(m *Metrics) {
+	if s == nil {
+		return
+	}
+	s.metrics = m
+	if s.jw != nil {
+		s.jw.Instrument(m)
+	}
+}
+
+// Write validates and appends one sample.
+func (s *Sink) Write(smp Sample) error {
+	if s.jw != nil {
+		return s.jw.Write(smp)
+	}
+	if err := smp.Validate(); err != nil {
+		return err
+	}
+	r, err := toRow(smp)
+	if err != nil {
+		return err
+	}
+	if err := s.cw.Write(r); err != nil {
+		return err
+	}
+	if s.metrics != nil {
+		s.metrics.Samples.Inc()
+	}
+	return nil
+}
+
+// Count returns the number of samples this sink accepted.
+func (s *Sink) Count() uint64 {
+	if s.jw != nil {
+		return s.jw.Count()
+	}
+	return s.cw.Count()
+}
+
+// BytesWritten returns the absolute samples-file offset this sink's
+// writes reach. After a successful Flush it is the on-disk file size —
+// and for binary stores a block boundary, which is what makes it a
+// valid checkpoint offset.
+func (s *Sink) BytesWritten() int64 {
+	if s.jw != nil {
+		return s.base + int64(s.jw.BytesWritten())
+	}
+	return s.base + int64(s.cw.BytesWritten())
+}
+
+// Flush pushes buffered samples to the file. For binary stores this
+// seals the open partial block, so the flushed prefix is a valid block
+// sequence.
+func (s *Sink) Flush() error {
+	if s.jw != nil {
+		return s.jw.Flush()
+	}
+	if err := s.cw.Flush(); err != nil {
+		return err
+	}
+	s.credit()
+	return nil
+}
+
+// credit adds newly flushed binary bytes to the byte counter. The
+// JSONL path counts at encode time instead (pre-buffer); binary blocks
+// only materialize bytes when they seal.
+func (s *Sink) credit() {
+	if s.metrics == nil {
+		return
+	}
+	if b := s.cw.BytesWritten(); b > s.counted {
+		s.metrics.Bytes.Add(b - s.counted)
+		s.counted = b
+	}
+}
+
+// Commit makes everything written so far durable (flush + fsync) and
+// returns the resulting samples-file offset — always a valid resume
+// point. Engines call it before persisting a checkpoint, so a
+// checkpoint never references bytes the file does not durably hold.
+func (s *Sink) Commit() (int64, error) {
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	if err := s.f.Sync(); err != nil {
+		return 0, err
+	}
+	return s.BytesWritten(), nil
+}
+
+// Close flushes, finalizes the file (binary: appends the block index),
+// syncs and closes it. Close is idempotent.
+func (s *Sink) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := func() error {
+		if s.jw != nil {
+			if err := s.jw.Flush(); err != nil {
+				return err
+			}
+			return s.f.Sync()
+		}
+		if err := s.cw.Finish(); err != nil {
+			return err
+		}
+		s.credit()
+		return s.f.Sync()
+	}()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

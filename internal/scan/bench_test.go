@@ -1,0 +1,78 @@
+package scan
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/colf"
+)
+
+// benchRows is sized so the JSONL encoding is ~20 MB: big enough that
+// decode throughput dominates setup, small enough for the 1x bench
+// smoke in scripts/check.sh.
+const benchRows = 200_000
+
+// benchScan measures File over one samples file, reporting decode
+// throughput in file MB/s and samples/s.
+func benchScan(b *testing.B, path string, pred *colf.Predicate) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	var samples uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := File(context.Background(), Config{
+			Path:      path,
+			Workers:   4,
+			Predicate: pred,
+			NewPasses: func(int) ([]Pass, error) { return []Pass{&tallyPass{}}, nil },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = st.Samples
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkScanJSONL is the baseline: a full 4-worker scan of the
+// line-oriented encoding.
+func BenchmarkScanJSONL(b *testing.B) {
+	path := writeJSONL(b, genSamples(benchRows))
+	benchScan(b, path, nil)
+}
+
+// BenchmarkScanBinary scans the same samples in colf form (default
+// block size). The acceptance bar is >= 2x BenchmarkScanJSONL in
+// samples/s.
+func BenchmarkScanBinary(b *testing.B) {
+	path := writeBinary(b, genSamples(benchRows), colf.DefaultBlockRows)
+	benchScan(b, path, nil)
+}
+
+// BenchmarkScanBinaryFiltered scans a ~30-minute window out of the
+// ~55-hour stream: zone maps skip all but one or two blocks.
+func BenchmarkScanBinaryFiltered(b *testing.B) {
+	samples := genSamples(benchRows)
+	path := writeBinary(b, samples, colf.DefaultBlockRows)
+	benchScan(b, path, &colf.Predicate{
+		Since: samples[0].Time.Add(24 * time.Hour),
+		Until: samples[0].Time.Add(24*time.Hour + 30*time.Minute),
+	})
+}
+
+// BenchmarkScanJSONLFiltered is the pushdown baseline: the same window
+// on the line encoding still decodes every byte.
+func BenchmarkScanJSONLFiltered(b *testing.B) {
+	samples := genSamples(benchRows)
+	path := writeJSONL(b, samples)
+	benchScan(b, path, &colf.Predicate{
+		Since: samples[0].Time.Add(24 * time.Hour),
+		Until: samples[0].Time.Add(24*time.Hour + 30*time.Minute),
+	})
+}

@@ -1,0 +1,216 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/colf"
+	"repro/internal/obs"
+	"repro/internal/results"
+)
+
+// scanBinary is the columnar twin of the JSONL shard scan: it shards
+// the file by block index instead of by byte range, skips blocks whose
+// zone maps cannot match cfg.Predicate, and merges the per-worker
+// partials in file order — the same determinism guarantee, one layer
+// up (blocks instead of lines).
+func scanBinary(ctx context.Context, cfg Config, f *os.File, size int64, workers int, span *obs.Span) (Stats, error) {
+	rd, err := colf.NewReader(f, size)
+	if err != nil {
+		return Stats{}, err
+	}
+	blocks := rd.Blocks()
+
+	// Zone-map pushdown: a block whose ranges cannot satisfy the
+	// predicate is dropped here, before any worker touches its payload.
+	// Kept blocks still carry non-matching rows; the row-level filter in
+	// the decode loop below keeps the semantics exact.
+	kept := blocks
+	if !cfg.Predicate.Empty() {
+		kept = make([]colf.BlockInfo, 0, len(blocks))
+		for _, bi := range blocks {
+			if cfg.Predicate.MatchZone(bi.Zone) {
+				kept = append(kept, bi)
+			}
+		}
+	}
+	st := Stats{
+		Binary:        true,
+		Bytes:         size,
+		BlocksTotal:   len(blocks),
+		BlocksSkipped: len(blocks) - len(kept),
+	}
+
+	groups := groupBlocks(kept, workers)
+	if len(groups) == 0 {
+		// Nothing to decode (empty dataset, or every block skipped):
+		// build the worker-0 passes so the caller reports from a
+		// consistent state, mirroring the empty-file JSONL path.
+		if _, err := cfg.NewPasses(0); err != nil {
+			return Stats{}, err
+		}
+		finishBinary(&st, span, cfg.Metrics)
+		return st, nil
+	}
+
+	passes := make([][]Pass, len(groups))
+	for w := range groups {
+		ps, err := cfg.NewPasses(w)
+		if err != nil {
+			return Stats{}, err
+		}
+		if w > 0 && len(ps) != len(passes[0]) {
+			return Stats{}, fmt.Errorf("scan: worker %d built %d passes, worker 0 built %d", w, len(ps), len(passes[0]))
+		}
+		passes[w] = ps
+	}
+
+	start := time.Now()
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg      sync.WaitGroup
+		errs    = make([]error, len(groups))
+		samples = make([]uint64, len(groups))
+		decoded = make([]int64, len(groups))
+		busy    = make([]time.Duration, len(groups))
+	)
+	for w, group := range groups {
+		wg.Add(1)
+		go func(w int, group []colf.BlockInfo) {
+			defer wg.Done()
+			t0 := time.Now()
+			samples[w], decoded[w], errs[w] = scanBlocks(scanCtx, f, group, cfg.Predicate, passes[w])
+			busy[w] = time.Since(t0)
+			if errs[w] != nil {
+				cancel() // fail fast: stop the other groups
+			}
+		}(w, group)
+	}
+	wg.Wait()
+
+	st.Workers = len(groups)
+	st.Busy = busy
+	st.BlocksRead = len(kept)
+	for w := range groups {
+		st.Samples += samples[w]
+		st.BytesDecoded += decoded[w]
+	}
+	// First error in group (= file) order, so the reported failure is
+	// deterministic even when several groups fail.
+	for w, err := range errs {
+		if err != nil {
+			st.Duration = time.Since(start)
+			return st, fmt.Errorf("scan: block group %d (offset %d): %w", w, groups[w][0].Off, err)
+		}
+	}
+
+	// Merge partials into the worker-0 passes in group order.
+	for w := 1; w < len(groups); w++ {
+		for i, p := range passes[0] {
+			if err := p.Merge(passes[w][i]); err != nil {
+				st.Duration = time.Since(start)
+				return st, fmt.Errorf("scan: merging block group %d pass %d: %w", w, i, err)
+			}
+		}
+	}
+	st.Duration = time.Since(start)
+	finishBinary(&st, span, cfg.Metrics)
+	return st, nil
+}
+
+// finishBinary records the span attributes and metrics of a completed
+// binary scan.
+func finishBinary(st *Stats, span *obs.Span, m *Metrics) {
+	span.SetAttr("format", "binary")
+	span.SetAttr("workers", st.Workers)
+	span.SetAttr("samples", st.Samples)
+	span.SetAttr("bytes", st.Bytes)
+	span.SetAttr("blocks_total", st.BlocksTotal)
+	span.SetAttr("blocks_read", st.BlocksRead)
+	span.SetAttr("blocks_skipped", st.BlocksSkipped)
+	span.SetAttr("bytes_decoded", st.BytesDecoded)
+	span.SetAttr("samples_per_sec", st.SamplesPerSec())
+	m.observe(*st)
+}
+
+// groupBlocks cuts the kept blocks into at most n contiguous groups of
+// roughly equal encoded size, in file order. Contiguity is what makes
+// the merge deterministic: concatenating the groups reconstructs the
+// block sequence a sequential reader would decode.
+func groupBlocks(blocks []colf.BlockInfo, n int) [][]colf.BlockInfo {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	var total int64
+	for _, b := range blocks {
+		total += b.Len
+	}
+	groups := make([][]colf.BlockInfo, 0, n)
+	start, startByte := 0, int64(0)
+	covered := int64(0)
+	for i, b := range blocks {
+		covered += b.Len
+		// Cut when this group reaches its proportional share of the
+		// remaining bytes, always leaving at least one block per
+		// remaining group.
+		remainingGroups := n - len(groups)
+		if remainingGroups <= 1 {
+			continue
+		}
+		target := startByte + (total-startByte)/int64(remainingGroups)
+		if covered >= target && len(blocks)-i-1 >= remainingGroups-1 {
+			groups = append(groups, blocks[start:i+1])
+			start, startByte = i+1, covered
+		}
+	}
+	if start < len(blocks) {
+		groups = append(groups, blocks[start:])
+	}
+	return groups
+}
+
+// scanBlocks decodes one contiguous block group and feeds every
+// predicate-matching sample to ps.
+func scanBlocks(ctx context.Context, f *os.File, group []colf.BlockInfo, pred *colf.Predicate, ps []Pass) (samples uint64, decoded int64, err error) {
+	dec := colf.NewBlockDecoder()
+	for _, bi := range group {
+		if err := ctx.Err(); err != nil {
+			return samples, decoded, err
+		}
+		blk, err := dec.Decode(f, bi)
+		if err != nil {
+			return samples, decoded, err
+		}
+		decoded += bi.Len
+		for i := 0; i < blk.Rows(); i++ {
+			if !pred.Empty() && !pred.MatchRow(blk.Probe[i], blk.TimeNano[i], blk.Region[i]) {
+				continue
+			}
+			s := results.Sample{
+				ProbeID: blk.Probe[i],
+				Region:  blk.Region[i],
+				Time:    time.Unix(0, blk.TimeNano[i]).UTC(),
+				RTTms:   blk.RTT[i],
+				Lost:    blk.Lost[i],
+			}
+			if err := s.Validate(); err != nil {
+				return samples, decoded, fmt.Errorf("block at offset %d row %d: %w", bi.Off, i, err)
+			}
+			for _, p := range ps {
+				if err := p.Observe(s); err != nil {
+					return samples, decoded, err
+				}
+			}
+			samples++
+		}
+	}
+	return samples, decoded, nil
+}

@@ -1,0 +1,31 @@
+package scan
+
+import (
+	"testing"
+)
+
+// FuzzSampleDecode is the decoder's differential fuzz: for any input
+// line, the fast-path decoder must agree with encoding/json — same
+// accept/reject outcome, same error text, and field-identical samples
+// (checkAgainstStdlib carries the full contract).
+func FuzzSampleDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{"probe":42,"region":"aws/us-east-1","t":"2026-01-02T03:04:05Z","rtt_ms":12.5}`,
+		`{"probe":42,"region":"aws/us-east-1","t":"2026-01-02T03:04:05.123456789Z","rtt_ms":12.5,"lost":true}`,
+		`{"probe":1,"region":"gcp/x","t":"2024-02-29T00:00:00Z","rtt_ms":1e2}`,
+		`{"lost":false,"rtt_ms":3,"t":"2026-01-01T00:00:00Z","region":"r","probe":7}`,
+		`{"probe":-3}`,
+		`{}`,
+		`{"probe":1,"region":"aAb","t":"2026-01-01T00:00:00Z","rtt_ms":1}`,
+		`{"probe":1,"region":"r","t":"2026-01-01T00:00:00+02:00","rtt_ms":1}`,
+		`{"probe":1,"region":"r","t":"2026-13-40T99:99:99Z","rtt_ms":1}`,
+		`{"probe":1,"region":"r","t":"2026-01-01T00:00:00Z","rtt_ms":1,"extra":9}`,
+		`not json at all`,
+		`{"probe":9007199254740993,"region":"r","t":"2026-01-01T00:00:00Z","rtt_ms":0.30000000000000004}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		checkAgainstStdlib(t, line)
+	})
+}

@@ -3,6 +3,7 @@ package scan
 import (
 	"strconv"
 
+	"repro/internal/colf"
 	"repro/internal/obs"
 )
 
@@ -25,6 +26,9 @@ type Metrics struct {
 	Utilization *obs.Gauge
 	// WorkerBusy is the per-worker busy time of the latest scan, seconds.
 	WorkerBusy *obs.GaugeVec // worker
+	// Colf holds the columnar reader's block accounting, recorded only
+	// by binary scans.
+	Colf *colf.Metrics
 }
 
 // NewMetrics registers the scanner instrument set on reg.
@@ -46,6 +50,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Mean worker busy fraction of the latest scan (0-1)."),
 		WorkerBusy: reg.GaugeVec("scan_worker_busy_seconds",
 			"Per-worker busy time of the latest scan.", "worker"),
+		Colf: colf.NewMetrics(reg),
 	}
 }
 
@@ -65,5 +70,8 @@ func (m *Metrics) observe(st Stats) {
 	m.Utilization.Set(st.Utilization())
 	for w, b := range st.Busy {
 		m.WorkerBusy.With(strconv.Itoa(w)).Set(b.Seconds())
+	}
+	if st.Binary {
+		m.Colf.Observe(st.BlocksRead, st.BlocksSkipped, st.BytesDecoded)
 	}
 }

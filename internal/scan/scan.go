@@ -1,7 +1,10 @@
-// Package scan is the parallel dataset scanner: it splits a JSONL
-// sample store into line-aligned byte-range shards, decodes each shard
-// on its own worker with a low-allocation fast-path decoder, feeds
-// per-worker partial aggregates (Passes), and merges the partials in
+// Package scan is the parallel dataset scanner. It sniffs the samples
+// file's encoding from its leading bytes and shards accordingly: JSONL
+// stores split into line-aligned byte ranges decoded by a
+// low-allocation fast-path decoder; binary (colf) stores split by
+// block index, with zone-map predicate pushdown skipping blocks that
+// cannot match. Either way each shard runs on its own worker feeding
+// per-worker partial aggregates (Passes), and the partials merge in
 // shard order. Because shards are contiguous and merged in file order,
 // a scan produces the same report bytes for any worker count — the same
 // determinism guarantee internal/engine gives the generation side.
@@ -18,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/colf"
 	"repro/internal/obs"
 	"repro/internal/results"
 )
@@ -36,7 +40,8 @@ type Pass interface {
 
 // Config describes one scan.
 type Config struct {
-	// Path is the JSONL samples file to scan.
+	// Path is the samples file to scan — JSONL or binary colf; the
+	// scanner sniffs the encoding from the file's leading bytes.
 	Path string
 	// Workers is the shard/worker count; values < 1 use GOMAXPROCS.
 	Workers int
@@ -46,6 +51,11 @@ type Config struct {
 	// receive every merge and hold the final state when File returns.
 	// All workers must produce the same pass types in the same order.
 	NewPasses func(worker int) ([]Pass, error)
+	// Predicate, when non-empty, restricts the scan to matching samples:
+	// rows are filtered exactly on both formats, and binary scans
+	// additionally skip whole blocks whose zone maps cannot match —
+	// the pushdown that makes windowed queries cheap.
+	Predicate *colf.Predicate
 	// Metrics, when set, receives scan_* instruments.
 	Metrics *Metrics
 }
@@ -58,6 +68,14 @@ type Stats struct {
 	Fallbacks uint64          // lines decoded through encoding/json
 	Duration  time.Duration   // wall-clock scan time
 	Busy      []time.Duration // per-worker busy time, shard order
+
+	// Binary block accounting; zero on JSONL scans except BytesDecoded,
+	// which then equals Bytes (every covered byte is decoded).
+	Binary        bool  // scanned a colf store
+	BlocksTotal   int   // blocks in the file
+	BlocksRead    int   // blocks decoded
+	BlocksSkipped int   // blocks skipped via zone maps
+	BytesDecoded  int64 // encoded bytes actually decoded
 }
 
 // SamplesPerSec returns the scan's decode throughput.
@@ -109,6 +127,16 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 		return Stats{}, err
 	}
 	defer f.Close()
+	// Sniff the encoding: a colf magic routes to the block scanner,
+	// anything else is treated as JSONL.
+	var hdr [colf.HeaderSize]byte
+	if n, _ := f.ReadAt(hdr[:], 0); colf.Sniff(hdr[:n]) {
+		st, err := f.Stat()
+		if err != nil {
+			return Stats{}, err
+		}
+		return scanBinary(ctx, cfg, f, st.Size(), workers, span)
+	}
 	shards, size, err := shardFile(f, workers)
 	if err != nil {
 		return Stats{}, err
@@ -150,7 +178,7 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 		go func(w int, sh Shard) {
 			defer wg.Done()
 			t0 := time.Now()
-			samples[w], fallbacks[w], errs[w] = scanShard(scanCtx, f, sh, passes[w])
+			samples[w], fallbacks[w], errs[w] = scanShard(scanCtx, f, sh, cfg.Predicate, passes[w])
 			busy[w] = time.Since(t0)
 			if errs[w] != nil {
 				cancel() // fail fast: stop the other shards
@@ -159,7 +187,7 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 	}
 	wg.Wait()
 
-	st := Stats{Workers: len(shards), Bytes: size, Busy: busy}
+	st := Stats{Workers: len(shards), Bytes: size, BytesDecoded: size, Busy: busy}
 	for w := range shards {
 		st.Samples += samples[w]
 		st.Fallbacks += fallbacks[w]
@@ -183,6 +211,7 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 		}
 	}
 	st.Duration = time.Since(start)
+	span.SetAttr("format", "jsonl")
 	span.SetAttr("workers", st.Workers)
 	span.SetAttr("samples", st.Samples)
 	span.SetAttr("bytes", st.Bytes)
@@ -192,8 +221,9 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 	return st, nil
 }
 
-// scanShard decodes one byte range and feeds every sample to ps.
-func scanShard(ctx context.Context, f *os.File, sh Shard, ps []Pass) (samples, fallbacks uint64, err error) {
+// scanShard decodes one byte range and feeds every predicate-matching
+// sample to ps.
+func scanShard(ctx context.Context, f *os.File, sh Shard, pred *colf.Predicate, ps []Pass) (samples, fallbacks uint64, err error) {
 	sc := bufio.NewScanner(io.NewSectionReader(f, sh.Off, sh.Len))
 	sc.Buffer(make([]byte, 0, 64*1024), results.MaxLineBytes)
 	dec := NewDecoder()
@@ -215,6 +245,9 @@ func scanShard(ctx context.Context, f *os.File, sh Shard, ps []Pass) (samples, f
 		}
 		if err := s.Validate(); err != nil {
 			return samples, dec.Fallbacks, err
+		}
+		if !pred.Empty() && !pred.MatchRow(s.ProbeID, s.Time.UnixNano(), s.Region) {
+			continue
 		}
 		for _, p := range ps {
 			if err := p.Observe(s); err != nil {

@@ -20,13 +20,22 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race (concurrency suites, uncached) =="
-# The scanner, the fused analysis passes, and the campaign engine are the
-# shard-and-merge packages; run them uncached so every gate exercises the
-# race detector on fresh schedules.
-go test -race -count=1 ./internal/scan ./internal/core ./internal/engine
+# The scanner, the fused analysis passes, the campaign engine, and the
+# storage layer (columnar codec + sinks) are the shard-and-merge
+# packages; run them uncached so every gate exercises the race detector
+# on fresh schedules.
+go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/colf ./internal/results
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke =="
+# Short fuzz bursts over the two decode boundaries: the columnar block
+# codec (round-trip + corruption) and the JSONL fast-path decoder
+# (differential against encoding/json). Ten seconds each catches format
+# regressions without turning the gate into a fuzz farm.
+go test -run='^$' -fuzz='^FuzzBlockRoundTrip$' -fuzztime=10s ./internal/colf
+go test -run='^$' -fuzz='^FuzzSampleDecode$' -fuzztime=10s ./internal/scan
 
 echo "== bench smoke =="
 # One iteration of every benchmark: catches bit-rot in bench code
