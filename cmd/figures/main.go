@@ -12,12 +12,15 @@
 // Dataset-independent figures: 1, 2, 3a, 3b. Dataset figures: 4, 5, 6, 7, 8.
 // Stored datasets are read with the parallel scanner (-workers shards the
 // file; the output is identical for any worker count); synthesized campaigns
-// are analyzed in memory.
+// are analyzed in memory. When the dataset carries an analysis snapshot
+// (samples.snap, maintained by cmd/shears), the scan resumes from it and
+// decodes only blocks appended since — -snapshot off forces a cold scan.
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/atlas"
 	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/scan"
 	"repro/internal/world"
@@ -38,26 +42,44 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig     = flag.String("fig", "", "figure to render: 1, 2, 3a, 3b, 4, 5, 6, 7, 8")
-		data    = flag.String("data", "", "stored dataset directory (optional)")
-		probes  = flag.Int("probes", 400, "probe count when synthesizing")
-		seed    = flag.Uint64("seed", 1, "world seed when synthesizing")
-		asCSV   = flag.Bool("csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "scan worker count for stored datasets")
+		fig      = flag.String("fig", "", "figure to render: 1, 2, 3a, 3b, 4, 5, 6, 7, 8")
+		data     = flag.String("data", "", "stored dataset directory (optional)")
+		probes   = flag.Int("probes", 400, "probe count when synthesizing")
+		seed     = flag.Uint64("seed", 1, "world seed when synthesizing")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "scan worker count for stored datasets")
+		snapMode = flag.String("snapshot", "auto", "analysis snapshot mode for stored datasets: auto (on for binary stores), on, off")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
-	lines, err := render(*fig, *data, *probes, *seed, *workers, *asCSV)
+	if *cpuProf != "" {
+		stop, err := obs.StartCPUProfile(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	lines, err := render(*fig, *data, *probes, *seed, *workers, *snapMode, *asCSV)
 	if err != nil {
+		if errors.Is(err, core.ErrEmptyStore) {
+			log.Fatalf("dataset %s holds no samples yet — run cmd/shears against it first, then retry", *data)
+		}
 		log.Fatal(err)
 	}
 	for _, l := range lines {
 		fmt.Println(l)
 	}
+	if *memProf != "" {
+		if err := obs.WriteHeapProfile(*memProf); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-func render(fig, data string, probes int, seed uint64, workers int, asCSV bool) ([]string, error) {
+func render(fig, data string, probes int, seed uint64, workers int, snapMode string, asCSV bool) ([]string, error) {
 	if asCSV {
-		return renderCSV(fig, data, probes, seed, workers)
+		return renderCSV(fig, data, probes, seed, workers, snapMode)
 	}
 	ctx := context.Background()
 	switch fig {
@@ -79,7 +101,7 @@ func render(fig, data string, probes int, seed uint64, workers int, asCSV bool) 
 		return figures.Figure3b(w.Probes)
 	}
 
-	d, err := loadOrSynthesize(ctx, w, data, workers)
+	d, err := loadOrSynthesize(ctx, w, data, workers, snapMode)
 	if err != nil {
 		return nil, err
 	}
@@ -127,17 +149,30 @@ type dataset struct {
 	mem     *results.Memory
 	start   time.Time
 	workers int
+	snap    *core.SnapshotOptions // non-nil: seed scans from the analysis snapshot
+	suite   *core.SuiteReport     // cached snapshot-seeded suite report
 }
 
 // loadOrSynthesize opens the stored dataset, or runs a fresh test-scale
 // campaign against the supplied world.
-func loadOrSynthesize(ctx context.Context, w *world.World, data string, workers int) (*dataset, error) {
+func loadOrSynthesize(ctx context.Context, w *world.World, data string, workers int, snapMode string) (*dataset, error) {
 	if data != "" {
 		store, err := results.Open(data)
 		if err != nil {
 			return nil, err
 		}
-		return &dataset{store: store, start: store.Meta().Start, workers: workers}, nil
+		d := &dataset{store: store, start: store.Meta().Start, workers: workers}
+		enabled, err := snapshotEnabled(snapMode, store.Format())
+		if err != nil {
+			return nil, err
+		}
+		if enabled {
+			d.snap = &core.SnapshotOptions{
+				Path:          store.SnapshotPath(),
+				RefreshFactor: core.DefaultRefreshFactor,
+			}
+		}
+		return d, nil
 	}
 	cfg := atlas.TestCampaign()
 	var mem results.Memory
@@ -180,7 +215,50 @@ func runPass[P core.Pass](d *dataset, newPass func() (P, error)) (P, error) {
 	return passes[0], nil
 }
 
+// snapshotEnabled resolves the -snapshot mode against the store's
+// format: auto enables snapshots for binary stores, whose block
+// boundaries make resumed scans strict delta decodes.
+func snapshotEnabled(mode string, format results.Format) (bool, error) {
+	switch mode {
+	case "auto", "":
+		return format == results.FormatBinary, nil
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("invalid -snapshot %q (want auto, on, or off)", mode)
+}
+
+// suiteReport runs the snapshot-seeded fused scan once per invocation and
+// caches it: every figure reads from the same suite, and the snapshot
+// means only blocks appended since the last analysis are decoded.
+func (d *dataset) suiteReport(idx *core.Index) (*core.SuiteReport, error) {
+	if d.suite != nil {
+		return d.suite, nil
+	}
+	rep, st, err := core.ScanStoreSnap(context.Background(), d.store, idx, d.start, 7*24*time.Hour, d.workers, nil, *d.snap)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("scan: %d samples in %v (%.1f MB/s, %d workers)",
+		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.Workers)
+	if st.Binary {
+		log.Printf("scan: scanned %d/%d blocks (snapshot covered %d)",
+			st.BlocksRead, st.BlocksTotal, st.PrefixBlocks)
+	}
+	d.suite = rep
+	return rep, nil
+}
+
 func (d *dataset) proximity(idx *core.Index) (*core.ProximityReport, error) {
+	if d.snap != nil {
+		rep, err := d.suiteReport(idx)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Proximity, nil
+	}
 	p, err := runPass(d, func() (*core.ProximityPass, error) { return core.NewProximityPass(idx), nil })
 	if err != nil {
 		return nil, err
@@ -189,6 +267,13 @@ func (d *dataset) proximity(idx *core.Index) (*core.ProximityReport, error) {
 }
 
 func (d *dataset) minRTT(idx *core.Index) (*core.CDFReport, error) {
+	if d.snap != nil {
+		rep, err := d.suiteReport(idx)
+		if err != nil {
+			return nil, err
+		}
+		return rep.MinRTT, nil
+	}
 	p, err := runPass(d, func() (*core.MinRTTPass, error) { return core.NewMinRTTPass(idx), nil })
 	if err != nil {
 		return nil, err
@@ -197,6 +282,13 @@ func (d *dataset) minRTT(idx *core.Index) (*core.CDFReport, error) {
 }
 
 func (d *dataset) fullDist(idx *core.Index) (*core.CDFReport, error) {
+	if d.snap != nil {
+		rep, err := d.suiteReport(idx)
+		if err != nil {
+			return nil, err
+		}
+		return rep.FullDist, nil
+	}
 	p, err := runPass(d, func() (*core.FullDistPass, error) { return core.NewFullDistPass(idx), nil })
 	if err != nil {
 		return nil, err
@@ -205,6 +297,13 @@ func (d *dataset) fullDist(idx *core.Index) (*core.CDFReport, error) {
 }
 
 func (d *dataset) lastMile(idx *core.Index) (*core.LastMileReport, error) {
+	if d.snap != nil {
+		rep, err := d.suiteReport(idx)
+		if err != nil {
+			return nil, err
+		}
+		return rep.LastMile, nil
+	}
 	p, err := runPass(d, func() (*core.LastMilePass, error) {
 		return core.NewLastMilePass(idx, d.start, 7*24*time.Hour)
 	})
@@ -215,7 +314,7 @@ func (d *dataset) lastMile(idx *core.Index) (*core.LastMileReport, error) {
 }
 
 // renderCSV emits the machine-readable form of a figure.
-func renderCSV(fig, data string, probes int, seed uint64, workers int) ([]string, error) {
+func renderCSV(fig, data string, probes int, seed uint64, workers int, snapMode string) ([]string, error) {
 	ctx := context.Background()
 	var buf bytes.Buffer
 	if fig == "1" {
@@ -233,7 +332,7 @@ func renderCSV(fig, data string, probes int, seed uint64, workers int) ([]string
 	if err != nil {
 		return nil, err
 	}
-	d, err := loadOrSynthesize(ctx, w, data, workers)
+	d, err := loadOrSynthesize(ctx, w, data, workers, snapMode)
 	if err != nil {
 		return nil, err
 	}

@@ -12,7 +12,7 @@ import (
 
 func TestRenderDatasetIndependentFigures(t *testing.T) {
 	for _, fig := range []string{"1", "2", "3a", "3b"} {
-		lines, err := render(fig, "", 200, 1, 0, false)
+		lines, err := render(fig, "", 200, 1, 0, "auto", false)
 		if err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
@@ -23,7 +23,7 @@ func TestRenderDatasetIndependentFigures(t *testing.T) {
 }
 
 func TestRenderUnknownFigure(t *testing.T) {
-	if _, err := render("42", "", 200, 1, 0, false); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+	if _, err := render("42", "", 200, 1, 0, "auto", false); err == nil || !strings.Contains(err.Error(), "unknown figure") {
 		t.Errorf("unknown figure: %v", err)
 	}
 }
@@ -47,7 +47,7 @@ func TestRenderFromStoredDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fig := range []string{"4", "5", "6", "7", "8"} {
-		lines, err := render(fig, dir, 200, 2, 4, false)
+		lines, err := render(fig, dir, 200, 2, 4, "auto", false)
 		if err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
@@ -56,25 +56,34 @@ func TestRenderFromStoredDataset(t *testing.T) {
 		}
 	}
 	// The parallel scan is worker-count invariant.
-	serial, err := render("6", dir, 200, 2, 1, false)
+	serial, err := render("6", dir, 200, 2, 1, "auto", false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := render("6", dir, 200, 2, 7, false)
+	parallel, err := render("6", dir, 200, 2, 7, "auto", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Join(serial, "\n") != strings.Join(parallel, "\n") {
 		t.Error("figure 6 output differs between workers=1 and workers=7")
 	}
+	// The renders above left a snapshot behind (binary store, -snapshot
+	// auto); a forced cold scan must produce the identical figure.
+	cold, err := render("6", dir, 200, 2, 3, "off", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(cold, "\n") != strings.Join(parallel, "\n") {
+		t.Error("figure 6 output differs between snapshot and cold scans")
+	}
 	// Missing dataset directory surfaces an error.
-	if _, err := render("4", dir+"/nope", 200, 2, 4, false); err == nil {
+	if _, err := render("4", dir+"/nope", 200, 2, 4, "auto", false); err == nil {
 		t.Error("missing dataset accepted")
 	}
 }
 
 func TestRenderSynthesizes(t *testing.T) {
-	lines, err := render("4", "", 200, 1, 0, false)
+	lines, err := render("4", "", 200, 1, 0, "auto", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +94,7 @@ func TestRenderSynthesizes(t *testing.T) {
 
 func TestRenderCSV(t *testing.T) {
 	for _, fig := range []string{"1", "4", "7"} {
-		lines, err := render(fig, "", 200, 1, 0, true)
+		lines, err := render(fig, "", 200, 1, 0, "auto", true)
 		if err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
@@ -93,7 +102,7 @@ func TestRenderCSV(t *testing.T) {
 			t.Errorf("fig %s CSV output malformed: %v", fig, lines[:1])
 		}
 	}
-	if _, err := render("2", "", 200, 1, 0, true); err == nil {
+	if _, err := render("2", "", 200, 1, 0, "auto", true); err == nil {
 		t.Error("figure without CSV form accepted")
 	}
 }

@@ -22,6 +22,13 @@
 // ETA, per-continent tallies) every -progress interval while the campaign
 // runs, and -trace out.json dumps the span tree of the whole run
 // (world build -> campaign rounds -> result write -> figure generation).
+// -cpuprofile/-memprofile write pprof profiles of the run.
+//
+// Analysis snapshots: for binary datasets the driver maintains
+// <out>/samples.snap — the serialized merged analysis state, refreshed
+// at every campaign checkpoint — so the post-campaign figure scan (and
+// any later re-analysis over the grown dataset) decodes only blocks
+// appended since the snapshot. -snapshot off disables it.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/scan"
+	"repro/internal/snap"
 	"repro/internal/world"
 )
 
@@ -66,6 +74,24 @@ type options struct {
 	resume          bool
 	checkpointEvery int    // rounds; 0 disables checkpointing
 	format          string // dataset storage format; empty means binary
+	snapshot        string // analysis snapshot mode: auto, on, off
+	cpuProfile      string
+	memProfile      string
+}
+
+// snapshotEnabled resolves the -snapshot mode against the store's
+// format: auto enables snapshots for binary stores, whose block
+// boundaries make resumed scans strict delta decodes.
+func (o options) snapshotEnabled(format results.Format) (bool, error) {
+	switch o.snapshot {
+	case "auto", "":
+		return format == results.FormatBinary, nil
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("invalid -snapshot %q (want auto, on, or off)", o.snapshot)
 }
 
 func main() {
@@ -85,6 +111,9 @@ func main() {
 	flag.BoolVar(&o.resume, "resume", false, "resume an interrupted campaign from <out>/checkpoint.json")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", engine.DefaultCheckpointEvery, "rounds between checkpoints (0 disables checkpointing)")
 	flag.StringVar(&o.format, "format", "binary", "dataset storage format: binary (columnar samples.bin) or jsonl")
+	flag.StringVar(&o.snapshot, "snapshot", "auto", "analysis snapshot mode: auto (on for binary stores), on, off")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 	if err := run(o); err != nil {
 		log.Fatal(err)
@@ -96,6 +125,29 @@ const checkpointFile = "checkpoint.json"
 
 func run(o options) (err error) {
 	start := time.Now()
+	// Reject a bad -snapshot mode before any campaign work; the store's
+	// format (which resolves "auto") is only known once it is open.
+	if _, err := (options{snapshot: o.snapshot}).snapshotEnabled(results.FormatBinary); err != nil {
+		return err
+	}
+	if o.cpuProfile != "" {
+		stop, perr := obs.StartCPUProfile(o.cpuProfile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			if perr := obs.WriteHeapProfile(o.memProfile); perr != nil && err == nil {
+				err = perr
+			}
+		}()
+	}
 	reg := obs.NewRegistry()
 	m := atlas.NewMetrics(reg)
 	root := obs.NewTrace("shears.run")
@@ -175,6 +227,16 @@ func run(o options) (err error) {
 	}
 	sink.Instrument(results.NewMetrics(reg))
 
+	snapEnabled, err := o.snapshotEnabled(store.Format())
+	if err != nil {
+		return err
+	}
+	snapOpts := core.SnapshotOptions{
+		Path:          store.SnapshotPath(),
+		Metrics:       snap.NewMetrics(reg),
+		RefreshFactor: core.DefaultRefreshFactor,
+	}
+
 	campaignOpts := atlas.CampaignOptions{
 		Workers:       workers,
 		Fingerprint:   fingerprint,
@@ -189,6 +251,18 @@ func run(o options) (err error) {
 		// offset is always durable on disk — and, for binary stores, a
 		// block boundary Resume can truncate to.
 		campaignOpts.Commit = sink.Commit
+		if snapEnabled {
+			// Fold each durable checkpoint into the analysis snapshot while
+			// the sink is quiesced: the post-campaign scan (and any later
+			// re-analysis) then decodes only blocks written since the last
+			// checkpoint. Snapshot failures never fail the campaign — the
+			// scan falls back to a cold pass.
+			campaignOpts.OnCheckpoint = func(round int, offset int64) {
+				if _, uerr := core.UpdateSnapshot(context.Background(), store, w.Index, cfg.Start, 7*24*time.Hour, workers, nil, snapOpts); uerr != nil {
+					log.Printf("snapshot: update at round %d (offset %d) failed: %v", round, offset, uerr)
+				}
+			}
+		}
 	}
 
 	campSpan := root.Child("campaign")
@@ -224,12 +298,24 @@ func run(o options) (err error) {
 	// One fused parallel scan of the dataset computes every figure report;
 	// the renderers below only format what it already aggregated.
 	scanCtx := obs.ContextWith(context.Background(), figSpan)
-	rep, st, err := core.ScanStore(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scan.NewMetrics(reg))
+	var (
+		rep *core.SuiteReport
+		st  scan.Stats
+	)
+	if snapEnabled {
+		rep, st, err = core.ScanStoreSnap(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scan.NewMetrics(reg), snapOpts)
+	} else {
+		rep, st, err = core.ScanStore(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scan.NewMetrics(reg))
+	}
 	if err != nil {
 		return err
 	}
 	log.Printf("scan: %d samples in %v (%.1f MB/s, %d workers)",
 		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.Workers)
+	if snapEnabled && st.Binary {
+		log.Printf("scan: scanned %d/%d blocks (snapshot covered %d)",
+			st.BlocksRead, st.BlocksTotal, st.PrefixBlocks)
+	}
 	if o.figDir != "" {
 		if err := writeArtifacts(o.figDir, rep, cfg, figSpan); err != nil {
 			return err

@@ -38,6 +38,11 @@ type CampaignOptions struct {
 	StartRound   int
 	StartSamples uint64
 
+	// OnCheckpoint, when set, runs after each checkpoint is durably
+	// written, with the checkpointed round and committed sink offset; the
+	// sink is quiesced while it runs (see engine.Config.OnCheckpoint).
+	OnCheckpoint func(round int, offset int64)
+
 	// EngineMetrics, when set, receives shard progress, queue depth,
 	// merge stall, retry and checkpoint instruments.
 	EngineMetrics *engine.Metrics
@@ -106,6 +111,7 @@ func (p *Platform) RunCampaignOpts(ctx context.Context, cfg CampaignConfig, opts
 		CheckpointEvery: opts.CheckpointEvery,
 		Commit:          opts.Commit,
 		Fingerprint:     opts.Fingerprint,
+		OnCheckpoint:    opts.OnCheckpoint,
 		Metrics:         opts.EngineMetrics,
 		Gen: func(ctx context.Context, shard, round int, emit func(results.Sample) error) error {
 			_, err := p.synthesizeRound(ctx, cfg, round, shards[shard], tally, emit)

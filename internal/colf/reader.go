@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 )
 
 // Reader locates the blocks of a colf stream. Opening reads only the
@@ -169,9 +170,17 @@ func loadIndex(r io.ReaderAt, size int64) ([]BlockInfo, bool, error) {
 // state a crash leaves behind, which checkpoint-based resume repairs
 // by truncating to a known block boundary.
 func ScanBlocks(r io.ReaderAt, end int64, verify bool) ([]BlockInfo, error) {
+	return ScanBlocksFrom(r, HeaderSize, end, verify)
+}
+
+// ScanBlocksFrom walks the block chain over [start, end). start must be
+// a block boundary (or HeaderSize); the walk fails on the first torn or
+// misaligned block, so a bogus start cannot yield a plausible-looking
+// block list.
+func ScanBlocksFrom(r io.ReaderAt, start, end int64, verify bool) ([]BlockInfo, error) {
 	var blocks []BlockInfo
 	var head [8]byte
-	off := int64(HeaderSize)
+	off := start
 	for off < end {
 		if end-off < 8 {
 			return nil, fmt.Errorf("colf: %d stray bytes at offset %d (torn block?)", end-off, off)
@@ -230,6 +239,46 @@ func BlocksTo(r io.ReaderAt, offset int64) ([]BlockInfo, error) {
 		return nil, fmt.Errorf("colf: offset %d is not a block boundary: %w", offset, err)
 	}
 	return blocks, nil
+}
+
+// DeltaBlocks returns the blocks at or after boundary in the colf
+// stream held by r — the suffix a snapshot-resumed scan must decode.
+// boundary must be a block boundary previously covered by a snapshot;
+// anything else (mid-block offset, boundary past the data) is an error
+// so a stale snapshot can never be silently applied. With a trailing
+// index present the suffix costs one binary search; without one (an
+// unfinished stream) the suffix alone is re-walked with CRC checks.
+func DeltaBlocks(r io.ReaderAt, size, boundary int64) ([]BlockInfo, error) {
+	if boundary < HeaderSize {
+		return nil, fmt.Errorf("colf: resume boundary %d is inside the file header", boundary)
+	}
+	blocks, ok, err := loadIndex(r, size)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		dataEnd := size
+		if boundary == dataEnd {
+			return nil, nil
+		}
+		if boundary > dataEnd {
+			return nil, fmt.Errorf("colf: resume boundary %d past data end %d", boundary, dataEnd)
+		}
+		return ScanBlocksFrom(r, boundary, dataEnd, true)
+	}
+	dataEnd := int64(HeaderSize)
+	if len(blocks) > 0 {
+		last := blocks[len(blocks)-1]
+		dataEnd = last.Off + last.Len
+	}
+	if boundary == dataEnd {
+		return nil, nil
+	}
+	i := sort.Search(len(blocks), func(i int) bool { return blocks[i].Off >= boundary })
+	if i == len(blocks) || blocks[i].Off != boundary {
+		return nil, fmt.Errorf("colf: resume boundary %d is not a block boundary", boundary)
+	}
+	return blocks[i:], nil
 }
 
 // Block holds one decoded block in columnar form. Slices are owned by

@@ -75,6 +75,23 @@ func sortedProbeIDs[V any](m map[int]V) []int {
 	return ids
 }
 
+// unionProbeIDs returns the ascending union of a pass's live and
+// pending-raw probe IDs — a snapshot-seeded pass holds a probe in
+// either map (or both once partially materialized).
+func unionProbeIDs[A, B any](live map[int]A, raw map[int]B) []int {
+	ids := make([]int, 0, len(live)+len(raw))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	for id := range raw {
+		if _, ok := live[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // mergeTypeError is the uniform complaint for a Merge called with a
 // different pass type.
 func mergeTypeError(want string, got Pass) error {
@@ -271,6 +288,20 @@ type FullDistPass struct {
 	idx     *Index
 	nearest nearestTracker
 	byProbe map[int]map[string]*stats.Dist
+	// raw holds per-probe encoded distribution spans from a snapshot,
+	// region-sorted, decoded lazily on first touch (see materializeDist).
+	// A resumed scan touches only the delta's (probe, region) entries and
+	// each probe's nearest region at report time; everything else is
+	// spliced back into the next snapshot as raw bytes, so reload and
+	// rewrite cost scales with the delta, not with history.
+	raw map[int][]rawDist
+}
+
+// rawDist is one pending (region, encoded stats.Dist state) span; span
+// is nilled once the entry is decoded into byProbe.
+type rawDist struct {
+	region string
+	span   []byte
 }
 
 // NewFullDistPass builds the pass.
@@ -282,43 +313,107 @@ func NewFullDistPass(idx *Index) *FullDistPass {
 	}
 }
 
+// liveRegions returns the probe's materialized region map, creating it
+// if needed.
+func (p *FullDistPass) liveRegions(id int) map[string]*stats.Dist {
+	regions := p.byProbe[id]
+	if regions == nil {
+		regions = make(map[string]*stats.Dist)
+		p.byProbe[id] = regions
+	}
+	return regions
+}
+
+// materializeDist returns the live distribution for (id, region),
+// decoding a pending snapshot span on first touch. A nil result with a
+// nil error means the entry does not exist.
+func (p *FullDistPass) materializeDist(id int, region string) (*stats.Dist, error) {
+	if live := p.byProbe[id]; live != nil {
+		if d := live[region]; d != nil {
+			return d, nil
+		}
+	}
+	// Raw lists are decoded in ascending region order (the decoder
+	// enforces it), so the pending span is found by binary search.
+	list := p.raw[id]
+	i := sort.Search(len(list), func(k int) bool { return list[k].region >= region })
+	if i < len(list) && list[i].region == region && list[i].span != nil {
+		r := &list[i]
+		d, err := decodeDistSpan(r.span)
+		if err != nil {
+			return nil, err
+		}
+		r.span = nil
+		p.liveRegions(id)[region] = d
+		return d, nil
+	}
+	return nil, nil
+}
+
+// materializeAll decodes every pending span, leaving the pass fully
+// live — used when the pass is the source side of a merge.
+func (p *FullDistPass) materializeAll() error {
+	for id, spans := range p.raw {
+		live := p.liveRegions(id)
+		for i := range spans {
+			r := &spans[i]
+			if r.span == nil {
+				continue
+			}
+			d, err := decodeDistSpan(r.span)
+			if err != nil {
+				return err
+			}
+			r.span = nil
+			live[r.region] = d
+		}
+	}
+	p.raw = nil
+	return nil
+}
+
 // Observe implements Pass.
 func (p *FullDistPass) Observe(s results.Sample) error {
 	if s.Lost || !p.idx.Known(s.ProbeID) {
 		return nil
 	}
 	p.nearest.observe(s)
-	regions := p.byProbe[s.ProbeID]
-	if regions == nil {
-		regions = make(map[string]*stats.Dist)
-		p.byProbe[s.ProbeID] = regions
+	d, err := p.materializeDist(s.ProbeID, s.Region)
+	if err != nil {
+		return err
 	}
-	d := regions[s.Region]
 	if d == nil {
 		d = &stats.Dist{}
-		regions[s.Region] = d
+		p.liveRegions(s.ProbeID)[s.Region] = d
 	}
 	return d.Add(s.RTTms)
 }
 
 // Merge implements Pass. Buffered streams merge by replay (Dist.Merge),
 // so each (probe, region) stream stays in file order for any sharding.
+// Only the receiver entries the source actually touches are
+// materialized; the rest stay pending raw spans.
 func (p *FullDistPass) Merge(other Pass) error {
 	o, ok := other.(*FullDistPass)
 	if !ok {
 		return mergeTypeError("FullDistPass", other)
 	}
 	p.nearest.merge(o.nearest)
+	if err := o.materializeAll(); err != nil {
+		return err
+	}
 	for id, oRegions := range o.byProbe {
-		regions := p.byProbe[id]
-		if regions == nil {
+		if p.byProbe[id] == nil && len(p.raw[id]) == 0 {
 			p.byProbe[id] = oRegions
 			continue
 		}
 		for region, od := range oRegions {
-			d := regions[region]
+			d, err := p.materializeDist(id, region)
+			if err != nil {
+				return err
+			}
 			if d == nil {
-				regions[region] = od
+				p.liveRegions(id)[region] = od
 				continue
 			}
 			if err := d.Merge(od); err != nil {
@@ -341,7 +436,12 @@ func (p *FullDistPass) Report() (*CDFReport, error) {
 		if !ok {
 			continue
 		}
-		src := p.byProbe[probeID][p.nearest[probeID].region]
+		// Only each probe's nearest-region stream is reported, so only
+		// those entries are decoded from a snapshot-seeded pass.
+		src, err := p.materializeDist(probeID, p.nearest[probeID].region)
+		if err != nil {
+			return nil, err
+		}
 		if src == nil {
 			continue
 		}
@@ -377,6 +477,16 @@ type LastMilePass struct {
 	width   time.Duration
 	nearest nearestTracker
 	byProbe map[int]map[string][]timedRTT
+	// raw holds per-probe encoded sample-stream spans from a snapshot,
+	// region-sorted, decoded lazily exactly like FullDistPass.raw.
+	raw map[int][]rawStream
+}
+
+// rawStream is one pending (region, encoded timedRTT stream) span; span
+// is nilled once the stream is decoded into byProbe.
+type rawStream struct {
+	region string
+	span   []byte
 }
 
 // NewLastMilePass builds the pass; the bin geometry is validated up
@@ -415,30 +525,87 @@ func (p *LastMilePass) Observe(s results.Sample) error {
 	default:
 		return nil // untagged probes are excluded from Fig. 7
 	}
-	regions := p.byProbe[s.ProbeID]
-	if regions == nil {
-		regions = make(map[string][]timedRTT)
-		p.byProbe[s.ProbeID] = regions
+	if err := p.materializeStream(s.ProbeID, s.Region); err != nil {
+		return err
 	}
+	regions := p.liveStreams(s.ProbeID)
 	regions[s.Region] = append(regions[s.Region], timedRTT{t: s.Time, rtt: s.RTTms})
 	return nil
 }
 
+// liveStreams returns the probe's materialized stream map, creating it
+// if needed.
+func (p *LastMilePass) liveStreams(id int) map[string][]timedRTT {
+	regions := p.byProbe[id]
+	if regions == nil {
+		regions = make(map[string][]timedRTT)
+		p.byProbe[id] = regions
+	}
+	return regions
+}
+
+// materializeStream decodes the pending snapshot span for (id, region),
+// if one exists, into byProbe, so appends and reads see the buffered
+// history.
+func (p *LastMilePass) materializeStream(id int, region string) error {
+	list := p.raw[id]
+	i := sort.Search(len(list), func(k int) bool { return list[k].region >= region })
+	if i < len(list) && list[i].region == region && list[i].span != nil {
+		r := &list[i]
+		samples, err := decodeStreamSpan(r.span)
+		if err != nil {
+			return err
+		}
+		r.span = nil
+		p.liveStreams(id)[region] = samples
+	}
+	return nil
+}
+
+// materializeAll decodes every pending span, leaving the pass fully
+// live — used when the pass is the source side of a merge.
+func (p *LastMilePass) materializeAll() error {
+	for id, spans := range p.raw {
+		live := p.liveStreams(id)
+		for i := range spans {
+			r := &spans[i]
+			if r.span == nil {
+				continue
+			}
+			samples, err := decodeStreamSpan(r.span)
+			if err != nil {
+				return err
+			}
+			r.span = nil
+			live[r.region] = samples
+		}
+	}
+	p.raw = nil
+	return nil
+}
+
 // Merge implements Pass; buffered streams concatenate in shard order,
-// reconstructing file order.
+// reconstructing file order. Receiver streams the source does not touch
+// stay pending raw spans.
 func (p *LastMilePass) Merge(other Pass) error {
 	o, ok := other.(*LastMilePass)
 	if !ok {
 		return mergeTypeError("LastMilePass", other)
 	}
 	p.nearest.merge(o.nearest)
+	if err := o.materializeAll(); err != nil {
+		return err
+	}
 	for id, oRegions := range o.byProbe {
-		regions := p.byProbe[id]
-		if regions == nil {
+		if p.byProbe[id] == nil && len(p.raw[id]) == 0 {
 			p.byProbe[id] = oRegions
 			continue
 		}
 		for region, os := range oRegions {
+			if err := p.materializeStream(id, region); err != nil {
+				return err
+			}
+			regions := p.liveStreams(id)
 			regions[region] = append(regions[region], os...)
 		}
 	}
@@ -446,14 +613,19 @@ func (p *LastMilePass) Merge(other Pass) error {
 }
 
 // forEachKept walks the nearest-region samples of the qualifying probes
-// in ascending probe order.
+// in ascending probe order. Only each probe's nearest-region stream is
+// read, so only those streams are decoded from a snapshot-seeded pass.
 func (p *LastMilePass) forEachKept(fn func(access AccessClass, s timedRTT) error) error {
 	if len(p.nearest) == 0 {
 		return errors.New("analysis: no delivered samples")
 	}
-	for _, probeID := range sortedProbeIDs(p.byProbe) {
+	for _, probeID := range unionProbeIDs(p.byProbe, p.raw) {
 		access, _ := p.idx.Access(probeID)
-		for _, s := range p.byProbe[probeID][p.nearest[probeID].region] {
+		region := p.nearest[probeID].region
+		if err := p.materializeStream(probeID, region); err != nil {
+			return err
+		}
+		for _, s := range p.byProbe[probeID][region] {
 			if err := fn(access, s); err != nil {
 				return err
 			}

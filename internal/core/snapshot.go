@@ -1,0 +1,885 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"slices"
+	"sort"
+	"time"
+
+	"repro/internal/results"
+	"repro/internal/scan"
+	"repro/internal/snap"
+	"repro/internal/stats"
+)
+
+// Analysis snapshots: the suite's merged pass state, persisted next to
+// the samples file so re-analyzing an append-only store costs O(delta).
+// A snapshot binds to (pass-set version + figure geometry, probe index,
+// campaign meta, store format, covered byte/block boundary, content
+// window CRCs); any mismatch discards it and the scan runs cold, so a
+// stale or corrupt snapshot can never change a figure — the worst case
+// is a cache miss. State is serialized with exact IEEE-754 bits and in
+// insertion order, which keeps figures byte-identical whether computed
+// cold, from any intermediate snapshot, or across any worker count.
+
+// suiteStateVersion versions the suite's serialized state layout. Bump
+// it whenever a pass's accumulator or codec changes; old snapshots then
+// invalidate instead of deserializing garbage.
+const suiteStateVersion = 1
+
+// ErrEmptyStore reports a store with no samples — analyses have nothing
+// to compute, which callers should surface distinctly rather than as a
+// generic analysis failure.
+var ErrEmptyStore = errors.New("core: store holds no samples")
+
+// SnapshotOptions configures snapshot use for one scan. A zero value
+// (empty Path) disables snapshots entirely.
+type SnapshotOptions struct {
+	// Path is the snapshot file, normally store.SnapshotPath().
+	Path string
+	// Metrics, when set, receives snap_* instruments.
+	Metrics *snap.Metrics
+	// RefreshFactor gates the snapshot rewrite after a resumed scan: the
+	// file is rewritten only once the newly scanned suffix exceeds
+	// RefreshFactor × the covered prefix size (cold scans always write).
+	// Zero rewrites on any new data. Deferring a rewrite is never a
+	// correctness risk — the next scan simply re-reads the same small
+	// suffix — it amortizes the O(total-state) encode and multi-megabyte
+	// file write against a delta that grew enough to pay for them.
+	RefreshFactor float64
+}
+
+// DefaultRefreshFactor is the refresh gate the CLIs use: the snapshot
+// is rewritten once the unscanned suffix passes 1/16 of the covered
+// prefix, keeping any later resumed scan within ~6% of a cold scan's
+// decode volume while snapshot rewrites stay logarithmic in store
+// growth.
+const DefaultRefreshFactor = 1.0 / 16
+
+// Fingerprint hashes the index's analysis-relevant attributes: probe
+// set, geography, access class, tier, longitude. Two indexes with equal
+// fingerprints classify every sample identically.
+func (idx *Index) Fingerprint() string {
+	h := fnv.New64a()
+	for _, id := range sortedProbeIDs(idx.byProbe) {
+		info := idx.byProbe[id]
+		fmt.Fprintf(h, "%d|%s|%d|%d|%d|%x;", id, info.country, info.continent, info.access, info.tier, math.Float64bits(info.lon))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// metaFingerprint hashes the campaign identity a snapshot binds to. End
+// is deliberately excluded: extending an append-only campaign's window
+// must not orphan its snapshot — the covered boundary and content
+// windows already pin the data prefix.
+func metaFingerprint(m results.Meta) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%x|%d|%d", m.Seed, m.Start.UnixNano(), math.Float64bits(m.IntervalHours), m.Probes, m.Regions)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// passSetID names the analysis configuration: state version plus the
+// Figure 7 geometry the LastMile pass is parameterized by.
+func passSetID(start time.Time, binWidth time.Duration) string {
+	return fmt.Sprintf("suite-v%d|start=%d|width=%d", suiteStateVersion, start.UTC().UnixNano(), int64(binWidth))
+}
+
+func snapFormat(f results.Format) snap.Format {
+	if f == results.FormatBinary {
+		return snap.FormatBinary
+	}
+	return snap.FormatJSONL
+}
+
+// Merge folds other — the suite accumulated over the samples after the
+// receiver's — into s, pass by pass. Receiver-first ordering matters:
+// merges are earlier-shard-wins, so the receiver must cover the earlier
+// bytes.
+func (s *Suite) Merge(other *Suite) error {
+	op := other.Passes()
+	for i, p := range s.Passes() {
+		if err := p.Merge(op[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeState serializes the suite's full accumulator state, passes in
+// the fixed Passes() order. Call it before Report: report-time queries
+// sort distributions in place, and the snapshot must capture the
+// insertion-order state a future merge replays from.
+func (s *Suite) EncodeState() []byte {
+	b := make([]byte, 0, s.stateSizeHint())
+	b = appendProximityState(b, s.Proximity)
+	b = appendMinRTTState(b, s.MinRTT)
+	b = appendFullDistState(b, s.FullDist)
+	b = appendLastMileState(b, s.LastMile)
+	b = appendDiurnalState(b, s.Diurnal)
+	b = appendProviderState(b, s.Provider)
+	return b
+}
+
+// stateSizeHint estimates the encoded state size from sample counts and
+// pending span lengths, so EncodeState allocates its buffer once
+// instead of repeatedly copying a multi-megabyte slice while growing.
+func (s *Suite) stateSizeHint() int {
+	n := 4096 + 64*(len(s.FullDist.nearest)+len(s.MinRTT.mins)+len(s.Proximity.byCountry)+len(s.Provider.byProvider))
+	for _, regions := range s.FullDist.byProbe {
+		for _, d := range regions {
+			n += 8*d.N() + 48
+		}
+	}
+	for _, list := range s.FullDist.raw {
+		for i := range list {
+			n += len(list[i].span) + 32
+		}
+	}
+	for _, regions := range s.LastMile.byProbe {
+		for _, samples := range regions {
+			n += streamRecordBytes*len(samples) + 48
+		}
+	}
+	for _, list := range s.LastMile.raw {
+		for i := range list {
+			n += len(list[i].span) + 32
+		}
+	}
+	for h := range s.Diurnal.bins {
+		n += 8*s.Diurnal.bins[h].N() + 32
+	}
+	for _, a := range s.Provider.byProvider {
+		n += 8 * a.dist.N()
+	}
+	return n
+}
+
+// NewSuiteFromState builds a suite seeded with previously serialized
+// state. The caller must pass the same idx/start/binWidth the state was
+// accumulated under (enforced upstream via the snapshot header).
+func NewSuiteFromState(idx *Index, start time.Time, binWidth time.Duration, state []byte) (*Suite, error) {
+	s, err := NewSuite(idx, start, binWidth)
+	if err != nil {
+		return nil, err
+	}
+	c := snap.NewCursor(state)
+	if err := decodeProximityState(c, s.Proximity); err != nil {
+		return nil, err
+	}
+	if err := decodeMinRTTState(c, s.MinRTT); err != nil {
+		return nil, err
+	}
+	if err := decodeFullDistState(c, s.FullDist); err != nil {
+		return nil, err
+	}
+	if err := decodeLastMileState(c, s.LastMile); err != nil {
+		return nil, err
+	}
+	if err := decodeDiurnalState(c, s.Diurnal); err != nil {
+		return nil, err
+	}
+	if err := decodeProviderState(c, s.Provider); err != nil {
+		return nil, err
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in suite state", c.Remaining())
+	}
+	return s, nil
+}
+
+// sortState pre-sorts every distribution buffer exactly as report-time
+// queries would. Run before EncodeState: the sorted buffers serialize
+// with their sorted flag set, so a snapshot-seeded report pays only a
+// nearly-sorted re-sort of the appended tail instead of full O(n log n)
+// sorts of the whole history. Sorting commutes with every figure — sums
+// are carried as exact bits and quantiles see the same multiset.
+func (s *Suite) sortState() {
+	for _, regions := range s.FullDist.byProbe {
+		for _, d := range regions {
+			d.Sort()
+		}
+	}
+	for h := range s.Diurnal.bins {
+		s.Diurnal.bins[h].Sort()
+	}
+	for _, a := range s.Provider.byProvider {
+		a.dist.Sort()
+	}
+}
+
+// sortedStrings returns m's keys ascending, for deterministic encoding.
+func sortedStrings[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendNearestState(b []byte, n nearestTracker) []byte {
+	b = snap.AppendUvarint(b, uint64(len(n)))
+	for _, id := range sortedProbeIDs(n) {
+		best := n[id]
+		b = snap.AppendVarint(b, int64(id))
+		b = snap.AppendString(b, best.region)
+		b = snap.AppendFloat(b, best.rtt)
+	}
+	return b
+}
+
+func decodeNearestState(c *snap.Cursor, n nearestTracker) error {
+	count, err := c.Uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		id, err := c.Varint()
+		if err != nil {
+			return err
+		}
+		region, err := c.String()
+		if err != nil {
+			return err
+		}
+		rtt, err := c.Float()
+		if err != nil {
+			return err
+		}
+		if _, dup := n[int(id)]; dup {
+			return fmt.Errorf("core: duplicate probe %d in nearest state", id)
+		}
+		n[int(id)] = nearestBest{region: region, rtt: rtt}
+	}
+	return nil
+}
+
+func appendProximityState(b []byte, p *ProximityPass) []byte {
+	b = snap.AppendUvarint(b, uint64(len(p.byCountry)))
+	for _, country := range sortedStrings(p.byCountry) {
+		a := p.byCountry[country]
+		b = snap.AppendString(b, country)
+		b = snap.AppendFloat(b, a.min)
+		b = snap.AppendUvarint(b, uint64(a.samples))
+	}
+	return b
+}
+
+func decodeProximityState(c *snap.Cursor, p *ProximityPass) error {
+	count, err := c.Uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		country, err := c.String()
+		if err != nil {
+			return err
+		}
+		min, err := c.Float()
+		if err != nil {
+			return err
+		}
+		samples, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		if _, dup := p.byCountry[country]; dup {
+			return fmt.Errorf("core: duplicate country %q in proximity state", country)
+		}
+		p.byCountry[country] = &proximityAcc{min: min, samples: int(samples)}
+	}
+	return nil
+}
+
+func appendMinRTTState(b []byte, p *MinRTTPass) []byte {
+	b = snap.AppendUvarint(b, uint64(len(p.mins)))
+	for _, id := range sortedProbeIDs(p.mins) {
+		b = snap.AppendVarint(b, int64(id))
+		b = snap.AppendFloat(b, p.mins[id])
+	}
+	return b
+}
+
+func decodeMinRTTState(c *snap.Cursor, p *MinRTTPass) error {
+	count, err := c.Uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		id, err := c.Varint()
+		if err != nil {
+			return err
+		}
+		min, err := c.Float()
+		if err != nil {
+			return err
+		}
+		p.mins[int(id)] = min
+	}
+	return nil
+}
+
+// interner deduplicates decoded strings: a snapshot repeats each region
+// name once per probe, so interning turns tens of thousands of small
+// string allocations into map hits against a few dozen uniques.
+type interner map[string]string
+
+func (in interner) decode(c *snap.Cursor) (string, error) {
+	n, err := c.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	raw, err := c.Bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	if s, ok := in[string(raw)]; ok {
+		return s, nil
+	}
+	s := string(raw)
+	in[s] = s
+	return s, nil
+}
+
+// decodeDistSpan materializes one pending distribution span captured by
+// distSpan, insisting the whole span is consumed.
+func decodeDistSpan(span []byte) (*stats.Dist, error) {
+	c := snap.NewCursor(span)
+	d, err := stats.DecodeDistState(c)
+	if err != nil {
+		return nil, err
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in dist span", c.Remaining())
+	}
+	return d, nil
+}
+
+// distSpan skips one encoded stats.Dist state (sample count, sample
+// slab, sums, sorted flag) and returns its raw bytes without decoding
+// the floats — O(1) regardless of sample count.
+func distSpan(c *snap.Cursor) ([]byte, error) {
+	start := c.Pos()
+	n, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(c.Remaining())/8 {
+		return nil, fmt.Errorf("core: dist span claims %d samples, %d bytes remain", n, c.Remaining())
+	}
+	if _, err := c.Bytes(int(n)*8 + 17); err != nil {
+		return nil, err
+	}
+	return c.Since(start), nil
+}
+
+// A last-mile stream serializes as a sample count followed by a slab of
+// fixed-width records: unix seconds (8 bytes), nanoseconds (4 bytes),
+// RTT bits (8 bytes). Fixed records make skipping O(1) and
+// encode/decode a tight copy loop.
+const streamRecordBytes = 20
+
+func appendStreamState(b []byte, samples []timedRTT) []byte {
+	b = snap.AppendUvarint(b, uint64(len(samples)))
+	b = slices.Grow(b, streamRecordBytes*len(samples))
+	off := len(b)
+	b = b[:off+streamRecordBytes*len(samples)]
+	for i, s := range samples {
+		rec := b[off+streamRecordBytes*i:]
+		binary.LittleEndian.PutUint64(rec, uint64(s.t.Unix()))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(s.t.Nanosecond()))
+		binary.LittleEndian.PutUint64(rec[12:], math.Float64bits(s.rtt))
+	}
+	return b
+}
+
+// streamSpan skips one encoded last-mile stream and returns its raw
+// bytes, O(1) regardless of length.
+func streamSpan(c *snap.Cursor) ([]byte, error) {
+	start := c.Pos()
+	n, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(c.Remaining())/streamRecordBytes {
+		return nil, fmt.Errorf("core: last-mile stream claims %d samples, %d bytes remain", n, c.Remaining())
+	}
+	if _, err := c.Bytes(int(n) * streamRecordBytes); err != nil {
+		return nil, err
+	}
+	return c.Since(start), nil
+}
+
+// decodeStreamSpan materializes one pending stream span.
+func decodeStreamSpan(span []byte) ([]timedRTT, error) {
+	c := snap.NewCursor(span)
+	n, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.Bytes(int(n) * streamRecordBytes)
+	if err != nil {
+		return nil, err
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in stream span", c.Remaining())
+	}
+	samples := make([]timedRTT, n)
+	for i := range samples {
+		rec := raw[streamRecordBytes*i:]
+		sec := int64(binary.LittleEndian.Uint64(rec))
+		ns := binary.LittleEndian.Uint32(rec[8:])
+		if ns >= 1e9 {
+			return nil, fmt.Errorf("core: stream nanoseconds %d out of range", ns)
+		}
+		rtt := math.Float64frombits(binary.LittleEndian.Uint64(rec[12:]))
+		if math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+			return nil, fmt.Errorf("core: invalid stream RTT %v in state", rtt)
+		}
+		samples[i] = timedRTT{t: time.Unix(sec, int64(ns)).UTC(), rtt: rtt}
+	}
+	return samples, nil
+}
+
+// liveOnlyKeys returns the sorted live map keys that have no pending or
+// materialized raw entry — i.e. entries created after the snapshot was
+// taken. rawHas reports membership in the raw list.
+func liveOnlyKeys[V any](live map[string]V, rawHas func(string) bool) []string {
+	if len(live) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(live))
+	for k := range live {
+		if !rawHas(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendFullDistState writes the pass per probe, regions ascending.
+// Entries still pending from the loaded snapshot are spliced back as
+// raw bytes; only materialized (touched or new) entries are re-encoded,
+// so the write cost of an append-only rescan tracks the delta.
+func appendFullDistState(b []byte, p *FullDistPass) []byte {
+	b = appendNearestState(b, p.nearest)
+	ids := unionProbeIDs(p.byProbe, p.raw)
+	b = snap.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		rawList := p.raw[id]
+		live := p.byProbe[id]
+		rawHas := func(k string) bool {
+			for i := range rawList {
+				if rawList[i].region == k {
+					return true
+				}
+			}
+			return false
+		}
+		fresh := liveOnlyKeys(live, rawHas)
+		b = snap.AppendVarint(b, int64(id))
+		b = snap.AppendUvarint(b, uint64(len(rawList)+len(fresh)))
+		i, j := 0, 0
+		for i < len(rawList) || j < len(fresh) {
+			if j >= len(fresh) || (i < len(rawList) && rawList[i].region < fresh[j]) {
+				r := rawList[i]
+				i++
+				b = snap.AppendString(b, r.region)
+				if r.span != nil {
+					b = append(b, r.span...)
+				} else {
+					b = live[r.region].AppendState(b)
+				}
+			} else {
+				k := fresh[j]
+				j++
+				b = snap.AppendString(b, k)
+				b = live[k].AppendState(b)
+			}
+		}
+	}
+	return b
+}
+
+// decodeFullDistState captures every (probe, region) distribution as a
+// pending raw span instead of decoding it — materialization happens
+// lazily on first touch (delta merge or report).
+func decodeFullDistState(c *snap.Cursor, p *FullDistPass) error {
+	if err := decodeNearestState(c, p.nearest); err != nil {
+		return err
+	}
+	count, err := c.Uvarint()
+	if err != nil {
+		return err
+	}
+	if p.raw == nil {
+		p.raw = make(map[int][]rawDist, count)
+	}
+	intern := make(interner, 64)
+	for i := uint64(0); i < count; i++ {
+		id, err := c.Varint()
+		if err != nil {
+			return err
+		}
+		nRegions, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		if nRegions > uint64(c.Remaining()) {
+			return fmt.Errorf("core: probe %d claims %d regions, %d bytes remain", id, nRegions, c.Remaining())
+		}
+		list := make([]rawDist, 0, nRegions)
+		for j := uint64(0); j < nRegions; j++ {
+			region, err := intern.decode(c)
+			if err != nil {
+				return err
+			}
+			span, err := distSpan(c)
+			if err != nil {
+				return err
+			}
+			// Writers emit regions in ascending order; enforcing it here
+			// lets lazy lookups binary-search the pending list.
+			if len(list) > 0 && region <= list[len(list)-1].region {
+				return fmt.Errorf("core: probe %d regions out of order in full-dist state", id)
+			}
+			list = append(list, rawDist{region: region, span: span})
+		}
+		if _, dup := p.raw[int(id)]; dup {
+			return fmt.Errorf("core: duplicate probe %d in full-dist state", id)
+		}
+		p.raw[int(id)] = list
+	}
+	return nil
+}
+
+// appendLastMileState mirrors appendFullDistState for the buffered
+// last-mile streams.
+func appendLastMileState(b []byte, p *LastMilePass) []byte {
+	b = appendNearestState(b, p.nearest)
+	ids := unionProbeIDs(p.byProbe, p.raw)
+	b = snap.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		rawList := p.raw[id]
+		live := p.byProbe[id]
+		rawHas := func(k string) bool {
+			for i := range rawList {
+				if rawList[i].region == k {
+					return true
+				}
+			}
+			return false
+		}
+		fresh := liveOnlyKeys(live, rawHas)
+		b = snap.AppendVarint(b, int64(id))
+		b = snap.AppendUvarint(b, uint64(len(rawList)+len(fresh)))
+		i, j := 0, 0
+		for i < len(rawList) || j < len(fresh) {
+			if j >= len(fresh) || (i < len(rawList) && rawList[i].region < fresh[j]) {
+				r := rawList[i]
+				i++
+				b = snap.AppendString(b, r.region)
+				if r.span != nil {
+					b = append(b, r.span...)
+				} else {
+					b = appendStreamState(b, live[r.region])
+				}
+			} else {
+				k := fresh[j]
+				j++
+				b = snap.AppendString(b, k)
+				b = appendStreamState(b, live[k])
+			}
+		}
+	}
+	return b
+}
+
+// decodeLastMileState captures every stream as a pending raw span, like
+// decodeFullDistState.
+func decodeLastMileState(c *snap.Cursor, p *LastMilePass) error {
+	if err := decodeNearestState(c, p.nearest); err != nil {
+		return err
+	}
+	count, err := c.Uvarint()
+	if err != nil {
+		return err
+	}
+	if p.raw == nil {
+		p.raw = make(map[int][]rawStream, count)
+	}
+	intern := make(interner, 64)
+	for i := uint64(0); i < count; i++ {
+		id, err := c.Varint()
+		if err != nil {
+			return err
+		}
+		nRegions, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		if nRegions > uint64(c.Remaining()) {
+			return fmt.Errorf("core: probe %d claims %d streams, %d bytes remain", id, nRegions, c.Remaining())
+		}
+		list := make([]rawStream, 0, nRegions)
+		for j := uint64(0); j < nRegions; j++ {
+			region, err := intern.decode(c)
+			if err != nil {
+				return err
+			}
+			span, err := streamSpan(c)
+			if err != nil {
+				return err
+			}
+			if len(list) > 0 && region <= list[len(list)-1].region {
+				return fmt.Errorf("core: probe %d streams out of order in last-mile state", id)
+			}
+			list = append(list, rawStream{region: region, span: span})
+		}
+		if _, dup := p.raw[int(id)]; dup {
+			return fmt.Errorf("core: duplicate probe %d in last-mile state", id)
+		}
+		p.raw[int(id)] = list
+	}
+	return nil
+}
+
+func appendDiurnalState(b []byte, p *DiurnalPass) []byte {
+	for h := range p.bins {
+		b = p.bins[h].AppendState(b)
+	}
+	return b
+}
+
+func decodeDiurnalState(c *snap.Cursor, p *DiurnalPass) error {
+	for h := range p.bins {
+		d, err := stats.DecodeDistState(c)
+		if err != nil {
+			return err
+		}
+		p.bins[h] = *d
+	}
+	return nil
+}
+
+func appendProviderState(b []byte, p *ProviderPass) []byte {
+	b = snap.AppendUvarint(b, uint64(len(p.byProvider)))
+	for _, provider := range sortedStrings(p.byProvider) {
+		a := p.byProvider[provider]
+		b = snap.AppendString(b, provider)
+		b = a.dist.AppendState(b)
+		b = snap.AppendUvarint(b, uint64(a.lost))
+	}
+	return b
+}
+
+func decodeProviderState(c *snap.Cursor, p *ProviderPass) error {
+	count, err := c.Uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		provider, err := c.String()
+		if err != nil {
+			return err
+		}
+		d, err := stats.DecodeDistState(c)
+		if err != nil {
+			return err
+		}
+		lost, err := c.Uvarint()
+		if err != nil {
+			return err
+		}
+		p.byProvider[provider] = &providerAcc{dist: d, lost: int(lost)}
+	}
+	return nil
+}
+
+// loadSnapshot reads, validates, and deserializes the snapshot at path.
+// Any failure returns nils after counting a miss (no file) or an
+// invalidation (anything else) — the caller then scans cold.
+func loadSnapshot(path string, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, sm *snap.Metrics) (*Suite, uint64, *scan.Resume) {
+	h, payload, err := snap.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, snap.ErrNoSnapshot) {
+			sm.Miss()
+		} else {
+			sm.Invalidate()
+		}
+		return nil, 0, nil
+	}
+	if h.PassSet != passSetID(start, binWidth) ||
+		h.Index != idx.Fingerprint() ||
+		h.Meta != metaFingerprint(store.Meta()) ||
+		h.Format != snapFormat(store.Format()) ||
+		h.CoveredBytes <= 0 {
+		sm.Invalidate()
+		return nil, 0, nil
+	}
+	f, err := os.Open(store.SamplesPath())
+	if err != nil {
+		sm.Invalidate()
+		return nil, 0, nil
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || h.CoveredBytes > fi.Size() {
+		// Covered data no longer exists: the store was truncated (e.g. a
+		// checkpoint resume rolled back a partial round).
+		sm.Invalidate()
+		return nil, 0, nil
+	}
+	head, tail, err := snap.WindowCRCs(f, h.CoveredBytes)
+	if err != nil || head != h.HeadCRC || tail != h.TailCRC {
+		sm.Invalidate()
+		return nil, 0, nil
+	}
+	suite, err := NewSuiteFromState(idx, start, binWidth, payload)
+	if err != nil {
+		sm.Invalidate()
+		return nil, 0, nil
+	}
+	return suite, h.Samples, &scan.Resume{Bytes: h.CoveredBytes, Blocks: h.CoveredBlocks}
+}
+
+// writeSnapshot atomically persists merged's state as covering the
+// store prefix the scan just consumed.
+func writeSnapshot(path string, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, merged *Suite, samples uint64, st scan.Stats, sm *snap.Metrics) error {
+	f, err := os.Open(store.SamplesPath())
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	head, tail, err := snap.WindowCRCs(f, st.DataEnd)
+	if err != nil {
+		return err
+	}
+	h := snap.Header{
+		PassSet:      passSetID(start, binWidth),
+		Index:        idx.Fingerprint(),
+		Meta:         metaFingerprint(store.Meta()),
+		Format:       snapFormat(store.Format()),
+		CoveredBytes: st.DataEnd,
+		Samples:      samples,
+		HeadCRC:      head,
+		TailCRC:      tail,
+	}
+	if st.Binary {
+		h.CoveredBlocks = st.BlocksTotal
+	}
+	if err := snap.WriteFile(path, h, merged.EncodeState()); err != nil {
+		return err
+	}
+	sm.Wrote()
+	return nil
+}
+
+// scanStoreMerged runs the scan — snapshot-seeded when so.Path names a
+// valid snapshot, cold otherwise — and returns the merged suite before
+// any report runs, plus the total samples folded into it.
+func scanStoreMerged(ctx context.Context, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, workers int, m *scan.Metrics, so SnapshotOptions) (*Suite, uint64, scan.Stats, error) {
+	if store == nil || idx == nil {
+		return nil, 0, scan.Stats{}, errors.New("analysis: nil store or index")
+	}
+	var prefix *Suite
+	var prefixSamples uint64
+	var resume *scan.Resume
+	if so.Path != "" {
+		prefix, prefixSamples, resume = loadSnapshot(so.Path, store, idx, start, binWidth, so.Metrics)
+	}
+	scanOnce := func(r *scan.Resume) ([]*Suite, scan.Stats, error) {
+		var suites []*Suite
+		st, err := scan.File(ctx, scan.Config{
+			Path:    store.SamplesPath(),
+			Workers: workers,
+			Metrics: m,
+			Resume:  r,
+			NewPasses: func(worker int) ([]scan.Pass, error) {
+				s, err := NewSuite(idx, start, binWidth)
+				if err != nil {
+					return nil, err
+				}
+				suites = append(suites, s)
+				return s.Passes(), nil
+			},
+		})
+		return suites, st, err
+	}
+	suites, st, err := scanOnce(resume)
+	if err != nil && resume != nil {
+		// The covered boundary no longer holds (the store changed in a way
+		// the window CRCs could not see): drop the snapshot, scan cold.
+		so.Metrics.Invalidate()
+		prefix, prefixSamples, resume = nil, 0, nil
+		suites, st, err = scanOnce(nil)
+	}
+	if err != nil {
+		return nil, 0, st, err
+	}
+	merged := suites[0]
+	if prefix != nil {
+		if err := prefix.Merge(merged); err != nil {
+			return nil, 0, st, err
+		}
+		merged = prefix
+		so.Metrics.Hit(resume.Blocks, resume.Bytes)
+	}
+	total := prefixSamples + st.Samples
+	if total == 0 {
+		return nil, 0, st, ErrEmptyStore
+	}
+	// Rewrite the snapshot unless this scan was a pure hit with no new
+	// data — then the file on disk already holds exactly this state — or
+	// the delta is still below the refresh gate (see RefreshFactor).
+	refresh := so.Path != "" && (resume == nil || st.DataEnd != resume.Bytes)
+	if refresh && resume != nil && so.RefreshFactor > 0 &&
+		float64(st.DataEnd-resume.Bytes) < so.RefreshFactor*float64(resume.Bytes) {
+		refresh = false
+	}
+	if refresh {
+		merged.sortState()
+		if err := writeSnapshot(so.Path, store, idx, start, binWidth, merged, total, st, so.Metrics); err != nil {
+			return nil, 0, st, fmt.Errorf("core: writing snapshot: %w", err)
+		}
+	}
+	return merged, total, st, nil
+}
+
+// ScanStoreSnap is ScanStore with snapshot support: it seeds the passes
+// from a valid snapshot and scans only the store suffix past its
+// covered boundary, falling back to a cold full scan whenever the
+// snapshot is missing, corrupt, or does not exactly prefix the store.
+// Reports are byte-identical to a cold ScanStore for any worker count.
+func ScanStoreSnap(ctx context.Context, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, workers int, m *scan.Metrics, so SnapshotOptions) (*SuiteReport, scan.Stats, error) {
+	merged, _, st, err := scanStoreMerged(ctx, store, idx, start, binWidth, workers, m, so)
+	if err != nil {
+		return nil, st, err
+	}
+	// Report only after the snapshot is on disk: report-time queries sort
+	// accumulated samples in place, and the snapshot must hold the
+	// insertion-order state.
+	rep, err := merged.Report()
+	return rep, st, err
+}
+
+// UpdateSnapshot refreshes the store's snapshot without producing a
+// report — the engine calls it at each checkpoint so a later figure run
+// starts from the freshest covered boundary. An empty store is a no-op.
+func UpdateSnapshot(ctx context.Context, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, workers int, m *scan.Metrics, so SnapshotOptions) (scan.Stats, error) {
+	if so.Path == "" {
+		return scan.Stats{}, errors.New("core: UpdateSnapshot needs a snapshot path")
+	}
+	_, _, st, err := scanStoreMerged(ctx, store, idx, start, binWidth, workers, m, so)
+	if errors.Is(err, ErrEmptyStore) {
+		return st, nil
+	}
+	return st, err
+}

@@ -1,0 +1,571 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/colf"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/results"
+	"repro/internal/snap"
+	"repro/internal/world"
+)
+
+// The snapshot tests drive a small appendable campaign: a store is
+// created with a 24-round prefix and then grown one round at a time,
+// checking after every append that a snapshot-resumed scan renders the
+// same bytes as a cold scan for every worker count.
+
+const (
+	snapSeed     = 11
+	snapBinWidth = 7 * 24 * time.Hour
+)
+
+// snapWorld is the shared world of the snapshot tests: built once, at
+// the minimum size that still covers every country.
+var (
+	snapWorldOnce sync.Once
+	snapWorldVal  *world.World
+	snapWorldErr  error
+)
+
+func snapWorldGet(t *testing.T) *world.World {
+	t.Helper()
+	snapWorldOnce.Do(func() {
+		snapWorldVal, snapWorldErr = world.Build(world.Config{Seed: snapSeed, Probes: 200})
+	})
+	if snapWorldErr != nil {
+		t.Fatal(snapWorldErr)
+	}
+	return snapWorldVal
+}
+
+// snapConfig is the snapshot test campaign truncated to `rounds` rounds.
+func snapConfig(rounds int) atlas.CampaignConfig {
+	start := time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC)
+	return atlas.CampaignConfig{
+		Start:           start,
+		End:             start.Add(time.Duration(rounds) * 3 * time.Hour),
+		Interval:        3 * time.Hour,
+		TargetsPerRound: 2,
+		Participation:   1,
+		PingsPerTarget:  1,
+	}
+}
+
+// campaignPrefix synthesizes the first `rounds` rounds of the snapshot
+// test campaign. Round synthesis depends only on the round index and
+// timestamp, so a shorter window is an exact prefix of a longer one
+// (asserted by the callers below).
+func campaignPrefix(t *testing.T, w *world.World, rounds int) []results.Sample {
+	t.Helper()
+	var all []results.Sample
+	_, err := w.Platform.RunCampaign(context.Background(), snapConfig(rounds), func(s results.Sample) error {
+		all = append(all, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return all
+}
+
+// storeDataEnd returns the append boundary of the store's samples file:
+// the end of the last block (binary, excluding the trailing index) or
+// the file size (JSONL).
+func storeDataEnd(t testing.TB, store *results.Store) int64 {
+	t.Helper()
+	if store.Format() != results.FormatBinary {
+		fi, err := os.Stat(store.SamplesPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	r, closer, err := colf.Open(store.SamplesPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	blocks := r.Blocks()
+	if len(blocks) == 0 {
+		return colf.HeaderSize
+	}
+	last := blocks[len(blocks)-1]
+	return last.Off + last.Len
+}
+
+// appendSamples grows the store in place, exactly like a checkpoint
+// resume would: reopen at the data end, append, close (which rewrites
+// the binary index).
+func appendSamples(t testing.TB, store *results.Store, smps []results.Sample) {
+	t.Helper()
+	sink, err := store.Resume(storeDataEnd(t, store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range smps {
+		if err := sink.Write(s); err != nil {
+			sink.Close()
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildStore writes samples into a fresh store under dir.
+func buildStore(t testing.TB, dir string, meta results.Meta, format results.Format, smps []results.Sample) *results.Store {
+	t.Helper()
+	store, sink, err := results.Create(dir, meta, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range smps {
+		if err := sink.Write(s); err != nil {
+			sink.Close()
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// coldRender renders the reference figures with a snapshot-free scan.
+func coldRender(t *testing.T, store *results.Store, w *world.World, start time.Time) []byte {
+	t.Helper()
+	rep, _, err := core.ScanStore(context.Background(), store, w.Index, start, snapBinWidth, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderSuite(t, rep)
+}
+
+// TestSnapshotEquivalenceOverAppends is the tentpole's acceptance check:
+// starting from a 24-round store, three successive one-round appends
+// each render byte-identical figure lines and CSVs whether scanned cold
+// or resumed from the pre-append snapshot, for workers 1, 2, 4 and 7 —
+// and the resumed binary scans decode only the appended blocks.
+func TestSnapshotEquivalenceOverAppends(t *testing.T) {
+	w := snapWorldGet(t)
+	full := campaignPrefix(t, w, 27)
+	cuts := make([]int, 0, 3)
+	for _, rounds := range []int{24, 25, 26} {
+		prefix := campaignPrefix(t, w, rounds)
+		if !reflect.DeepEqual(full[:len(prefix)], prefix) {
+			t.Fatalf("%d-round campaign is not a prefix of the 27-round one", rounds)
+		}
+		cuts = append(cuts, len(prefix))
+	}
+	cfg := snapConfig(27)
+	meta := cfg.Meta(snapSeed, w.Probes.Len(), w.Catalog.Len())
+	ctx := context.Background()
+
+	for _, format := range []results.Format{results.FormatBinary, results.FormatJSONL} {
+		name := "binary"
+		if format == results.FormatJSONL {
+			name = "jsonl"
+		}
+		t.Run(name, func(t *testing.T) {
+			store := buildStore(t, filepath.Join(t.TempDir(), "ds"), meta, format, full[:cuts[0]])
+			snapPath := store.SnapshotPath()
+			opts := func(sm *snap.Metrics) core.SnapshotOptions {
+				return core.SnapshotOptions{Path: snapPath, Metrics: sm}
+			}
+
+			// First snapshot-enabled scan: no file yet, so a counted miss,
+			// a cold scan, and a write — rendering the cold bytes.
+			sm := snap.NewMetrics(obs.NewRegistry())
+			rep, _, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, 3, nil, opts(sm))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sm.Misses.Value() != 1 || sm.Writes.Value() != 1 || sm.Hits.Value() != 0 || sm.Invalidations.Value() != 0 {
+				t.Fatalf("seed scan counters: miss=%d write=%d hit=%d invalid=%d",
+					sm.Misses.Value(), sm.Writes.Value(), sm.Hits.Value(), sm.Invalidations.Value())
+			}
+			if got, want := renderSuite(t, rep), coldRender(t, store, w, cfg.Start); !bytes.Equal(got, want) {
+				t.Fatal("seed snapshot scan diverges from cold scan")
+			}
+
+			// Pure hit: nothing appended, so nothing is decoded and the
+			// snapshot is not rewritten.
+			sm = snap.NewMetrics(obs.NewRegistry())
+			rep, st, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, 3, nil, opts(sm))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sm.Hits.Value() != 1 || sm.Writes.Value() != 0 || sm.Invalidations.Value() != 0 {
+				t.Fatalf("pure-hit counters: hit=%d write=%d invalid=%d",
+					sm.Hits.Value(), sm.Writes.Value(), sm.Invalidations.Value())
+			}
+			if st.Samples != 0 || st.BlocksRead != 0 {
+				t.Fatalf("pure hit decoded %d samples, %d blocks", st.Samples, st.BlocksRead)
+			}
+			if got, want := renderSuite(t, rep), coldRender(t, store, w, cfg.Start); !bytes.Equal(got, want) {
+				t.Fatal("pure-hit scan diverges from cold scan")
+			}
+
+			prev := cuts[0]
+			for ai, cut := range []int{cuts[1], cuts[2], len(full)} {
+				appendSamples(t, store, full[prev:cut])
+				prev = cut
+				// The snapshot on disk covers the pre-append prefix; replay
+				// every worker count from that same starting point.
+				preSnap, err := os.ReadFile(snapPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := coldRender(t, store, w, cfg.Start)
+				for _, workers := range []int{1, 2, 4, 7} {
+					if err := os.WriteFile(snapPath, preSnap, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					sm := snap.NewMetrics(obs.NewRegistry())
+					rep, st, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, workers, nil, opts(sm))
+					if err != nil {
+						t.Fatalf("append %d workers=%d: %v", ai+1, workers, err)
+					}
+					if !bytes.Equal(renderSuite(t, rep), want) {
+						t.Errorf("append %d workers=%d: rendered figures diverge from cold scan", ai+1, workers)
+					}
+					if sm.Hits.Value() != 1 || sm.Misses.Value() != 0 || sm.Invalidations.Value() != 0 || sm.Writes.Value() != 1 {
+						t.Errorf("append %d workers=%d counters: hit=%d miss=%d invalid=%d write=%d",
+							ai+1, workers, sm.Hits.Value(), sm.Misses.Value(), sm.Invalidations.Value(), sm.Writes.Value())
+					}
+					if st.PrefixBytes == 0 {
+						t.Errorf("append %d workers=%d: scan reports no resumed prefix", ai+1, workers)
+					}
+					if format == results.FormatBinary {
+						if !st.Binary {
+							t.Fatalf("append %d: binary store scanned as JSONL", ai+1)
+						}
+						if st.PrefixBlocks == 0 || st.BlocksRead != st.BlocksTotal-st.PrefixBlocks {
+							t.Errorf("append %d workers=%d: decoded %d of %d blocks with %d-block prefix; want delta only",
+								ai+1, workers, st.BlocksRead, st.BlocksTotal, st.PrefixBlocks)
+						}
+						if sm.BlocksSkipped.Value() != uint64(st.PrefixBlocks) {
+							t.Errorf("append %d workers=%d: snap_blocks_skipped_total=%d, prefix holds %d blocks",
+								ai+1, workers, sm.BlocksSkipped.Value(), st.PrefixBlocks)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotInvalidation covers every discard path: a snapshot that
+// does not exactly match the store (or analysis configuration) in front
+// of it must be dropped — counted in snap_invalidations_total — and the
+// scan must fall back cold and still render correct figures.
+func TestSnapshotInvalidation(t *testing.T) {
+	w := snapWorldGet(t)
+	const rounds = 8
+	full := campaignPrefix(t, w, rounds)
+	cfg := snapConfig(rounds)
+	meta := cfg.Meta(snapSeed, w.Probes.Len(), w.Catalog.Len())
+	ctx := context.Background()
+
+	// seedSnap gives an existing store a fresh valid snapshot.
+	seedSnap := func(t *testing.T, store *results.Store) {
+		t.Helper()
+		sm := snap.NewMetrics(obs.NewRegistry())
+		if _, _, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, 2, nil,
+			core.SnapshotOptions{Path: store.SnapshotPath(), Metrics: sm}); err != nil {
+			t.Fatal(err)
+		}
+		if sm.Writes.Value() != 1 {
+			t.Fatalf("seeding wrote %d snapshots", sm.Writes.Value())
+		}
+	}
+
+	// seed builds a store in the given format with a fresh valid snapshot.
+	seed := func(t *testing.T, format results.Format) *results.Store {
+		t.Helper()
+		store := buildStore(t, filepath.Join(t.TempDir(), "ds"), meta, format, full)
+		seedSnap(t, store)
+		return store
+	}
+
+	// rescan runs one snapshot-enabled scan and asserts it invalidated the
+	// snapshot, fell back cold, rendered the cold reference bytes, and
+	// left a fresh snapshot behind that the next scan hits.
+	rescan := func(t *testing.T, store *results.Store, binWidth time.Duration) {
+		t.Helper()
+		sm := snap.NewMetrics(obs.NewRegistry())
+		so := core.SnapshotOptions{Path: store.SnapshotPath(), Metrics: sm}
+		rep, st, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, binWidth, 3, nil, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sm.Invalidations.Value() != 1 || sm.Hits.Value() != 0 {
+			t.Fatalf("counters after stale snapshot: invalid=%d hit=%d", sm.Invalidations.Value(), sm.Hits.Value())
+		}
+		if st.PrefixBytes != 0 {
+			t.Fatalf("invalidated scan still resumed at byte %d", st.PrefixBytes)
+		}
+		coldRep, _, err := core.ScanStore(ctx, store, w.Index, cfg.Start, binWidth, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(renderSuite(t, rep), renderSuite(t, coldRep)) {
+			t.Error("cold fallback diverges from snapshot-free scan")
+		}
+		if sm.Writes.Value() != 1 {
+			t.Errorf("cold fallback wrote %d snapshots, want a fresh one", sm.Writes.Value())
+		}
+		sm2 := snap.NewMetrics(obs.NewRegistry())
+		so.Metrics = sm2
+		if _, _, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, binWidth, 3, nil, so); err != nil {
+			t.Fatal(err)
+		}
+		if sm2.Hits.Value() != 1 || sm2.Invalidations.Value() != 0 {
+			t.Errorf("fresh snapshot not hit: hit=%d invalid=%d", sm2.Hits.Value(), sm2.Invalidations.Value())
+		}
+	}
+
+	// tamperHeader rewrites the snapshot with a mutated header, keeping
+	// the envelope internally consistent (CRC included) so only the
+	// binding check can reject it.
+	tamperHeader := func(t *testing.T, path string, mutate func(*snap.Header)) {
+		t.Helper()
+		h, payload, err := snap.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(&h)
+		if err := snap.WriteFile(path, h, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("pass set change", func(t *testing.T) {
+		// Analyzing with a different Figure 7 bin width is a different
+		// pass set; the old snapshot's state must not leak into it.
+		store := seed(t, results.FormatBinary)
+		rescan(t, store, 24*time.Hour)
+	})
+
+	t.Run("index fingerprint mismatch", func(t *testing.T) {
+		store := seed(t, results.FormatBinary)
+		tamperHeader(t, store.SnapshotPath(), func(h *snap.Header) { h.Index = "0000000000000000" })
+		rescan(t, store, snapBinWidth)
+	})
+
+	t.Run("meta fingerprint mismatch", func(t *testing.T) {
+		store := seed(t, results.FormatJSONL)
+		tamperHeader(t, store.SnapshotPath(), func(h *snap.Header) { h.Meta = "0000000000000000" })
+		rescan(t, store, snapBinWidth)
+	})
+
+	t.Run("boundary not a block boundary", func(t *testing.T) {
+		// A covered boundary that passes every header check but is not a
+		// block boundary fails at scan time; the scan must then drop the
+		// snapshot and retry cold instead of surfacing the error.
+		store := seed(t, results.FormatBinary)
+		f, err := os.Open(store.SamplesPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		tamperHeader(t, store.SnapshotPath(), func(h *snap.Header) {
+			h.CoveredBytes--
+			head, tail, err := snap.WindowCRCs(f, h.CoveredBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.HeadCRC, h.TailCRC = head, tail
+		})
+		rescan(t, store, snapBinWidth)
+	})
+
+	t.Run("corrupt snapshot file", func(t *testing.T) {
+		store := seed(t, results.FormatBinary)
+		data, err := os.ReadFile(store.SnapshotPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(store.SnapshotPath(), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rescan(t, store, snapBinWidth)
+	})
+
+	t.Run("truncated store", func(t *testing.T) {
+		// A checkpoint-resume rollback shrinks the samples file below the
+		// snapshot's covered boundary; the snapshot no longer prefixes the
+		// store and must go.
+		// Build the store in two sink sessions so it holds two blocks and
+		// a mid-file block boundary exists to truncate at.
+		store := buildStore(t, filepath.Join(t.TempDir(), "ds"), meta, results.FormatBinary, full[:len(full)/2])
+		appendSamples(t, store, full[len(full)/2:])
+		seedSnap(t, store)
+		r, closer, err := colf.Open(store.SamplesPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := r.Blocks()
+		closer.Close()
+		if len(blocks) < 2 {
+			t.Fatalf("store has only %d blocks; test needs a mid-file boundary", len(blocks))
+		}
+		cut := blocks[len(blocks)/2].Off
+		if err := os.Truncate(store.SamplesPath(), cut); err != nil {
+			t.Fatal(err)
+		}
+		rescan(t, store, snapBinWidth)
+	})
+
+	t.Run("modified store content", func(t *testing.T) {
+		// Same length, different bytes: the head window CRC catches an
+		// in-place rewrite of covered data.
+		store := seed(t, results.FormatJSONL)
+		data, err := os.ReadFile(store.SamplesPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := bytes.Index(data, []byte(`"rtt_ms":`))
+		if i < 0 {
+			t.Fatal("no rtt field in first line")
+		}
+		i += len(`"rtt_ms":`)
+		for data[i] < '0' || data[i] > '9' {
+			i++
+		}
+		if data[i] == '1' {
+			data[i] = '3'
+		} else {
+			data[i] = '1'
+		}
+		if err := os.WriteFile(store.SamplesPath(), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rescan(t, store, snapBinWidth)
+	})
+}
+
+// TestScanStoreEmpty pins the empty-store sentinel for both formats,
+// with and without snapshots enabled; an empty store must never leave a
+// snapshot file behind.
+func TestScanStoreEmpty(t *testing.T) {
+	w := snapWorldGet(t)
+	cfg := snapConfig(4)
+	meta := cfg.Meta(snapSeed, w.Probes.Len(), w.Catalog.Len())
+	for _, format := range []results.Format{results.FormatBinary, results.FormatJSONL} {
+		store := buildStore(t, filepath.Join(t.TempDir(), "ds"), meta, format, nil)
+		if _, _, err := core.ScanStore(context.Background(), store, w.Index, cfg.Start, snapBinWidth, 2, nil); !errors.Is(err, core.ErrEmptyStore) {
+			t.Errorf("format %v: cold scan of empty store: err=%v, want ErrEmptyStore", format, err)
+		}
+		sm := snap.NewMetrics(obs.NewRegistry())
+		_, _, err := core.ScanStoreSnap(context.Background(), store, w.Index, cfg.Start, snapBinWidth, 2, nil,
+			core.SnapshotOptions{Path: store.SnapshotPath(), Metrics: sm})
+		if !errors.Is(err, core.ErrEmptyStore) {
+			t.Errorf("format %v: snapshot scan of empty store: err=%v, want ErrEmptyStore", format, err)
+		}
+		if _, err := os.Stat(store.SnapshotPath()); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("format %v: empty store grew a snapshot file", format)
+		}
+		// UpdateSnapshot treats empty as a no-op, not an error: the engine
+		// calls it from checkpoint hooks before any samples may exist.
+		if _, err := core.UpdateSnapshot(context.Background(), store, w.Index, cfg.Start, snapBinWidth, 2, nil,
+			core.SnapshotOptions{Path: store.SnapshotPath(), Metrics: sm}); err != nil {
+			t.Errorf("format %v: UpdateSnapshot on empty store: %v", format, err)
+		}
+	}
+}
+
+// TestSnapshotRefreshGate exercises the amortized-rewrite policy: a
+// resumed scan whose delta sits below RefreshFactor of the covered
+// prefix serves correct figures but defers the snapshot rewrite, so the
+// next scan resumes from the same boundary; once the factor is crossed
+// (or zeroed), the rewrite happens and later scans are pure hits.
+func TestSnapshotRefreshGate(t *testing.T) {
+	w := snapWorldGet(t)
+	full := campaignPrefix(t, w, 27)
+	prefix := campaignPrefix(t, w, 26)
+	if !reflect.DeepEqual(full[:len(prefix)], prefix) {
+		t.Fatal("26-round campaign is not a prefix of the 27-round one")
+	}
+	cfg := snapConfig(27)
+	meta := cfg.Meta(snapSeed, w.Probes.Len(), w.Catalog.Len())
+	ctx := context.Background()
+
+	store := buildStore(t, filepath.Join(t.TempDir(), "ds"), meta, results.FormatBinary, prefix)
+	snapPath := store.SnapshotPath()
+
+	// Seed write: the gate never blocks the first snapshot of a store.
+	sm := snap.NewMetrics(obs.NewRegistry())
+	_, _, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, 3, nil,
+		core.SnapshotOptions{Path: snapPath, Metrics: sm, RefreshFactor: core.DefaultRefreshFactor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Writes.Value() != 1 {
+		t.Fatalf("seed scan wrote %d snapshots, want 1", sm.Writes.Value())
+	}
+	appendSamples(t, store, full[len(prefix):])
+	want := coldRender(t, store, w, cfg.Start)
+
+	// One appended round is far below the default gate: figures are
+	// served, but the rewrite is deferred — twice in a row, resuming
+	// from the same boundary each time.
+	for pass := 0; pass < 2; pass++ {
+		sm = snap.NewMetrics(obs.NewRegistry())
+		rep, st, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, 3, nil,
+			core.SnapshotOptions{Path: snapPath, Metrics: sm, RefreshFactor: core.DefaultRefreshFactor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sm.Hits.Value() != 1 || sm.Writes.Value() != 0 || sm.Invalidations.Value() != 0 {
+			t.Fatalf("pass %d counters: hit=%d write=%d invalid=%d",
+				pass, sm.Hits.Value(), sm.Writes.Value(), sm.Invalidations.Value())
+		}
+		if st.BlocksRead == 0 || st.BlocksRead != st.BlocksTotal-st.PrefixBlocks {
+			t.Fatalf("pass %d decoded %d blocks, delta is %d",
+				pass, st.BlocksRead, st.BlocksTotal-st.PrefixBlocks)
+		}
+		if !bytes.Equal(renderSuite(t, rep), want) {
+			t.Fatalf("pass %d: below-gate resumed scan diverges from cold scan", pass)
+		}
+	}
+
+	// A factor small enough that the delta crosses it forces the rewrite.
+	sm = snap.NewMetrics(obs.NewRegistry())
+	if _, _, err = core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, 3, nil,
+		core.SnapshotOptions{Path: snapPath, Metrics: sm, RefreshFactor: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Hits.Value() != 1 || sm.Writes.Value() != 1 {
+		t.Fatalf("crossed-gate counters: hit=%d write=%d", sm.Hits.Value(), sm.Writes.Value())
+	}
+
+	// The refreshed snapshot covers the whole store: pure hit, nothing
+	// decoded, same figures.
+	sm = snap.NewMetrics(obs.NewRegistry())
+	rep, st, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, snapBinWidth, 3, nil,
+		core.SnapshotOptions{Path: snapPath, Metrics: sm, RefreshFactor: core.DefaultRefreshFactor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Hits.Value() != 1 || sm.Writes.Value() != 0 || st.BlocksRead != 0 {
+		t.Fatalf("pure-hit counters: hit=%d write=%d blocksRead=%d",
+			sm.Hits.Value(), sm.Writes.Value(), st.BlocksRead)
+	}
+	if !bytes.Equal(renderSuite(t, rep), want) {
+		t.Fatal("post-refresh pure hit diverges from cold scan")
+	}
+}

@@ -108,27 +108,7 @@ func RunSuite(src results.Source, idx *Index, start time.Time, binWidth time.Dur
 // ScanStore computes every figure report with one parallel scan over the
 // store's samples file. workers <= 0 means one worker per CPU; m may be nil.
 // The report is byte-for-byte identical to RunSuite's for any worker count.
+// A store with no samples returns ErrEmptyStore.
 func ScanStore(ctx context.Context, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, workers int, m *scan.Metrics) (*SuiteReport, scan.Stats, error) {
-	if store == nil || idx == nil {
-		return nil, scan.Stats{}, errors.New("analysis: nil store or index")
-	}
-	var suites []*Suite
-	st, err := scan.File(ctx, scan.Config{
-		Path:    store.SamplesPath(),
-		Workers: workers,
-		Metrics: m,
-		NewPasses: func(worker int) ([]scan.Pass, error) {
-			s, err := NewSuite(idx, start, binWidth)
-			if err != nil {
-				return nil, err
-			}
-			suites = append(suites, s)
-			return s.Passes(), nil
-		},
-	})
-	if err != nil {
-		return nil, st, err
-	}
-	rep, err := suites[0].Report()
-	return rep, st, err
+	return ScanStoreSnap(ctx, store, idx, start, binWidth, workers, m, SnapshotOptions{})
 }

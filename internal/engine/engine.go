@@ -83,6 +83,13 @@ type Config struct {
 	// count) from the merger goroutine.
 	OnRound func(round int, samples uint64)
 
+	// OnCheckpoint, when set, runs from the merger goroutine after each
+	// checkpoint is durably written, with the checkpointed round and the
+	// committed sink offset. The sink is quiesced for the duration — no
+	// writes happen until the hook returns — so the hook may read the
+	// samples file up to offset (e.g. to refresh an analysis snapshot).
+	OnCheckpoint func(round int, offset int64)
+
 	// Metrics, when set, receives shard progress, queue depth, merge
 	// stalls, retry and checkpoint instruments.
 	Metrics *Metrics
@@ -285,6 +292,9 @@ func writeCheckpoint(cfg Config, workers, round int, emitted uint64) error {
 		return err
 	}
 	cfg.Metrics.checkpointWrite()
+	if cfg.OnCheckpoint != nil {
+		cfg.OnCheckpoint(round, offset)
+	}
 	return nil
 }
 

@@ -344,3 +344,52 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("StartRound past Rounds accepted")
 	}
 }
+
+// TestOnCheckpointHook pins the checkpoint callback contract: it fires
+// once per durable checkpoint, after the checkpoint file exists, with
+// the checkpointed round and the committed sink offset.
+func TestOnCheckpointHook(t *testing.T) {
+	const workers, rounds, perShard = 3, 12, 5
+	ckPath := filepath.Join(t.TempDir(), "ck.json")
+	var log []results.Sample
+	type ck struct {
+		round  int
+		offset int64
+	}
+	var hooks []ck
+	_, err := Run(context.Background(), Config{
+		Workers:         workers,
+		Rounds:          rounds,
+		CheckpointEvery: 4,
+		CheckpointPath:  ckPath,
+		Commit:          func() (int64, error) { return int64(len(log)), nil },
+		Gen:             testGen(workers, perShard),
+		Sink: func(s results.Sample) error {
+			log = append(log, s)
+			return nil
+		},
+		OnCheckpoint: func(round int, offset int64) {
+			// The checkpoint must already be durable when the hook runs.
+			cp, err := LoadCheckpoint(ckPath)
+			if err != nil {
+				t.Errorf("checkpoint unreadable inside hook: %v", err)
+			} else if cp.Round != round || cp.SinkOffset != offset {
+				t.Errorf("hook (round=%d offset=%d) disagrees with file (round=%d offset=%d)",
+					round, offset, cp.Round, cp.SinkOffset)
+			}
+			hooks = append(hooks, ck{round, offset})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CheckpointEvery=4 over 12 rounds checkpoints after rounds 3 and 7;
+	// the final round never checkpoints.
+	want := []ck{
+		{3, int64(4 * workers * perShard)},
+		{7, int64(8 * workers * perShard)},
+	}
+	if !reflect.DeepEqual(hooks, want) {
+		t.Fatalf("hooks = %+v, want %+v", hooks, want)
+	}
+}

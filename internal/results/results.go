@@ -207,9 +207,10 @@ func (m Meta) Validate() error {
 }
 
 const (
-	metaFile    = "meta.json"
-	samplesFile = "samples.jsonl"
-	binaryFile  = "samples.bin"
+	metaFile     = "meta.json"
+	samplesFile  = "samples.jsonl"
+	binaryFile   = "samples.bin"
+	snapshotFile = "samples.snap"
 )
 
 // Store is an on-disk campaign dataset: a directory holding meta.json
@@ -246,6 +247,12 @@ func Create(dir string, meta Meta, format Format) (*Store, *Sink, error) {
 		other = FormatBinary
 	}
 	if err := os.Remove(filepath.Join(dir, other.file())); err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	// Likewise any analysis snapshot: it summarized the old samples file.
+	// (A stale one would be rejected by its binding header anyway; removing
+	// it keeps the directory honest.)
+	if err := os.Remove(filepath.Join(dir, snapshotFile)); err != nil && !os.IsNotExist(err) {
 		return nil, nil, err
 	}
 	f, err := os.Create(filepath.Join(dir, format.file()))
@@ -325,6 +332,10 @@ func (s *Store) Resume(offset int64) (*Sink, error) {
 // range rather than through ForEach. The scanner sniffs the encoding
 // from the file's leading bytes.
 func (s *Store) SamplesPath() string { return filepath.Join(s.dir, s.format.file()) }
+
+// SnapshotPath returns where the dataset's analysis snapshot lives (see
+// internal/snap). The file is optional — it may not exist.
+func (s *Store) SnapshotPath() string { return filepath.Join(s.dir, snapshotFile) }
 
 // ForEach streams every stored sample in storage order.
 func (s *Store) ForEach(fn func(Sample) error) error {

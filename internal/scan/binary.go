@@ -16,14 +16,10 @@ import (
 // the file by block index instead of by byte range, skips blocks whose
 // zone maps cannot match cfg.Predicate, and merges the per-worker
 // partials in file order — the same determinism guarantee, one layer
-// up (blocks instead of lines).
-func scanBinary(ctx context.Context, cfg Config, f *os.File, size int64, workers int, span *obs.Span) (Stats, error) {
-	rd, err := colf.NewReader(f, size)
-	if err != nil {
-		return Stats{}, err
-	}
-	blocks := rd.Blocks()
-
+// up (blocks instead of lines). blocks is the block list to decode —
+// the whole file on a cold scan, the suffix past the resume boundary
+// otherwise, with prefixBlocks/prefixBytes naming what was skipped.
+func scanBinary(ctx context.Context, cfg Config, f *os.File, size int64, workers int, span *obs.Span, blocks []colf.BlockInfo, prefixBlocks int, prefixBytes int64) (Stats, error) {
 	// Zone-map pushdown: a block whose ranges cannot satisfy the
 	// predicate is dropped here, before any worker touches its payload.
 	// Kept blocks still carry non-matching rows; the row-level filter in
@@ -37,11 +33,21 @@ func scanBinary(ctx context.Context, cfg Config, f *os.File, size int64, workers
 			}
 		}
 	}
+	dataEnd := prefixBytes
+	if len(blocks) > 0 {
+		last := blocks[len(blocks)-1]
+		dataEnd = last.Off + last.Len
+	} else if dataEnd == 0 && size > 0 {
+		dataEnd = colf.HeaderSize // headered but empty store
+	}
 	st := Stats{
 		Binary:        true,
 		Bytes:         size,
-		BlocksTotal:   len(blocks),
+		BlocksTotal:   prefixBlocks + len(blocks),
 		BlocksSkipped: len(blocks) - len(kept),
+		PrefixBlocks:  prefixBlocks,
+		PrefixBytes:   prefixBytes,
+		DataEnd:       dataEnd,
 	}
 
 	groups := groupBlocks(kept, workers)
@@ -133,6 +139,7 @@ func finishBinary(st *Stats, span *obs.Span, m *Metrics) {
 	span.SetAttr("blocks_total", st.BlocksTotal)
 	span.SetAttr("blocks_read", st.BlocksRead)
 	span.SetAttr("blocks_skipped", st.BlocksSkipped)
+	span.SetAttr("prefix_blocks", st.PrefixBlocks)
 	span.SetAttr("bytes_decoded", st.BytesDecoded)
 	span.SetAttr("samples_per_sec", st.SamplesPerSec())
 	m.observe(*st)

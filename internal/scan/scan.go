@@ -56,8 +56,22 @@ type Config struct {
 	// additionally skip whole blocks whose zone maps cannot match —
 	// the pushdown that makes windowed queries cheap.
 	Predicate *colf.Predicate
+	// Resume, when set, skips the store prefix a snapshot already
+	// covers: only bytes (JSONL) or blocks (binary) past the boundary
+	// are sharded and decoded. The boundary must be line- or
+	// block-aligned; a bogus one fails the scan rather than decoding
+	// garbage. The caller is responsible for proving the prefix still
+	// matches the snapshotted state (see internal/snap).
+	Resume *Resume
 	// Metrics, when set, receives scan_* instruments.
 	Metrics *Metrics
+}
+
+// Resume names the covered boundary a scan may skip to: the byte
+// offset, and for binary stores the block count before it.
+type Resume struct {
+	Bytes  int64
+	Blocks int
 }
 
 // Stats summarises one completed scan.
@@ -69,10 +83,18 @@ type Stats struct {
 	Duration  time.Duration   // wall-clock scan time
 	Busy      []time.Duration // per-worker busy time, shard order
 
+	// Resume accounting; zero on cold scans.
+	PrefixBlocks int   // blocks before the resume boundary (binary)
+	PrefixBytes  int64 // bytes before the resume boundary
+	// DataEnd is where sample data ends: the end of the last block on
+	// binary stores (excluding any trailing index), the file size on
+	// JSONL. A snapshot taken from this scan covers [0, DataEnd).
+	DataEnd int64
+
 	// Binary block accounting; zero on JSONL scans except BytesDecoded,
-	// which then equals Bytes (every covered byte is decoded).
+	// which then equals the bytes scanned past the resume boundary.
 	Binary        bool  // scanned a colf store
-	BlocksTotal   int   // blocks in the file
+	BlocksTotal   int   // blocks in the file, including the resumed prefix
 	BlocksRead    int   // blocks decoded
 	BlocksSkipped int   // blocks skipped via zone maps
 	BytesDecoded  int64 // encoded bytes actually decoded
@@ -127,6 +149,11 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 		return Stats{}, err
 	}
 	defer f.Close()
+	var resumeBytes int64
+	var resumeBlocks int
+	if cfg.Resume != nil {
+		resumeBytes, resumeBlocks = cfg.Resume.Bytes, cfg.Resume.Blocks
+	}
 	// Sniff the encoding: a colf magic routes to the block scanner,
 	// anything else is treated as JSONL.
 	var hdr [colf.HeaderSize]byte
@@ -135,19 +162,36 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 		if err != nil {
 			return Stats{}, err
 		}
-		return scanBinary(ctx, cfg, f, st.Size(), workers, span)
+		size := st.Size()
+		var blocks []colf.BlockInfo
+		if resumeBytes > 0 {
+			// Resume: locate only the blocks past the covered boundary.
+			blocks, err = colf.DeltaBlocks(f, size, resumeBytes)
+			if err != nil {
+				return Stats{}, fmt.Errorf("scan: resume at offset %d: %w", resumeBytes, err)
+			}
+		} else {
+			rd, err := colf.NewReader(f, size)
+			if err != nil {
+				return Stats{}, err
+			}
+			blocks = rd.Blocks()
+			resumeBlocks = 0
+		}
+		return scanBinary(ctx, cfg, f, size, workers, span, blocks, resumeBlocks, resumeBytes)
 	}
-	shards, size, err := shardFile(f, workers)
+	shards, size, err := shardFile(f, workers, resumeBytes)
 	if err != nil {
 		return Stats{}, err
 	}
 	if len(shards) == 0 {
-		// Empty file: build the worker-0 passes so the caller can report
-		// (typically an empty-dataset error) from a consistent state.
+		// Nothing past the boundary (empty file, or a resume that already
+		// covers everything): build the worker-0 passes so the caller can
+		// report (typically an empty-dataset error) from a consistent state.
 		if _, err := cfg.NewPasses(0); err != nil {
 			return Stats{}, err
 		}
-		return Stats{Workers: 0, Bytes: 0}, nil
+		return Stats{Workers: 0, Bytes: size, PrefixBytes: resumeBytes, DataEnd: size}, nil
 	}
 
 	passes := make([][]Pass, len(shards))
@@ -187,7 +231,10 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 	}
 	wg.Wait()
 
-	st := Stats{Workers: len(shards), Bytes: size, BytesDecoded: size, Busy: busy}
+	st := Stats{
+		Workers: len(shards), Bytes: size, BytesDecoded: size - resumeBytes,
+		PrefixBytes: resumeBytes, DataEnd: size, Busy: busy,
+	}
 	for w := range shards {
 		st.Samples += samples[w]
 		st.Fallbacks += fallbacks[w]

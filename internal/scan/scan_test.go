@@ -107,7 +107,7 @@ func TestShardFileAlignment(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range []int{1, 2, 3, 4, 7, 16, 1000} {
-		shards, size, err := shardFile(f, n)
+		shards, size, err := shardFile(f, n, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func TestShardFileEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	shards, size, err := shardFile(f, 4)
+	shards, size, err := shardFile(f, 4, 0)
 	if err != nil || size != 0 || len(shards) != 0 {
 		t.Fatalf("empty file: shards=%v size=%d err=%v", shards, size, err)
 	}

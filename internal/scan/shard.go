@@ -2,6 +2,7 @@ package scan
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"os"
 )
@@ -17,26 +18,32 @@ type Shard struct {
 	Len int64
 }
 
-// shardFile cuts the file into at most n line-aligned shards of roughly
-// equal size, returning them in file order along with the file size.
-// Fewer than n shards come back when alignment collapses neighbouring
-// cuts (tiny files, very long lines); an empty file yields no shards.
-func shardFile(f *os.File, n int) ([]Shard, int64, error) {
+// shardFile cuts the byte range [from, EOF) into at most n line-aligned
+// shards of roughly equal size, returning them in file order along with
+// the file size. from must be a line start (0, or a boundary a previous
+// scan reported); a cold scan passes 0. Fewer than n shards come back
+// when alignment collapses neighbouring cuts (tiny files, very long
+// lines); an empty range yields no shards.
+func shardFile(f *os.File, n int, from int64) ([]Shard, int64, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, 0, err
 	}
 	size := st.Size()
-	if size == 0 {
-		return nil, 0, nil
+	if from < 0 || from > size {
+		return nil, 0, fmt.Errorf("scan: resume offset %d outside file of %d bytes", from, size)
+	}
+	if size == from {
+		return nil, size, nil
 	}
 	if n < 1 {
 		n = 1
 	}
 	cuts := make([]int64, n+1)
+	cuts[0] = from
 	cuts[n] = size
 	for i := 1; i < n; i++ {
-		target := size * int64(i) / int64(n)
+		target := from + (size-from)*int64(i)/int64(n)
 		if target < cuts[i-1] {
 			target = cuts[i-1]
 		}

@@ -1,0 +1,47 @@
+package snap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotRoundTrip drives Decode with arbitrary bytes: it must
+// either reject the input or yield a header+payload that re-encode and
+// re-decode to the same values — a snapshot is never silently
+// misapplied. Seeds cover valid images so mutation explores near-valid
+// corruptions.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(Header{}, nil))
+	f.Add(Encode(Header{
+		PassSet:       "suite-v1",
+		Index:         "idx",
+		Meta:          "meta",
+		Format:        FormatBinary,
+		CoveredBytes:  1 << 20,
+		CoveredBlocks: 88,
+		Samples:       345600,
+		HeadCRC:       1,
+		TailCRC:       2,
+	}, []byte("state")))
+	data := Encode(Header{Format: FormatJSONL, CoveredBytes: 42, Samples: 7}, bytes.Repeat([]byte{0xaa}, 64))
+	f.Add(data)
+	data = append([]byte(nil), data...)
+	data[len(data)/2] ^= 0xff
+	f.Add(data)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(h, payload)
+		h2, payload2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if h2 != h || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip diverged: %+v %q vs %+v %q", h, payload, h2, payload2)
+		}
+	})
+}

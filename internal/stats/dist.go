@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -21,9 +22,71 @@ type Dist struct {
 	sorted  bool
 	sum     float64
 	sumSq   float64
+	// span, when non-nil, stands in for the sample history: a slab of
+	// ascending IEEE-754 little-endian sample bits still in serialized
+	// form, aliasing the snapshot buffer it was decoded from. While a
+	// span is pending, samples holds only the overlay of values added
+	// since decode, so absorbing a delta costs O(delta) regardless of
+	// history size. Order-statistic queries select across the span and
+	// the sorted overlay without copying; only a query that needs the
+	// full buffer materializes. This keeps snapshot-resumed analysis
+	// from paying a decode copy for distributions a delta merge and its
+	// report barely touch.
+	span []byte
 }
 
-// Add appends one sample. NaN and Inf samples are rejected.
+// materialize merges a pending span and its overlay into the owned
+// sample buffer. Span bits with an all-ones exponent (NaN or ±Inf —
+// values Add would have rejected) fail the decode here, on first touch,
+// rather than up front for distributions that are never read.
+func (d *Dist) materialize() error {
+	if d.span == nil {
+		return nil
+	}
+	raw, ov := d.span, d.samples
+	d.span = nil
+	if !d.sorted {
+		sort.Float64s(ov)
+	}
+	n, m := len(raw)/8, len(ov)
+	total := n + m
+	// Headroom beyond the merged length lets a later delta merge fold a
+	// small appended tail in place instead of reallocating and copying
+	// the whole buffer (see Dist.mergeSorted).
+	out := make([]float64, total, total+total/8+64)
+	i, j := 0, 0
+	for k := range out {
+		if i < n {
+			bits := binary.LittleEndian.Uint64(raw[8*i:])
+			if bits&0x7FF0000000000000 == 0x7FF0000000000000 {
+				return fmt.Errorf("stats: invalid dist sample %v in state", math.Float64frombits(bits))
+			}
+			if v := math.Float64frombits(bits); j >= m || v <= ov[j] {
+				out[k] = v
+				i++
+				continue
+			}
+		}
+		out[k] = ov[j]
+		j++
+	}
+	d.samples = out
+	d.sorted = true
+	return nil
+}
+
+// at returns the k-th sample of the span slab.
+func (d *Dist) at(k int) (float64, error) {
+	bits := binary.LittleEndian.Uint64(d.span[8*k:])
+	if bits&0x7FF0000000000000 == 0x7FF0000000000000 {
+		return 0, fmt.Errorf("stats: invalid dist sample %v in state", math.Float64frombits(bits))
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// Add appends one sample. NaN and Inf samples are rejected. With a span
+// pending, the sample lands in the overlay and the history stays
+// serialized.
 func (d *Dist) Add(v float64) error {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return fmt.Errorf("stats: invalid sample %v", v)
@@ -46,19 +109,24 @@ func (d *Dist) AddAll(vs ...float64) error {
 }
 
 // N returns the number of samples.
-func (d *Dist) N() int { return len(d.samples) }
+func (d *Dist) N() int {
+	if d.span != nil {
+		return len(d.span)/8 + len(d.samples)
+	}
+	return len(d.samples)
+}
 
 // Mean returns the arithmetic mean.
 func (d *Dist) Mean() (float64, error) {
-	if len(d.samples) == 0 {
+	if d.N() == 0 {
 		return 0, ErrEmpty
 	}
-	return d.sum / float64(len(d.samples)), nil
+	return d.sum / float64(d.N()), nil
 }
 
 // StdDev returns the population standard deviation.
 func (d *Dist) StdDev() (float64, error) {
-	n := float64(len(d.samples))
+	n := float64(d.N())
 	if n == 0 {
 		return 0, ErrEmpty
 	}
@@ -79,43 +147,126 @@ func (d *Dist) ensureSorted() {
 
 // Min returns the smallest sample.
 func (d *Dist) Min() (float64, error) {
-	if len(d.samples) == 0 {
+	if d.N() == 0 {
 		return 0, ErrEmpty
 	}
 	d.ensureSorted()
+	if d.span != nil {
+		v, err := d.at(0)
+		if err != nil {
+			return 0, err
+		}
+		if len(d.samples) > 0 && d.samples[0] < v {
+			v = d.samples[0]
+		}
+		return v, nil
+	}
 	return d.samples[0], nil
 }
 
 // Max returns the largest sample.
 func (d *Dist) Max() (float64, error) {
-	if len(d.samples) == 0 {
+	if d.N() == 0 {
 		return 0, ErrEmpty
 	}
 	d.ensureSorted()
+	if d.span != nil {
+		v, err := d.at(len(d.span)/8 - 1)
+		if err != nil {
+			return 0, err
+		}
+		if m := len(d.samples); m > 0 && d.samples[m-1] > v {
+			v = d.samples[m-1]
+		}
+		return v, nil
+	}
 	return d.samples[len(d.samples)-1], nil
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
 // between order statistics (type-7, the common default).
 func (d *Dist) Quantile(q float64) (float64, error) {
-	if len(d.samples) == 0 {
+	n := d.N()
+	if n == 0 {
 		return 0, ErrEmpty
 	}
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
 	}
 	d.ensureSorted()
-	if len(d.samples) == 1 {
-		return d.samples[0], nil
+	if n == 1 {
+		return d.orderStat(0)
 	}
-	pos := q * float64(len(d.samples)-1)
+	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
+	vlo, err := d.orderStat(lo)
+	if err != nil {
+		return 0, err
+	}
 	if lo == hi {
-		return d.samples[lo], nil
+		return vlo, nil
+	}
+	vhi, err := d.orderStat(hi)
+	if err != nil {
+		return 0, err
 	}
 	frac := pos - float64(lo)
-	return d.samples[lo]*(1-frac) + d.samples[hi]*frac, nil
+	return vlo*(1-frac) + vhi*frac, nil
+}
+
+// orderStat returns the k-th smallest sample. The buffer (or, with a
+// span pending, the overlay) must already be sorted.
+func (d *Dist) orderStat(k int) (float64, error) {
+	if d.span != nil {
+		return d.selectMerged(k)
+	}
+	return d.samples[k], nil
+}
+
+// selectMerged returns the k-th smallest element of the multiset formed
+// by the span slab and the sorted overlay, by binary-searching the
+// merge split point — O(log n) span reads, no materialization.
+func (d *Dist) selectMerged(k int) (float64, error) {
+	ov := d.samples
+	n, m := len(d.span)/8, len(ov)
+	// i counts elements taken from the span, j = k+1-i from the overlay.
+	// Find the largest feasible i with span[i-1] <= ov[j]; the matching
+	// condition ov[j-1] <= span[i] then holds automatically.
+	lo, hi := k+1-m, k+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		i := (lo + hi + 1) / 2
+		v, err := d.at(i - 1)
+		if err != nil {
+			return 0, err
+		}
+		if j := k + 1 - i; j >= m || v <= ov[j] {
+			lo = i
+		} else {
+			hi = i - 1
+		}
+	}
+	i := lo
+	j := k + 1 - i
+	var best float64
+	have := false
+	if i > 0 {
+		v, err := d.at(i - 1)
+		if err != nil {
+			return 0, err
+		}
+		best, have = v, true
+	}
+	if j > 0 && (!have || ov[j-1] > best) {
+		best = ov[j-1]
+	}
+	return best, nil
 }
 
 // Median returns the 0.5-quantile.
@@ -123,8 +274,11 @@ func (d *Dist) Median() (float64, error) { return d.Quantile(0.5) }
 
 // CDF returns the empirical probability P(X <= x).
 func (d *Dist) CDF(x float64) (float64, error) {
-	if len(d.samples) == 0 {
+	if d.N() == 0 {
 		return 0, ErrEmpty
+	}
+	if err := d.materialize(); err != nil {
+		return 0, err
 	}
 	d.ensureSorted()
 	// Index of first sample > x.
@@ -141,7 +295,7 @@ type CDFPoint struct {
 // Curve samples the empirical CDF at the given x values, producing the
 // series a figure plots.
 func (d *Dist) Curve(xs []float64) ([]CDFPoint, error) {
-	if len(d.samples) == 0 {
+	if d.N() == 0 {
 		return nil, ErrEmpty
 	}
 	out := make([]CDFPoint, 0, len(xs))
@@ -170,10 +324,10 @@ type Summary struct {
 
 // Summarize computes a Summary of the distribution.
 func (d *Dist) Summarize() (Summary, error) {
-	if len(d.samples) == 0 {
+	if d.N() == 0 {
 		return Summary{}, ErrEmpty
 	}
-	s := Summary{N: len(d.samples)}
+	s := Summary{N: d.N()}
 	var err error
 	if s.Min, err = d.Min(); err != nil {
 		return Summary{}, err

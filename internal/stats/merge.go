@@ -2,6 +2,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 )
 
@@ -19,14 +21,75 @@ func (d *Dist) Merge(other *Dist) error {
 	if other == d {
 		return fmt.Errorf("stats: cannot merge distribution into itself")
 	}
+	// An empty other folds nothing; returning here keeps a span-backed d
+	// lazy, so merging a sparse delta leaves untouched bins serialized.
+	if other.N() == 0 {
+		return nil
+	}
+	if err := other.materialize(); err != nil {
+		return err
+	}
+	if d.span != nil {
+		// Fold into the overlay: the serialized history is untouched, so
+		// a delta merge costs O(delta) however large the history is.
+		for _, v := range other.samples {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("stats: invalid sample %v", v)
+			}
+			d.sum += v
+			d.sumSq += v * v
+		}
+		d.samples = append(d.samples, other.samples...)
+		d.sorted = false
+		return nil
+	}
 	// Replaying other.samples directly is only order-faithful while other
 	// has never been queried (queries sort in place). Scan merges satisfy
 	// this — partials are merged before any report runs — and for queried
 	// distributions the sorted replay still yields an equivalent sample
 	// multiset, so every rank-based query is unaffected.
+	if d.sorted && len(d.samples) > 0 {
+		return d.mergeSorted(other)
+	}
 	for _, v := range other.samples {
 		if err := d.Add(v); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// mergeSorted folds other into an already-sorted d without discarding
+// the sort: the accumulators replay other's insertion order exactly as
+// the plain path does (float folds stay sequential-identical), while
+// the sample buffers — order-free multisets for every rank query — are
+// combined by a linear two-way merge. This keeps a snapshot-resumed
+// suite sorted through delta merges, so neither the snapshot rewrite
+// nor the report pays an O(n log n) re-sort of the whole history.
+func (d *Dist) mergeSorted(other *Dist) error {
+	for _, v := range other.samples {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stats: invalid sample %v", v)
+		}
+		d.sum += v
+		d.sumSq += v * v
+	}
+	tail := append([]float64(nil), other.samples...)
+	sort.Float64s(tail)
+	// Merge from the back, in place: the buffer grows by the tail's
+	// length and elements shift right only until the tail is placed, so
+	// a large sorted history absorbs a small append without a fresh
+	// allocation or a full copy.
+	n, m := len(d.samples), len(tail)
+	d.samples = slices.Grow(d.samples, m)[:n+m]
+	i, k := n-1, n+m-1
+	for j := m - 1; j >= 0; k-- {
+		if i >= 0 && d.samples[i] > tail[j] {
+			d.samples[k] = d.samples[i]
+			i--
+		} else {
+			d.samples[k] = tail[j]
+			j--
 		}
 	}
 	return nil

@@ -176,3 +176,65 @@ func TestHistogramMerge(t *testing.T) {
 		t.Error("mismatched histogram bounds accepted")
 	}
 }
+
+// TestDistMergeSortedEquivalence pins the sorted-receiver merge path
+// (mergeSorted, used by snapshot-resumed suites) to the plain replay
+// path: identical accumulator bits, identical sorted sample multiset,
+// and sortedness preserved through successive merges.
+func TestDistMergeSortedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := make([]float64, 5003)
+	for i := range base {
+		base[i] = 1 + 300*rng.Float64()
+	}
+	plain, sorted := &Dist{}, &Dist{}
+	if err := plain.AddAll(base...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sorted.AddAll(base...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sorted.Median(); err != nil { // force the sorted state
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		delta := &Dist{}
+		for i := 0; i < 97; i++ {
+			if err := delta.Add(1 + 300*rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := plain.Merge(delta); err != nil {
+			t.Fatal(err)
+		}
+		if err := sorted.Merge(delta); err != nil {
+			t.Fatal(err)
+		}
+		if !sorted.sorted {
+			t.Fatalf("round %d: merge discarded sortedness", round)
+		}
+		if math.Float64bits(sorted.sum) != math.Float64bits(plain.sum) ||
+			math.Float64bits(sorted.sumSq) != math.Float64bits(plain.sumSq) ||
+			sorted.N() != plain.N() {
+			t.Fatalf("round %d: accumulators diverged", round)
+		}
+		for i := 1; i < len(sorted.samples); i++ {
+			if sorted.samples[i-1] > sorted.samples[i] {
+				t.Fatalf("round %d: buffer not sorted at %d", round, i)
+			}
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+			pv, err := plain.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, err := sorted.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(pv) != math.Float64bits(sv) {
+				t.Fatalf("round %d: q%v %v != %v", round, q, sv, pv)
+			}
+		}
+	}
+}

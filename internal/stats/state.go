@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"time"
+
+	"repro/internal/snap"
+)
+
+// Snapshot state codecs. Each aggregate serializes its exact in-memory
+// accumulator — float fields as raw IEEE-754 bits, samples in insertion
+// order — so a decoded aggregate continues adding and merging bitwise
+// identically to one that never left memory. Decoders validate
+// structure (counts vs remaining bytes, totals vs bucket sums) and
+// reject values Add would reject, so corrupt state surfaces as an error
+// rather than a subtly wrong figure.
+
+// AppendState appends d's serialized accumulator state to b. The sample
+// buffer is written as one contiguous slab of IEEE-754 bits — snapshots
+// carry a few buffered floats per dataset sample, so this loop is the
+// bulk of every snapshot write.
+func (d *Dist) AppendState(b []byte) []byte {
+	if d.span != nil {
+		n, m := len(d.span)/8, len(d.samples)
+		b = snap.AppendUvarint(b, uint64(n+m))
+		if m == 0 {
+			// A still-serialized span round-trips verbatim.
+			b = append(b, d.span...)
+		} else {
+			// Merge the span slab with the sorted overlay straight into
+			// the output, written ascending — the same bytes a sorted
+			// materialized buffer would serialize.
+			ov := append([]float64(nil), d.samples...)
+			sort.Float64s(ov)
+			b = slices.Grow(b, 8*(n+m)+19)
+			off := len(b)
+			b = b[:off+8*(n+m)]
+			i, j := 0, 0
+			for k := 0; k < n+m; k++ {
+				var bits uint64
+				if i < n {
+					sb := binary.LittleEndian.Uint64(d.span[8*i:])
+					if j >= m || math.Float64frombits(sb) <= ov[j] {
+						bits = sb
+						i++
+					} else {
+						bits = math.Float64bits(ov[j])
+						j++
+					}
+				} else {
+					bits = math.Float64bits(ov[j])
+					j++
+				}
+				binary.LittleEndian.PutUint64(b[off+8*k:], bits)
+			}
+		}
+		b = snap.AppendFloat(b, d.sum)
+		b = snap.AppendFloat(b, d.sumSq)
+		return snap.AppendBool(b, true)
+	}
+	b = snap.AppendUvarint(b, uint64(len(d.samples)))
+	b = slices.Grow(b, 8*len(d.samples)+19)
+	off := len(b)
+	b = b[:off+8*len(d.samples)]
+	for i, v := range d.samples {
+		binary.LittleEndian.PutUint64(b[off+8*i:], math.Float64bits(v))
+	}
+	b = snap.AppendFloat(b, d.sum)
+	b = snap.AppendFloat(b, d.sumSq)
+	return snap.AppendBool(b, d.sorted)
+}
+
+// Sort orders the sample buffer ascending, exactly as report-time
+// queries do lazily. Sorting commutes with every downstream result —
+// the running sums are carried explicitly and quantiles see the same
+// multiset — but a buffer sorted before serialization round-trips with
+// sorted=true, so a snapshot-seeded report skips the large re-sort.
+func (d *Dist) Sort() {
+	if d.span != nil {
+		return // spans are sorted by construction
+	}
+	d.ensureSorted()
+}
+
+func sortedKeys(m map[int]*Dist) []int {
+	idxs := make([]int, 0, len(m))
+	for i := range m {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// DecodeDistState decodes one Dist state from c. A sorted sample slab is
+// captured by reference as a lazy span (see Dist.span): the cursor's
+// buffer must therefore outlive the distribution, which holds for
+// snapshot payloads (the decoded suite keeps the payload alive).
+// Per-sample validation runs when the span is first touched; untouched
+// spans are vouched for by the snapshot's checksums.
+func DecodeDistState(c *snap.Cursor) (*Dist, error) {
+	n, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(c.Remaining())/8 {
+		return nil, fmt.Errorf("stats: dist claims %d samples, %d bytes remain", n, c.Remaining())
+	}
+	var raw []byte
+	if n > 0 {
+		if raw, err = c.Bytes(int(n) * 8); err != nil {
+			return nil, err
+		}
+	}
+	d := &Dist{}
+	if d.sum, err = c.Float(); err != nil {
+		return nil, err
+	}
+	if d.sumSq, err = c.Float(); err != nil {
+		return nil, err
+	}
+	if d.sorted, err = c.Bool(); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		if d.sorted {
+			d.span = raw
+		} else {
+			d.span = raw
+			// An unsorted buffer cannot serve order-statistic reads;
+			// decode it eagerly, restoring insertion order.
+			if err := d.materialize(); err != nil {
+				return nil, err
+			}
+			d.sorted = false
+		}
+	}
+	return d, nil
+}
+
+// AppendState appends ts's serialized state to b.
+func (ts *TimeSeries) AppendState(b []byte) []byte {
+	b = snap.AppendVarint(b, ts.start.Unix())
+	b = snap.AppendVarint(b, int64(ts.start.Nanosecond()))
+	b = snap.AppendVarint(b, int64(ts.width))
+	b = snap.AppendUvarint(b, uint64(len(ts.bins)))
+	for _, i := range sortedKeys(ts.bins) {
+		b = snap.AppendVarint(b, int64(i))
+		b = ts.bins[i].AppendState(b)
+	}
+	return b
+}
+
+// DecodeTimeSeriesState decodes one TimeSeries state from c.
+func DecodeTimeSeriesState(c *snap.Cursor) (*TimeSeries, error) {
+	sec, err := c.Varint()
+	if err != nil {
+		return nil, err
+	}
+	ns, err := c.Varint()
+	if err != nil {
+		return nil, err
+	}
+	width, err := c.Varint()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := NewTimeSeries(time.Unix(sec, ns).UTC(), time.Duration(width))
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for j := uint64(0); j < n; j++ {
+		i, err := c.Varint()
+		if err != nil {
+			return nil, err
+		}
+		d, err := DecodeDistState(c)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := ts.bins[int(i)]; dup {
+			return nil, fmt.Errorf("stats: duplicate series bin %d in state", i)
+		}
+		ts.bins[int(i)] = d
+	}
+	return ts, nil
+}
+
+// AppendState appends h's serialized state to b.
+func (h *Histogram) AppendState(b []byte) []byte {
+	b = snap.AppendFloat(b, h.min)
+	b = snap.AppendFloat(b, h.max)
+	b = snap.AppendUvarint(b, uint64(len(h.counts)))
+	for _, c := range h.counts {
+		b = snap.AppendUvarint(b, c)
+	}
+	b = snap.AppendUvarint(b, h.underflow)
+	b = snap.AppendUvarint(b, h.overflow)
+	return snap.AppendUvarint(b, h.total)
+}
+
+// DecodeHistogramState decodes one Histogram state from c.
+func DecodeHistogramState(c *snap.Cursor) (*Histogram, error) {
+	min, err := c.Float()
+	if err != nil {
+		return nil, err
+	}
+	max, err := c.Float()
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > uint64(c.Remaining()) {
+		return nil, fmt.Errorf("stats: histogram claims %d bins, %d bytes remain", n, c.Remaining())
+	}
+	// NewHistogram recomputes width from (min, max, n) exactly as the
+	// original construction did, so decoded bin edges are bit-identical.
+	h, err := NewHistogram(min, max, int(n))
+	if err != nil {
+		return nil, err
+	}
+	var sum uint64
+	for i := range h.counts {
+		if h.counts[i], err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+		sum += h.counts[i]
+	}
+	if h.underflow, err = c.Uvarint(); err != nil {
+		return nil, err
+	}
+	if h.overflow, err = c.Uvarint(); err != nil {
+		return nil, err
+	}
+	if h.total, err = c.Uvarint(); err != nil {
+		return nil, err
+	}
+	if h.total != sum+h.underflow+h.overflow {
+		return nil, fmt.Errorf("stats: histogram total %d != bucket sum %d", h.total, sum+h.underflow+h.overflow)
+	}
+	return h, nil
+}
+
+// AppendState appends s's serialized state to b.
+func (s *QuantileSketch) AppendState(b []byte) []byte {
+	b = snap.AppendFloat(b, s.lo)
+	b = snap.AppendFloat(b, s.gamma)
+	b = snap.AppendUvarint(b, uint64(len(s.counts)))
+	for _, c := range s.counts {
+		b = snap.AppendUvarint(b, c)
+	}
+	return b
+}
+
+// DecodeQuantileSketchState decodes one QuantileSketch state from c.
+func DecodeQuantileSketchState(c *snap.Cursor) (*QuantileSketch, error) {
+	lo, err := c.Float()
+	if err != nil {
+		return nil, err
+	}
+	gamma, err := c.Float()
+	if err != nil {
+		return nil, err
+	}
+	if !(lo > 0) || math.IsInf(lo, 0) || !(gamma > 1) || math.IsInf(gamma, 0) {
+		return nil, fmt.Errorf("stats: invalid sketch parameters lo=%v gamma=%v in state", lo, gamma)
+	}
+	n, err := c.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > uint64(c.Remaining()) {
+		return nil, fmt.Errorf("stats: sketch claims %d buckets, %d bytes remain", n, c.Remaining())
+	}
+	s := &QuantileSketch{
+		lo:     lo,
+		gamma:  gamma,
+		invLnG: 1 / math.Log(gamma),
+		counts: make([]uint64, n),
+	}
+	for i := range s.counts {
+		if s.counts[i], err = c.Uvarint(); err != nil {
+			return nil, err
+		}
+		s.total += s.counts[i]
+	}
+	return s, nil
+}

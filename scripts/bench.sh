@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench.sh runs the scan/analysis benchmark suite — the parallel dataset
+# scanners and the fused figure pipeline, including the incremental
+# snapshot append path — and records the results as BENCH_scan.json
+# (one object per benchmark: name, ns/op, samples/s where reported).
+#
+#   scripts/bench.sh          # full measurement run
+#   scripts/bench.sh smoke    # one iteration per benchmark (CI gate)
+#
+# Smoke mode exists so scripts/check.sh can exercise every benchmark's
+# code path and still emit a (non-statistical) BENCH_scan.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+out="${BENCH_OUT:-BENCH_scan.json}"
+case "$mode" in
+smoke) benchtime="1x" ;;
+full) benchtime="2s" ;;
+*)
+    echo "usage: scripts/bench.sh [smoke|full]" >&2
+    exit 2
+    ;;
+esac
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench='Scan|Incremental|AllFigures' -benchtime="$benchtime" \
+    ./internal/scan ./internal/core | tee "$raw"
+
+awk -v mode="$mode" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; sps = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "samples/s") sps = $i
+    }
+    if (ns == "") next
+    line = sprintf("  {\"name\": \"%s\", \"ns_op\": %s", name, ns)
+    if (sps != "") line = line sprintf(", \"samples_per_s\": %s", sps)
+    line = line "}"
+    rows[n++] = line
+}
+END {
+    printf "{\n\"mode\": \"%s\",\n\"benchmarks\": [\n", mode
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    print "]\n}"
+}
+' "$raw" >"$out"
+
+echo "bench results written to $out"

@@ -24,22 +24,26 @@ echo "== go test -race (concurrency suites, uncached) =="
 # storage layer (columnar codec + sinks) are the shard-and-merge
 # packages; run them uncached so every gate exercises the race detector
 # on fresh schedules.
-go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/colf ./internal/results
+go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/colf ./internal/results ./internal/snap ./internal/stats
 
 echo "== go test -race =="
 go test -race ./...
 
 echo "== fuzz smoke =="
-# Short fuzz bursts over the two decode boundaries: the columnar block
-# codec (round-trip + corruption) and the JSONL fast-path decoder
-# (differential against encoding/json). Ten seconds each catches format
-# regressions without turning the gate into a fuzz farm.
+# Short fuzz bursts over the decode boundaries: the columnar block
+# codec (round-trip + corruption), the JSONL fast-path decoder
+# (differential against encoding/json), and the snapshot envelope
+# (header/payload round-trip + corruption). Ten seconds each catches
+# format regressions without turning the gate into a fuzz farm.
 go test -run='^$' -fuzz='^FuzzBlockRoundTrip$' -fuzztime=10s ./internal/colf
 go test -run='^$' -fuzz='^FuzzSampleDecode$' -fuzztime=10s ./internal/scan
+go test -run='^$' -fuzz='^FuzzSnapshotRoundTrip$' -fuzztime=10s ./internal/snap
 
 echo "== bench smoke =="
 # One iteration of every benchmark: catches bit-rot in bench code
-# without paying for real measurement runs.
+# without paying for real measurement runs. bench.sh smoke also emits
+# a (non-statistical) BENCH_scan.json for the scan/analysis suite.
 go test -run='^$' -bench=. -benchtime=1x ./...
+scripts/bench.sh smoke
 
 echo "OK"
