@@ -12,11 +12,15 @@
 //	curl 'http://localhost:8080/api/v1/regions'
 //	curl 'http://localhost:8080/api/v1/status'     # platform snapshot
 //	curl 'http://localhost:8080/metrics'           # Prometheus exposition
+//	curl 'http://localhost:8080/debug/events'      # flight-recorder dump
 //
-// -debug addr serves net/http/pprof on a separate listener (opt-in, keep
-// it off public interfaces). SIGINT/SIGTERM shut the server down
-// gracefully: in-flight requests finish, running measurements settle, and
-// a final metrics summary is logged.
+// The server logs structured leveled events (-log-format text|json,
+// -log-level) and keeps the most recent ones in an in-memory flight
+// recorder served at /debug/events. -debug addr serves net/http/pprof on
+// a separate listener (opt-in, keep it off public interfaces).
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests
+// finish, running measurements settle, and a final metrics summary is
+// logged.
 package main
 
 import (
@@ -39,19 +43,36 @@ import (
 	"repro/internal/world"
 )
 
+// flightRecorderSize is how many recent log events /debug/events retains.
+const flightRecorderSize = 256
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atlasd: ")
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8080", "listen address")
-		probes = flag.Int("probes", 800, "probe census size")
-		seed   = flag.Uint64("seed", 1, "world seed")
-		scale  = flag.Float64("scale", 0.01, "time compression for live pings (0,1]")
-		grant  = flag.String("grant", "demo=100000", "comma-separated account=credits grants")
-		debug  = flag.String("debug", "", "serve net/http/pprof on this address (opt-in)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		probes    = flag.Int("probes", 800, "probe census size")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		scale     = flag.Float64("scale", 0.01, "time compression for live pings (0,1]")
+		grant     = flag.String("grant", "demo=100000", "comma-separated account=credits grants")
+		debug     = flag.String("debug", "", "serve net/http/pprof on this address (opt-in)")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text (logfmt) or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
-	app, err := build(*probes, *seed, *scale, *grant)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	format, err := obs.ParseLogFormat(*logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := obs.NewRecorder(flightRecorderSize)
+	logger := obs.NewLogger(os.Stderr,
+		obs.WithLogFormat(format), obs.WithLogLevel(level), obs.WithRecorder(rec),
+	).With("atlasd")
+	app, err := build(*probes, *seed, *scale, *grant, logger, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,12 +88,13 @@ type app struct {
 	live     *atlas.LiveService
 	registry *obs.Registry
 	metrics  *atlas.Metrics
+	log      *obs.Logger
 }
 
 // ServeHTTP delegates to the platform API server.
 func (a *app) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.srv.ServeHTTP(w, r) }
 
-func build(probes int, seed uint64, scale float64, grants string) (*app, error) {
+func build(probes int, seed uint64, scale float64, grants string, logger *obs.Logger, rec *obs.Recorder) (*app, error) {
 	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
 	if err != nil {
 		return nil, err
@@ -97,18 +119,19 @@ func build(probes int, seed uint64, scale float64, grants string) (*app, error) 
 		if err := ledger.Grant(account, credits); err != nil {
 			return nil, err
 		}
-		log.Printf("granted %d credits to %q", credits, account)
+		logger.Info("credits granted", "account", account, "credits", credits)
 	}
 	live, err := atlas.NewLiveService(w.Platform, ledger, scale, atlas.WithLiveMetrics(metrics))
 	if err != nil {
 		return nil, err
 	}
-	srv, err := atlas.NewServer(w.Platform, ledger, live, atlas.WithServerMetrics(metrics))
+	srv, err := atlas.NewServer(w.Platform, ledger, live,
+		atlas.WithServerMetrics(metrics), atlas.WithServerEvents(rec))
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("world: %d probes, %d regions", w.Probes.Len(), w.Catalog.Len())
-	return &app{srv: srv, live: live, registry: registry, metrics: metrics}, nil
+	logger.Info("world built", "probes", w.Probes.Len(), "regions", w.Catalog.Len(), "seed", seed)
+	return &app{srv: srv, live: live, registry: registry, metrics: metrics, log: logger}, nil
 }
 
 // shutdownTimeout bounds how long a graceful shutdown waits for in-flight
@@ -120,11 +143,11 @@ const shutdownTimeout = 10 * time.Second
 func serve(a *app, addr, debugAddr string) error {
 	httpSrv := &http.Server{Addr: addr, Handler: a}
 	if debugAddr != "" {
-		go serveDebug(debugAddr)
+		go serveDebug(debugAddr, a.log)
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		a.log.Info("listening", "addr", addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -135,7 +158,7 @@ func serve(a *app, addr, debugAddr string) error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately
-	log.Printf("shutting down (waiting up to %v for in-flight work)", shutdownTimeout)
+	a.log.Info("shutting down", "drain_timeout", shutdownTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	err := httpSrv.Shutdown(sctx)
@@ -144,34 +167,34 @@ func serve(a *app, addr, debugAddr string) error {
 	}
 	// Let running measurement polls settle and flush the last samples.
 	a.live.Close()
-	logFinal(a.metrics)
+	logFinal(a.metrics, a.log)
 	return err
 }
 
 // logFinal emits the final telemetry summary so a terminated server
 // leaves its last counters in the log.
-func logFinal(m *atlas.Metrics) {
-	log.Printf("final: %d requests, %d measurements (%d done, %d failed, %d stopped), %d results, %d ping timeouts, %d credits spent",
-		m.ReqTotal.Sum(),
-		m.MeasurementsCreated.Value(),
-		m.MeasurementsDone.Value(),
-		m.MeasurementsFailed.Value(),
-		m.MeasurementsStopped.Value(),
-		m.ResultsCollected.Value(),
-		m.Ping.Timeouts.Value(),
-		m.CreditsSpent.Value())
+func logFinal(m *atlas.Metrics, logger *obs.Logger) {
+	logger.Info("final counters",
+		"requests", m.ReqTotal.Sum(),
+		"measurements", m.MeasurementsCreated.Value(),
+		"done", m.MeasurementsDone.Value(),
+		"failed", m.MeasurementsFailed.Value(),
+		"stopped", m.MeasurementsStopped.Value(),
+		"results", m.ResultsCollected.Value(),
+		"ping_timeouts", m.Ping.Timeouts.Value(),
+		"credits_spent", m.CreditsSpent.Value())
 }
 
 // serveDebug exposes the pprof profiling handlers on their own listener.
-func serveDebug(addr string) {
+func serveDebug(addr string, logger *obs.Logger) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	log.Printf("pprof on http://%s/debug/pprof/", addr)
+	logger.Info("pprof listening", "url", "http://"+addr+"/debug/pprof/")
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("debug server: %v", err)
+		logger.Error("debug server failed", "error", err)
 	}
 }

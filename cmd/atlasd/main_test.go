@@ -7,10 +7,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestBuildServesAPI(t *testing.T) {
-	h, err := build(200, 1, 0.01, "demo=500,other=100")
+	h, err := build(200, 1, 0.01, "demo=500,other=100", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestBuildRejectsBadFlags(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := build(tc.probes, 1, tc.scale, tc.grants); err == nil {
+			if _, err := build(tc.probes, 1, tc.scale, tc.grants, nil, nil); err == nil {
 				t.Error("invalid configuration accepted")
 			}
 		})
@@ -75,13 +77,13 @@ func TestBuildRejectsBadFlags(t *testing.T) {
 }
 
 func TestBuildEmptyGrantListOK(t *testing.T) {
-	if _, err := build(200, 1, 0.01, ""); err != nil {
+	if _, err := build(200, 1, 0.01, "", nil, nil); err != nil {
 		t.Errorf("empty grants rejected: %v", err)
 	}
 }
 
 func TestBuildServesTelemetry(t *testing.T) {
-	app, err := build(200, 1, 0.01, "demo=500")
+	app, err := build(200, 1, 0.01, "demo=500", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestBuildServesTelemetry(t *testing.T) {
 }
 
 func TestGracefulShutdown(t *testing.T) {
-	app, err := build(200, 1, 0.01, "demo=500")
+	app, err := build(200, 1, 0.01, "demo=500", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,8 +146,56 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	srv.Close()
 	app.live.Close()
-	logFinal(app.metrics)
+	logFinal(app.metrics, app.log)
 	if got := app.metrics.ReqTotal.Sum(); got != 1 {
 		t.Errorf("final request count = %d, want 1", got)
+	}
+}
+
+// TestBuildServesFlightRecorder wires a logger-backed recorder through
+// build the way main does: the build-time events must come back out of
+// GET /debug/events.
+func TestBuildServesFlightRecorder(t *testing.T) {
+	rec := obs.NewRecorder(flightRecorderSize)
+	logger := obs.NewLogger(io.Discard, obs.WithRecorder(rec)).With("atlasd")
+	app, err := build(200, 1, 0.01, "demo=500", logger, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.live.Close()
+	ts := httptest.NewServer(app)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events = %d", resp.StatusCode)
+	}
+	var d struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Component string `json:"component"`
+			Msg       string `json:"msg"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total == 0 {
+		t.Fatal("flight recorder is empty after build")
+	}
+	seen := map[string]bool{}
+	for _, e := range d.Events {
+		if e.Component == "atlasd" {
+			seen[e.Msg] = true
+		}
+	}
+	for _, want := range []string{"credits granted", "world built"} {
+		if !seen[want] {
+			t.Errorf("/debug/events lacks %q; has %v", want, seen)
+		}
 	}
 }

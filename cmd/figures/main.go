@@ -15,6 +15,15 @@
 // are analyzed in memory. When the dataset carries an analysis snapshot
 // (samples.snap, maintained by cmd/shears), the scan resumes from it and
 // decodes only blocks appended since — -snapshot off forces a cold scan.
+//
+// Observability: the command emits structured leveled logs (-log-format
+// text|json, -log-level) on stderr, and -status-addr serves live run state
+// over HTTP while the render executes: GET /metrics (Prometheus text),
+// GET /debug/events (flight-recorder dump of recent log events), and
+// GET /api/v1/progress (scan throughput and snapshot cache counters).
+// Renders against a stored dataset also write <data>/run.figures.json — a
+// manifest with the run ID, build version, flags, per-stage durations,
+// scan throughput and snapshot coverage.
 package main
 
 import (
@@ -23,7 +32,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -35,77 +49,300 @@ import (
 	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/scan"
+	"repro/internal/snap"
 	"repro/internal/world"
 )
+
+// options bundles the command's knobs (one field per flag).
+type options struct {
+	fig        string
+	data       string
+	probes     int
+	seed       uint64
+	csv        bool
+	workers    int
+	snapMode   string
+	cpuProfile string
+	memProfile string
+	statusAddr string // live status HTTP listener; empty disables
+	logFormat  string // structured log encoding: text or json
+	logLevel   string // minimum log level: debug, info, warn, error
+
+	// Test hooks (unexported, zero in production).
+	stdout       io.Writer         // figure line destination; nil means stdout
+	logDst       io.Writer         // structured log destination; nil means stderr
+	statusReady  func(addr string) // called with the bound status address
+	beforeRender func()            // called after the status server is up, before rendering
+}
+
+// manifestFile is the run manifest's name inside the dataset dir. It is
+// distinct from cmd/shears' run.json so a render never clobbers the
+// campaign's own manifest.
+const manifestFile = "run.figures.json"
+
+// flightRecorderSize is how many recent log events /debug/events retains.
+const flightRecorderSize = 256
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	var (
-		fig      = flag.String("fig", "", "figure to render: 1, 2, 3a, 3b, 4, 5, 6, 7, 8")
-		data     = flag.String("data", "", "stored dataset directory (optional)")
-		probes   = flag.Int("probes", 400, "probe count when synthesizing")
-		seed     = flag.Uint64("seed", 1, "world seed when synthesizing")
-		asCSV    = flag.Bool("csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "scan worker count for stored datasets")
-		snapMode = flag.String("snapshot", "auto", "analysis snapshot mode for stored datasets: auto (on for binary stores), on, off")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
-	)
+	var o options
+	flag.StringVar(&o.fig, "fig", "", "figure to render: 1, 2, 3a, 3b, 4, 5, 6, 7, 8")
+	flag.StringVar(&o.data, "data", "", "stored dataset directory (optional)")
+	flag.IntVar(&o.probes, "probes", 400, "probe count when synthesizing")
+	flag.Uint64Var(&o.seed, "seed", 1, "world seed when synthesizing")
+	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "scan worker count for stored datasets")
+	flag.StringVar(&o.snapMode, "snapshot", "auto", "analysis snapshot mode for stored datasets: auto (on for binary stores), on, off")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
+	flag.StringVar(&o.statusAddr, "status-addr", "", "serve live run status (/metrics, /debug/events, /api/v1/progress) on this address")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text (logfmt) or json")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
-	if *cpuProf != "" {
-		stop, err := obs.StartCPUProfile(*cpuProf)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer stop()
-	}
-	lines, err := render(*fig, *data, *probes, *seed, *workers, *snapMode, *asCSV)
-	if err != nil {
+	if err := run(o); err != nil {
 		if errors.Is(err, core.ErrEmptyStore) {
-			log.Fatalf("dataset %s holds no samples yet — run cmd/shears against it first, then retry", *data)
+			log.Fatalf("dataset %s holds no samples yet — run cmd/shears against it first, then retry", o.data)
 		}
 		log.Fatal(err)
 	}
-	for _, l := range lines {
-		fmt.Println(l)
+}
+
+// runEnv carries the run's telemetry plumbing into the render path. A
+// nil *runEnv (as the unit tests use) disables all of it.
+type runEnv struct {
+	root        *obs.Span
+	log         *obs.Logger
+	scanMetrics *scan.Metrics
+	snapMetrics *snap.Metrics
+	manifest    *obs.RunManifest
+}
+
+func (e *runEnv) span() *obs.Span {
+	if e == nil {
+		return nil
 	}
-	if *memProf != "" {
-		if err := obs.WriteHeapProfile(*memProf); err != nil {
-			log.Fatal(err)
+	return e.root
+}
+
+func (e *runEnv) logger() *obs.Logger {
+	if e == nil {
+		return nil
+	}
+	return e.log
+}
+
+func (e *runEnv) scanInstruments() *scan.Metrics {
+	if e == nil {
+		return nil
+	}
+	return e.scanMetrics
+}
+
+func (e *runEnv) snapInstruments() *snap.Metrics {
+	if e == nil {
+		return nil
+	}
+	return e.snapMetrics
+}
+
+// noteScan records one completed dataset scan: the manifest's throughput
+// and snapshot coverage, plus the scan-completion log events.
+func (e *runEnv) noteScan(st scan.Stats) {
+	if e == nil {
+		return
+	}
+	if e.manifest != nil {
+		e.manifest.Samples += st.Samples
+		if st.Duration > 0 {
+			e.manifest.SamplesPerSec = st.SamplesPerSec()
+		}
+		if st.Binary {
+			e.manifest.Snapshot = &obs.SnapshotCoverage{
+				PrefixBlocks: st.PrefixBlocks, BlocksRead: st.BlocksRead, BlocksTotal: st.BlocksTotal,
+			}
+		}
+	}
+	e.log.Info("scan complete",
+		"samples", st.Samples, "duration", st.Duration.Round(time.Millisecond),
+		"mb_per_sec", st.MBPerSec(), "workers", st.Workers)
+	if st.Binary {
+		e.log.Info("snapshot coverage",
+			"blocks_read", st.BlocksRead, "blocks_total", st.BlocksTotal,
+			"prefix_blocks", st.PrefixBlocks)
+	}
+}
+
+func run(o options) (err error) {
+	start := time.Now()
+	level, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	logFormat, err := obs.ParseLogFormat(o.logFormat)
+	if err != nil {
+		return err
+	}
+	logDst := o.logDst
+	if logDst == nil {
+		logDst = os.Stderr
+	}
+	stdout := o.stdout
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	rec := obs.NewRecorder(flightRecorderSize)
+	logger := obs.NewLogger(logDst,
+		obs.WithLogFormat(logFormat), obs.WithLogLevel(level), obs.WithRecorder(rec),
+	).With("figures")
+	if o.cpuProfile != "" {
+		stop, perr := obs.StartCPUProfile(o.cpuProfile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
+	reg := obs.NewRegistry()
+	scanMetrics := scan.NewMetrics(reg)
+	snapMetrics := snap.NewMetrics(reg)
+	workers := o.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	manifest := obs.NewRunManifest("figures", start)
+	manifest.Flags = obs.FlagsFromSet(flag.CommandLine)
+	manifest.Workers = workers
+	root := obs.NewTrace("figures.run")
+	root.SetAttr("fig", o.fig)
+	env := &runEnv{root: root, log: logger, scanMetrics: scanMetrics, snapMetrics: snapMetrics, manifest: manifest}
+	defer func() {
+		root.End()
+		// The manifest lands inside the dataset dir; dataset-independent
+		// renders (and runs that failed to open the store) write none.
+		if o.data == "" {
+			return
+		}
+		if _, serr := os.Stat(o.data); serr != nil {
+			return
+		}
+		manifest.Finish(time.Now())
+		manifest.SetStagesFromDump(root.Dump())
+		if werr := manifest.Write(filepath.Join(o.data, manifestFile)); werr != nil && err == nil {
+			err = werr
+		}
+	}()
+
+	// Live status: /metrics, /debug/events and /api/v1/progress serve the
+	// run's state while the render executes.
+	if o.statusAddr != "" {
+		ln, lerr := net.Listen("tcp", o.statusAddr)
+		if lerr != nil {
+			return lerr
+		}
+		srv := &http.Server{Handler: obs.NewStatusMux(reg, rec, figuresProgress(manifest, start, o.fig, snapMetrics, scanMetrics))}
+		go srv.Serve(ln)
+		defer srv.Close()
+		logger.Info("status server listening", "addr", ln.Addr().String())
+		if o.statusReady != nil {
+			o.statusReady(ln.Addr().String())
+		}
+	}
+
+	logger.Info("rendering figure", "fig", o.fig, "data", o.data, "csv", o.csv)
+	if o.beforeRender != nil {
+		o.beforeRender()
+	}
+	lines, err := render(o, env)
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		fmt.Fprintln(stdout, l)
+	}
+	logger.Info("figure rendered",
+		"fig", o.fig, "lines", len(lines), "elapsed", time.Since(start).Round(time.Millisecond))
+	if o.memProfile != "" {
+		return obs.WriteHeapProfile(o.memProfile)
+	}
+	return nil
+}
+
+// figuresProgress builds the /api/v1/progress payload function: a
+// per-request snapshot of the scan throughput and snapshot cache counters.
+func figuresProgress(manifest *obs.RunManifest, start time.Time, fig string, sm *snap.Metrics, scm *scan.Metrics) func() any {
+	type snapshotProgress struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Invalidations uint64 `json:"invalidations"`
+		Writes        uint64 `json:"writes"`
+	}
+	type scanProgress struct {
+		Scans         uint64  `json:"scans"`
+		Samples       uint64  `json:"samples"`
+		SamplesPerSec float64 `json:"samples_per_sec"`
+	}
+	type progress struct {
+		RunID         string           `json:"run_id"`
+		Figure        string           `json:"figure"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		Snapshot      snapshotProgress `json:"snapshot"`
+		Scan          scanProgress     `json:"scan"`
+	}
+	return func() any {
+		return progress{
+			RunID:         manifest.RunID,
+			Figure:        fig,
+			UptimeSeconds: time.Since(start).Seconds(),
+			Snapshot: snapshotProgress{
+				Hits:          sm.Hits.Value(),
+				Misses:        sm.Misses.Value(),
+				Invalidations: sm.Invalidations.Value(),
+				Writes:        sm.Writes.Value(),
+			},
+			Scan: scanProgress{
+				Scans:         scm.Scans.Value(),
+				Samples:       scm.Samples.Value(),
+				SamplesPerSec: scm.SamplesPerSec.Value(),
+			},
 		}
 	}
 }
 
-func render(fig, data string, probes int, seed uint64, workers int, snapMode string, asCSV bool) ([]string, error) {
-	if asCSV {
-		return renderCSV(fig, data, probes, seed, workers, snapMode)
+func render(o options, env *runEnv) ([]string, error) {
+	if o.csv {
+		return renderCSV(o, env)
 	}
-	ctx := context.Background()
-	switch fig {
+	ctx := obs.ContextWith(context.Background(), env.span())
+	switch o.fig {
 	case "1":
-		_, lines, err := figures.Figure1(ctx, seed)
+		_, lines, err := figures.Figure1(ctx, o.seed)
 		return lines, err
 	case "2":
 		return figures.Figure2(apps.Paper())
 	}
 
-	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	w, err := buildWorld(o, env)
 	if err != nil {
 		return nil, err
 	}
-	switch fig {
+	switch o.fig {
 	case "3a":
 		return figures.Figure3a(w.Catalog)
 	case "3b":
 		return figures.Figure3b(w.Probes)
 	}
 
-	d, err := loadOrSynthesize(ctx, w, data, workers, snapMode)
+	d, err := loadOrSynthesize(ctx, w, o, env)
 	if err != nil {
 		return nil, err
 	}
-	switch fig {
+	fs := env.span().Child("figure:" + o.fig)
+	defer fs.End()
+	switch o.fig {
 	case "4":
 		rep, err := d.proximity(w.Index)
 		if err != nil {
@@ -138,8 +375,21 @@ func render(fig, data string, probes int, seed uint64, workers int, snapMode str
 		_, lines, err := figures.Figure8(rep7, apps.Paper())
 		return lines, err
 	default:
-		return nil, fmt.Errorf("unknown figure %q (want one of %v)", fig, figures.Names())
+		return nil, fmt.Errorf("unknown figure %q (want one of %v)", o.fig, figures.Names())
 	}
+}
+
+// buildWorld synthesizes the world under its own stage span.
+func buildWorld(o options, env *runEnv) (*world.World, error) {
+	s := env.span().Child("world.build")
+	defer s.End()
+	w, err := world.Build(world.Config{Seed: o.seed, Probes: o.probes})
+	if err != nil {
+		return nil, err
+	}
+	env.logger().Info("world built",
+		"probes", w.Probes.Len(), "regions", w.Catalog.Len(), "seed", o.seed)
+	return w, nil
 }
 
 // dataset is a figure's sample source: a stored campaign scanned in
@@ -151,18 +401,19 @@ type dataset struct {
 	workers int
 	snap    *core.SnapshotOptions // non-nil: seed scans from the analysis snapshot
 	suite   *core.SuiteReport     // cached snapshot-seeded suite report
+	env     *runEnv               // telemetry plumbing; nil disables
 }
 
 // loadOrSynthesize opens the stored dataset, or runs a fresh test-scale
 // campaign against the supplied world.
-func loadOrSynthesize(ctx context.Context, w *world.World, data string, workers int, snapMode string) (*dataset, error) {
-	if data != "" {
-		store, err := results.Open(data)
+func loadOrSynthesize(ctx context.Context, w *world.World, o options, env *runEnv) (*dataset, error) {
+	if o.data != "" {
+		store, err := results.Open(o.data)
 		if err != nil {
 			return nil, err
 		}
-		d := &dataset{store: store, start: store.Meta().Start, workers: workers}
-		enabled, err := snapshotEnabled(snapMode, store.Format())
+		d := &dataset{store: store, start: store.Meta().Start, workers: o.workers, env: env}
+		enabled, err := snapshotEnabled(o.snapMode, store.Format())
 		if err != nil {
 			return nil, err
 		}
@@ -170,16 +421,22 @@ func loadOrSynthesize(ctx context.Context, w *world.World, data string, workers 
 			d.snap = &core.SnapshotOptions{
 				Path:          store.SnapshotPath(),
 				RefreshFactor: core.DefaultRefreshFactor,
+				Metrics:       env.snapInstruments(),
+				Log:           env.logger().With("snap"),
 			}
 		}
+		env.logger().Info("dataset opened",
+			"dir", o.data, "format", store.Format().String(), "snapshot", enabled)
 		return d, nil
 	}
 	cfg := atlas.TestCampaign()
+	s := env.span().Child("campaign.synthesize")
+	defer s.End()
 	var mem results.Memory
-	if _, err := w.Platform.RunCampaign(ctx, cfg, mem.Add); err != nil {
+	if _, err := w.Platform.RunCampaign(obs.ContextWith(ctx, s), cfg, mem.Add); err != nil {
 		return nil, err
 	}
-	return &dataset{mem: &mem, start: cfg.Start}, nil
+	return &dataset{mem: &mem, start: cfg.Start, env: env}, nil
 }
 
 // runPass feeds one analysis pass with every sample: a parallel byte-range
@@ -194,7 +451,7 @@ func runPass[P core.Pass](d *dataset, newPass func() (P, error)) (P, error) {
 		return p, core.RunPasses(d.mem, p)
 	}
 	var passes []P
-	st, err := scan.File(context.Background(), scan.Config{
+	st, err := scan.File(obs.ContextWith(context.Background(), d.env.span()), scan.Config{
 		Path:    d.store.SamplesPath(),
 		Workers: d.workers,
 		NewPasses: func(int) ([]scan.Pass, error) {
@@ -205,13 +462,14 @@ func runPass[P core.Pass](d *dataset, newPass func() (P, error)) (P, error) {
 			passes = append(passes, p)
 			return []scan.Pass{p}, nil
 		},
+		Metrics: d.env.scanInstruments(),
+		Log:     d.env.logger(),
 	})
 	if err != nil {
 		var zero P
 		return zero, err
 	}
-	log.Printf("scan: %d samples in %v (%.1f MB/s, %d workers)",
-		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.Workers)
+	d.env.noteScan(st)
 	return passes[0], nil
 }
 
@@ -237,16 +495,12 @@ func (d *dataset) suiteReport(idx *core.Index) (*core.SuiteReport, error) {
 	if d.suite != nil {
 		return d.suite, nil
 	}
-	rep, st, err := core.ScanStoreSnap(context.Background(), d.store, idx, d.start, 7*24*time.Hour, d.workers, nil, *d.snap)
+	ctx := obs.ContextWith(context.Background(), d.env.span())
+	rep, st, err := core.ScanStoreSnap(ctx, d.store, idx, d.start, 7*24*time.Hour, d.workers, d.env.scanInstruments(), *d.snap)
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("scan: %d samples in %v (%.1f MB/s, %d workers)",
-		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.Workers)
-	if st.Binary {
-		log.Printf("scan: scanned %d/%d blocks (snapshot covered %d)",
-			st.BlocksRead, st.BlocksTotal, st.PrefixBlocks)
-	}
+	d.env.noteScan(st)
 	d.suite = rep
 	return rep, nil
 }
@@ -314,11 +568,11 @@ func (d *dataset) lastMile(idx *core.Index) (*core.LastMileReport, error) {
 }
 
 // renderCSV emits the machine-readable form of a figure.
-func renderCSV(fig, data string, probes int, seed uint64, workers int, snapMode string) ([]string, error) {
-	ctx := context.Background()
+func renderCSV(o options, env *runEnv) ([]string, error) {
+	ctx := obs.ContextWith(context.Background(), env.span())
 	var buf bytes.Buffer
-	if fig == "1" {
-		series, _, err := figures.Figure1(ctx, seed)
+	if o.fig == "1" {
+		series, _, err := figures.Figure1(ctx, o.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -328,15 +582,17 @@ func renderCSV(fig, data string, probes int, seed uint64, workers int, snapMode 
 		return splitLines(buf.String()), nil
 	}
 
-	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
+	w, err := buildWorld(o, env)
 	if err != nil {
 		return nil, err
 	}
-	d, err := loadOrSynthesize(ctx, w, data, workers, snapMode)
+	d, err := loadOrSynthesize(ctx, w, o, env)
 	if err != nil {
 		return nil, err
 	}
-	switch fig {
+	fs := env.span().Child("figure:" + o.fig)
+	defer fs.End()
+	switch o.fig {
 	case "4":
 		rep, err := d.proximity(w.Index)
 		if err != nil {
@@ -382,7 +638,7 @@ func renderCSV(fig, data string, probes int, seed uint64, workers int, snapMode 
 			return nil, err
 		}
 	default:
-		return nil, fmt.Errorf("figure %q has no CSV form", fig)
+		return nil, fmt.Errorf("figure %q has no CSV form", o.fig)
 	}
 	return splitLines(buf.String()), nil
 }

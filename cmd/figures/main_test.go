@@ -2,17 +2,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/atlas"
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/world"
 )
 
 func TestRenderDatasetIndependentFigures(t *testing.T) {
 	for _, fig := range []string{"1", "2", "3a", "3b"} {
-		lines, err := render(fig, "", 200, 1, 0, "auto", false)
+		lines, err := render(options{fig: fig, probes: 200, seed: 1, snapMode: "auto"}, nil)
 		if err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
@@ -23,20 +30,23 @@ func TestRenderDatasetIndependentFigures(t *testing.T) {
 }
 
 func TestRenderUnknownFigure(t *testing.T) {
-	if _, err := render("42", "", 200, 1, 0, "auto", false); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+	_, err := render(options{fig: "42", probes: 200, seed: 1, snapMode: "auto"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
 		t.Errorf("unknown figure: %v", err)
 	}
 }
 
-func TestRenderFromStoredDataset(t *testing.T) {
-	// Build a tiny dataset on disk, then render figure 4 from it.
-	w, err := world.Build(world.Config{Seed: 2, Probes: 200})
+// buildDataset writes a tiny binary-format campaign dataset for the
+// stored-dataset tests and returns its directory.
+func buildDataset(t *testing.T, seed uint64, probes int) (string, *world.World) {
+	t.Helper()
+	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := atlas.TestCampaign()
 	dir := t.TempDir()
-	_, sink, err := results.Create(dir, cfg.Meta(2, w.Probes.Len(), w.Catalog.Len()), results.FormatBinary)
+	_, sink, err := results.Create(dir, cfg.Meta(seed, w.Probes.Len(), w.Catalog.Len()), results.FormatBinary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +56,16 @@ func TestRenderFromStoredDataset(t *testing.T) {
 	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
+	return dir, w
+}
+
+func TestRenderFromStoredDataset(t *testing.T) {
+	dir, _ := buildDataset(t, 2, 200)
+	opts := func(fig string, workers int, snapMode string) options {
+		return options{fig: fig, data: dir, probes: 200, seed: 2, workers: workers, snapMode: snapMode}
+	}
 	for _, fig := range []string{"4", "5", "6", "7", "8"} {
-		lines, err := render(fig, dir, 200, 2, 4, "auto", false)
+		lines, err := render(opts(fig, 4, "auto"), nil)
 		if err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
@@ -56,11 +74,11 @@ func TestRenderFromStoredDataset(t *testing.T) {
 		}
 	}
 	// The parallel scan is worker-count invariant.
-	serial, err := render("6", dir, 200, 2, 1, "auto", false)
+	serial, err := render(opts("6", 1, "auto"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := render("6", dir, 200, 2, 7, "auto", false)
+	parallel, err := render(opts("6", 7, "auto"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +87,7 @@ func TestRenderFromStoredDataset(t *testing.T) {
 	}
 	// The renders above left a snapshot behind (binary store, -snapshot
 	// auto); a forced cold scan must produce the identical figure.
-	cold, err := render("6", dir, 200, 2, 3, "off", false)
+	cold, err := render(opts("6", 3, "off"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +95,13 @@ func TestRenderFromStoredDataset(t *testing.T) {
 		t.Error("figure 6 output differs between snapshot and cold scans")
 	}
 	// Missing dataset directory surfaces an error.
-	if _, err := render("4", dir+"/nope", 200, 2, 4, "auto", false); err == nil {
+	if _, err := render(options{fig: "4", data: dir + "/nope", probes: 200, seed: 2, workers: 4, snapMode: "auto"}, nil); err == nil {
 		t.Error("missing dataset accepted")
 	}
 }
 
 func TestRenderSynthesizes(t *testing.T) {
-	lines, err := render("4", "", 200, 1, 0, "auto", false)
+	lines, err := render(options{fig: "4", probes: 200, seed: 1, snapMode: "auto"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +112,7 @@ func TestRenderSynthesizes(t *testing.T) {
 
 func TestRenderCSV(t *testing.T) {
 	for _, fig := range []string{"1", "4", "7"} {
-		lines, err := render(fig, "", 200, 1, 0, "auto", true)
+		lines, err := render(options{fig: fig, probes: 200, seed: 1, snapMode: "auto", csv: true}, nil)
 		if err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
@@ -102,7 +120,151 @@ func TestRenderCSV(t *testing.T) {
 			t.Errorf("fig %s CSV output malformed: %v", fig, lines[:1])
 		}
 	}
-	if _, err := render("2", "", 200, 1, 0, "auto", true); err == nil {
+	if _, err := render(options{fig: "2", probes: 200, seed: 1, snapMode: "auto", csv: true}, nil); err == nil {
 		t.Error("figure without CSV form accepted")
+	}
+}
+
+// TestRunWritesManifest checks the run.figures.json evidence bundle a
+// stored-dataset render leaves behind: identity, per-stage durations,
+// scan throughput, and snapshot coverage.
+func TestRunWritesManifest(t *testing.T) {
+	dir, _ := buildDataset(t, 2, 200)
+	err := run(options{
+		fig: "5", data: dir, probes: 200, seed: 2, workers: 4, snapMode: "auto",
+		stdout: io.Discard, logDst: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ReadRunManifest(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Binary != "figures" || m.RunID == "" || m.GoVersion == "" {
+		t.Errorf("manifest identity: %+v", m)
+	}
+	if m.Samples == 0 || m.SamplesPerSec <= 0 {
+		t.Errorf("manifest throughput: samples=%d samples/s=%v", m.Samples, m.SamplesPerSec)
+	}
+	if m.Workers != 4 {
+		t.Errorf("manifest workers = %d, want 4", m.Workers)
+	}
+	if m.DurationMs <= 0 || m.End.Before(m.Start) {
+		t.Errorf("manifest window: start=%v end=%v duration=%vms", m.Start, m.End, m.DurationMs)
+	}
+	if m.Snapshot == nil || m.Snapshot.BlocksTotal == 0 {
+		t.Errorf("manifest lacks snapshot coverage: %+v", m.Snapshot)
+	}
+	stages := map[string]bool{}
+	for _, s := range m.Stages {
+		if s.DurationMs < 0 {
+			t.Errorf("stage %q has negative duration", s.Name)
+		}
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"world.build", "scan", "figure:5"} {
+		if !stages[want] {
+			t.Errorf("manifest lacks stage %q; has %v", want, m.Stages)
+		}
+	}
+}
+
+// TestRunServesStatusEndpoints polls the -status-addr endpoints while a
+// render is in flight: the beforeRender hook parks the run so /metrics,
+// /debug/events, and /api/v1/progress are demonstrably served mid-run.
+func TestRunServesStatusEndpoints(t *testing.T) {
+	dir, _ := buildDataset(t, 2, 200)
+	ready := make(chan string, 1)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(options{
+			fig: "6", data: dir, probes: 200, seed: 2, workers: 2, snapMode: "auto",
+			stdout: io.Discard, logDst: io.Discard,
+			statusAddr: "127.0.0.1:0",
+			statusReady: func(addr string) {
+				select {
+				case ready <- addr:
+				default:
+				}
+			},
+			beforeRender: func() { <-release },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("run finished before the status server came up: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("status server never came up")
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return b
+	}
+
+	var p struct {
+		RunID  string `json:"run_id"`
+		Figure string `json:"figure"`
+	}
+	if err := json.Unmarshal(get("/api/v1/progress"), &p); err != nil {
+		t.Fatalf("progress is not JSON: %v", err)
+	}
+	if p.RunID == "" || p.Figure != "6" {
+		t.Errorf("progress = %+v", p)
+	}
+
+	metrics := string(get("/metrics"))
+	for _, want := range []string{"scan_total", "scan_samples_total", "snap_hits_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("mid-run /metrics lacks %q", want)
+		}
+	}
+
+	var d struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Component string `json:"component"`
+			Msg       string `json:"msg"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(get("/debug/events"), &d); err != nil {
+		t.Fatalf("events dump is not JSON: %v", err)
+	}
+	var sawRender bool
+	for _, e := range d.Events {
+		if e.Msg == "rendering figure" && e.Component == "figures" {
+			sawRender = true
+		}
+	}
+	if d.Total == 0 || !sawRender {
+		t.Errorf("flight recorder lacks the rendering event: %+v", d)
+	}
+
+	unblock()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not finish")
 	}
 }

@@ -18,11 +18,20 @@
 // so -resume continues an interrupted run from the last watermark
 // instead of restarting.
 //
-// Observability: the driver prints periodic progress lines (samples/sec,
+// Observability: the driver emits structured leveled logs (-log-format
+// text|json, -log-level), prints periodic progress lines (samples/sec,
 // ETA, per-continent tallies) every -progress interval while the campaign
 // runs, and -trace out.json dumps the span tree of the whole run
-// (world build -> campaign rounds -> result write -> figure generation).
-// -cpuprofile/-memprofile write pprof profiles of the run.
+// (world build -> campaign rounds -> result write -> figure generation)
+// twice: as legacy span JSON at the given path and as Chrome trace-event
+// JSON (loadable in Perfetto or chrome://tracing) at <path>.chrome.json.
+// -status-addr serves live run state over HTTP while the run executes:
+// GET /metrics (Prometheus text), GET /debug/events (flight-recorder
+// dump of recent log events), and GET /api/v1/progress (campaign round
+// watermarks, queue depths, snapshot and scan counters, ETA). Every run
+// also writes <out>/run.json — a manifest with the run ID, build
+// version, flags, world fingerprint, per-stage durations and
+// throughput. -cpuprofile/-memprofile write pprof profiles of the run.
 //
 // Analysis snapshots: for binary datasets the driver maintains
 // <out>/samples.snap — the serialized merged analysis state, refreshed
@@ -37,6 +46,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -77,6 +88,14 @@ type options struct {
 	snapshot        string // analysis snapshot mode: auto, on, off
 	cpuProfile      string
 	memProfile      string
+	statusAddr      string // live status HTTP listener; empty disables
+	logFormat       string // structured log encoding: text or json
+	logLevel        string // minimum log level: debug, info, warn, error
+
+	// Test hooks (unexported, zero in production).
+	logDst      io.Writer                       // structured log destination; nil means stderr
+	statusReady func(addr string)               // called with the bound status address
+	onRound     func(round int, samples uint64) // observes each merged campaign round
 }
 
 // snapshotEnabled resolves the -snapshot mode against the store's
@@ -114,6 +133,9 @@ func main() {
 	flag.StringVar(&o.snapshot, "snapshot", "auto", "analysis snapshot mode: auto (on for binary stores), on, off")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
+	flag.StringVar(&o.statusAddr, "status-addr", "", "serve live run status (/metrics, /debug/events, /api/v1/progress) on this address")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text (logfmt) or json")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
 	if err := run(o); err != nil {
 		log.Fatal(err)
@@ -123,6 +145,12 @@ func main() {
 // checkpointFile is the engine checkpoint's name inside the dataset dir.
 const checkpointFile = "checkpoint.json"
 
+// manifestFile is the run manifest's name inside the dataset dir.
+const manifestFile = "run.json"
+
+// flightRecorderSize is how many recent log events /debug/events retains.
+const flightRecorderSize = 512
+
 func run(o options) (err error) {
 	start := time.Now()
 	// Reject a bad -snapshot mode before any campaign work; the store's
@@ -130,6 +158,22 @@ func run(o options) (err error) {
 	if _, err := (options{snapshot: o.snapshot}).snapshotEnabled(results.FormatBinary); err != nil {
 		return err
 	}
+	level, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	logFormat, err := obs.ParseLogFormat(o.logFormat)
+	if err != nil {
+		return err
+	}
+	logDst := o.logDst
+	if logDst == nil {
+		logDst = os.Stderr
+	}
+	rec := obs.NewRecorder(flightRecorderSize)
+	logger := obs.NewLogger(logDst,
+		obs.WithLogFormat(logFormat), obs.WithLogLevel(level), obs.WithRecorder(rec),
+	).With("shears")
 	if o.cpuProfile != "" {
 		stop, perr := obs.StartCPUProfile(o.cpuProfile)
 		if perr != nil {
@@ -150,13 +194,32 @@ func run(o options) (err error) {
 	}
 	reg := obs.NewRegistry()
 	m := atlas.NewMetrics(reg)
+	engMetrics := engine.NewMetrics(reg)
+	snapMetrics := snap.NewMetrics(reg)
+	scanMetrics := scan.NewMetrics(reg)
+	manifest := obs.NewRunManifest("shears", start)
+	manifest.Flags = obs.FlagsFromSet(flag.CommandLine)
 	root := obs.NewTrace("shears.run")
 	root.SetAttr("seed", o.seed)
 	root.SetAttr("probes", o.probes)
 	defer func() {
 		root.End()
+		dump := root.Dump()
 		if o.tracePath != "" {
-			if werr := writeTrace(o.tracePath, root); werr != nil && err == nil {
+			if werr := writeTrace(o.tracePath, root, logger); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		for _, line := range obs.FormatStageTable(obs.StageTotals(dump), time.Since(start)) {
+			fmt.Fprintln(logDst, line)
+		}
+		// The manifest lands next to the dataset; skip it when the run died
+		// before the output directory existed.
+		if _, serr := os.Stat(o.out); serr == nil {
+			manifest.Finish(time.Now())
+			manifest.SetStagesFromDump(dump)
+			manifest.PeakQueueDepth = engMetrics.QueueDepthPeak.Value()
+			if werr := manifest.Write(filepath.Join(o.out, manifestFile)); werr != nil && err == nil {
 				err = werr
 			}
 		}
@@ -180,9 +243,28 @@ func run(o options) (err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("world: %d probes in %d countries, %d regions, campaign %s..%s, %d workers",
-		w.Probes.Len(), len(w.Probes.Countries()), w.Catalog.Len(),
-		cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"), workers)
+	manifest.Workers = workers
+	logger.Info("world built",
+		"probes", w.Probes.Len(), "countries", len(w.Probes.Countries()),
+		"regions", w.Catalog.Len(),
+		"campaign_start", cfg.Start.Format("2006-01-02"),
+		"campaign_end", cfg.End.Format("2006-01-02"), "workers", workers)
+
+	// Live status: /metrics, /debug/events and /api/v1/progress serve the
+	// run's state while it executes.
+	if o.statusAddr != "" {
+		ln, lerr := net.Listen("tcp", o.statusAddr)
+		if lerr != nil {
+			return lerr
+		}
+		srv := &http.Server{Handler: obs.NewStatusMux(reg, rec, progressSnapshot(manifest, start, m, engMetrics, snapMetrics, scanMetrics, cfg.Rounds()))}
+		go srv.Serve(ln)
+		defer srv.Close()
+		logger.Info("status server listening", "addr", ln.Addr().String())
+		if o.statusReady != nil {
+			o.statusReady(ln.Addr().String())
+		}
+	}
 
 	// Open the sink: a fresh dataset, or — on resume — the existing one
 	// truncated back to the checkpoint's durable offset.
@@ -212,8 +294,9 @@ func run(o options) (err error) {
 			return err
 		}
 		startRound, startSamples = cp.Round+1, cp.Samples
-		log.Printf("resume: %d/%d rounds done, %d samples, %s sink at byte %d",
-			startRound, cfg.Rounds(), startSamples, store.Format(), cp.SinkOffset)
+		logger.Info("resuming campaign",
+			"rounds_done", startRound, "rounds_total", cfg.Rounds(),
+			"samples", startSamples, "format", store.Format().String(), "sink_offset", cp.SinkOffset)
 	} else {
 		format, err := results.ParseFormat(o.format)
 		if err != nil {
@@ -233,16 +316,20 @@ func run(o options) (err error) {
 	}
 	snapOpts := core.SnapshotOptions{
 		Path:          store.SnapshotPath(),
-		Metrics:       snap.NewMetrics(reg),
+		Metrics:       snapMetrics,
 		RefreshFactor: core.DefaultRefreshFactor,
+		Log:           logger.With("snap"),
 	}
 
+	manifest.WorldFingerprint = fingerprint
 	campaignOpts := atlas.CampaignOptions{
 		Workers:       workers,
 		Fingerprint:   fingerprint,
 		StartRound:    startRound,
 		StartSamples:  startSamples,
-		EngineMetrics: engine.NewMetrics(reg),
+		EngineMetrics: engMetrics,
+		Log:           logger.With("engine"),
+		OnRound:       o.onRound,
 	}
 	if o.checkpointEvery > 0 {
 		campaignOpts.CheckpointPath = ckPath
@@ -259,7 +346,7 @@ func run(o options) (err error) {
 			// scan falls back to a cold pass.
 			campaignOpts.OnCheckpoint = func(round int, offset int64) {
 				if _, uerr := core.UpdateSnapshot(context.Background(), store, w.Index, cfg.Start, 7*24*time.Hour, workers, nil, snapOpts); uerr != nil {
-					log.Printf("snapshot: update at round %d (offset %d) failed: %v", round, offset, uerr)
+					logger.Warn("snapshot update failed", "round", round, "offset", offset, "error", uerr)
 				}
 			}
 		}
@@ -267,14 +354,19 @@ func run(o options) (err error) {
 
 	campSpan := root.Child("campaign")
 	ctx := obs.ContextWith(context.Background(), campSpan)
-	stopProgress := startProgress(m, cfg.Rounds(), o.progressEvery)
+	stopProgress := startProgress(logger, m, cfg.Rounds(), o.progressEvery)
 	n, err := w.Platform.RunCampaignOpts(ctx, cfg, campaignOpts, sink.Write)
 	stopProgress()
 	campSpan.End()
+	manifest.Samples = n
+	if d := campSpan.Duration(); d > 0 {
+		manifest.SamplesPerSec = float64(n-startSamples) / d.Seconds()
+	}
 	if err != nil {
 		sink.Close()
 		if o.checkpointEvery > 0 {
-			log.Printf("campaign interrupted after %d samples; rerun with -resume to continue from %s", n, ckPath)
+			logger.Warn("campaign interrupted; rerun with -resume to continue",
+				"samples", n, "checkpoint", ckPath, "error", err)
 		}
 		return err
 	}
@@ -288,7 +380,8 @@ func run(o options) (err error) {
 	if err := os.Remove(ckPath); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	log.Printf("campaign: %d samples written to %s in %v", n, o.out, time.Since(start).Round(time.Millisecond))
+	logger.Info("campaign complete",
+		"samples", n, "out", o.out, "elapsed", time.Since(start).Round(time.Millisecond))
 
 	figSpan := root.Child("figures")
 	defer figSpan.End()
@@ -303,24 +396,29 @@ func run(o options) (err error) {
 		st  scan.Stats
 	)
 	if snapEnabled {
-		rep, st, err = core.ScanStoreSnap(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scan.NewMetrics(reg), snapOpts)
+		rep, st, err = core.ScanStoreSnap(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scanMetrics, snapOpts)
 	} else {
-		rep, st, err = core.ScanStore(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scan.NewMetrics(reg))
+		rep, st, err = core.ScanStore(scanCtx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, scanMetrics)
 	}
 	if err != nil {
 		return err
 	}
-	log.Printf("scan: %d samples in %v (%.1f MB/s, %d workers)",
-		st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.Workers)
+	logger.Info("scan complete",
+		"samples", st.Samples, "duration", st.Duration.Round(time.Millisecond),
+		"mb_per_sec", st.MBPerSec(), "workers", st.Workers)
 	if snapEnabled && st.Binary {
-		log.Printf("scan: scanned %d/%d blocks (snapshot covered %d)",
-			st.BlocksRead, st.BlocksTotal, st.PrefixBlocks)
+		logger.Info("snapshot coverage",
+			"blocks_read", st.BlocksRead, "blocks_total", st.BlocksTotal,
+			"prefix_blocks", st.PrefixBlocks)
+		manifest.Snapshot = &obs.SnapshotCoverage{
+			PrefixBlocks: st.PrefixBlocks, BlocksRead: st.BlocksRead, BlocksTotal: st.BlocksTotal,
+		}
 	}
 	if o.figDir != "" {
 		if err := writeArtifacts(o.figDir, rep, cfg, figSpan); err != nil {
 			return err
 		}
-		log.Printf("figure artifacts written to %s", o.figDir)
+		logger.Info("figure artifacts written", "dir", o.figDir)
 	}
 	if o.quiet {
 		return nil
@@ -328,26 +426,121 @@ func run(o options) (err error) {
 	return printFigures(rep, w, figSpan)
 }
 
-// writeTrace dumps the span tree to path.
-func writeTrace(path string, root *obs.Span) error {
-	f, err := os.Create(path)
-	if err != nil {
+// writeTrace dumps the span tree twice: legacy span JSON at path and
+// Chrome trace-event JSON (Perfetto/chrome://tracing loadable) at the
+// derived <path>.chrome.json. Write and close failures are surfaced —
+// a truncated trace must fail the run, not pass silently.
+func writeTrace(path string, root *obs.Span, logger *obs.Logger) error {
+	write := func(p string, emit func(io.Writer) error) error {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace %s: %w", p, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing trace %s: %w", p, err)
+		}
+		return nil
+	}
+	if err := write(path, root.WriteJSON); err != nil {
 		return err
 	}
-	if err := root.WriteJSON(f); err != nil {
-		f.Close()
+	chromePath := chromeTracePath(path)
+	if err := write(chromePath, root.WriteChromeTrace); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	log.Printf("trace written to %s", path)
+	logger.Info("trace written", "path", path, "chrome_path", chromePath)
 	return nil
+}
+
+// chromeTracePath derives the Chrome trace's file name: x.json becomes
+// x.chrome.json (extension-less paths get .chrome appended).
+func chromeTracePath(path string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + ".chrome" + ext
+}
+
+// progressSnapshot builds the /api/v1/progress payload function: a
+// per-request snapshot of the campaign watermarks, engine queue depths,
+// snapshot cache counters, and scan throughput.
+func progressSnapshot(manifest *obs.RunManifest, start time.Time, m *atlas.Metrics, em *engine.Metrics, sm *snap.Metrics, scm *scan.Metrics, totalRounds int) func() any {
+	type campaignProgress struct {
+		RoundsDone  float64 `json:"rounds_done"`
+		RoundsTotal float64 `json:"rounds_total"`
+		Samples     uint64  `json:"samples"`
+		SamplesLost uint64  `json:"samples_lost"`
+		ETASeconds  float64 `json:"eta_seconds"`
+	}
+	type engineProgress struct {
+		QueueDepth     float64            `json:"queue_depth"`
+		QueueDepthPeak float64            `json:"queue_depth_peak"`
+		ShardRounds    map[string]float64 `json:"shard_rounds,omitempty"`
+	}
+	type snapshotProgress struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Invalidations uint64 `json:"invalidations"`
+		Writes        uint64 `json:"writes"`
+	}
+	type scanProgress struct {
+		Scans         uint64  `json:"scans"`
+		Samples       uint64  `json:"samples"`
+		SamplesPerSec float64 `json:"samples_per_sec"`
+	}
+	type progress struct {
+		RunID         string           `json:"run_id"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		Campaign      campaignProgress `json:"campaign"`
+		Engine        engineProgress   `json:"engine"`
+		Snapshot      snapshotProgress `json:"snapshot"`
+		Scan          scanProgress     `json:"scan"`
+	}
+	return func() any {
+		p := progress{
+			RunID:         manifest.RunID,
+			UptimeSeconds: time.Since(start).Seconds(),
+			Campaign: campaignProgress{
+				RoundsDone:  m.CampaignRoundsDone.Value(),
+				RoundsTotal: m.CampaignRoundsTotal.Value(),
+				Samples:     m.CampaignSamples.Sum(),
+				SamplesLost: m.CampaignLost.Value(),
+			},
+			Engine: engineProgress{
+				QueueDepth:     em.QueueDepth.Value(),
+				QueueDepthPeak: em.QueueDepthPeak.Value(),
+			},
+			Snapshot: snapshotProgress{
+				Hits:          sm.Hits.Value(),
+				Misses:        sm.Misses.Value(),
+				Invalidations: sm.Invalidations.Value(),
+				Writes:        sm.Writes.Value(),
+			},
+			Scan: scanProgress{
+				Scans:         scm.Scans.Value(),
+				Samples:       scm.Samples.Value(),
+				SamplesPerSec: scm.SamplesPerSec.Value(),
+			},
+		}
+		if done := p.Campaign.RoundsDone; done > 0 && totalRounds > 0 && done < float64(totalRounds) {
+			perRound := time.Since(start).Seconds() / done
+			p.Campaign.ETASeconds = perRound * (float64(totalRounds) - done)
+		}
+		em.ShardRounds.Walk(func(labels []string, v float64) {
+			if p.Engine.ShardRounds == nil {
+				p.Engine.ShardRounds = make(map[string]float64)
+			}
+			p.Engine.ShardRounds[labels[0]] = v
+		})
+		return p
+	}
 }
 
 // startProgress launches the periodic campaign progress reporter. The
 // returned stop function halts it and waits for the goroutine to exit.
-func startProgress(m *atlas.Metrics, totalRounds int, every time.Duration) (stop func()) {
+func startProgress(logger *obs.Logger, m *atlas.Metrics, totalRounds int, every time.Duration) (stop func()) {
 	if every <= 0 {
 		return func() {}
 	}
@@ -375,9 +568,11 @@ func startProgress(m *atlas.Metrics, totalRounds int, every time.Duration) (stop
 					perRound := time.Since(started).Seconds() / roundsDone
 					eta = time.Duration(perRound * (float64(totalRounds) - roundsDone) * float64(time.Second)).Round(time.Second).String()
 				}
-				log.Printf("progress: round %.0f/%d (%.1f%%), %d samples, %.0f samples/s, ETA %s%s",
-					roundsDone, totalRounds, 100*roundsDone/float64(totalRounds),
-					samples, rate, eta, continentTally(m))
+				logger.Info("progress",
+					"round", roundsDone, "rounds_total", totalRounds,
+					"pct", fmt.Sprintf("%.1f", 100*roundsDone/float64(totalRounds)),
+					"samples", samples, "samples_per_sec", fmt.Sprintf("%.0f", rate),
+					"eta", eta, "continents", strings.TrimPrefix(continentTally(m), ", "))
 			}
 		}
 	}()

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -148,6 +151,234 @@ func TestRunWritesTrace(t *testing.T) {
 	}
 	if !sawScan {
 		t.Error("figures span lacks the fused dataset scan child")
+	}
+}
+
+// TestRunServesStatusEndpoints polls the -status-addr endpoints while
+// the campaign executes: /metrics, /debug/events, and /api/v1/progress
+// must all serve real data mid-run. The onRound hook blocks the engine's
+// merger after the second merged round, so the polls below observe a
+// campaign that is genuinely still running.
+func TestRunServesStatusEndpoints(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	ready := make(chan string, 1)
+	midRun := make(chan struct{})
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(options{
+			out: dir, probes: 250, seed: 1, days: 2, quiet: true, workers: 2,
+			logDst:     io.Discard,
+			statusAddr: "127.0.0.1:0",
+			statusReady: func(addr string) {
+				select {
+				case ready <- addr:
+				default:
+				}
+			},
+			onRound: func(round int, _ uint64) {
+				if round == 1 {
+					close(midRun)
+					<-release
+				}
+			},
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("run finished before the status server came up: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("status server never came up")
+	}
+	select {
+	case <-midRun:
+	case err := <-errCh:
+		t.Fatalf("run finished before reaching round 2: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign never reached round 2")
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return b
+	}
+
+	var p struct {
+		RunID    string `json:"run_id"`
+		Campaign struct {
+			RoundsDone  float64 `json:"rounds_done"`
+			RoundsTotal float64 `json:"rounds_total"`
+			Samples     uint64  `json:"samples"`
+		} `json:"campaign"`
+	}
+	if b := get("/api/v1/progress"); true {
+		if err := json.Unmarshal(b, &p); err != nil {
+			t.Fatalf("progress is not JSON: %v\n%s", err, b)
+		}
+	}
+	if p.RunID == "" {
+		t.Error("progress lacks a run ID")
+	}
+	if p.Campaign.RoundsTotal != 16 { // 2 days x 8 rounds
+		t.Errorf("rounds_total = %v, want 16", p.Campaign.RoundsTotal)
+	}
+	if p.Campaign.RoundsDone < 2 || p.Campaign.RoundsDone >= p.Campaign.RoundsTotal {
+		t.Errorf("mid-run rounds_done = %v, want in [2, 16)", p.Campaign.RoundsDone)
+	}
+	if p.Campaign.Samples == 0 {
+		t.Error("mid-run progress reports zero samples")
+	}
+
+	metrics := string(get("/metrics"))
+	for _, want := range []string{"atlas_campaign_rounds_total 16", "engine_rounds_merged", "atlas_campaign_samples_total{"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("mid-run /metrics lacks %q", want)
+		}
+	}
+
+	var d struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Level     string `json:"level"`
+			Component string `json:"component"`
+			Msg       string `json:"msg"`
+		} `json:"events"`
+	}
+	if b := get("/debug/events"); true {
+		if err := json.Unmarshal(b, &d); err != nil {
+			t.Fatalf("events dump is not JSON: %v\n%s", err, b)
+		}
+	}
+	if d.Total == 0 || len(d.Events) == 0 {
+		t.Fatalf("mid-run flight recorder is empty: %+v", d)
+	}
+	var sawWorld bool
+	for _, e := range d.Events {
+		if e.Msg == "world built" && e.Component == "shears" {
+			sawWorld = true
+		}
+	}
+	if !sawWorld {
+		t.Errorf("flight recorder lacks the world-built event: %+v", d.Events)
+	}
+
+	unblock() // let the merger finish the campaign
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not finish")
+	}
+}
+
+// TestRunWritesManifest checks the run.json evidence bundle: identity,
+// flags-independent defaults, per-stage durations, and throughput.
+func TestRunWritesManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := run(options{out: dir, probes: 200, seed: 1, days: 2, quiet: true, logDst: io.Discard}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ReadRunManifest(filepath.Join(dir, "run.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Binary != "shears" || m.RunID == "" || m.GoVersion == "" {
+		t.Errorf("manifest identity: %+v", m)
+	}
+	if m.Samples == 0 || m.SamplesPerSec <= 0 {
+		t.Errorf("manifest throughput: samples=%d samples/s=%v", m.Samples, m.SamplesPerSec)
+	}
+	if m.WorldFingerprint == "" || m.Workers < 1 {
+		t.Errorf("manifest workload: fingerprint=%q workers=%d", m.WorldFingerprint, m.Workers)
+	}
+	if m.DurationMs <= 0 || m.End.Before(m.Start) {
+		t.Errorf("manifest window: start=%v end=%v duration=%vms", m.Start, m.End, m.DurationMs)
+	}
+	stages := map[string]bool{}
+	for _, s := range m.Stages {
+		if s.DurationMs < 0 {
+			t.Errorf("stage %q has negative duration", s.Name)
+		}
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"world.build", "campaign", "results.flush"} {
+		if !stages[want] {
+			t.Errorf("manifest lacks stage %q; has %v", want, m.Stages)
+		}
+	}
+}
+
+// TestRunWritesChromeTrace validates the exported Chrome trace-event
+// JSON: the derived .chrome.json file must parse, contain only complete
+// (ph "X") events with µs timestamps, and round-trip through ParseTrace.
+func TestRunWritesChromeTrace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(options{out: dir, probes: 200, seed: 1, days: 2, quiet: true, tracePath: tracePath, logDst: io.Discard}); err != nil {
+		t.Fatal(err)
+	}
+	chromePath := chromeTracePath(tracePath)
+	raw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	names := map[string]bool{}
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", e.Name, e.Ph)
+		}
+		if e.Pid < 1 || e.Tid < 1 || e.Ts < 0 || e.Dur < 0 {
+			t.Errorf("event %q schema violation: pid=%d tid=%d ts=%v dur=%v", e.Name, e.Pid, e.Tid, e.Ts, e.Dur)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"shears.run", "world.build", "campaign", "round"} {
+		if !names[want] {
+			t.Errorf("chrome trace lacks %q span", want)
+		}
+	}
+	// The same file must reconstruct into a span tree via ParseTrace.
+	d, err := obs.ParseTrace(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "shears.run" {
+		t.Errorf("reconstructed root = %q, want shears.run", d.Name)
 	}
 }
 

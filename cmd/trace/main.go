@@ -1,19 +1,26 @@
 // Command trace prints a traceroute-style transcript for a probe-to-region
 // path of the simulated world, locating the delay along the path (§4.3).
+// It also summarizes run traces written by cmd/shears -trace.
 //
 // Usage:
 //
 //	trace -probe 42 -region 'Amazon/eu-central-1'
 //	trace -country NG              # first probe in Nigeria, nearest region
+//	trace -summary trace.json      # per-stage wall-time table of a run trace
+//
+// -summary accepts both trace encodings shears emits: the legacy span-tree
+// JSON and the Chrome trace-event JSON (<path>.chrome.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/route"
 	"repro/internal/world"
@@ -29,15 +36,38 @@ func main() {
 		probes  = flag.Int("probes", 400, "probe census size")
 		seed    = flag.Uint64("seed", 1, "world seed")
 		atStr   = flag.String("at", "2019-09-01T12:00:00Z", "sample time (RFC 3339)")
+		summary = flag.String("summary", "", "summarize this run trace (legacy or Chrome JSON) instead of tracerouting")
 	)
 	flag.Parse()
-	lines, err := run(*probeID, *country, *region, *probes, *seed, *atStr)
+	var lines []string
+	var err error
+	if *summary != "" {
+		lines, err = summarize(*summary)
+	} else {
+		lines, err = run(*probeID, *country, *region, *probes, *seed, *atStr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, l := range lines {
 		fmt.Println(l)
 	}
+}
+
+// summarize reads a run trace — legacy span-tree JSON or Chrome
+// trace-event JSON — and formats its per-stage wall-time table.
+func summarize(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := obs.ParseTrace(raw)
+	if err != nil {
+		return nil, fmt.Errorf("parsing trace %s: %w", path, err)
+	}
+	wall := time.Duration(d.DurationMs * float64(time.Millisecond))
+	lines := []string{fmt.Sprintf("trace %s: root %q, wall %v", path, d.Name, wall.Round(time.Millisecond))}
+	return append(lines, obs.FormatStageTable(obs.StageTotals(d), wall)...), nil
 }
 
 func run(probeID int, country, region string, probes int, seed uint64, atStr string) ([]string, error) {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestTraceByCountry(t *testing.T) {
@@ -47,5 +52,61 @@ func TestTraceErrors(t *testing.T) {
 				t.Error("invalid input accepted")
 			}
 		})
+	}
+}
+
+// TestSummarizeBothFormats renders the stage table from the same span
+// tree written in both trace encodings shears emits.
+func TestSummarizeBothFormats(t *testing.T) {
+	root := obs.NewTrace("shears.run")
+	c := root.Child("world.build")
+	c.End()
+	c = root.Child("campaign")
+	c.End()
+	root.End()
+
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "trace.json")
+	chrome := filepath.Join(dir, "trace.chrome.json")
+	for path, write := range map[string]func(w io.Writer) error{
+		legacy: root.WriteJSON,
+		chrome: root.WriteChromeTrace,
+	} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, path := range []string{legacy, chrome} {
+		lines, err := summarize(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		joined := strings.Join(lines, "\n")
+		for _, want := range []string{`root "shears.run"`, "world.build", "campaign", "stage"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("%s summary missing %q:\n%s", path, want, joined)
+			}
+		}
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := summarize(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := summarize(bad); err == nil {
+		t.Error("malformed trace accepted")
 	}
 }

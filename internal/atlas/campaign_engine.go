@@ -43,9 +43,17 @@ type CampaignOptions struct {
 	// sink is quiesced while it runs (see engine.Config.OnCheckpoint).
 	OnCheckpoint func(round int, offset int64)
 
+	// OnRound, when set, observes each merged round (its index and sample
+	// count) from the merger goroutine, after metrics are updated.
+	OnRound func(round int, samples uint64)
+
 	// EngineMetrics, when set, receives shard progress, queue depth,
 	// merge stall, retry and checkpoint instruments.
 	EngineMetrics *engine.Metrics
+
+	// Log, when set, receives the engine's structured events (checkpoint
+	// writes, sink retries, run completion).
+	Log *obs.Logger
 }
 
 // serial reports whether the options select the plain single-goroutine
@@ -113,6 +121,7 @@ func (p *Platform) RunCampaignOpts(ctx context.Context, cfg CampaignConfig, opts
 		Fingerprint:     opts.Fingerprint,
 		OnCheckpoint:    opts.OnCheckpoint,
 		Metrics:         opts.EngineMetrics,
+		Log:             opts.Log,
 		Gen: func(ctx context.Context, shard, round int, emit func(results.Sample) error) error {
 			_, err := p.synthesizeRound(ctx, cfg, round, shards[shard], tally, emit)
 			return err
@@ -130,6 +139,9 @@ func (p *Platform) RunCampaignOpts(ctx context.Context, cfg CampaignConfig, opts
 			rs.End()
 			if m != nil {
 				m.CampaignRoundsDone.Set(float64(round + 1))
+			}
+			if opts.OnRound != nil {
+				opts.OnRound(round, samples)
 			}
 		},
 	})

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/probe"
 )
 
@@ -22,6 +23,7 @@ type Server struct {
 	live     *LiveService
 	mux      *http.ServeMux
 	metrics  *Metrics
+	events   *obs.Recorder
 	started  time.Time
 }
 
@@ -33,6 +35,12 @@ type ServerOption func(*Server)
 // exposition of the metrics' registry).
 func WithServerMetrics(m *Metrics) ServerOption {
 	return func(s *Server) { s.metrics = m }
+}
+
+// WithServerEvents additionally serves GET /debug/events: a JSON dump of
+// the flight recorder's retained structured-log events.
+func WithServerEvents(rec *obs.Recorder) ServerOption {
+	return func(s *Server) { s.events = rec }
 }
 
 // NewServer wires the HTTP handlers.
@@ -63,7 +71,10 @@ func NewServer(p *Platform, ledger *Ledger, live *LiveService, opts ...ServerOpt
 		s.mux.HandleFunc(r.pattern, s.metrics.instrument(r.route, r.h))
 	}
 	if s.metrics != nil && s.metrics.Registry != nil {
-		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+		s.mux.Handle("GET /metrics", obs.MetricsHandler(s.metrics.Registry))
+	}
+	if s.events != nil {
+		s.mux.Handle("GET /debug/events", obs.EventsHandler(s.events))
 	}
 	return s, nil
 }
@@ -341,10 +352,4 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, st)
-}
-
-// handleMetrics serves the Prometheus text exposition of the registry.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.metrics.Registry.WriteText(w)
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/scan"
 	"repro/internal/snap"
@@ -53,6 +54,9 @@ type SnapshotOptions struct {
 	// suffix — it amortizes the O(total-state) encode and multi-megabyte
 	// file write against a delta that grew enough to pay for them.
 	RefreshFactor float64
+	// Log, when set, receives snapshot lifecycle events (hit, miss,
+	// invalidation, write) for the run's flight recorder.
+	Log *obs.Logger
 }
 
 // DefaultRefreshFactor is the refresh gate the CLIs use: the snapshot
@@ -706,13 +710,19 @@ func decodeProviderState(c *snap.Cursor, p *ProviderPass) error {
 // loadSnapshot reads, validates, and deserializes the snapshot at path.
 // Any failure returns nils after counting a miss (no file) or an
 // invalidation (anything else) — the caller then scans cold.
-func loadSnapshot(path string, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, sm *snap.Metrics) (*Suite, uint64, *scan.Resume) {
+func loadSnapshot(path string, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, so SnapshotOptions) (*Suite, uint64, *scan.Resume) {
+	sm := so.Metrics
+	invalidate := func(reason string) {
+		sm.Invalidate()
+		so.Log.Info("snapshot invalidated", "path", path, "reason", reason)
+	}
 	h, payload, err := snap.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, snap.ErrNoSnapshot) {
 			sm.Miss()
+			so.Log.Debug("snapshot miss", "path", path)
 		} else {
-			sm.Invalidate()
+			invalidate("unreadable: " + err.Error())
 		}
 		return nil, 0, nil
 	}
@@ -721,12 +731,12 @@ func loadSnapshot(path string, store *results.Store, idx *Index, start time.Time
 		h.Meta != metaFingerprint(store.Meta()) ||
 		h.Format != snapFormat(store.Format()) ||
 		h.CoveredBytes <= 0 {
-		sm.Invalidate()
+		invalidate("header mismatch")
 		return nil, 0, nil
 	}
 	f, err := os.Open(store.SamplesPath())
 	if err != nil {
-		sm.Invalidate()
+		invalidate("store unreadable")
 		return nil, 0, nil
 	}
 	defer f.Close()
@@ -734,17 +744,17 @@ func loadSnapshot(path string, store *results.Store, idx *Index, start time.Time
 	if err != nil || h.CoveredBytes > fi.Size() {
 		// Covered data no longer exists: the store was truncated (e.g. a
 		// checkpoint resume rolled back a partial round).
-		sm.Invalidate()
+		invalidate("store truncated below covered boundary")
 		return nil, 0, nil
 	}
 	head, tail, err := snap.WindowCRCs(f, h.CoveredBytes)
 	if err != nil || head != h.HeadCRC || tail != h.TailCRC {
-		sm.Invalidate()
+		invalidate("content window CRC mismatch")
 		return nil, 0, nil
 	}
 	suite, err := NewSuiteFromState(idx, start, binWidth, payload)
 	if err != nil {
-		sm.Invalidate()
+		invalidate("state decode: " + err.Error())
 		return nil, 0, nil
 	}
 	return suite, h.Samples, &scan.Resume{Bytes: h.CoveredBytes, Blocks: h.CoveredBlocks}
@@ -752,7 +762,7 @@ func loadSnapshot(path string, store *results.Store, idx *Index, start time.Time
 
 // writeSnapshot atomically persists merged's state as covering the
 // store prefix the scan just consumed.
-func writeSnapshot(path string, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, merged *Suite, samples uint64, st scan.Stats, sm *snap.Metrics) error {
+func writeSnapshot(path string, store *results.Store, idx *Index, start time.Time, binWidth time.Duration, merged *Suite, samples uint64, st scan.Stats, so SnapshotOptions) error {
 	f, err := os.Open(store.SamplesPath())
 	if err != nil {
 		return err
@@ -778,7 +788,9 @@ func writeSnapshot(path string, store *results.Store, idx *Index, start time.Tim
 	if err := snap.WriteFile(path, h, merged.EncodeState()); err != nil {
 		return err
 	}
-	sm.Wrote()
+	so.Metrics.Wrote()
+	so.Log.Info("snapshot written", "path", path,
+		"covered_bytes", h.CoveredBytes, "covered_blocks", h.CoveredBlocks, "samples", samples)
 	return nil
 }
 
@@ -793,7 +805,7 @@ func scanStoreMerged(ctx context.Context, store *results.Store, idx *Index, star
 	var prefixSamples uint64
 	var resume *scan.Resume
 	if so.Path != "" {
-		prefix, prefixSamples, resume = loadSnapshot(so.Path, store, idx, start, binWidth, so.Metrics)
+		prefix, prefixSamples, resume = loadSnapshot(so.Path, store, idx, start, binWidth, so)
 	}
 	scanOnce := func(r *scan.Resume) ([]*Suite, scan.Stats, error) {
 		var suites []*Suite
@@ -801,6 +813,7 @@ func scanStoreMerged(ctx context.Context, store *results.Store, idx *Index, star
 			Path:    store.SamplesPath(),
 			Workers: workers,
 			Metrics: m,
+			Log:     so.Log,
 			Resume:  r,
 			NewPasses: func(worker int) ([]scan.Pass, error) {
 				s, err := NewSuite(idx, start, binWidth)
@@ -818,6 +831,8 @@ func scanStoreMerged(ctx context.Context, store *results.Store, idx *Index, star
 		// The covered boundary no longer holds (the store changed in a way
 		// the window CRCs could not see): drop the snapshot, scan cold.
 		so.Metrics.Invalidate()
+		so.Log.Warn("snapshot invalidated", "path", so.Path,
+			"reason", "resumed scan failed past covered boundary", "error", err)
 		prefix, prefixSamples, resume = nil, 0, nil
 		suites, st, err = scanOnce(nil)
 	}
@@ -831,6 +846,9 @@ func scanStoreMerged(ctx context.Context, store *results.Store, idx *Index, star
 		}
 		merged = prefix
 		so.Metrics.Hit(resume.Blocks, resume.Bytes)
+		so.Log.Info("snapshot hit", "path", so.Path,
+			"covered_bytes", resume.Bytes, "covered_blocks", resume.Blocks,
+			"delta_bytes", st.DataEnd-resume.Bytes)
 	}
 	total := prefixSamples + st.Samples
 	if total == 0 {
@@ -846,7 +864,7 @@ func scanStoreMerged(ctx context.Context, store *results.Store, idx *Index, star
 	}
 	if refresh {
 		merged.sortState()
-		if err := writeSnapshot(so.Path, store, idx, start, binWidth, merged, total, st, so.Metrics); err != nil {
+		if err := writeSnapshot(so.Path, store, idx, start, binWidth, merged, total, st, so); err != nil {
 			return nil, 0, st, fmt.Errorf("core: writing snapshot: %w", err)
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/results"
 )
 
@@ -93,6 +94,10 @@ type Config struct {
 	// Metrics, when set, receives shard progress, queue depth, merge
 	// stalls, retry and checkpoint instruments.
 	Metrics *Metrics
+
+	// Log, when set, receives structured events (checkpoint writes, sink
+	// retries, shard failures) for the run's flight recorder.
+	Log *obs.Logger
 }
 
 // batch is one (shard, round) cell traveling from a worker to the merger.
@@ -164,6 +169,7 @@ func Run(ctx context.Context, cfg Config) (uint64, error) {
 	}
 
 	emitted := cfg.StartSamples
+	peakDepth := 0
 	var runErr error
 merge:
 	for round := cfg.StartRound; round < cfg.Rounds; round++ {
@@ -188,20 +194,26 @@ merge:
 				break merge
 			}
 			for _, smp := range b.samples {
-				if err := writeWithRetry(cfg.Sink, smp, cfg.MaxRetries, m); err != nil {
+				if err := writeWithRetry(cfg.Sink, smp, cfg.MaxRetries, m, cfg.Log); err != nil {
 					runErr = err
 					break merge
 				}
 				emitted++
 			}
 		}
-		if m != nil {
+		{
 			depth := 0
 			for _, ch := range chans {
 				depth += len(ch)
 			}
-			m.QueueDepth.Set(float64(depth))
-			m.RoundsMerged.Set(float64(round + 1))
+			if depth > peakDepth {
+				peakDepth = depth
+			}
+			if m != nil {
+				m.QueueDepth.Set(float64(depth))
+				m.QueueDepthPeak.Set(float64(peakDepth))
+				m.RoundsMerged.Set(float64(round + 1))
+			}
 		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(round, emitted-roundStart)
@@ -221,6 +233,12 @@ merge:
 		}
 	}
 	wg.Wait()
+	if runErr != nil {
+		cfg.Log.Error("engine run failed", "error", runErr, "samples", emitted)
+	} else {
+		cfg.Log.Info("engine run complete",
+			"rounds", cfg.Rounds, "workers", workers, "samples", emitted, "peak_queue_depth", peakDepth)
+	}
 	return emitted, runErr
 }
 
@@ -250,7 +268,7 @@ func recvBatch(ctx context.Context, ch <-chan batch, m *Metrics) (batch, bool) {
 
 // writeWithRetry pushes one sample into the sink, retrying transient
 // errors up to maxRetries extra attempts.
-func writeWithRetry(sink func(results.Sample) error, s results.Sample, maxRetries int, m *Metrics) error {
+func writeWithRetry(sink func(results.Sample) error, s results.Sample, maxRetries int, m *Metrics, log *obs.Logger) error {
 	if maxRetries <= 0 {
 		maxRetries = DefaultMaxRetries
 	}
@@ -263,6 +281,7 @@ func writeWithRetry(sink func(results.Sample) error, s results.Sample, maxRetrie
 			return err
 		}
 		m.sinkRetry()
+		log.Warn("sink retry", "attempt", attempt+1, "error", err)
 	}
 	return fmt.Errorf("engine: sink still failing after %d retries: %w", maxRetries, err)
 }
@@ -292,6 +311,8 @@ func writeCheckpoint(cfg Config, workers, round int, emitted uint64) error {
 		return err
 	}
 	cfg.Metrics.checkpointWrite()
+	cfg.Log.Info("checkpoint written",
+		"path", cfg.CheckpointPath, "round", round, "samples", emitted, "sink_offset", offset)
 	if cfg.OnCheckpoint != nil {
 		cfg.OnCheckpoint(round, offset)
 	}

@@ -17,6 +17,8 @@ type Metrics struct {
 	// QueueDepth is the total number of batches queued across shards,
 	// sampled after each merged round.
 	QueueDepth *obs.Gauge
+	// QueueDepthPeak is the high-water mark of QueueDepth over the run.
+	QueueDepthPeak *obs.Gauge
 	// MergeStalls counts merges that had to wait for a shard to deliver.
 	MergeStalls *obs.Counter
 	// SinkRetries counts transient sink errors that were retried.
@@ -34,6 +36,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Rounds fully merged into the sink."),
 		QueueDepth: reg.Gauge("engine_queue_depth",
 			"Batches buffered between shards and the merger."),
+		QueueDepthPeak: reg.Gauge("engine_queue_depth_peak",
+			"High-water mark of the shard-to-merger queue depth."),
 		MergeStalls: reg.Counter("engine_merge_stalls_total",
 			"Merge steps that blocked waiting for a shard's batch."),
 		SinkRetries: reg.Counter("engine_sink_retries_total",

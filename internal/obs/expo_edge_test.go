@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Exposition edge cases: HistogramVec series ordering, escaping
+// round-trips, and registration racing a concurrent scrape.
+
+func TestHistogramVecTextOrdering(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("rtt_ms", "RTT.", []float64{10, 100}, "region", "provider")
+	// Register out of lexical order; exposition must sort instances.
+	hv.With("us-east", "aws").Observe(5)
+	hv.With("eu-west", "gcp").Observe(50)
+	hv.With("eu-west", "aws").Observe(500)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if lines[0] != "# HELP rtt_ms RTT." || lines[1] != "# TYPE rtt_ms histogram" {
+		t.Fatalf("header lines: %q", lines[:2])
+	}
+	// Instances sorted by label values: (eu-west,aws) < (eu-west,gcp) <
+	// (us-east,aws); each emits buckets (10, 100, +Inf), sum, count — in
+	// that order, with cumulative bucket counts.
+	want := []string{
+		`rtt_ms_bucket{region="eu-west",provider="aws",le="10"} 0`,
+		`rtt_ms_bucket{region="eu-west",provider="aws",le="100"} 0`,
+		`rtt_ms_bucket{region="eu-west",provider="aws",le="+Inf"} 1`,
+		`rtt_ms_sum{region="eu-west",provider="aws"} 500`,
+		`rtt_ms_count{region="eu-west",provider="aws"} 1`,
+		`rtt_ms_bucket{region="eu-west",provider="gcp",le="10"} 0`,
+		`rtt_ms_bucket{region="eu-west",provider="gcp",le="100"} 1`,
+		`rtt_ms_bucket{region="eu-west",provider="gcp",le="+Inf"} 1`,
+		`rtt_ms_sum{region="eu-west",provider="gcp"} 50`,
+		`rtt_ms_count{region="eu-west",provider="gcp"} 1`,
+		`rtt_ms_bucket{region="us-east",provider="aws",le="10"} 1`,
+		`rtt_ms_bucket{region="us-east",provider="aws",le="100"} 1`,
+		`rtt_ms_bucket{region="us-east",provider="aws",le="+Inf"} 1`,
+		`rtt_ms_sum{region="us-east",provider="aws"} 5`,
+		`rtt_ms_count{region="us-east",provider="aws"} 1`,
+	}
+	got := lines[2:]
+	if len(got) != len(want) {
+		t.Fatalf("exposition has %d series lines, want %d:\n%s", len(got), len(want), out)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+}
+
+// unescapeLabel undoes escapeLabel, for the round-trip check.
+func unescapeLabel(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`has "quotes"`,
+		`back\slash`,
+		"new\nline",
+		`both \" and` + "\n",
+		`trailing backslash \`,
+	}
+	reg := NewRegistry()
+	cv := reg.CounterVec("edge_total", "", "v")
+	for _, v := range hostile {
+		cv.With(v).Inc()
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Pull every v="..." back out and unescape; the set must round-trip.
+	got := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		start := strings.Index(line, `v="`)
+		if start < 0 {
+			continue
+		}
+		end := strings.LastIndex(line, `"`)
+		raw := line[start+3 : end]
+		if strings.ContainsAny(raw, "\n") {
+			t.Errorf("unescaped newline leaked into exposition line %q", line)
+		}
+		got[unescapeLabel(raw)] = true
+	}
+	for _, v := range hostile {
+		if !got[v] {
+			t.Errorf("label %q did not round-trip through exposition; got %v", v, got)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h_total", "line one\nline two with \\ backslash").Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantHelp := `# HELP h_total line one\nline two with \\ backslash`
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("HELP escaping:\n got %q\nwant to contain %q", out, wantHelp)
+	}
+	// The exposition must stay line-structured: exactly one HELP, one
+	// TYPE, one series line.
+	if n := strings.Count(out, "\n"); n != 3 {
+		t.Errorf("exposition has %d lines, want 3:\n%q", n, out)
+	}
+}
+
+func TestRegisterWhileScrapeRace(t *testing.T) {
+	reg := NewRegistry()
+	var scrapers, registrars sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers: render the exposition continuously.
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := reg.WriteText(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Registrars: add new families and instances while scrapes run.
+	for i := 0; i < 4; i++ {
+		registrars.Add(1)
+		go func(i int) {
+			defer registrars.Done()
+			for j := 0; j < 100; j++ {
+				reg.Counter(fmt.Sprintf("race_c%d_%d_total", i, j), "c").Inc()
+				reg.GaugeVec(fmt.Sprintf("race_g%d_total", i), "g", "j").With(fmt.Sprint(j)).Set(float64(j))
+				reg.HistogramVec(fmt.Sprintf("race_h%d", i), "h", []float64{1, 2}, "j").With(fmt.Sprint(j)).Observe(float64(j))
+			}
+		}(i)
+	}
+	registrars.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	// Afterwards the registry must expose everything registered.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(buf.String(), fmt.Sprintf("race_c%d_99_total 1", i)) {
+			t.Errorf("registrar %d's last counter missing from exposition", i)
+		}
+	}
+}

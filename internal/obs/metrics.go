@@ -115,6 +115,18 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return m.(*Gauge)
 }
 
+// Walk visits every instance in deterministic (sorted label) order.
+func (v *GaugeVec) Walk(fn func(labels []string, value float64)) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.mu.RLock()
+	defer v.f.mu.RUnlock()
+	for _, key := range v.f.sortedKeys() {
+		fn(splitLabelKey(key, len(v.f.labels)), v.f.instances[key].(*Gauge).Value())
+	}
+}
+
 // Histogram counts observations into fixed buckets (upper bounds,
 // ascending, +Inf implicit) and tracks their sum. Observation is a binary
 // search plus two atomic adds — cheap enough for per-ping recording.

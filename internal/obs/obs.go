@@ -71,6 +71,12 @@ func validName(name string) bool {
 	return true
 }
 
+// ValidName reports whether name is a legal metric, label, or log-key
+// name. Exported for the repo's name lint (scripts/namelint), which
+// checks registered metric names and logger keys against the same rule
+// the registry enforces at run time.
+func ValidName(name string) bool { return validName(name) }
+
 // register returns the family for name, creating it on first use. It
 // panics on an invalid name or on re-registration with a different shape —
 // both are programming errors, caught by any test that touches the metric.

@@ -65,6 +65,8 @@ type Config struct {
 	Resume *Resume
 	// Metrics, when set, receives scan_* instruments.
 	Metrics *Metrics
+	// Log, when set, receives a scan-completion event with the stats.
+	Log *obs.Logger
 }
 
 // Resume names the covered boundary a scan may skip to: the byte
@@ -178,7 +180,14 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 			blocks = rd.Blocks()
 			resumeBlocks = 0
 		}
-		return scanBinary(ctx, cfg, f, size, workers, span, blocks, resumeBlocks, resumeBytes)
+		bst, berr := scanBinary(ctx, cfg, f, size, workers, span, blocks, resumeBlocks, resumeBytes)
+		if berr == nil {
+			cfg.Log.Debug("scan complete", "format", "binary",
+				"workers", bst.Workers, "samples", bst.Samples,
+				"blocks_read", bst.BlocksRead, "blocks_skipped", bst.BlocksSkipped,
+				"blocks_total", bst.BlocksTotal, "duration_ms", bst.Duration.Milliseconds())
+		}
+		return bst, berr
 	}
 	shards, size, err := shardFile(f, workers, resumeBytes)
 	if err != nil {
@@ -265,6 +274,9 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 	span.SetAttr("fallbacks", st.Fallbacks)
 	span.SetAttr("samples_per_sec", st.SamplesPerSec())
 	cfg.Metrics.observe(st)
+	cfg.Log.Debug("scan complete", "format", "jsonl",
+		"workers", st.Workers, "samples", st.Samples, "bytes", st.Bytes,
+		"fallbacks", st.Fallbacks, "duration_ms", st.Duration.Milliseconds())
 	return st, nil
 }
 

@@ -2,7 +2,9 @@
 # bench.sh runs the scan/analysis benchmark suite — the parallel dataset
 # scanners and the fused figure pipeline, including the incremental
 # snapshot append path — and records the results as BENCH_scan.json
-# (one object per benchmark: name, ns/op, samples/s where reported).
+# (one object per benchmark: name, ns/op, samples/s where reported),
+# stamped with the git SHA, Go version, GOMAXPROCS, and UTC timestamp
+# that produced them.
 #
 #   scripts/bench.sh          # full measurement run
 #   scripts/bench.sh smoke    # one iteration per benchmark (CI gate)
@@ -26,10 +28,18 @@ esac
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# Provenance stamp: the numbers are only comparable when the code,
+# toolchain, and parallelism that produced them are known.
+git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+go_version="$(go version | { read -r _ _ v _; echo "$v"; })"
+gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}"
+timestamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 go test -run='^$' -bench='Scan|Incremental|AllFigures' -benchtime="$benchtime" \
     ./internal/scan ./internal/core | tee "$raw"
 
-awk -v mode="$mode" '
+awk -v mode="$mode" -v sha="$git_sha" -v gover="$go_version" \
+    -v procs="$gomaxprocs" -v ts="$timestamp" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -46,7 +56,10 @@ BEGIN { n = 0 }
     rows[n++] = line
 }
 END {
-    printf "{\n\"mode\": \"%s\",\n\"benchmarks\": [\n", mode
+    printf "{\n\"mode\": \"%s\",\n", mode
+    printf "\"git_sha\": \"%s\",\n\"go_version\": \"%s\",\n", sha, gover
+    printf "\"gomaxprocs\": \"%s\",\n\"timestamp\": \"%s\",\n", procs, ts
+    printf "\"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
     print "]\n}"
 }

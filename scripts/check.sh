@@ -19,12 +19,19 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== namelint =="
+# Every metric name, metric label, and structured log key literal must
+# satisfy obs.ValidName, so the Prometheus exposition and log encodings
+# never see a name they would reject or have to escape.
+go run ./scripts/namelint ./cmd ./internal
+
 echo "== go test -race (concurrency suites, uncached) =="
-# The scanner, the fused analysis passes, the campaign engine, and the
-# storage layer (columnar codec + sinks) are the shard-and-merge
-# packages; run them uncached so every gate exercises the race detector
-# on fresh schedules.
-go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/colf ./internal/results ./internal/snap ./internal/stats
+# The scanner, the fused analysis passes, the campaign engine, the
+# storage layer (columnar codec + sinks), and the telemetry plane
+# (registry scrapes racing registration, flight recorder) are the
+# shard-and-merge packages; run them uncached so every gate exercises
+# the race detector on fresh schedules.
+go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/colf ./internal/results ./internal/snap ./internal/stats ./internal/obs
 
 echo "== go test -race =="
 go test -race ./...
