@@ -1,0 +1,95 @@
+// Command agent is a cluster worker: it registers with a campaign
+// coordinator (shears -cluster, or atlasd -cluster-out), rebuilds the
+// world locally from the plan's seed, then loops leasing shards and
+// shipping each completed (shard, round) cell back over resumable
+// CRC-checked uploads until the campaign is fully merged.
+//
+// Usage:
+//
+//	agent -coordinator http://127.0.0.1:8080            # auto-named agent
+//	agent -coordinator http://127.0.0.1:8080 -id edge-3 # stable identity
+//
+// Any number of agents may serve one coordinator; the merged dataset is
+// byte-identical regardless of how many run or when they join. An agent
+// that dies mid-campaign loses nothing durable — the coordinator
+// revokes its lease after the heartbeat TTL and re-grants the shard
+// from its upload watermark.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// options bundles the agent's knobs (one field per flag).
+type options struct {
+	coordinator string
+	id          string
+	chunkBytes  int
+	logFormat   string
+	logLevel    string
+
+	// logDst overrides the structured log destination in tests.
+	logDst io.Writer
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("agent: ")
+	var o options
+	flag.StringVar(&o.coordinator, "coordinator", "http://127.0.0.1:8080", "coordinator base URL")
+	flag.StringVar(&o.id, "id", "", "agent identity (default hostname-pid)")
+	flag.IntVar(&o.chunkBytes, "chunk-bytes", cluster.DefaultChunkBytes, "upload chunk size in bytes")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text (logfmt) or json")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds and executes the agent (factored from main for tests).
+func run(ctx context.Context, o options) error {
+	level, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	format, err := obs.ParseLogFormat(o.logFormat)
+	if err != nil {
+		return err
+	}
+	logDst := o.logDst
+	if logDst == nil {
+		logDst = os.Stderr
+	}
+	logger := obs.NewLogger(logDst, obs.WithLogFormat(format), obs.WithLogLevel(level))
+	id := o.id
+	if id == "" {
+		host, herr := os.Hostname()
+		if herr != nil {
+			host = "agent"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ag, err := cluster.NewAgent(cluster.AgentConfig{
+		ID:         id,
+		BaseURL:    o.coordinator,
+		ChunkBytes: o.chunkBytes,
+		Log:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	return ag.Run(ctx)
+}

@@ -14,6 +14,16 @@
 //	curl 'http://localhost:8080/metrics'           # Prometheus exposition
 //	curl 'http://localhost:8080/debug/events'      # flight-recorder dump
 //
+// -cluster-out DIR additionally embeds a campaign coordinator
+// (internal/cluster): the cluster control-plane endpoints are served
+// under /api/v1/cluster/ on the same listener, worker agents
+// (cmd/agent) register and lease shards against this server, and the
+// merged dataset grows in DIR — byte-identical to a single-process
+// shears run. The coordinator checkpoints its merge watermark into
+// DIR/checkpoint.json and auto-resumes from it on restart, so killing
+// and restarting atlasd mid-campaign loses nothing durable.
+// -cluster-shards and -cluster-days shape the campaign plan.
+//
 // The server logs structured leveled events (-log-format text|json,
 // -log-level) and keeps the most recent ones in an in-memory flight
 // recorder served at /debug/events. -debug addr serves net/http/pprof on
@@ -33,13 +43,17 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/atlas"
+	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/results"
 	"repro/internal/world"
 )
 
@@ -50,14 +64,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atlasd: ")
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		probes    = flag.Int("probes", 800, "probe census size")
-		seed      = flag.Uint64("seed", 1, "world seed")
-		scale     = flag.Float64("scale", 0.01, "time compression for live pings (0,1]")
-		grant     = flag.String("grant", "demo=100000", "comma-separated account=credits grants")
-		debug     = flag.String("debug", "", "serve net/http/pprof on this address (opt-in)")
-		logFormat = flag.String("log-format", "text", "structured log encoding: text (logfmt) or json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		probes        = flag.Int("probes", 800, "probe census size")
+		seed          = flag.Uint64("seed", 1, "world seed")
+		scale         = flag.Float64("scale", 0.01, "time compression for live pings (0,1]")
+		grant         = flag.String("grant", "demo=100000", "comma-separated account=credits grants")
+		debug         = flag.String("debug", "", "serve net/http/pprof on this address (opt-in)")
+		clusterOut    = flag.String("cluster-out", "", "embed a campaign coordinator writing the merged dataset into this directory")
+		clusterShards = flag.Int("cluster-shards", 0, "cluster partition width (0 = default; output is identical for any value)")
+		clusterDays   = flag.Int("cluster-days", 0, "override the cluster campaign length in days (0 = config default)")
+		logFormat     = flag.String("log-format", "text", "structured log encoding: text (logfmt) or json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	level, err := obs.ParseLevel(*logLevel)
@@ -76,6 +93,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *clusterOut != "" {
+		if err := app.enableCluster(clusterOptions{
+			out: *clusterOut, shards: *clusterShards, days: *clusterDays,
+			seed: *seed, probes: *probes,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := serve(app, *addr, *debug); err != nil {
 		log.Fatal(err)
 	}
@@ -89,10 +114,23 @@ type app struct {
 	registry *obs.Registry
 	metrics  *atlas.Metrics
 	log      *obs.Logger
+	world    *world.World
+
+	// Cluster coordinator pieces, set when -cluster-out is given.
+	cluster     http.Handler
+	coordinator *cluster.Coordinator
+	clusterSink *results.Sink
 }
 
-// ServeHTTP delegates to the platform API server.
-func (a *app) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.srv.ServeHTTP(w, r) }
+// ServeHTTP routes cluster control-plane requests to the embedded
+// coordinator and everything else to the platform API server.
+func (a *app) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.cluster != nil && strings.HasPrefix(r.URL.Path, "/api/v1/cluster/") {
+		a.cluster.ServeHTTP(w, r)
+		return
+	}
+	a.srv.ServeHTTP(w, r)
+}
 
 func build(probes int, seed uint64, scale float64, grants string, logger *obs.Logger, rec *obs.Recorder) (*app, error) {
 	w, err := world.Build(world.Config{Seed: seed, Probes: probes})
@@ -131,7 +169,126 @@ func build(probes int, seed uint64, scale float64, grants string, logger *obs.Lo
 		return nil, err
 	}
 	logger.Info("world built", "probes", w.Probes.Len(), "regions", w.Catalog.Len(), "seed", seed)
-	return &app{srv: srv, live: live, registry: registry, metrics: metrics, log: logger}, nil
+	return &app{srv: srv, live: live, registry: registry, metrics: metrics, log: logger, world: w}, nil
+}
+
+// clusterOptions shape the embedded coordinator's campaign plan.
+type clusterOptions struct {
+	out    string
+	shards int
+	days   int
+	seed   uint64
+	probes int
+}
+
+// checkpointFile is the cluster checkpoint's name inside the dataset dir.
+const checkpointFile = "checkpoint.json"
+
+// enableCluster embeds a campaign coordinator: it opens (or resumes)
+// the merged dataset in opts.out and mounts the cluster control-plane
+// endpoints on the server. A checkpoint left by a previous coordinator
+// with the same plan fingerprint resumes automatically — the sink is
+// truncated to the checkpoint's durable offset and every shard's
+// watermark restarts at the merged round, exactly like an engine
+// resume.
+func (a *app) enableCluster(opts clusterOptions) error {
+	w := a.world
+	cfg := atlas.TestCampaign()
+	if opts.days > 0 {
+		cfg.End = cfg.Start.Add(time.Duration(opts.days) * 24 * time.Hour)
+	}
+	fingerprint := cfg.Fingerprint(opts.seed, w.Probes.Len())
+	shards := opts.shards
+	if shards <= 0 {
+		shards = cluster.DefaultShards
+	}
+	if p := w.Platform.PublicProbes(); shards > p {
+		shards = p
+	}
+	ckPath := filepath.Join(opts.out, checkpointFile)
+	logger := a.log.With("cluster")
+	var (
+		sink         *results.Sink
+		startRound   int
+		startSamples uint64
+	)
+	cp, err := engine.LoadCheckpoint(ckPath)
+	switch {
+	case err == nil:
+		if cp.Fingerprint != fingerprint {
+			return fmt.Errorf("checkpoint %s belongs to a different campaign (fingerprint %s, want %s)",
+				ckPath, cp.Fingerprint, fingerprint)
+		}
+		store, oerr := results.Open(opts.out)
+		if oerr != nil {
+			return oerr
+		}
+		sink, oerr = store.Resume(cp.SinkOffset)
+		if oerr != nil {
+			return oerr
+		}
+		startRound, startSamples = cp.Round+1, cp.Samples
+		logger.Info("resuming cluster campaign",
+			"rounds_done", startRound, "rounds_total", cfg.Rounds(),
+			"samples", startSamples, "sink_offset", cp.SinkOffset)
+	case errors.Is(err, engine.ErrNoCheckpoint):
+		// No checkpoint plus an existing non-empty dataset means a
+		// previous campaign finished and retired its checkpoint. Create
+		// would truncate it; refuse instead of destroying a merged run.
+		if st, serr := os.Stat(filepath.Join(opts.out, "samples.bin")); serr == nil && st.Size() > 0 {
+			return fmt.Errorf("%s holds a completed dataset (no checkpoint to resume); move it aside to start a new campaign", opts.out)
+		}
+		meta := cfg.Meta(opts.seed, w.Probes.Len(), w.Catalog.Len())
+		if _, sink, err = results.Create(opts.out, meta, results.FormatBinary); err != nil {
+			return err
+		}
+	default:
+		return err
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Plan: cluster.Plan{
+			Fingerprint: fingerprint,
+			Seed:        opts.seed,
+			Probes:      opts.probes,
+			Shards:      shards,
+			Rounds:      cfg.Rounds(),
+			Campaign:    cfg,
+		},
+		Sink:           sink.Write,
+		Commit:         sink.Commit,
+		CheckpointPath: ckPath,
+		StartRound:     startRound,
+		StartSamples:   startSamples,
+		Metrics:        cluster.NewMetrics(a.registry),
+		Log:            logger,
+	})
+	if err != nil {
+		sink.Close()
+		return err
+	}
+	// Once every round is merged, make the tail durable and retire the
+	// checkpoint so a restart serves the finished dataset instead of
+	// re-merging it.
+	go func() {
+		if coord.Wait(context.Background()) != nil {
+			return
+		}
+		if _, cerr := sink.Commit(); cerr != nil {
+			logger.Warn("final commit failed", "error", cerr)
+			return
+		}
+		if rerr := os.Remove(ckPath); rerr != nil && !os.IsNotExist(rerr) {
+			logger.Warn("checkpoint removal failed", "error", rerr)
+		}
+		logger.Info("cluster campaign complete", "samples", coord.Samples(), "out", opts.out)
+	}()
+	a.cluster = coord.Handler()
+	a.coordinator = coord
+	a.clusterSink = sink
+	logger.Info("coordinator enabled",
+		"out", opts.out, "shards", shards, "rounds", cfg.Rounds(),
+		"start_round", startRound, "fingerprint", fingerprint)
+	return nil
 }
 
 // shutdownTimeout bounds how long a graceful shutdown waits for in-flight
@@ -167,6 +324,13 @@ func serve(a *app, addr, debugAddr string) error {
 	}
 	// Let running measurement polls settle and flush the last samples.
 	a.live.Close()
+	// Flush the cluster dataset; an unfinished campaign resumes from the
+	// last checkpoint on the next start.
+	if a.clusterSink != nil {
+		if cerr := a.clusterSink.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	logFinal(a.metrics, a.log)
 	return err
 }

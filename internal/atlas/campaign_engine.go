@@ -149,6 +149,39 @@ func (p *Platform) RunCampaignOpts(ctx context.Context, cfg CampaignConfig, opts
 	return n, err
 }
 
+// ShardGen returns an engine.GenFunc that synthesizes the cells of an
+// n-way contiguous shard partition of the public probe population —
+// the exact workload RunCampaignOpts hands the in-process engine,
+// exposed so cluster worker agents can execute single leased shards of
+// a fixed partition with identical output. The shard count, like the
+// worker count, never affects the merged byte stream: concatenating
+// every shard's round in shard order reproduces the serial round.
+func (p *Platform) ShardGen(cfg CampaignConfig, shards int) (engine.GenFunc, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	probes := p.Population.Public()
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("atlas: no public probes")
+	}
+	if shards < 1 || shards > len(probes) {
+		return nil, fmt.Errorf("atlas: shard count %d outside [1, %d]", shards, len(probes))
+	}
+	parts := shardProbes(probes, shards)
+	tally := p.newCampaignTally()
+	return func(ctx context.Context, shard, round int, emit func(results.Sample) error) error {
+		if shard < 0 || shard >= len(parts) {
+			return fmt.Errorf("atlas: shard %d outside the %d-way partition", shard, len(parts))
+		}
+		_, err := p.synthesizeRound(ctx, cfg, round, parts[shard], tally, emit)
+		return err
+	}, nil
+}
+
+// PublicProbes returns the size of the public probe population — the
+// upper bound on a usable shard count.
+func (p *Platform) PublicProbes() int { return len(p.Population.Public()) }
+
 // shardProbes splits the probe slice into n contiguous chunks whose sizes
 // differ by at most one, preserving ID order. Shard boundaries depend on
 // n, but the round-major shard-order merge makes the concatenated stream

@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+// Sentinel conditions of the lease loop. Both are recoverable: a
+// revoked lease sends the agent back to the lease queue, and sustained
+// backpressure makes it release its grant so a frontier-blocking shard
+// can be leased instead.
+var (
+	errLeaseRevoked = errors.New("cluster: lease revoked")
+	errBackpressure = errors.New("cluster: sustained upload backpressure")
+)
+
+// AgentConfig wires a worker agent to its coordinator.
+type AgentConfig struct {
+	// ID names the agent in the coordinator's registry; required.
+	ID string
+	// BaseURL is the coordinator's root, e.g. http://127.0.0.1:9000.
+	BaseURL string
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Heartbeat overrides the heartbeat interval (default: a quarter of
+	// the plan's lease TTL).
+	Heartbeat time.Duration
+	// ChunkBytes is the upload chunk size (default DefaultChunkBytes).
+	ChunkBytes int
+	// BackoffLimit is how many consecutive backoff acks the agent
+	// tolerates before releasing its lease (default
+	// DefaultBackoffLimit).
+	BackoffLimit int
+	// MaxRetries bounds transport retries per upload chunk (default
+	// engine.DefaultMaxRetries).
+	MaxRetries int
+	// Log, when set, receives the agent's structured events.
+	Log *obs.Logger
+
+	// Gen overrides the cell generator (tests). When nil the agent
+	// rebuilds the world from the plan's seed and census and uses
+	// atlas.Platform.ShardGen, verifying the plan fingerprint first.
+	Gen engine.GenFunc
+	// BatchHint sizes per-round sample buffers when Gen is set.
+	BatchHint int
+
+	// onCell observes each encoded cell before upload (tests).
+	onCell func(shard, round int, payload []byte)
+}
+
+// Agent is one cluster worker: it registers with the coordinator,
+// rebuilds the world locally, then loops leasing shards and running
+// each lease through engine.RunLease, shipping every completed cell
+// with resumable CRC-checked uploads.
+type Agent struct {
+	cfg    AgentConfig
+	client *http.Client
+	log    *obs.Logger
+
+	plan Plan
+	gen  engine.GenFunc
+	hint int
+
+	backoffs int // consecutive backoff acks within the current lease
+}
+
+// NewAgent validates the configuration.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("cluster: agent needs an ID")
+	}
+	if cfg.BaseURL == "" {
+		return nil, errors.New("cluster: agent needs the coordinator's base URL")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = DefaultChunkBytes
+	}
+	if cfg.BackoffLimit <= 0 {
+		cfg.BackoffLimit = DefaultBackoffLimit
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = engine.DefaultMaxRetries
+	}
+	return &Agent{
+		cfg:    cfg,
+		client: cfg.Client,
+		log:    cfg.Log.With("agent"),
+	}, nil
+}
+
+// Run executes the agent until the campaign completes, ctx is
+// cancelled, or a fatal error occurs. It is safe to run many agents
+// against one coordinator; the merged output does not depend on how
+// many there are.
+func (a *Agent) Run(ctx context.Context) error {
+	if err := a.register(ctx); err != nil {
+		return err
+	}
+	if err := a.buildGen(); err != nil {
+		return err
+	}
+	hb := a.heartbeatEvery()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := a.lease(ctx)
+		if err != nil {
+			return err
+		}
+		switch grant.Status {
+		case "done":
+			a.log.Info("campaign done", "agent", a.cfg.ID)
+			return nil
+		case "wait":
+			retry := time.Duration(grant.RetryMs) * time.Millisecond
+			if retry <= 0 {
+				retry = hb
+			}
+			if err := sleepCtx(ctx, retry); err != nil {
+				return err
+			}
+		case "grant":
+			err := a.runLease(ctx, grant)
+			switch {
+			case err == nil:
+				// Lease ran to the campaign's end; loop for the next
+				// shard (or the done signal).
+			case errors.Is(err, errLeaseRevoked):
+				a.log.Info("lease revoked; re-leasing", "lease", grant.Lease, "shard", grant.Shard)
+			case errors.Is(err, errBackpressure):
+				a.log.Info("releasing lease under backpressure", "lease", grant.Lease, "shard", grant.Shard)
+				a.release(ctx, grant.Lease)
+				if err := sleepCtx(ctx, hb); err != nil {
+					return err
+				}
+			case ctx.Err() != nil:
+				return ctx.Err()
+			default:
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: unknown lease status %q", grant.Status)
+		}
+	}
+}
+
+// register admits the agent and fetches the plan, retrying while the
+// coordinator is still coming up.
+func (a *Agent) register(ctx context.Context) error {
+	for {
+		var plan Plan
+		err := a.postJSON(ctx, "/api/v1/cluster/register", agentRequest{Agent: a.cfg.ID}, &plan)
+		if err == nil {
+			a.plan = plan
+			a.log.Info("registered",
+				"agent", a.cfg.ID, "fingerprint", plan.Fingerprint,
+				"shards", plan.Shards, "rounds", plan.Rounds)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		a.log.Warn("register failed; retrying", "error", err)
+		if serr := sleepCtx(ctx, 100*time.Millisecond); serr != nil {
+			return serr
+		}
+	}
+}
+
+// buildGen resolves the cell generator: the configured override, or a
+// world rebuilt from the plan's seed — fingerprint-verified, so an
+// agent can never contribute cells from a different world than the
+// coordinator's dataset.
+func (a *Agent) buildGen() error {
+	if a.cfg.Gen != nil {
+		a.gen, a.hint = a.cfg.Gen, a.cfg.BatchHint
+		return nil
+	}
+	w, err := world.Build(world.Config{Seed: a.plan.Seed, Probes: a.plan.Probes})
+	if err != nil {
+		return fmt.Errorf("cluster: agent world build: %w", err)
+	}
+	got := a.plan.Campaign.Fingerprint(a.plan.Seed, w.Probes.Len())
+	if got != a.plan.Fingerprint {
+		return fmt.Errorf("cluster: local world fingerprint %s does not match plan %s", got, a.plan.Fingerprint)
+	}
+	gen, err := w.Platform.ShardGen(a.plan.Campaign, a.plan.Shards)
+	if err != nil {
+		return err
+	}
+	a.gen = gen
+	public := w.Platform.PublicProbes()
+	a.hint = (public + a.plan.Shards - 1) / a.plan.Shards * a.plan.Campaign.TargetsPerRound
+	return nil
+}
+
+// heartbeatEvery resolves the heartbeat interval.
+func (a *Agent) heartbeatEvery() time.Duration {
+	if a.cfg.Heartbeat > 0 {
+		return a.cfg.Heartbeat
+	}
+	return a.plan.LeaseTTL() / 4
+}
+
+// runLease executes one granted lease: a heartbeat goroutine keeps the
+// lease alive (and cancels the run the moment the coordinator revokes
+// it), while engine.RunLease synthesizes and ships the shard's rounds.
+func (a *Agent) runLease(ctx context.Context, grant leaseResponse) error {
+	lctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	a.backoffs = 0
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(a.heartbeatEvery())
+		defer t.Stop()
+		for {
+			select {
+			case <-lctx.Done():
+				return
+			case <-t.C:
+				var res okResponse
+				err := a.postJSON(lctx, "/api/v1/cluster/heartbeat",
+					agentRequest{Agent: a.cfg.ID, Lease: grant.Lease}, &res)
+				if err == nil && !res.OK {
+					cancel(errLeaseRevoked)
+					return
+				}
+			}
+		}
+	}()
+
+	_, err := engine.RunLease(lctx, engine.LeaseConfig{
+		Shard:      grant.Shard,
+		StartRound: grant.StartRound,
+		Rounds:     a.plan.Rounds,
+		BatchHint:  a.hint,
+		Gen:        a.gen,
+		Log:        a.log,
+		Emit: func(round int, samples []results.Sample) error {
+			payload, eerr := results.EncodeCell(samples)
+			if eerr != nil {
+				return eerr
+			}
+			if a.cfg.onCell != nil {
+				a.cfg.onCell(grant.Shard, round, payload)
+			}
+			return a.uploadCell(lctx, grant, round, payload)
+		},
+	})
+	cancel(nil)
+	wg.Wait()
+	if err != nil && errors.Is(context.Cause(lctx), errLeaseRevoked) {
+		return errLeaseRevoked
+	}
+	return err
+}
+
+// uploadCell ships one encoded cell in resumable chunks, following the
+// coordinator's authoritative offsets and statuses.
+func (a *Agent) uploadCell(ctx context.Context, grant leaseResponse, round int, payload []byte) error {
+	size := int64(len(payload))
+	crc := crc32.ChecksumIEEE(payload)
+	var offset int64
+	transportErrs := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := offset + int64(a.cfg.ChunkBytes)
+		if end > size {
+			end = size
+		}
+		ack, err := a.postChunk(ctx, grant, round, offset, size, crc, payload[offset:end])
+		if err != nil {
+			transportErrs++
+			if transportErrs > a.cfg.MaxRetries {
+				return fmt.Errorf("cluster: upload shard %d round %d: %w", grant.Shard, round, err)
+			}
+			if serr := sleepCtx(ctx, 50*time.Millisecond); serr != nil {
+				return serr
+			}
+			continue
+		}
+		transportErrs = 0
+		switch ack.Status {
+		case StatusPartial:
+			offset = ack.Received
+		case StatusResume:
+			offset = ack.Received
+		case StatusComplete, StatusDuplicate:
+			a.backoffs = 0
+			return nil
+		case StatusBackoff:
+			a.backoffs++
+			if a.backoffs >= a.cfg.BackoffLimit {
+				return errBackpressure
+			}
+			if serr := sleepCtx(ctx, a.heartbeatEvery()); serr != nil {
+				return serr
+			}
+		case StatusRevoked:
+			return errLeaseRevoked
+		case StatusFailed:
+			return fmt.Errorf("cluster: campaign failed at coordinator: %s", ack.Error)
+		default:
+			return fmt.Errorf("cluster: unknown upload ack status %q", ack.Status)
+		}
+	}
+}
+
+// lease requests a shard grant.
+func (a *Agent) lease(ctx context.Context) (leaseResponse, error) {
+	var res leaseResponse
+	err := a.postJSON(ctx, "/api/v1/cluster/lease", agentRequest{Agent: a.cfg.ID}, &res)
+	return res, err
+}
+
+// release voluntarily returns a lease.
+func (a *Agent) release(ctx context.Context, leaseID string) {
+	var res okResponse
+	_ = a.postJSON(ctx, "/api/v1/cluster/release", agentRequest{Agent: a.cfg.ID, Lease: leaseID}, &res)
+}
+
+// postJSON posts a JSON control request and decodes the JSON reply.
+func (a *Agent) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return a.do(req, out)
+}
+
+// postChunk posts one raw upload chunk.
+func (a *Agent) postChunk(ctx context.Context, grant leaseResponse, round int, offset, size int64, crc uint32, data []byte) (UploadAck, error) {
+	q := url.Values{}
+	q.Set("agent", a.cfg.ID)
+	q.Set("lease", grant.Lease)
+	q.Set("shard", strconv.Itoa(grant.Shard))
+	q.Set("round", strconv.Itoa(round))
+	q.Set("offset", strconv.FormatInt(offset, 10))
+	q.Set("size", strconv.FormatInt(size, 10))
+	q.Set("crc", strconv.FormatUint(uint64(crc), 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.BaseURL+"/api/v1/cluster/blocks?"+q.Encode(), bytes.NewReader(data))
+	if err != nil {
+		return UploadAck{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var ack UploadAck
+	if err := a.do(req, &ack); err != nil {
+		return UploadAck{}, err
+	}
+	return ack, nil
+}
+
+// do executes a request and decodes the JSON reply into out.
+func (a *Agent) do(req *http.Request, out any) error {
+	res, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return fmt.Errorf("cluster: %s %s: %s: %s",
+			req.Method, req.URL.Path, res.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

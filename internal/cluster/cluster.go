@@ -1,0 +1,90 @@
+// Package cluster is the distributed campaign control plane: a
+// coordinator that owns the campaign plan and the merged dataset, plus
+// worker agents that lease shards, synthesize their rounds through the
+// execution engine, and ship each completed (shard, round) cell back
+// over HTTP.
+//
+// The merge guarantee is the whole point: the coordinator partitions
+// the probe population into a fixed number of contiguous shards chosen
+// by the plan — independent of how many agents show up — and merges
+// uploaded cells round-major in shard order, committing the sink on the
+// engine's checkpoint cadence. Because every cell is a deterministic
+// function of the seeded world model and its (shard, round) identity,
+// the merged dataset is byte-identical to a single-process engine run
+// at any agent count, including runs where an agent dies mid-campaign
+// and its shard is re-leased to a survivor.
+//
+// Failure model: agents hold one lease at a time and heartbeat it.
+// The coordinator revokes a lease when its agent's heartbeat goes
+// stale, or when the leased shard blocks the merge frontier without
+// advancing its upload watermark (a straggler); the next Lease call
+// from any agent re-grants the shard from its durable watermark.
+// Uploads are chunked and resumable with a full-payload CRC, and every
+// cell's colf block CRCs are re-verified on decode, so a torn or
+// corrupted upload can never reach the merged dataset. The coordinator
+// persists its merge watermark in the engine's checkpoint format
+// (engine.Checkpoint), so a restarted coordinator resumes from
+// checkpoint + sink truncation exactly like a restarted engine run.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/atlas"
+)
+
+// Defaults for plan and coordinator knobs.
+const (
+	// DefaultShards is the plan's shard count when unset. Like the
+	// engine's worker count, it never affects the output bytes — it only
+	// bounds how many agents can execute concurrently.
+	DefaultShards = 8
+	// DefaultMaxPendingRounds bounds how far any shard's upload
+	// watermark may run ahead of the merge frontier before uploads get
+	// backoff acks (the cluster analogue of the engine's queue depth).
+	DefaultMaxPendingRounds = 64
+	// DefaultChunkBytes is the agent's upload chunk size.
+	DefaultChunkBytes = 256 << 10
+	// DefaultLeaseTTL is how long a lease survives without a heartbeat.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultStallTTL is how long a frontier-blocking shard may go
+	// without advancing its upload watermark before its lease is
+	// revoked as a straggler.
+	DefaultStallTTL = 45 * time.Second
+	// DefaultBackoffLimit is how many consecutive backoff acks an agent
+	// tolerates before voluntarily releasing its lease so a
+	// frontier-blocking shard can be granted instead.
+	DefaultBackoffLimit = 8
+)
+
+// Plan is the campaign specification the coordinator owns and hands to
+// every registering agent. Agents rebuild the world locally from Seed
+// and Probes and verify Fingerprint before leasing, so a mis-deployed
+// agent can never contribute cells from a different world.
+type Plan struct {
+	// Fingerprint identifies the (campaign, seed, census) tuple; see
+	// atlas.CampaignConfig.Fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Seed and Probes parameterize world.Build on each agent.
+	Seed   uint64 `json:"seed"`
+	Probes int    `json:"probes"`
+	// Shards is the fixed partition width. It bounds agent concurrency
+	// but never changes the merged bytes.
+	Shards int `json:"shards"`
+	// Rounds is the campaign's round count (atlas.CampaignConfig.Rounds).
+	Rounds int `json:"rounds"`
+	// Campaign is the full campaign window and sampling configuration.
+	Campaign atlas.CampaignConfig `json:"campaign"`
+	// LeaseTTLMs is the heartbeat deadline agents must beat, in
+	// milliseconds (wire-friendly; see LeaseTTL).
+	LeaseTTLMs int64 `json:"lease_ttl_ms"`
+}
+
+// LeaseTTL returns the plan's lease TTL as a duration, applying the
+// default when unset.
+func (p Plan) LeaseTTL() time.Duration {
+	if p.LeaseTTLMs <= 0 {
+		return DefaultLeaseTTL
+	}
+	return time.Duration(p.LeaseTTLMs) * time.Millisecond
+}

@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/engine"
+	"repro/internal/results"
+	"repro/internal/world"
+)
+
+// Test world and campaign: 200 probes, 5 days = 40 rounds. Small enough
+// that the whole agent-count matrix runs in seconds, big enough to span
+// many shard cells and several checkpoint cadences.
+const (
+	testSeed   = 7
+	testProbes = 200
+)
+
+func testWorld(t testing.TB) *world.World {
+	t.Helper()
+	w, err := world.Build(world.Config{Seed: testSeed, Probes: testProbes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func testCampaign(days int) atlas.CampaignConfig {
+	cfg := atlas.TestCampaign()
+	cfg.End = cfg.Start.Add(time.Duration(days) * 24 * time.Hour)
+	return cfg
+}
+
+func testPlan(w *world.World, cfg atlas.CampaignConfig, shards int) Plan {
+	return Plan{
+		Fingerprint: cfg.Fingerprint(testSeed, w.Probes.Len()),
+		Seed:        testSeed,
+		Probes:      testProbes,
+		Shards:      shards,
+		Rounds:      cfg.Rounds(),
+		Campaign:    cfg,
+		LeaseTTLMs:  250,
+	}
+}
+
+// startCoordinator serves cfg's coordinator from a loopback listener.
+func startCoordinator(t *testing.T, cfg CoordinatorConfig) (*Coordinator, string) {
+	t.Helper()
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	return coord, srv.URL
+}
+
+// runAgents starts n worker agents against base and returns a stop
+// function that cancels and joins them, yielding each agent's error.
+func runAgents(t *testing.T, base string, n int, mut func(i int, cfg *AgentConfig)) (stop func() []error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cfg := AgentConfig{
+			ID:        fmt.Sprintf("test-agent-%d", i),
+			BaseURL:   base,
+			Heartbeat: 50 * time.Millisecond,
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		ag, err := NewAgent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = ag.Run(ctx)
+		}(i)
+	}
+	return func() []error {
+		cancel()
+		wg.Wait()
+		return errs
+	}
+}
+
+// waitDone blocks on the coordinator with a test deadline.
+func waitDone(t *testing.T, coord *Coordinator) error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err := coord.Wait(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cluster campaign did not finish: merged %d, status %+v", coord.Merged(), coord.Status())
+	}
+	return err
+}
+
+// engineReferenceBytes renders the single-process engine run's JSONL
+// byte stream — the ground truth every cluster topology must reproduce.
+func engineReferenceBytes(t *testing.T, w *world.World, cfg atlas.CampaignConfig) ([]byte, uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	wr := results.NewWriter(&buf)
+	n, err := w.Platform.RunCampaignOpts(context.Background(), cfg, atlas.CampaignOptions{Workers: 3}, wr.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("reference campaign emitted nothing")
+	}
+	return buf.Bytes(), n
+}
+
+// TestClusterByteIdenticalAcrossAgentCounts is the tentpole guarantee:
+// the coordinator's merged dataset is byte-identical to a
+// single-process engine run at any agent count, for a shard count that
+// divides neither the probe population nor the agent counts.
+func TestClusterByteIdenticalAcrossAgentCounts(t *testing.T) {
+	w := testWorld(t)
+	cfg := testCampaign(5)
+	reference, want := engineReferenceBytes(t, w, cfg)
+
+	for _, agents := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("agents=%d", agents), func(t *testing.T) {
+			var buf bytes.Buffer
+			wr := results.NewWriter(&buf)
+			coord, base := startCoordinator(t, CoordinatorConfig{
+				Plan: testPlan(w, cfg, 5),
+				Sink: wr.Write,
+			})
+			stop := runAgents(t, base, agents, func(i int, ac *AgentConfig) {
+				if i == 0 {
+					// Exercise multi-chunk resumable uploads on at
+					// least one agent.
+					ac.ChunkBytes = 512
+				}
+			})
+			err := waitDone(t, coord)
+			for _, aerr := range stop() {
+				if aerr != nil && !errors.Is(aerr, context.Canceled) {
+					t.Errorf("agent error: %v", aerr)
+				}
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if coord.Samples() != want {
+				t.Errorf("merged %d samples, engine merged %d", coord.Samples(), want)
+			}
+			if !bytes.Equal(buf.Bytes(), reference) {
+				t.Errorf("agents=%d dataset diverges from single-process run", agents)
+			}
+		})
+	}
+}
+
+// TestClusterKillAndReassign kills one of two agents mid-campaign (it
+// stops heartbeating without releasing its lease) and verifies the
+// coordinator reassigns the orphaned shard and still merges a dataset
+// byte-identical to the single-process run.
+func TestClusterKillAndReassign(t *testing.T) {
+	w := testWorld(t)
+	cfg := testCampaign(5)
+	reference, want := engineReferenceBytes(t, w, cfg)
+
+	var buf bytes.Buffer
+	wr := results.NewWriter(&buf)
+	coord, base := startCoordinator(t, CoordinatorConfig{
+		Plan: testPlan(w, cfg, 3),
+		Sink: wr.Write,
+	})
+
+	// Victim control: agent 0 dies (context cancelled, as an abrupt
+	// crash — no release, no further heartbeats) after shipping 5 cells.
+	victimCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	cells := 0
+	victim, err := NewAgent(AgentConfig{
+		ID:        "victim",
+		BaseURL:   base,
+		Heartbeat: 50 * time.Millisecond,
+		onCell: func(shard, round int, payload []byte) {
+			cells++
+			if cells == 5 {
+				kill()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimErr := make(chan error, 1)
+	go func() { victimErr <- victim.Run(victimCtx) }()
+
+	stop := runAgents(t, base, 1, nil)
+	err = waitDone(t, coord)
+	for _, aerr := range stop() {
+		if aerr != nil && !errors.Is(aerr, context.Canceled) {
+			t.Errorf("survivor agent error: %v", aerr)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := <-victimErr; !errors.Is(verr, context.Canceled) {
+		t.Errorf("victim exit = %v, want context.Canceled", verr)
+	}
+	if cells < 5 {
+		t.Fatalf("victim shipped only %d cells before the kill", cells)
+	}
+	if coord.Reassignments() == 0 {
+		t.Error("no lease was reassigned after the agent died")
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if coord.Samples() != want {
+		t.Errorf("merged %d samples, engine merged %d", coord.Samples(), want)
+	}
+	if !bytes.Equal(buf.Bytes(), reference) {
+		t.Error("dataset diverges from single-process run after kill and reassignment")
+	}
+}
+
+// TestClusterBinaryBytesMatchCheckpointedEngine pins the strongest form
+// of the merge guarantee: with the same checkpoint cadence, the cluster
+// writes a binary (colf) dataset whose block boundaries — and therefore
+// file bytes — exactly match a checkpointing single-process engine run.
+func TestClusterBinaryBytesMatchCheckpointedEngine(t *testing.T) {
+	w := testWorld(t)
+	cfg := testCampaign(5)
+	fp := cfg.Fingerprint(testSeed, w.Probes.Len())
+	meta := cfg.Meta(testSeed, w.Probes.Len(), w.Catalog.Len())
+
+	// Engine side.
+	engDir := t.TempDir()
+	engStore, engSink, err := results.Create(engDir, meta, results.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Platform.RunCampaignOpts(context.Background(), cfg, atlas.CampaignOptions{
+		Workers:         3,
+		CheckpointPath:  engDir + "/checkpoint.json",
+		CheckpointEvery: 8,
+		Commit:          engSink.Commit,
+		Fingerprint:     fp,
+	}, engSink.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := engSink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cluster side, same cadence.
+	cluDir := t.TempDir()
+	cluStore, cluSink, err := results.Create(cluDir, meta, results.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, base := startCoordinator(t, CoordinatorConfig{
+		Plan:            testPlan(w, cfg, 4),
+		Sink:            cluSink.Write,
+		Commit:          cluSink.Commit,
+		CheckpointPath:  cluDir + "/checkpoint.json",
+		CheckpointEvery: 8,
+	})
+	stop := runAgents(t, base, 2, nil)
+	err = waitDone(t, coord)
+	stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluSink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	engBytes, err := os.ReadFile(engStore.SamplesPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluBytes, err := os.ReadFile(cluStore.SamplesPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cluBytes, engBytes) {
+		t.Fatalf("binary dataset diverges: cluster %d bytes, engine %d bytes", len(cluBytes), len(engBytes))
+	}
+}
+
+// TestClusterCoordinatorRestartResume kills the whole control plane (a
+// fatal sink failure mid-campaign) and restarts a fresh coordinator
+// from the checkpoint with fresh agents. Block boundaries legitimately
+// move (the resume truncates to the checkpoint's durable offset), so
+// the decoded sample stream is compared instead of raw bytes.
+func TestClusterCoordinatorRestartResume(t *testing.T) {
+	w := testWorld(t)
+	cfg := testCampaign(10) // 80 rounds: several checkpoints before the kill
+	fp := cfg.Fingerprint(testSeed, w.Probes.Len())
+	meta := cfg.Meta(testSeed, w.Probes.Len(), w.Catalog.Len())
+
+	// Reference: the decoded sample stream of one uninterrupted run.
+	var reference []results.Sample
+	total, err := w.Platform.RunCampaignOpts(context.Background(), cfg, atlas.CampaignOptions{Workers: 3},
+		func(s results.Sample) error { reference = append(reference, s); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ckPath := dir + "/checkpoint.json"
+	_, sink, err := results.Create(dir, meta, results.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: the sink dies permanently ~62% through; the coordinator
+	// fails the campaign and every agent sees a fatal ack.
+	killAt := total * 5 / 8
+	var seen uint64
+	killed := errors.New("simulated coordinator crash")
+	coord, base := startCoordinator(t, CoordinatorConfig{
+		Plan:            testPlan(w, cfg, 4),
+		CheckpointPath:  ckPath,
+		CheckpointEvery: 8,
+		Commit:          sink.Commit,
+		Sink: func(s results.Sample) error {
+			if seen == killAt {
+				return killed
+			}
+			seen++
+			return sink.Write(s)
+		},
+	})
+	stop := runAgents(t, base, 2, nil)
+	err = waitDone(t, coord)
+	stop()
+	if !errors.Is(err, killed) {
+		t.Fatalf("phase 1 err = %v, want the simulated crash", err)
+	}
+	// A crashed coordinator never ran Close; flush what the OS had.
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := engine.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Fingerprint != fp {
+		t.Fatalf("checkpoint fingerprint %q, want %q", cp.Fingerprint, fp)
+	}
+	if cp.Round < 7 || cp.Samples == 0 || cp.SinkOffset == 0 {
+		t.Fatalf("implausible checkpoint %+v", cp)
+	}
+
+	// Phase 2: fresh coordinator, truncated sink, fresh agents.
+	reopened, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2, err := reopened.Resume(cp.SinkOffset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2, base2 := startCoordinator(t, CoordinatorConfig{
+		Plan:            testPlan(w, cfg, 4),
+		Sink:            sink2.Write,
+		Commit:          sink2.Commit,
+		CheckpointPath:  ckPath,
+		CheckpointEvery: 8,
+		StartRound:      cp.Round + 1,
+		StartSamples:    cp.Samples,
+	})
+	stop2 := runAgents(t, base2, 2, nil)
+	err = waitDone(t, coord2)
+	stop2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if coord2.Samples() != total {
+		t.Fatalf("resumed campaign merged %d samples, want %d", coord2.Samples(), total)
+	}
+
+	var got []results.Sample
+	if err := reopened.ForEach(func(s results.Sample) error { got = append(got, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(got)) != total {
+		t.Fatalf("resumed store holds %d samples, want %d", len(got), total)
+	}
+	for i := range got {
+		a, b := got[i], reference[i]
+		if a.ProbeID != b.ProbeID || a.Region != b.Region || !a.Time.Equal(b.Time) ||
+			a.RTTms != b.RTTms || a.Lost != b.Lost {
+			t.Fatalf("sample %d diverges after coordinator restart: %+v vs %+v", i, a, b)
+		}
+	}
+}

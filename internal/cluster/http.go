@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// The coordinator's wire surface, all under /api/v1/cluster/:
+//
+//	POST /api/v1/cluster/register   {agent} -> Plan
+//	POST /api/v1/cluster/lease      {agent} -> leaseResponse
+//	POST /api/v1/cluster/heartbeat  {agent, lease} -> {ok}
+//	POST /api/v1/cluster/release    {agent, lease} -> {ok}
+//	POST /api/v1/cluster/blocks?shard=&round=&agent=&lease=&offset=&size=&crc=
+//	     raw chunk body -> UploadAck
+//	GET  /api/v1/cluster/status     -> Status
+//
+// Cell bytes travel as a raw body with query-string framing (not JSON)
+// so uploads stream without base64 inflation; everything else is JSON.
+
+// maxControlBody bounds JSON control-request bodies.
+const maxControlBody = 1 << 16
+
+// maxChunkBody bounds one upload chunk (agents default to
+// DefaultChunkBytes; the cap just blocks abuse).
+const maxChunkBody = 8 << 20
+
+type agentRequest struct {
+	Agent string `json:"agent"`
+	Lease string `json:"lease,omitempty"`
+}
+
+type leaseResponse struct {
+	Status     string `json:"status"` // "grant", "wait", or "done"
+	Shard      int    `json:"shard"`
+	StartRound int    `json:"start_round"`
+	Lease      string `json:"lease"`
+	RetryMs    int64  `json:"retry_ms"`
+}
+
+type okResponse struct {
+	OK bool `json:"ok"`
+}
+
+// Mount attaches the coordinator's endpoints to mux, which may be a
+// shared status mux (obs.NewStatusMux) or a server's API mux.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /api/v1/cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /api/v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/cluster/release", c.handleRelease)
+	mux.HandleFunc("POST /api/v1/cluster/blocks", c.handleBlocks)
+	mux.HandleFunc("GET /api/v1/cluster/status", c.handleStatus)
+}
+
+// Handler returns a standalone mux serving only the cluster endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.Mount(mux)
+	return mux
+}
+
+// decodeAgent parses a JSON control body requiring a non-empty agent.
+func decodeAgent(w http.ResponseWriter, r *http.Request) (agentRequest, bool) {
+	var req agentRequest
+	body := http.MaxBytesReader(w, r.Body, maxControlBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return req, false
+	}
+	if req.Agent == "" {
+		http.Error(w, "missing agent id", http.StatusBadRequest)
+		return req, false
+	}
+	return req, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeAgent(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, c.register(req.Agent))
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeAgent(w, r)
+	if !ok {
+		return
+	}
+	res := c.leaseShard(req.Agent)
+	writeJSON(w, leaseResponse{
+		Status:     res.status,
+		Shard:      res.shard,
+		StartRound: res.startRound,
+		Lease:      res.leaseID,
+		RetryMs:    res.retry.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeAgent(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, okResponse{OK: c.heartbeat(req.Agent, req.Lease)})
+}
+
+func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeAgent(w, r)
+	if !ok {
+		return
+	}
+	c.release(req.Agent, req.Lease)
+	writeJSON(w, okResponse{OK: true})
+}
+
+// queryInt parses one required integer query parameter.
+func queryInt(r *http.Request, key string) (int64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0, fmt.Errorf("missing %s", key)
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", key, err)
+	}
+	return v, nil
+}
+
+func (c *Coordinator) handleBlocks(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	u := UploadChunk{Agent: q.Get("agent"), Lease: q.Get("lease")}
+	if u.Agent == "" || u.Lease == "" {
+		http.Error(w, "missing agent or lease", http.StatusBadRequest)
+		return
+	}
+	var err error
+	var shard, round, offset, size, crc int64
+	for _, f := range []struct {
+		key string
+		dst *int64
+	}{{"shard", &shard}, {"round", &round}, {"offset", &offset}, {"size", &size}, {"crc", &crc}} {
+		if *f.dst, err = queryInt(r, f.key); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	u.Shard, u.Round, u.Offset, u.Size, u.CRC = int(shard), int(round), offset, size, uint32(crc)
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxChunkBody))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad chunk body: %v", err), http.StatusBadRequest)
+		return
+	}
+	u.Data = data
+	writeJSON(w, c.upload(u))
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.Status())
+}

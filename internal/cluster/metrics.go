@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Metrics are the control plane's instruments. A nil *Metrics (or any
+// nil field) disables that instrument; the coordinator and agents never
+// guard.
+type Metrics struct {
+	// AgentsLive is the number of registered agents with a fresh
+	// heartbeat.
+	AgentsLive *obs.Gauge
+	// LeasesActive is the number of shards currently leased.
+	LeasesActive *obs.Gauge
+	// LeaseAgeMax is the age in seconds of the oldest active lease,
+	// refreshed on every coordinator request.
+	LeaseAgeMax *obs.Gauge
+	// RoundsMerged is the coordinator's merged-round watermark.
+	RoundsMerged *obs.Gauge
+	// ShardUploaded tracks each shard's uploaded-round watermark (which
+	// may run ahead of the merge frontier by up to MaxPendingRounds).
+	ShardUploaded *obs.GaugeVec // shard
+	// Reassignments counts leases revoked from dead or stalled agents.
+	Reassignments *obs.Counter
+	// UploadRetries counts upload chunks that had to be resent (offset
+	// resyncs and transport retries).
+	UploadRetries *obs.Counter
+	// UploadBackoffs counts uploads deferred by merge backpressure.
+	UploadBackoffs *obs.Counter
+	// CellsMerged counts (shard, round) cells folded into the dataset.
+	CellsMerged *obs.Counter
+	// CheckpointWrites counts cluster checkpoints persisted.
+	CheckpointWrites *obs.Counter
+}
+
+// NewMetrics registers the cluster instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		AgentsLive: reg.Gauge("cluster_agents_live",
+			"Registered agents with a fresh heartbeat."),
+		LeasesActive: reg.Gauge("cluster_leases_active",
+			"Shards currently leased to an agent."),
+		LeaseAgeMax: reg.Gauge("cluster_lease_age_max_seconds",
+			"Age of the oldest active lease."),
+		RoundsMerged: reg.Gauge("cluster_rounds_merged",
+			"Rounds fully merged into the coordinator's sink."),
+		ShardUploaded: reg.GaugeVec("cluster_shard_rounds_uploaded",
+			"Rounds uploaded per shard (may run ahead of the merge).", "shard"),
+		Reassignments: reg.Counter("cluster_reassignments_total",
+			"Leases revoked from dead or stalled agents."),
+		UploadRetries: reg.Counter("cluster_upload_retries_total",
+			"Upload chunks resent after offset resyncs or transport errors."),
+		UploadBackoffs: reg.Counter("cluster_upload_backoffs_total",
+			"Uploads deferred by merge backpressure."),
+		CellsMerged: reg.Counter("cluster_cells_merged_total",
+			"Shard-round cells folded into the merged dataset."),
+		CheckpointWrites: reg.Counter("cluster_checkpoint_writes_total",
+			"Cluster checkpoints persisted."),
+	}
+}
+
+func (m *Metrics) shardGauge(shard int) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.ShardUploaded.With(strconv.Itoa(shard))
+}
+
+func (m *Metrics) reassignment() {
+	if m != nil {
+		m.Reassignments.Inc()
+	}
+}
+
+func (m *Metrics) uploadRetry() {
+	if m != nil {
+		m.UploadRetries.Inc()
+	}
+}
+
+func (m *Metrics) uploadBackoff() {
+	if m != nil {
+		m.UploadBackoffs.Inc()
+	}
+}
+
+func (m *Metrics) cellMerged() {
+	if m != nil {
+		m.CellsMerged.Inc()
+	}
+}
+
+func (m *Metrics) checkpointWrite() {
+	if m != nil {
+		m.CheckpointWrites.Inc()
+	}
+}

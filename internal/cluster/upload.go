@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"hash/crc32"
+)
+
+// Upload ack statuses. The protocol is resumable: "resume" carries the
+// coordinator's authoritative received-byte count, so an agent that
+// lost an ack (or the coordinator, a partial buffer) resynchronizes by
+// continuing from Received instead of resending the whole cell.
+const (
+	// StatusPartial acknowledges a chunk; more bytes are expected.
+	StatusPartial = "partial"
+	// StatusResume rejects a chunk at the wrong offset; Received is the
+	// authoritative byte count to continue from.
+	StatusResume = "resume"
+	// StatusComplete acknowledges a fully received, verified, accepted
+	// cell.
+	StatusComplete = "complete"
+	// StatusDuplicate acknowledges a cell the coordinator already has
+	// (an agent retry after a lost ack, or a re-run after revocation).
+	StatusDuplicate = "duplicate"
+	// StatusBackoff defers an upload running too far ahead of the merge
+	// frontier; the agent should retry later or release its lease.
+	StatusBackoff = "backoff"
+	// StatusRevoked rejects an upload under a stale or missing lease;
+	// the agent must request a fresh lease.
+	StatusRevoked = "revoked"
+	// StatusFailed reports a failed campaign; agents should exit.
+	StatusFailed = "failed"
+)
+
+// UploadChunk is one chunk of a (shard, round) cell upload.
+type UploadChunk struct {
+	Agent  string
+	Lease  string
+	Shard  int
+	Round  int
+	Offset int64
+	Size   int64  // total cell payload size
+	CRC    uint32 // IEEE CRC-32 of the full payload
+	Data   []byte
+}
+
+// UploadAck is the coordinator's reply to one chunk.
+type UploadAck struct {
+	Status   string `json:"status"`
+	Received int64  `json:"received"` // authoritative buffered byte count
+	Merged   int    `json:"merged"`   // merge-frontier watermark
+	Done     bool   `json:"done"`     // campaign fully merged
+	Error    string `json:"error,omitempty"`
+}
+
+// upload runs the chunked-upload state machine for one request: buffer
+// the chunk (resynchronizing offsets when the agent and coordinator
+// disagree), and on the final chunk verify the payload CRC, decode the
+// cell, and advance the merge.
+func (c *Coordinator) upload(u UploadChunk) UploadAck {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(u.Agent, now)
+	c.reap(now)
+	defer c.refreshGauges(now)
+	if c.err != nil {
+		return UploadAck{Status: StatusFailed, Error: c.err.Error()}
+	}
+	if u.Shard < 0 || u.Shard >= len(c.shards) || u.Size < 0 || u.Round < 0 {
+		return UploadAck{Status: StatusRevoked, Error: "malformed upload"}
+	}
+	st := &c.shards[u.Shard]
+	if u.Round < st.uploaded {
+		// Already accepted — an agent retry after a lost ack, or the
+		// first rounds of a re-leased shard. Idempotent by design.
+		return UploadAck{Status: StatusDuplicate, Received: u.Size, Merged: c.merged, Done: c.finished}
+	}
+	l := c.leases[u.Shard]
+	if l == nil || l.id != u.Lease || l.agent != u.Agent {
+		return UploadAck{Status: StatusRevoked}
+	}
+	if u.Round > st.uploaded {
+		// The agent skipped a round; its lease state has diverged from
+		// the watermark, so force a fresh lease at the right round.
+		c.dropLease(u.Shard, "out-of-order upload")
+		return UploadAck{Status: StatusRevoked, Error: "out-of-order round"}
+	}
+	if st.partial == nil && u.Round >= c.merged+c.cfg.MaxPendingRounds {
+		c.m.uploadBackoff()
+		return UploadAck{Status: StatusBackoff, Merged: c.merged}
+	}
+	p := st.partial
+	if p == nil || p.round != u.Round || p.lease != u.Lease || p.size != u.Size || p.crc != u.CRC {
+		p = &partial{round: u.Round, lease: u.Lease, size: u.Size, crc: u.CRC, buf: make([]byte, 0, u.Size)}
+		st.partial = p
+	}
+	if u.Offset != int64(len(p.buf)) {
+		c.m.uploadRetry()
+		return UploadAck{Status: StatusResume, Received: int64(len(p.buf))}
+	}
+	if int64(len(u.Data)) > p.size-int64(len(p.buf)) {
+		st.partial = nil
+		c.m.uploadRetry()
+		return UploadAck{Status: StatusResume, Received: 0, Error: "chunk overruns declared size"}
+	}
+	p.buf = append(p.buf, u.Data...)
+	if int64(len(p.buf)) < p.size {
+		return UploadAck{Status: StatusPartial, Received: int64(len(p.buf))}
+	}
+	payload := p.buf
+	st.partial = nil
+	if crc32.ChecksumIEEE(payload) != p.crc {
+		c.m.uploadRetry()
+		return UploadAck{Status: StatusResume, Received: 0, Error: "payload crc mismatch"}
+	}
+	if err := c.accept(u.Shard, u.Round, payload, now); err != nil {
+		if c.err != nil {
+			return UploadAck{Status: StatusFailed, Error: c.err.Error()}
+		}
+		// CRC passed but the cell did not decode: the agent encoded a
+		// bad cell. Revoke so a fresh lease re-synthesizes it.
+		c.dropLease(u.Shard, "undecodable cell")
+		return UploadAck{Status: StatusRevoked, Error: err.Error()}
+	}
+	return UploadAck{Status: StatusComplete, Received: p.size, Merged: c.merged, Done: c.finished && c.err == nil}
+}

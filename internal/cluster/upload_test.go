@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"hash/crc32"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/results"
+)
+
+func cellCRC(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// testCell fabricates a valid encoded cell for (shard, round) with n
+// samples, plus the samples themselves for sink assertions.
+func testCell(t *testing.T, shard, round, n int) ([]byte, []results.Sample) {
+	t.Helper()
+	base := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	samples := make([]results.Sample, n)
+	for i := range samples {
+		samples[i] = results.Sample{
+			ProbeID: shard*10_000 + round*100 + i + 1,
+			Region:  "aws/unit",
+			Time:    base.Add(time.Duration(round) * time.Hour),
+			RTTms:   5,
+		}
+	}
+	payload, err := results.EncodeCell(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload, samples
+}
+
+func unitCoordinator(t *testing.T, shards, rounds, maxPending int, sink func(results.Sample) error) *Coordinator {
+	t.Helper()
+	if sink == nil {
+		sink = func(results.Sample) error { return nil }
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Plan: Plan{
+			Fingerprint: "unit-test",
+			Seed:        1,
+			Probes:      10,
+			Shards:      shards,
+			Rounds:      rounds,
+		},
+		Sink:             sink,
+		MaxPendingRounds: maxPending,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+func mustGrant(t *testing.T, coord *Coordinator, agent string) leaseResult {
+	t.Helper()
+	lr := coord.leaseShard(agent)
+	if lr.status != "grant" {
+		t.Fatalf("lease for %q = %q, want grant", agent, lr.status)
+	}
+	return lr
+}
+
+// TestUploadStateMachine walks one shard through the full chunked
+// upload protocol: partial buffering, offset resynchronization after a
+// lost ack, CRC rejection, overrun rejection, duplicate detection,
+// out-of-order revocation, and completion.
+func TestUploadStateMachine(t *testing.T) {
+	var got []results.Sample
+	coord := unitCoordinator(t, 1, 3, 0, func(s results.Sample) error {
+		got = append(got, s)
+		return nil
+	})
+	coord.register("u1")
+	lr := mustGrant(t, coord, "u1")
+	if lr.shard != 0 || lr.startRound != 0 {
+		t.Fatalf("granted shard %d round %d, want 0/0", lr.shard, lr.startRound)
+	}
+
+	payload, want0 := testCell(t, 0, 0, 9)
+	size := int64(len(payload))
+	crc := cellCRC(payload)
+	half := payload[:size/2]
+	chunk := func(round int, offset int64, data []byte, sz int64, c uint32, lease string) UploadAck {
+		return coord.upload(UploadChunk{
+			Agent: "u1", Lease: lease, Shard: 0, Round: round,
+			Offset: offset, Size: sz, CRC: c, Data: data,
+		})
+	}
+
+	// First half buffers.
+	if ack := chunk(0, 0, half, size, crc, lr.leaseID); ack.Status != StatusPartial || ack.Received != int64(len(half)) {
+		t.Fatalf("first chunk ack = %+v", ack)
+	}
+	// The same chunk again (lost ack): wrong offset, authoritative resume.
+	if ack := chunk(0, 0, half, size, crc, lr.leaseID); ack.Status != StatusResume || ack.Received != int64(len(half)) {
+		t.Fatalf("replayed chunk ack = %+v", ack)
+	}
+	// Continue from the resume point: cell completes and, with a single
+	// shard, merges immediately.
+	if ack := chunk(0, int64(len(half)), payload[len(half):], size, crc, lr.leaseID); ack.Status != StatusComplete || ack.Merged != 1 {
+		t.Fatalf("final chunk ack = %+v", ack)
+	}
+	// Re-uploading the merged round is an idempotent duplicate.
+	if ack := chunk(0, 0, payload, size, crc, lr.leaseID); ack.Status != StatusDuplicate {
+		t.Fatalf("duplicate ack = %+v", ack)
+	}
+
+	p1, want1 := testCell(t, 0, 1, 9)
+	s1, c1 := int64(len(p1)), cellCRC(p1)
+	// A stale lease is revoked.
+	if ack := chunk(1, 0, p1, s1, c1, "L-stale"); ack.Status != StatusRevoked {
+		t.Fatalf("stale-lease ack = %+v", ack)
+	}
+	// A corrupt payload fails the CRC and restarts the cell.
+	if ack := chunk(1, 0, p1, s1, c1+1, lr.leaseID); ack.Status != StatusResume || ack.Received != 0 {
+		t.Fatalf("bad-crc ack = %+v", ack)
+	}
+	// A chunk overrunning the declared size restarts the cell.
+	if ack := chunk(1, 0, p1, s1-1, c1, lr.leaseID); ack.Status != StatusResume || ack.Received != 0 {
+		t.Fatalf("overrun ack = %+v", ack)
+	}
+	// Skipping ahead of the watermark drops the lease.
+	p2, want2 := testCell(t, 0, 2, 9)
+	if ack := chunk(2, 0, p2, int64(len(p2)), cellCRC(p2), lr.leaseID); ack.Status != StatusRevoked {
+		t.Fatalf("out-of-order ack = %+v", ack)
+	}
+
+	// A fresh lease resumes exactly at the watermark and finishes.
+	lr2 := mustGrant(t, coord, "u1")
+	if lr2.startRound != 1 || lr2.leaseID == lr.leaseID {
+		t.Fatalf("re-lease = %+v after %+v", lr2, lr)
+	}
+	if ack := chunk(1, 0, p1, s1, c1, lr2.leaseID); ack.Status != StatusComplete || ack.Merged != 2 {
+		t.Fatalf("round 1 ack = %+v", ack)
+	}
+	ack := chunk(2, 0, p2, int64(len(p2)), cellCRC(p2), lr2.leaseID)
+	if ack.Status != StatusComplete || ack.Merged != 3 || !ack.Done {
+		t.Fatalf("final round ack = %+v", ack)
+	}
+	if !coord.Done() || coord.Merged() != 3 {
+		t.Fatalf("coordinator merged %d, done=%v", coord.Merged(), coord.Done())
+	}
+	if next := coord.leaseShard("u1"); next.status != "done" {
+		t.Fatalf("post-completion lease = %q, want done", next.status)
+	}
+
+	want := append(append(append([]results.Sample(nil), want0...), want1...), want2...)
+	if len(got) != len(want) {
+		t.Fatalf("sink saw %d samples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ProbeID != want[i].ProbeID {
+			t.Fatalf("sink order diverges at %d: probe %d, want %d", i, got[i].ProbeID, want[i].ProbeID)
+		}
+	}
+}
+
+// TestUploadBackpressure checks uploads running ahead of the merge
+// frontier are deferred while frontier uploads always pass, and that
+// the window reopens as the frontier advances.
+func TestUploadBackpressure(t *testing.T) {
+	coord := unitCoordinator(t, 2, 4, 1, nil)
+	coord.register("u1")
+	coord.register("u2")
+	l0 := mustGrant(t, coord, "u1") // shard 0 — the frontier blocker
+	l1 := mustGrant(t, coord, "u2") // shard 1 — runs ahead
+	if l0.shard == l1.shard {
+		t.Fatalf("both agents granted shard %d", l0.shard)
+	}
+
+	send := func(agent string, lr leaseResult, round int) UploadAck {
+		payload, _ := testCell(t, lr.shard, round, 4)
+		return coord.upload(UploadChunk{
+			Agent: agent, Lease: lr.leaseID, Shard: lr.shard, Round: round,
+			Offset: 0, Size: int64(len(payload)), CRC: cellCRC(payload), Data: payload,
+		})
+	}
+
+	// Shard 1 round 0 sits at the frontier: accepted even at the
+	// tightest window.
+	if ack := send("u2", l1, 0); ack.Status != StatusComplete {
+		t.Fatalf("frontier upload ack = %+v", ack)
+	}
+	// Round 1 is one past the stalled frontier: deferred.
+	ack := send("u2", l1, 1)
+	if ack.Status != StatusBackoff || ack.Merged != 0 {
+		t.Fatalf("ahead-of-frontier ack = %+v", ack)
+	}
+	if !strings.HasPrefix(l1.leaseID, "L") {
+		t.Fatalf("lease id %q", l1.leaseID)
+	}
+	// The blocker lands, the frontier moves, and the window reopens.
+	if ack := send("u1", l0, 0); ack.Status != StatusComplete || ack.Merged != 1 {
+		t.Fatalf("blocker upload ack = %+v", ack)
+	}
+	if ack := send("u2", l1, 1); ack.Status != StatusComplete {
+		t.Fatalf("post-advance ack = %+v", ack)
+	}
+}

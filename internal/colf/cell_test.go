@@ -1,0 +1,71 @@
+package colf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// cellRows fabricates n distinct rows.
+func cellRows(n int) []Row {
+	base := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Probe:    i + 1,
+			TimeNano: base + int64(i)*int64(time.Second),
+			Region:   fmt.Sprintf("aws/region-%d", i%7),
+			RTT:      float64(10 + i%300),
+			Lost:     i%11 == 0,
+		}
+	}
+	return rows
+}
+
+// TestEncodeDecodeRowsRoundTrip checks the block handoff codec
+// round-trips rows exactly, across sizes that span multiple blocks.
+func TestEncodeDecodeRowsRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, DefaultBlockRows - 1, DefaultBlockRows, DefaultBlockRows + 1, 2*DefaultBlockRows + 17} {
+		b, err := EncodeRows(cellRows(n))
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		got, err := DecodeRows(b)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		want := cellRows(n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: decoded %d rows", n, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: row %d diverges: %+v vs %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDecodeRowsRejectsCorruption flips one payload byte and expects a
+// CRC failure — a corrupted cell must never decode to short data.
+func TestDecodeRowsRejectsCorruption(t *testing.T) {
+	b, err := EncodeRows(cellRows(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if _, err := DecodeRows(b); err == nil {
+		t.Fatal("corrupted stream decoded without error")
+	}
+}
+
+// TestDecodeRowsRejectsGarbage checks non-colf bytes are refused at the
+// header sniff.
+func TestDecodeRowsRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRows([]byte("not a colf stream at all")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+	if _, err := DecodeRows(nil); err == nil {
+		t.Fatal("empty input decoded without error")
+	}
+}

@@ -9,7 +9,11 @@ import (
 	"path/filepath"
 )
 
-const checkpointVersion = 1
+// CheckpointVersion is the current checkpoint format version. It is
+// exported for external checkpoint writers (the cluster coordinator
+// persists its merge watermark in the same format, so engine and
+// cluster runs resume interchangeably).
+const CheckpointVersion = 1
 
 // ShardMark records one shard's completed-round watermark.
 type ShardMark struct {
@@ -34,7 +38,7 @@ type Checkpoint struct {
 
 // Validate rejects structurally broken checkpoints.
 func (c *Checkpoint) Validate() error {
-	if c.Version != checkpointVersion {
+	if c.Version != CheckpointVersion {
 		return fmt.Errorf("engine: unsupported checkpoint version %d", c.Version)
 	}
 	if c.Round < 0 || c.SinkOffset < 0 || c.Workers < 1 {

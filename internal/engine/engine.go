@@ -293,7 +293,7 @@ func writeCheckpoint(cfg Config, workers, round int, emitted uint64) error {
 		return fmt.Errorf("engine: checkpoint commit: %w", err)
 	}
 	cp := Checkpoint{
-		Version:     checkpointVersion,
+		Version:     CheckpointVersion,
 		Fingerprint: cfg.Fingerprint,
 		Workers:     workers,
 		Round:       round,

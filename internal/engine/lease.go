@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/results"
+)
+
+// A lease-scoped run is the engine's distributed form: instead of owning
+// every shard of the partition, the engine executes exactly one shard of
+// a fixed N-way partition on behalf of a cluster lease, handing each
+// completed round's batch (a "cell") to an emit callback that ships it
+// to the coordinator. The coordinator merges cells round-major in shard
+// order, so the cluster-wide output reproduces the single-process merge
+// byte for byte.
+
+// EmitFunc receives one completed (shard, round) cell. It must not
+// retain samples after returning.
+type EmitFunc func(round int, samples []results.Sample) error
+
+// LeaseConfig describes one lease-scoped shard run.
+type LeaseConfig struct {
+	// Shard is the global shard index of the lease, passed to Gen.
+	Shard int
+	// StartRound is the first round to execute (the coordinator's
+	// uploaded watermark + 1); Rounds is the campaign's round count.
+	StartRound int
+	Rounds     int
+	// BatchHint preallocates each round's sample buffer.
+	BatchHint int
+	// Gen synthesizes one (shard, round) cell, exactly as in Config.
+	Gen GenFunc
+	// Emit ships one completed cell. Errors marked Transient are
+	// retried up to MaxRetries times; anything else aborts the lease.
+	Emit EmitFunc
+	// MaxRetries bounds per-cell retries of transient Emit errors
+	// (default DefaultMaxRetries).
+	MaxRetries int
+	// Log, when set, receives lease progress events.
+	Log *obs.Logger
+}
+
+// RunLease executes the configured shard window round by round,
+// emitting each cell in order. It returns the number of rounds fully
+// emitted and the first error encountered; on error the coordinator's
+// watermark for the shard is exactly StartRound+completed, which is
+// where the next lease of this shard resumes.
+func RunLease(ctx context.Context, cfg LeaseConfig) (int, error) {
+	if cfg.Gen == nil || cfg.Emit == nil {
+		return 0, errors.New("engine: nil Gen or Emit")
+	}
+	if cfg.Rounds < 0 || cfg.StartRound < 0 || cfg.StartRound > cfg.Rounds {
+		return 0, fmt.Errorf("engine: invalid lease window start=%d rounds=%d", cfg.StartRound, cfg.Rounds)
+	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	completed := 0
+	for round := cfg.StartRound; round < cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		buf := make([]results.Sample, 0, cfg.BatchHint)
+		err := cfg.Gen(ctx, cfg.Shard, round, func(s results.Sample) error {
+			buf = append(buf, s)
+			return nil
+		})
+		if err != nil {
+			return completed, fmt.Errorf("engine: shard %d round %d: %w", cfg.Shard, round, err)
+		}
+		if err := emitWithRetry(cfg.Emit, round, buf, maxRetries, cfg.Log); err != nil {
+			return completed, err
+		}
+		completed++
+	}
+	cfg.Log.Info("lease complete",
+		"shard", cfg.Shard, "start_round", cfg.StartRound, "rounds", completed)
+	return completed, nil
+}
+
+// emitWithRetry ships one cell, retrying transient errors up to
+// maxRetries extra attempts.
+func emitWithRetry(emit EmitFunc, round int, samples []results.Sample, maxRetries int, log *obs.Logger) error {
+	var err error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if err = emit(round, samples); err == nil {
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		log.Warn("cell emit retry", "round", round, "attempt", attempt+1, "error", err)
+	}
+	return fmt.Errorf("engine: cell emit still failing after %d retries: %w", maxRetries, err)
+}

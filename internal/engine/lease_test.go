@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/results"
+)
+
+// leaseGen fabricates a deterministic cell: shard and round encoded in
+// the probe ID so tests can assert exactly what was emitted.
+func leaseGen(samplesPerRound int) GenFunc {
+	return func(ctx context.Context, shard, round int, emit func(results.Sample) error) error {
+		for i := 0; i < samplesPerRound; i++ {
+			s := results.Sample{
+				ProbeID: shard*1_000_000 + round*1_000 + i + 1,
+				Region:  "aws/test",
+				Time:    time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(round) * time.Hour),
+				RTTms:   1,
+			}
+			if err := emit(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestRunLeaseEmitsWindowInOrder checks a lease runs its window
+// sequentially from the start round and reports the completed count.
+func TestRunLeaseEmitsWindowInOrder(t *testing.T) {
+	var rounds []int
+	completed, err := RunLease(context.Background(), LeaseConfig{
+		Shard:      3,
+		StartRound: 5,
+		Rounds:     12,
+		Gen:        leaseGen(4),
+		Emit: func(round int, samples []results.Sample) error {
+			rounds = append(rounds, round)
+			if len(samples) != 4 {
+				t.Fatalf("round %d: %d samples", round, len(samples))
+			}
+			if want := 3*1_000_000 + round*1_000 + 1; samples[0].ProbeID != want {
+				t.Fatalf("round %d: first probe %d, want %d", round, samples[0].ProbeID, want)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 7 {
+		t.Fatalf("completed = %d, want 7", completed)
+	}
+	for i, r := range rounds {
+		if r != 5+i {
+			t.Fatalf("emit order diverges at %d: round %d", i, r)
+		}
+	}
+}
+
+// TestRunLeaseRetriesTransientEmit checks transient emit errors are
+// retried in place while anything else aborts with the watermark
+// intact.
+func TestRunLeaseRetriesTransientEmit(t *testing.T) {
+	flaky := 0
+	completed, err := RunLease(context.Background(), LeaseConfig{
+		Rounds: 3,
+		Gen:    leaseGen(1),
+		Emit: func(round int, samples []results.Sample) error {
+			if round == 1 && flaky < 2 {
+				flaky++
+				return Transient(errors.New("socket hiccup"))
+			}
+			return nil
+		},
+	})
+	if err != nil || completed != 3 {
+		t.Fatalf("completed=%d err=%v, want 3 rounds clean", completed, err)
+	}
+
+	fatal := errors.New("lease revoked")
+	completed, err = RunLease(context.Background(), LeaseConfig{
+		Rounds: 5,
+		Gen:    leaseGen(1),
+		Emit: func(round int, samples []results.Sample) error {
+			if round == 2 {
+				return fatal
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want the fatal emit error", err)
+	}
+	if completed != 2 {
+		t.Fatalf("completed = %d, want 2 (the next lease resumes at round 2)", completed)
+	}
+}
+
+// TestRunLeaseExhaustsTransientRetries checks a persistently transient
+// emit eventually fails instead of looping forever.
+func TestRunLeaseExhaustsTransientRetries(t *testing.T) {
+	attempts := 0
+	_, err := RunLease(context.Background(), LeaseConfig{
+		Rounds:     1,
+		MaxRetries: 2,
+		Gen:        leaseGen(1),
+		Emit: func(int, []results.Sample) error {
+			attempts++
+			return Transient(fmt.Errorf("still down"))
+		},
+	})
+	if err == nil {
+		t.Fatal("exhausted retries reported no error")
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 1 + 2 retries", attempts)
+	}
+}
+
+// TestRunLeaseHonorsContext checks cancellation stops the loop between
+// rounds.
+func TestRunLeaseHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	completed, err := RunLease(ctx, LeaseConfig{
+		Rounds: 100,
+		Gen:    leaseGen(1),
+		Emit: func(round int, _ []results.Sample) error {
+			if round == 3 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if completed != 4 {
+		t.Fatalf("completed = %d, want 4", completed)
+	}
+}
+
+// TestRunLeaseValidatesWindow checks nil callbacks and inverted windows
+// are refused up front.
+func TestRunLeaseValidatesWindow(t *testing.T) {
+	if _, err := RunLease(context.Background(), LeaseConfig{Rounds: 1}); err == nil {
+		t.Fatal("nil Gen/Emit accepted")
+	}
+	_, err := RunLease(context.Background(), LeaseConfig{
+		StartRound: 9, Rounds: 3,
+		Gen:  leaseGen(1),
+		Emit: func(int, []results.Sample) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}

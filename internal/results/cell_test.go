@@ -1,0 +1,76 @@
+package results
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// cellSamples fabricates n valid samples with sub-millisecond RTTs and
+// awkward timestamps, the fields most likely to lose precision.
+func cellSamples(n int) []Sample {
+	base := time.Date(2020, 3, 1, 0, 0, 0, 987654321, time.UTC)
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{
+			ProbeID: i + 1,
+			Region:  fmt.Sprintf("gcp/zone-%d", i%5),
+			Time:    base.Add(time.Duration(i) * 3 * time.Hour),
+			RTTms:   12.25 + float64(i)*0.125,
+		}
+		if i%13 == 0 {
+			out[i].Lost = true
+			out[i].RTTms = 0
+		}
+	}
+	return out
+}
+
+// TestCellRoundTrip checks cells round-trip samples exactly — probe,
+// region, UTC nanosecond timestamp, raw RTT bits, loss flag.
+func TestCellRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 57, 1000} {
+		payload, err := EncodeCell(cellSamples(n))
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		got, err := DecodeCell(payload)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		want := cellSamples(n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: decoded %d samples", n, len(got))
+		}
+		for i := range got {
+			a, b := got[i], want[i]
+			if a.ProbeID != b.ProbeID || a.Region != b.Region || !a.Time.Equal(b.Time) ||
+				a.RTTms != b.RTTms || a.Lost != b.Lost {
+				t.Fatalf("n=%d: sample %d diverges: %+v vs %+v", n, i, a, b)
+			}
+		}
+	}
+}
+
+// TestEncodeCellRejectsInvalid checks a broken sample cannot enter a
+// cell.
+func TestEncodeCellRejectsInvalid(t *testing.T) {
+	bad := cellSamples(3)
+	bad[1].Region = ""
+	if _, err := EncodeCell(bad); err == nil {
+		t.Fatal("invalid sample encoded without error")
+	}
+}
+
+// TestDecodeCellRejectsCorruption flips one byte of a valid cell and
+// expects the block CRC to catch it.
+func TestDecodeCellRejectsCorruption(t *testing.T) {
+	payload, err := EncodeCell(cellSamples(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)-3] ^= 0x55
+	if _, err := DecodeCell(payload); err == nil {
+		t.Fatal("corrupted cell decoded without error")
+	}
+}

@@ -25,6 +25,14 @@ full) benchtime="2s" ;;
     ;;
 esac
 
+# Fail before spending minutes benchmarking if the destination cannot
+# be written (e.g. BENCH_OUT points into a read-only mount or a missing
+# directory).
+if ! (: >>"$out") 2>/dev/null; then
+    echo "bench.sh: output path '$out' is not writable" >&2
+    exit 1
+fi
+
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -65,4 +73,8 @@ END {
 }
 ' "$raw" >"$out"
 
+if ! [ -s "$out" ]; then
+    echo "bench.sh: no benchmark output landed in '$out'" >&2
+    exit 1
+fi
 echo "bench results written to $out"

@@ -29,9 +29,10 @@ echo "== go test -race (concurrency suites, uncached) =="
 # The scanner, the fused analysis passes, the campaign engine, the
 # storage layer (columnar codec + sinks), and the telemetry plane
 # (registry scrapes racing registration, flight recorder) are the
-# shard-and-merge packages; run them uncached so every gate exercises
-# the race detector on fresh schedules.
-go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/colf ./internal/results ./internal/snap ./internal/stats ./internal/obs
+# shard-and-merge packages — internal/cluster (coordinator + agents
+# over loopback HTTP) most of all; run them uncached so every gate
+# exercises the race detector on fresh schedules.
+go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/cluster ./internal/colf ./internal/results ./internal/snap ./internal/stats ./internal/obs
 
 echo "== go test -race =="
 go test -race ./...
@@ -48,9 +49,21 @@ go test -run='^$' -fuzz='^FuzzSnapshotRoundTrip$' -fuzztime=10s ./internal/snap
 
 echo "== bench smoke =="
 # One iteration of every benchmark: catches bit-rot in bench code
-# without paying for real measurement runs. bench.sh smoke also emits
-# a (non-statistical) BENCH_scan.json for the scan/analysis suite.
+# without paying for real measurement runs. bench.sh smoke also runs
+# the scan/analysis suite; its (non-statistical) output goes to a temp
+# path so it cannot clobber the committed full-run BENCH_scan.json
+# baseline.
 go test -run='^$' -bench=. -benchtime=1x ./...
-scripts/bench.sh smoke
+BENCH_OUT="${TMPDIR:-/tmp}/BENCH_scan.smoke.json" scripts/bench.sh smoke
+
+echo "== cluster smoke (3 agents, byte-identity) =="
+# Drive a short campaign through the distributed control plane with
+# three in-process agents and pin the merged dataset byte-identical to
+# the single-process run.
+smokedir="$(mktemp -d)"
+trap 'rm -rf "$smokedir"' EXIT
+go run ./cmd/shears -cluster 3 -days 2 -probes 200 -quiet -out "$smokedir/cluster"
+go run ./cmd/shears -days 2 -probes 200 -quiet -out "$smokedir/serial"
+cmp "$smokedir/cluster/samples.bin" "$smokedir/serial/samples.bin"
 
 echo "OK"
