@@ -9,7 +9,9 @@
 // Usage:
 //
 //	dataset -data ./dataset stats
+//	dataset -data ./dataset -fast stats
 //	dataset -data ./dataset continents
+//	dataset -data ./dataset regions
 //	dataset -data ./dataset -workers 8 hist
 //	dataset -data ./dataset -continent AF -out ./africa filter
 //	dataset -data ./dataset -out ./ds-jsonl -to jsonl convert
@@ -18,6 +20,12 @@
 // -since/-until restrict the scan ops to a time window; on binary
 // stores the scanner skips whole blocks via their zone maps, so a
 // narrow window touches only a fraction of the file.
+//
+// -fast switches the stats op to an aggregate-only pass that resolves
+// whole blocks from their zone pre-aggregates with zero row decode on
+// v2 binary stores; it trades the p50/p95 sketch away for that. The
+// regions op likewise folds the zones' per-region aggregate lists when
+// the store carries them, decoding rows only for blocks that don't.
 //
 // Flags precede the op: flag parsing stops at the first positional
 // argument.
@@ -30,6 +38,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -52,6 +61,7 @@ type options struct {
 	to        string // convert target format; empty flips the source format
 	since     string // RFC 3339 window start for scan ops
 	until     string // RFC 3339 window end (exclusive) for scan ops
+	fast      bool   // stats: aggregate-only pass, zone-resolved where possible
 }
 
 func main() {
@@ -65,6 +75,7 @@ func main() {
 	flag.StringVar(&o.to, "to", "", "convert target format: binary or jsonl (default: the other format)")
 	flag.StringVar(&o.since, "since", "", "restrict scan ops to samples at or after this RFC 3339 time")
 	flag.StringVar(&o.until, "until", "", "restrict scan ops to samples before this RFC 3339 time")
+	flag.BoolVar(&o.fast, "fast", false, "stats op: aggregate-only pass resolving blocks from zone pre-aggregates (omits p50/p95)")
 	flag.Parse()
 	o.op = flag.Arg(0)
 	if o.op == "" {
@@ -90,9 +101,14 @@ func run(o options) ([]string, error) {
 	}
 	switch o.op {
 	case "stats":
+		if o.fast {
+			return statsFastOp(store, pred, o.workers)
+		}
 		return statsOp(store, pred, o.workers)
 	case "continents":
 		return continentsOp(store, pred, o.workers)
+	case "regions":
+		return regionsOp(store, pred, o.workers)
 	case "filter":
 		return filterOp(store, pred, o.continent, o.out, o.workers)
 	case "hist":
@@ -100,7 +116,7 @@ func run(o options) ([]string, error) {
 	case "convert":
 		return convertOp(store, o.out, o.to)
 	default:
-		return nil, fmt.Errorf("unknown op %q (want stats, continents, hist, filter, or convert)", o.op)
+		return nil, fmt.Errorf("unknown op %q (want stats, continents, regions, hist, filter, or convert)", o.op)
 	}
 }
 
@@ -144,9 +160,9 @@ func scanWith(store *results.Store, pred *colf.Predicate, workers int, newPass f
 		return nil, err
 	}
 	if st.Binary {
-		log.Printf("scan: %d samples in %v (%.1f MB/s, %.0f samples/s, %d workers, %d/%d blocks read, %d skipped)",
+		log.Printf("scan: %d samples in %v (%.1f MB/s, %.0f samples/s, %d workers, %d/%d blocks read, %d skipped, %d zone-resolved)",
 			st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.SamplesPerSec(), st.Workers,
-			st.BlocksRead, st.BlocksTotal, st.BlocksSkipped)
+			st.BlocksRead, st.BlocksTotal, st.BlocksSkipped, st.BlocksZone)
 	} else {
 		log.Printf("scan: %d samples in %v (%.1f MB/s, %.0f samples/s, %d workers)",
 			st.Samples, st.Duration.Round(time.Millisecond), st.MBPerSec(), st.SamplesPerSec(), st.Workers)
@@ -296,6 +312,227 @@ func statsOp(store *results.Store, pred *colf.Predicate, workers int) ([]string,
 	return lines, nil
 }
 
+// statsFastPass is the aggregate-only stats kernel. On v2 binary
+// stores it resolves whole blocks from their zone pre-aggregates with
+// zero row decode (ZonePass); blocks without usable aggregates take
+// the columnar batch path (BlockPass); JSONL stores and partially
+// covered blocks fall back to per-row Observe. It keeps no quantile
+// sketch — that is the price of the zone path — so -fast omits
+// p50/p95.
+type statsFastPass struct {
+	total, lost   uint64
+	sum, min, max float64
+	delivered     uint64
+}
+
+// absorb folds a delivered-RTT aggregate (one row, one block, or one
+// zone) into the pass state.
+func (p *statsFastPass) absorb(min, max, sum float64, delivered uint64) {
+	if delivered == 0 {
+		return
+	}
+	p.sum += sum
+	if p.delivered == 0 || min < p.min {
+		p.min = min
+	}
+	if p.delivered == 0 || max > p.max {
+		p.max = max
+	}
+	p.delivered += delivered
+}
+
+func (p *statsFastPass) Observe(s results.Sample) error {
+	p.total++
+	if s.Lost {
+		p.lost++
+		return nil
+	}
+	p.absorb(s.RTTms, s.RTTms, s.RTTms, 1)
+	return nil
+}
+
+func (p *statsFastPass) Columns() colf.ColumnSet { return 0 }
+
+func (p *statsFastPass) ObserveBlock(blk *colf.Block) error {
+	p.total += uint64(blk.Rows())
+	for i, v := range blk.RTT {
+		if blk.Lost[i] {
+			p.lost++
+			continue
+		}
+		p.absorb(v, v, v, 1)
+	}
+	return nil
+}
+
+func (p *statsFastPass) CanObserveZone(z colf.Zone) bool {
+	// v1 zones carry min/max but no RTT sum; without it the mean is
+	// unrecoverable, so such blocks decode instead.
+	return z.Delivered == 0 || z.HasAgg
+}
+
+func (p *statsFastPass) ObserveZone(z colf.Zone) error {
+	p.total += uint64(z.Rows)
+	p.lost += uint64(z.Rows - z.Delivered)
+	p.absorb(z.MinRTT, z.MaxRTT, z.RTTSum, uint64(z.Delivered))
+	return nil
+}
+
+func (p *statsFastPass) Merge(other scan.Pass) error {
+	o := other.(*statsFastPass)
+	p.total += o.total
+	p.lost += o.lost
+	p.absorb(o.min, o.max, o.sum, o.delivered)
+	return nil
+}
+
+// statsFastOp is the -fast variant of statsOp: identical campaign,
+// storage and sample lines, min/max/mean without the quantile sketch.
+func statsFastOp(store *results.Store, pred *colf.Predicate, workers int) ([]string, error) {
+	meta := store.Meta()
+	merged, err := scanWith(store, pred, workers, func() scan.Pass { return &statsFastPass{} })
+	if err != nil {
+		return nil, err
+	}
+	p := merged.(*statsFastPass)
+	if p.total == 0 {
+		return nil, fmt.Errorf("dataset is empty")
+	}
+	size, err := sampleFileSize(store)
+	if err != nil {
+		return nil, err
+	}
+	lines := []string{
+		fmt.Sprintf("campaign: seed=%d %s..%s interval=%.0fh probes=%d regions=%d",
+			meta.Seed, meta.Start.Format("2006-01-02"), meta.End.Format("2006-01-02"),
+			meta.IntervalHours, meta.Probes, meta.Regions),
+		fmt.Sprintf("storage: format=%s, %d bytes on disk (%.1f bytes/sample)",
+			store.Format(), size, float64(size)/float64(p.total)),
+		fmt.Sprintf("samples: %d total, %d delivered, %d lost (%.2f%%)",
+			p.total, p.delivered, p.lost, 100*float64(p.lost)/float64(p.total)),
+	}
+	if p.delivered > 0 {
+		lines = append(lines, fmt.Sprintf("rtt: min=%.1fms max=%.1fms mean=%.1fms",
+			p.min, p.max, p.sum/float64(p.delivered)))
+	}
+	return lines, nil
+}
+
+// regionAgg is one region's tally.
+type regionAgg struct {
+	rows, delivered uint64
+	sum             float64
+}
+
+// regionsPass tallies rows, delivered samples and mean delivered RTT
+// per region. On v2 binary stores whole blocks resolve from the zone's
+// per-region aggregate list without decoding a row; blocks without the
+// list (v1 stores, dictionaries past the zone cap) use the
+// dictionary-coded batch path, and JSONL stores observe per row.
+type regionsPass struct {
+	byRegion map[string]*regionAgg
+	// accs caches the code → accumulator resolution for the current
+	// block's dictionary.
+	accs []*regionAgg
+}
+
+func (p *regionsPass) acc(region string) *regionAgg {
+	a := p.byRegion[region]
+	if a == nil {
+		a = &regionAgg{}
+		p.byRegion[region] = a
+	}
+	return a
+}
+
+func (p *regionsPass) Observe(s results.Sample) error {
+	a := p.acc(s.Region)
+	a.rows++
+	if !s.Lost {
+		a.delivered++
+		a.sum += s.RTTms
+	}
+	return nil
+}
+
+func (p *regionsPass) Columns() colf.ColumnSet { return colf.ColRegionIDs }
+
+func (p *regionsPass) ObserveBlock(blk *colf.Block) error {
+	if cap(p.accs) < len(blk.Dict) {
+		p.accs = make([]*regionAgg, len(blk.Dict))
+	}
+	p.accs = p.accs[:len(blk.Dict)]
+	for i := range p.accs {
+		p.accs[i] = nil
+	}
+	for i, code := range blk.RegionID {
+		a := p.accs[code]
+		if a == nil {
+			a = p.acc(blk.Dict[code])
+			p.accs[code] = a
+		}
+		a.rows++
+		if !blk.Lost[i] {
+			a.delivered++
+			a.sum += blk.RTT[i]
+		}
+	}
+	return nil
+}
+
+func (p *regionsPass) CanObserveZone(z colf.Zone) bool {
+	return z.Rows == 0 || (z.HasAgg && len(z.Regions) > 0)
+}
+
+func (p *regionsPass) ObserveZone(z colf.Zone) error {
+	for _, rz := range z.Regions {
+		a := p.acc(rz.Region)
+		a.rows += uint64(rz.Rows)
+		a.delivered += uint64(rz.Delivered)
+		a.sum += rz.RTTSum
+	}
+	return nil
+}
+
+func (p *regionsPass) Merge(other scan.Pass) error {
+	for region, oa := range other.(*regionsPass).byRegion {
+		a := p.acc(region)
+		a.rows += oa.rows
+		a.delivered += oa.delivered
+		a.sum += oa.sum
+	}
+	return nil
+}
+
+// regionsOp prints the per-region tallies in region order.
+func regionsOp(store *results.Store, pred *colf.Predicate, workers int) ([]string, error) {
+	merged, err := scanWith(store, pred, workers, func() scan.Pass {
+		return &regionsPass{byRegion: make(map[string]*regionAgg)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := merged.(*regionsPass)
+	if len(p.byRegion) == 0 {
+		return nil, fmt.Errorf("dataset is empty")
+	}
+	names := make([]string, 0, len(p.byRegion))
+	for name := range p.byRegion {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lines := []string{"region                             rows  delivered   mean-rtt"}
+	for _, name := range names {
+		a := p.byRegion[name]
+		mean := "-"
+		if a.delivered > 0 {
+			mean = fmt.Sprintf("%.1fms", a.sum/float64(a.delivered))
+		}
+		lines = append(lines, fmt.Sprintf("%-30s %9d %10d %10s", name, a.rows, a.delivered, mean))
+	}
+	return lines, nil
+}
+
 // histPass wraps the fixed-bin histogram, whose counts merge exactly.
 type histPass struct{ h *stats.Histogram }
 
@@ -304,6 +541,29 @@ func (p *histPass) Observe(s results.Sample) error {
 		return nil
 	}
 	return p.h.Add(s.RTTms)
+}
+
+func (p *histPass) Columns() colf.ColumnSet { return 0 }
+
+// ObserveBlock feeds the contiguous delivered runs of the RTT column
+// to the histogram's bulk entry point.
+func (p *histPass) ObserveBlock(blk *colf.Block) error {
+	rtt, lost := blk.RTT, blk.Lost
+	for i := 0; i < len(rtt); {
+		if lost[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(rtt) && !lost[j] {
+			j++
+		}
+		if err := p.h.AddBulk(rtt[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
 }
 
 func (p *histPass) Merge(other scan.Pass) error { return p.h.Merge(other.(*histPass).h) }

@@ -143,6 +143,138 @@ func TestHistOp(t *testing.T) {
 	}
 }
 
+// TestStatsFastOp checks the aggregate-only stats variant: it must
+// agree with the sketch-backed op on every shared figure (min, max,
+// mean, the campaign and sample tallies) while omitting the quantiles,
+// and produce identical output on both storage formats and for any
+// worker count — even though on binary stores it resolves blocks from
+// zone pre-aggregates without decoding a row.
+func TestStatsFastOp(t *testing.T) {
+	jdir := buildDataset(t, results.FormatJSONL)
+	bdir := filepath.Join(t.TempDir(), "bin")
+	if _, err := run(options{data: jdir, op: "convert", out: bdir}); err != nil {
+		t.Fatal(err)
+	}
+	fast, err := run(options{data: bdir, op: "stats", fast: true, workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(fast, "\n")
+	if strings.Contains(joined, "p50~") || strings.Contains(joined, "p95~") {
+		t.Errorf("-fast stats reports quantiles:\n%s", joined)
+	}
+	for _, want := range []string{"campaign:", "samples:", "rtt: min="} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("-fast stats missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Shared figures agree with the sketch-backed op.
+	slow, err := run(options{data: bdir, op: "stats", workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := func(lines []string) map[string]string {
+		m := map[string]string{}
+		for _, l := range lines {
+			if strings.HasPrefix(l, "campaign:") || strings.HasPrefix(l, "samples:") {
+				m[strings.SplitN(l, ":", 2)[0]] = l
+			}
+			if strings.HasPrefix(l, "rtt:") {
+				for _, f := range strings.Fields(l) {
+					for _, key := range []string{"min=", "max=", "mean="} {
+						if strings.HasPrefix(f, key) {
+							m[key] = f
+						}
+					}
+				}
+			}
+		}
+		return m
+	}
+	ft, st := tokens(fast), tokens(slow)
+	for _, key := range []string{"campaign", "samples", "min=", "max=", "mean="} {
+		if ft[key] != st[key] {
+			t.Errorf("fast/slow stats disagree on %s: %q vs %q", key, ft[key], st[key])
+		}
+	}
+
+	// Format equivalence and worker invariance.
+	jfast, err := run(options{data: jdir, op: "stats", fast: true, workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := func(lines []string) string {
+		var kept []string
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "storage:") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(jfast) != strip(fast) {
+		t.Errorf("-fast stats differ across formats:\njsonl:\n%s\nbinary:\n%s", strip(jfast), strip(fast))
+	}
+	for _, n := range []int{1, 7} {
+		again, err := run(options{data: bdir, op: "stats", fast: true, workers: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(again, "\n") != joined {
+			t.Errorf("-fast stats differ between workers=4 and workers=%d", n)
+		}
+	}
+}
+
+// TestRegionsOp checks the per-region tally op: identical output on
+// both storage formats (zone aggregate list vs per-row fold), with and
+// without a time window, and for any worker count.
+func TestRegionsOp(t *testing.T) {
+	jdir := buildDataset(t, results.FormatJSONL)
+	bdir := filepath.Join(t.TempDir(), "bin")
+	if _, err := run(options{data: jdir, op: "convert", out: bdir}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := atlas.TestCampaign()
+	since := cfg.Start.Add(7 * 24 * time.Hour).Format(time.RFC3339)
+	until := cfg.Start.Add(10 * 24 * time.Hour).Format(time.RFC3339)
+	for _, window := range []bool{false, true} {
+		o := options{data: jdir, op: "regions", workers: 3}
+		if window {
+			o.since, o.until = since, until
+		}
+		want, err := run(o)
+		if err != nil {
+			t.Fatalf("regions jsonl window=%v: %v", window, err)
+		}
+		if len(want) < 2 || !strings.Contains(want[0], "region") || !strings.Contains(want[0], "mean-rtt") {
+			t.Fatalf("regions output malformed:\n%s", strings.Join(want, "\n"))
+		}
+		o.data = bdir
+		got, err := run(o)
+		if err != nil {
+			t.Fatalf("regions binary window=%v: %v", window, err)
+		}
+		if strings.Join(want, "\n") != strings.Join(got, "\n") {
+			t.Errorf("regions window=%v: jsonl and binary outputs differ", window)
+		}
+	}
+	serial, err := run(options{data: bdir, op: "regions", workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 7} {
+		parallel, err := run(options{data: bdir, op: "regions", workers: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(serial, "\n") != strings.Join(parallel, "\n") {
+			t.Errorf("regions output differs between workers=1 and workers=%d", n)
+		}
+	}
+}
+
 // TestConvertOp round-trips a JSONL dataset through the binary format
 // and back, checking the final JSONL bytes are identical to the source
 // and that the binary encoding is at most half the size.

@@ -15,6 +15,10 @@
 // are analyzed in memory. When the dataset carries an analysis snapshot
 // (samples.snap, maintained by cmd/shears), the scan resumes from it and
 // decodes only blocks appended since — -snapshot off forces a cold scan.
+// -rowscan forces the scanner's legacy per-row path on binary stores,
+// bypassing the columnar batch kernels; the output is byte-identical
+// either way (scripts/check.sh pins this), so the flag exists as the
+// equivalence control and escape hatch.
 //
 // Observability: the command emits structured leveled logs (-log-format
 // text|json, -log-level) on stderr, and -status-addr serves live run state
@@ -62,6 +66,7 @@ type options struct {
 	csv        bool
 	workers    int
 	snapMode   string
+	rowScan    bool
 	cpuProfile string
 	memProfile string
 	statusAddr string // live status HTTP listener; empty disables
@@ -94,6 +99,7 @@ func main() {
 	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of text (figures 1, 4, 5, 6, 7, 8)")
 	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "scan worker count for stored datasets")
 	flag.StringVar(&o.snapMode, "snapshot", "auto", "analysis snapshot mode for stored datasets: auto (on for binary stores), on, off")
+	flag.BoolVar(&o.rowScan, "rowscan", false, "force the per-row scan path on binary stores (batch kernels off; output is identical)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
 	flag.StringVar(&o.statusAddr, "status-addr", "", "serve live run status (/metrics, /debug/events, /api/v1/progress) on this address")
@@ -399,6 +405,7 @@ type dataset struct {
 	mem     *results.Memory
 	start   time.Time
 	workers int
+	rowScan bool                  // force the per-row scan path (-rowscan)
 	snap    *core.SnapshotOptions // non-nil: seed scans from the analysis snapshot
 	suite   *core.SuiteReport     // cached snapshot-seeded suite report
 	env     *runEnv               // telemetry plumbing; nil disables
@@ -412,7 +419,7 @@ func loadOrSynthesize(ctx context.Context, w *world.World, o options, env *runEn
 		if err != nil {
 			return nil, err
 		}
-		d := &dataset{store: store, start: store.Meta().Start, workers: o.workers, env: env}
+		d := &dataset{store: store, start: store.Meta().Start, workers: o.workers, rowScan: o.rowScan, env: env}
 		enabled, err := snapshotEnabled(o.snapMode, store.Format())
 		if err != nil {
 			return nil, err
@@ -421,6 +428,7 @@ func loadOrSynthesize(ctx context.Context, w *world.World, o options, env *runEn
 			d.snap = &core.SnapshotOptions{
 				Path:          store.SnapshotPath(),
 				RefreshFactor: core.DefaultRefreshFactor,
+				RowScan:       o.rowScan,
 				Metrics:       env.snapInstruments(),
 				Log:           env.logger().With("snap"),
 			}
@@ -454,6 +462,7 @@ func runPass[P core.Pass](d *dataset, newPass func() (P, error)) (P, error) {
 	st, err := scan.File(obs.ContextWith(context.Background(), d.env.span()), scan.Config{
 		Path:    d.store.SamplesPath(),
 		Workers: d.workers,
+		RowScan: d.rowScan,
 		NewPasses: func(int) ([]scan.Pass, error) {
 			p, err := newPass()
 			if err != nil {

@@ -100,6 +100,30 @@ func TestRenderFromStoredDataset(t *testing.T) {
 	}
 }
 
+// TestRenderRowScanEquivalence pins -rowscan: the forced per-row path
+// renders identical figures to the batch kernels, on both the
+// snapshot-seeded and cold scan routes.
+func TestRenderRowScanEquivalence(t *testing.T) {
+	dir, _ := buildDataset(t, 2, 200)
+	for _, fig := range []string{"4", "7"} {
+		for _, snapMode := range []string{"off", "auto"} {
+			o := options{fig: fig, data: dir, probes: 200, seed: 2, workers: 4, snapMode: snapMode}
+			batch, err := render(o, nil)
+			if err != nil {
+				t.Fatalf("fig %s snapshot=%s: %v", fig, snapMode, err)
+			}
+			o.rowScan = true
+			row, err := render(o, nil)
+			if err != nil {
+				t.Fatalf("fig %s snapshot=%s rowscan: %v", fig, snapMode, err)
+			}
+			if strings.Join(batch, "\n") != strings.Join(row, "\n") {
+				t.Errorf("fig %s snapshot=%s: -rowscan output differs from batch", fig, snapMode)
+			}
+		}
+	}
+}
+
 func TestRenderSynthesizes(t *testing.T) {
 	lines, err := render(options{fig: "4", probes: 200, seed: 1, snapMode: "auto"}, nil)
 	if err != nil {

@@ -1,0 +1,269 @@
+package colf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// This file holds the batch column kernels: whole-column decode loops
+// that replace the per-value byteCursor walk on the scan hot path.
+// Acceptance must mirror encoding/binary exactly — including
+// non-canonical and overlong varint forms — so the batch kernels and
+// the generic cursor reject byte-identical inputs.
+
+// deltaKeep[k] keeps the low k+1 bytes of a 64-bit window — the bytes
+// of a varint whose stop byte is at index k. A table lookup instead of
+// a computed shift keeps the compiler from emitting shift-clamping
+// sequences in the hot loop.
+var deltaKeep = [8]uint64{
+	0xFF, 0xFFFF, 0xFFFFFF, 0xFFFFFFFF,
+	0xFFFFFFFFFF, 0xFFFFFFFFFFFF, 0xFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF,
+}
+
+// decodeDeltaVarints decodes a column of zigzag-varint deltas (chain
+// restarting at zero) into dst, consuming sec exactly.
+func decodeDeltaVarints[T ~int | ~int64](sec []byte, dst []T) error {
+	j := 0
+	i := 0
+	prev := int64(0)
+	// Window loop: one 64-bit load yields the stop-bit mask for every
+	// varint ending inside it — typically 4..6 values per load on delta
+	// columns. The per-value critical chain collapses to clearing the
+	// lowest stop bit; the 7-bit-group extraction (a fixed shift-fold
+	// cascade: pairs → quads → halves, whose masks also clear the
+	// continuation bits) runs off the chain, so mixed 1/2-byte delta
+	// streams cost neither mispredictions nor serialized loads.
+	for i < len(dst) && j+8 <= len(sec) {
+		x := binary.LittleEndian.Uint64(sec[j:])
+		stops := ^x & 0x8080808080808080
+		if stops == 0 {
+			// 8+ continuation bytes: a rare giant delta; delegate so the
+			// 10-byte and overflow rules match binary.Uvarint bit for bit.
+			v, n := binary.Uvarint(sec[j:])
+			if n <= 0 {
+				return fmt.Errorf("truncated or overlong varint at byte %d", j)
+			}
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i] = T(prev)
+			i++
+			j += n
+			continue
+		}
+		if stops == 0x8080808080808080 && len(dst)-i >= 8 {
+			// All eight window bytes are single-byte varints — the
+			// dominant shape on delta columns (same-round time deltas are
+			// zero, probe deltas are ±1). Eight values per load with no
+			// boundary chain and no fold cascade: each byte zigzag-decodes
+			// independently, leaving only the prefix-sum adds serialized.
+			v := x & 0x7f
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i] = T(prev)
+			v = x >> 8 & 0x7f
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i+1] = T(prev)
+			v = x >> 16 & 0x7f
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i+2] = T(prev)
+			v = x >> 24 & 0x7f
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i+3] = T(prev)
+			v = x >> 32 & 0x7f
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i+4] = T(prev)
+			v = x >> 40 & 0x7f
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i+5] = T(prev)
+			v = x >> 48 & 0x7f
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i+6] = T(prev)
+			v = x >> 56
+			prev += int64(v>>1) ^ -int64(v&1)
+			dst[i+7] = T(prev)
+			i += 8
+			j += 8
+			continue
+		}
+		if stops == 0x8000800080008000 && len(dst)-i >= 4 {
+			// Four two-byte varints — the shape of probe columns whose
+			// deltas land in [64, 8191]. Each value is a fixed two-group
+			// splice; no boundary chain.
+			uv := x&0x7f | (x>>8&0x7f)<<7
+			prev += int64(uv>>1) ^ -int64(uv&1)
+			dst[i] = T(prev)
+			uv = x>>16&0x7f | (x>>24&0x7f)<<7
+			prev += int64(uv>>1) ^ -int64(uv&1)
+			dst[i+1] = T(prev)
+			uv = x>>32&0x7f | (x>>40&0x7f)<<7
+			prev += int64(uv>>1) ^ -int64(uv&1)
+			dst[i+2] = T(prev)
+			uv = x>>48&0x7f | (x>>56)<<7
+			prev += int64(uv>>1) ^ -int64(uv&1)
+			dst[i+3] = T(prev)
+			i += 4
+			j += 8
+			continue
+		}
+		if stops == 0x0000008000000000 && len(dst)-i >= 2 && j+16 <= len(sec) {
+			// A five-byte varint followed by another — the shape of time
+			// columns at second-scale cadence (delta ~1e9 ns zigzags to 35
+			// bits). Splice both from two loads instead of paying the
+			// boundary chain once per window for a single value.
+			y := binary.LittleEndian.Uint64(sec[j+8:])
+			if ^y&0x8080 == 0x8000 {
+				uv := x&0x7f | (x>>8&0x7f)<<7 | (x>>16&0x7f)<<14 | (x>>24&0x7f)<<21 | (x>>32&0x7f)<<28
+				prev += int64(uv>>1) ^ -int64(uv&1)
+				dst[i] = T(prev)
+				uv = x>>40&0x7f | (x>>48&0x7f)<<7 | (x>>56&0x7f)<<14 | (y&0x7f)<<21 | (y>>8&0x7f)<<28
+				prev += int64(uv>>1) ^ -int64(uv&1)
+				dst[i+1] = T(prev)
+				i += 2
+				j += 10
+				continue
+			}
+		}
+		start := 0
+		n := bits.OnesCount64(stops) // values ending in this window
+		if n > len(dst)-i {
+			n = len(dst) - i
+		}
+		if cont := x & 0x8080808080808080; cont&(cont<<8) == 0 {
+			// No two adjacent continuation bytes: every varint in this
+			// window is 1 or 2 bytes (the shape of mixed small-delta
+			// columns that miss the uniform fast paths above). The
+			// boundary chain is unchanged, but extraction collapses from
+			// the three-step fold cascade to a single two-group splice.
+			for ; n >= 2; n -= 2 {
+				end0 := bits.TrailingZeros64(stops) >> 3
+				stops &= stops - 1
+				end1 := bits.TrailingZeros64(stops) >> 3
+				stops &= stops - 1
+				w0 := x >> (uint(start*8) & 63) & deltaKeep[(end0-start)&7]
+				uv0 := w0&0x7f | w0>>1&0x3F80
+				w1 := x >> (uint((end0+1)*8) & 63) & deltaKeep[(end1-end0-1)&7]
+				uv1 := w1&0x7f | w1>>1&0x3F80
+				prev += int64(uv0>>1) ^ -int64(uv0&1)
+				dst[i] = T(prev)
+				prev += int64(uv1>>1) ^ -int64(uv1&1)
+				dst[i+1] = T(prev)
+				i += 2
+				start = end1 + 1
+			}
+			if n > 0 {
+				end := bits.TrailingZeros64(stops) >> 3
+				w := x >> (uint(start*8) & 63) & deltaKeep[(end-start)&7]
+				uv := w&0x7f | w>>1&0x3F80
+				prev += int64(uv>>1) ^ -int64(uv&1)
+				dst[i] = T(prev)
+				i++
+				start = end + 1
+			}
+			j += start
+			continue
+		}
+		// Two values per iteration: the boundary chain (trailing-zeros,
+		// clear-lowest-bit) is the loop's critical path, and pairing lets
+		// the two extractions overlap.
+		for ; n >= 2; n -= 2 {
+			end0 := bits.TrailingZeros64(stops) >> 3 // stop byte index, 0..7
+			stops &= stops - 1
+			end1 := bits.TrailingZeros64(stops) >> 3
+			stops &= stops - 1
+			w0 := x >> (uint(start*8) & 63)
+			w0 &= deltaKeep[(end0-start)&7] // keep bytes start..end0
+			w0 = w0&0x007F007F007F007F | w0>>1&0x3F803F803F803F80
+			w0 = w0&0x00003FFF00003FFF | w0>>2&0x0FFFC0000FFFC000
+			uv0 := w0&0x000000000FFFFFFF | w0>>4&0x00FFFFFFF0000000
+			w1 := x >> (uint((end0+1)*8) & 63)
+			w1 &= deltaKeep[(end1-end0-1)&7]
+			w1 = w1&0x007F007F007F007F | w1>>1&0x3F803F803F803F80
+			w1 = w1&0x00003FFF00003FFF | w1>>2&0x0FFFC0000FFFC000
+			uv1 := w1&0x000000000FFFFFFF | w1>>4&0x00FFFFFFF0000000
+			prev += int64(uv0>>1) ^ -int64(uv0&1)
+			dst[i] = T(prev)
+			prev += int64(uv1>>1) ^ -int64(uv1&1)
+			dst[i+1] = T(prev)
+			i += 2
+			start = end1 + 1
+		}
+		if n > 0 {
+			end := bits.TrailingZeros64(stops) >> 3
+			stops &= stops - 1
+			w := x >> (uint(start*8) & 63)
+			w &= deltaKeep[(end-start)&7]
+			w = w&0x007F007F007F007F | w>>1&0x3F803F803F803F80
+			w = w&0x00003FFF00003FFF | w>>2&0x0FFFC0000FFFC000
+			uv := w&0x000000000FFFFFFF | w>>4&0x00FFFFFFF0000000
+			prev += int64(uv>>1) ^ -int64(uv&1)
+			dst[i] = T(prev)
+			i++
+			start = end + 1
+		}
+		j += start // a varint cut off by the window edge re-reads next pass
+	}
+	// Section tail: too close to the end for a full window.
+	for i < len(dst) {
+		v, n := binary.Uvarint(sec[j:])
+		if n <= 0 {
+			return fmt.Errorf("truncated varint at byte %d", j)
+		}
+		prev += int64(v>>1) ^ -int64(v&1)
+		dst[i] = T(prev)
+		i++
+		j += n
+	}
+	if j != len(sec) {
+		return fmt.Errorf("%d stray bytes after %d values", len(sec)-j, len(dst))
+	}
+	return nil
+}
+
+// decodeRegionCodes decodes the per-row dictionary codes, checking
+// each against the dictionary size.
+func decodeRegionCodes(sec []byte, dst []uint32, dictN int) error {
+	j := 0
+	i := 0
+	// Fast path: real dictionaries are small, so codes are almost always
+	// one byte — unpack eight per 64-bit window. Any continuation bit or
+	// out-of-range code drops to the exact scalar path below, which owns
+	// error semantics. The range check is one byte-parallel add: with
+	// every byte < 0x80, byte b trips bit 7 of b+(0x80-lim) exactly when
+	// b >= lim, and no byte sum can carry. Dictionaries of 128+ entries
+	// make addend zero, which rejects nothing — correctly, since any
+	// one-byte code is then in range.
+	var addend uint64
+	if dictN < 128 {
+		addend = (128 - uint64(dictN)) * 0x0101010101010101
+	}
+	for i+8 <= len(dst) && j+8 <= len(sec) {
+		x := binary.LittleEndian.Uint64(sec[j:])
+		if x&0x8080808080808080 != 0 || (x+addend)&0x8080808080808080 != 0 {
+			break
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = uint32(x)&0x7f, uint32(x>>8)&0x7f, uint32(x>>16)&0x7f, uint32(x>>24)&0x7f
+		dst[i+4], dst[i+5], dst[i+6], dst[i+7] = uint32(x>>32)&0x7f, uint32(x>>40)&0x7f, uint32(x>>48)&0x7f, uint32(x>>56)
+		i += 8
+		j += 8
+	}
+	for ; i < len(dst); i++ {
+		var code uint64
+		if j < len(sec) && sec[j] < 0x80 {
+			code = uint64(sec[j])
+			j++
+		} else {
+			v, n := binary.Uvarint(sec[j:])
+			if n <= 0 {
+				return fmt.Errorf("truncated region code at byte %d", j)
+			}
+			code, j = v, j+n
+		}
+		if code >= uint64(dictN) {
+			return fmt.Errorf("region code %d outside dictionary of %d", code, dictN)
+		}
+		dst[i] = uint32(code)
+	}
+	if j != len(sec) {
+		return fmt.Errorf("%d stray region bytes", len(sec)-j)
+	}
+	return nil
+}

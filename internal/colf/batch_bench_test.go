@@ -1,0 +1,36 @@
+package colf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDeltaSection builds a probe-like delta section: random walk with
+// mixed 1/2-byte zigzag deltas, the scan benchmark's dominant shape.
+func benchDeltaSection(n int) ([]byte, []int) {
+	rng := rand.New(rand.NewSource(7))
+	var sec []byte
+	vals := make([]int, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		v := int64(1 + rng.Intn(500))
+		sec = appendVarint(sec, v-prev)
+		prev = v
+		vals[i] = int(v)
+	}
+	return sec, vals
+}
+
+func BenchmarkDecodeDeltaVarints(b *testing.B) {
+	const n = 8192
+	sec, _ := benchDeltaSection(n)
+	dst := make([]int, n)
+	b.SetBytes(int64(len(sec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := decodeDeltaVarints(sec, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "vals/s")
+}

@@ -48,12 +48,20 @@ const DefaultBlockRows = 8192
 // HeaderSize is the fixed file header length.
 const HeaderSize = 8
 
-// header is the file magic: "COLF", format version 1, reserved bytes.
-var header = [HeaderSize]byte{'C', 'O', 'L', 'F', 1, 0, 0, '\n'}
+// header is the file magic: "COLF", format version, reserved bytes.
+// Version 2 (additive) grew the zone footer with pre-aggregates
+// (delivered-RTT sum, per-region row ranges) and length-prefixed the
+// file-level index entries; fresh streams are written at version 2, and
+// readers accept both versions — every block footer self-describes its
+// zone encoding, so v1 and v2 blocks mix freely in one file.
+var header = [HeaderSize]byte{'C', 'O', 'L', 'F', 2, 0, 0, '\n'}
 
-// indexMagic trails the file-level block index; its presence at EOF is
-// how readers find the index without scanning.
-var indexMagic = [8]byte{'C', 'I', 'D', 'X', 1, 0, 0, '\n'}
+// indexMagic / indexMagicV1 trail the file-level block index; their
+// presence at EOF is how readers find the index without scanning, and
+// the version byte selects the index entry encoding (v1 concatenates
+// zones, v2 length-prefixes them so zone growth stays additive).
+var indexMagic = [8]byte{'C', 'I', 'D', 'X', 2, 0, 0, '\n'}
+var indexMagicV1 = [8]byte{'C', 'I', 'D', 'X', 1, 0, 0, '\n'}
 
 // indexTrailerSize is the fixed tail after the index body: a u32
 // little-endian body length plus the index magic.
@@ -64,10 +72,15 @@ const indexTrailerSize = 4 + 8
 // reader into a multi-gigabyte allocation.
 const maxBlockBytes = 1 << 28
 
-// Sniff reports whether prefix begins with the colf file header. Eight
-// bytes are enough; shorter prefixes never match.
+// Sniff reports whether prefix begins with a colf file header of any
+// supported format version. Eight bytes are enough; shorter prefixes
+// never match.
 func Sniff(prefix []byte) bool {
-	return len(prefix) >= HeaderSize && bytes.Equal(prefix[:HeaderSize], header[:])
+	if len(prefix) < HeaderSize || !bytes.Equal(prefix[:4], header[:4]) {
+		return false
+	}
+	v := prefix[4]
+	return (v == 1 || v == 2) && prefix[5] == 0 && prefix[6] == 0 && prefix[7] == '\n'
 }
 
 // BlockInfo locates one block and carries its zone map.

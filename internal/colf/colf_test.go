@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -131,8 +132,28 @@ func TestZoneMaps(t *testing.T) {
 			z.observe(rows[i])
 			i++
 		}
-		if z != b.Zone {
-			t.Errorf("block %d zone %+v, recomputed %+v", bi, b.Zone, z)
+		got := b.Zone
+		// The per-region aggregates must tile the block exactly.
+		if len(got.Regions) == 0 {
+			t.Fatalf("block %d carries no region aggregates", bi)
+		}
+		var sumRows, sumDelivered int
+		var sumRTT float64
+		for _, rz := range got.Regions {
+			sumRows += rz.Rows
+			sumDelivered += rz.Delivered
+			sumRTT += rz.RTTSum
+		}
+		if sumRows != got.Rows || sumDelivered != got.Delivered {
+			t.Errorf("block %d region aggregates cover %d rows/%d delivered, zone has %d/%d",
+				bi, sumRows, sumDelivered, got.Rows, got.Delivered)
+		}
+		if math.Abs(sumRTT-got.RTTSum) > 1e-6*math.Abs(got.RTTSum) {
+			t.Errorf("block %d region RTT sums %.9g, zone RTTSum %.9g", bi, sumRTT, got.RTTSum)
+		}
+		got.Regions = nil
+		if !reflect.DeepEqual(z, got) {
+			t.Errorf("block %d zone %+v, recomputed %+v", bi, got, z)
 		}
 	}
 }

@@ -1,0 +1,337 @@
+package colf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// encodeRowsV1 hand-encodes rows exactly as the format v1 writer did:
+// version-1 header byte, v1-only zone footers (no aggregate
+// extension), and a v1 index whose zones are concatenated without
+// length prefixes. It pins backward compatibility: the v2 rev is
+// additive, and stores written before it must keep reading.
+func encodeRowsV1(t testing.TB, rows []Row, blockRows int) []byte {
+	t.Helper()
+	out := []byte{'C', 'O', 'L', 'F', 1, 0, 0, '\n'}
+	var blocks []BlockInfo
+	for start := 0; start < len(rows); start += blockRows {
+		end := start + blockRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := rows[start:end]
+
+		var payload, sec []byte
+		prev := int64(0)
+		for _, r := range chunk {
+			sec = appendVarint(sec, int64(r.Probe)-prev)
+			prev = int64(r.Probe)
+		}
+		payload = appendSection(payload, sec)
+		sec, prev = sec[:0], 0
+		for _, r := range chunk {
+			sec = appendVarint(sec, r.TimeNano-prev)
+			prev = r.TimeNano
+		}
+		payload = appendSection(payload, sec)
+		sec = sec[:0]
+		dict := map[string]uint64{}
+		var entries []string
+		for _, r := range chunk {
+			if _, ok := dict[r.Region]; !ok {
+				dict[r.Region] = uint64(len(entries))
+				entries = append(entries, r.Region)
+			}
+		}
+		sec = appendUvarint(sec, uint64(len(entries)))
+		for _, e := range entries {
+			sec = appendUvarint(sec, uint64(len(e)))
+			sec = append(sec, e...)
+		}
+		for _, r := range chunk {
+			sec = appendUvarint(sec, dict[r.Region])
+		}
+		payload = appendSection(payload, sec)
+		sec = sec[:0]
+		for _, r := range chunk {
+			sec = appendFloatBits(sec, r.RTT)
+		}
+		payload = appendSection(payload, sec)
+		sec = sec[:0]
+		sec = append(sec, make([]byte, (len(chunk)+7)/8)...)
+		for i, r := range chunk {
+			if r.Lost {
+				sec[i/8] |= 1 << (i % 8)
+			}
+		}
+		payload = appendSection(payload, sec)
+
+		var zone Zone
+		for _, r := range chunk {
+			zone.observe(r)
+		}
+		// Strip the v2 aggregates: appendZone then emits the exact v1
+		// footer encoding.
+		zone.HasAgg, zone.RTTSum, zone.Regions = false, 0, nil
+		zoneBytes := appendZone(nil, zone)
+
+		bodyLen := len(payload) + len(zoneBytes) + 4
+		var head [8]byte
+		binary.LittleEndian.PutUint32(head[0:4], uint32(bodyLen))
+		binary.LittleEndian.PutUint32(head[4:8], uint32(len(payload)))
+		crc := crc32.ChecksumIEEE(head[4:8])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		crc = crc32.Update(crc, crc32.IEEETable, zoneBytes)
+		off := int64(len(out))
+		out = append(out, head[:]...)
+		out = append(out, payload...)
+		out = append(out, zoneBytes...)
+		out = binary.LittleEndian.AppendUint32(out, crc)
+		blocks = append(blocks, BlockInfo{Off: off, Len: int64(8 + bodyLen), Zone: zone})
+	}
+
+	// v1 index: zones concatenated, v1 trailer magic.
+	idx := appendUvarint(nil, uint64(len(blocks)))
+	prevOff := int64(0)
+	for _, b := range blocks {
+		idx = appendUvarint(idx, uint64(b.Off-prevOff))
+		idx = appendUvarint(idx, uint64(b.Len))
+		idx = appendZone(idx, b.Zone)
+		prevOff = b.Off
+	}
+	out = append(out, idx...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(idx)))
+	out = append(out, indexMagicV1[:]...)
+	return out
+}
+
+func TestV1StoreStillReads(t *testing.T) {
+	rows := genRows(700)
+	v1 := encodeRowsV1(t, rows, 128)
+	if !Sniff(v1) {
+		t.Fatal("v1 header not sniffed")
+	}
+
+	// Indexed read path.
+	r, err := NewReader(bytes.NewReader(v1), int64(len(v1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameRows(rows, readAll(t, v1)); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range r.Blocks() {
+		if b.Zone.HasAgg || b.Zone.Regions != nil {
+			t.Fatalf("v1 block %d decoded with invented aggregates: %+v", i, b.Zone)
+		}
+	}
+
+	// Footer-rebuild path (index chopped off).
+	idxLen := int64(binary.LittleEndian.Uint32(v1[len(v1)-indexTrailerSize:]))
+	chopped := v1[:int64(len(v1))-indexTrailerSize-idxLen]
+	if err := sameRows(rows, readAll(t, chopped)); err != nil {
+		t.Fatalf("footer rebuild: %v", err)
+	}
+
+	// Corruption in a v1 block must still surface.
+	mut := append([]byte(nil), v1...)
+	mut[HeaderSize+40] ^= 0x41
+	if err := decodeErr(mut); err == nil {
+		t.Fatal("corruption in v1 block went unnoticed")
+	}
+}
+
+func TestV1StoreAppendsMixedBlocks(t *testing.T) {
+	rows := genRows(500)
+	v1 := encodeRowsV1(t, rows[:300], 64)
+	idxLen := int64(binary.LittleEndian.Uint32(v1[len(v1)-indexTrailerSize:]))
+	data := v1[:int64(len(v1))-indexTrailerSize-idxLen]
+
+	// Resume-append onto the v1 data region with the v2 writer: the file
+	// ends up with mixed v1/v2 blocks under a v2 index.
+	existing, err := BlocksTo(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail bytes.Buffer
+	w := NewWriterAt(&tail, int64(len(data)), existing)
+	w.SetBlockRows(64)
+	for _, r := range rows[300:] {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([]byte(nil), data...), tail.Bytes()...)
+	if err := sameRows(rows, readAll(t, full)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(full), int64(len(full)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := r.Blocks()
+	if blocks[0].Zone.HasAgg {
+		t.Error("v1 prefix block gained aggregates through the index round-trip")
+	}
+	last := blocks[len(blocks)-1].Zone
+	if !last.HasAgg || len(last.Regions) == 0 {
+		t.Errorf("appended v2 block lost its aggregates: %+v", last)
+	}
+}
+
+// TestZoneV2IndexRoundTrip pins that the index and footer paths decode
+// identical zones, aggregates included.
+func TestZoneV2IndexRoundTrip(t *testing.T) {
+	rows := genRows(400)
+	file, _ := encodeRows(t, rows, 100)
+	r, err := NewReader(bytes.NewReader(file), int64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := ScanBlocks(bytes.NewReader(file), fileDataEnd(t, file), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Blocks(), scanned) {
+		t.Fatalf("index blocks %+v\nfooter blocks %+v", r.Blocks(), scanned)
+	}
+	for i, b := range r.Blocks() {
+		z := b.Zone
+		if !z.HasAgg || len(z.Regions) == 0 {
+			t.Fatalf("block %d missing aggregates: %+v", i, z)
+		}
+		var sum float64
+		var delivered int
+		for _, rz := range z.Regions {
+			sum += rz.RTTSum
+			delivered += rz.Delivered
+		}
+		if delivered != z.Delivered {
+			t.Errorf("block %d: region delivered %d, zone %d", i, delivered, z.Delivered)
+		}
+	}
+}
+
+func fileDataEnd(t testing.TB, file []byte) int64 {
+	t.Helper()
+	idxLen := int64(binary.LittleEndian.Uint32(file[len(file)-indexTrailerSize:]))
+	return int64(len(file)) - indexTrailerSize - idxLen
+}
+
+// TestRegionInterningAcrossBlocks scans a store whose dictionary
+// changes from block to block and pins that one decoder hands back
+// canonical strings: equal spellings are pointer-equal across blocks,
+// and the dictionary view agrees with the string column.
+func TestRegionInterningAcrossBlocks(t *testing.T) {
+	regionSets := [][]string{
+		{"Amazon/eu-north-1", "Google/us-west2"},
+		{"Google/us-west2", "Azure/eastus"},       // overlaps block 0
+		{"Azure/eastus", "Amazon/eu-north-1"},     // dict order flipped vs earlier blocks
+		{"Cloud/x", "Cloud/y", "Cloud/z"},         // all-new entries
+		{"Amazon/eu-north-1", "Cloud/z", "new/r"}, // mix of old and new
+	}
+	var rows []Row
+	for b, set := range regionSets {
+		for i := 0; i < 16; i++ {
+			rows = append(rows, Row{
+				Probe:    1 + i,
+				TimeNano: int64(b*16+i) * 1e9,
+				Region:   set[i%len(set)],
+				RTT:      float64(10 + i),
+			})
+		}
+	}
+	file, _ := encodeRows(t, rows, 16)
+	r, err := NewReader(bytes.NewReader(file), int64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Blocks()) != len(regionSets) {
+		t.Fatalf("%d blocks, want %d", len(r.Blocks()), len(regionSets))
+	}
+	canonical := map[string]*byte{} // spelling -> data pointer of first sighting
+	dec := NewBlockDecoder()
+	for bi, info := range r.Blocks() {
+		blk, err := dec.Decode(bytes.NewReader(file), info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blk.Dict) != len(regionSets[bi]) {
+			t.Fatalf("block %d dictionary %v, want %v", bi, blk.Dict, regionSets[bi])
+		}
+		for i := range blk.Region {
+			if got, want := blk.Region[i], blk.Dict[blk.RegionID[i]]; got != want {
+				t.Fatalf("block %d row %d: Region %q != Dict[RegionID] %q", bi, i, got, want)
+			}
+		}
+		for _, s := range blk.Dict {
+			ptr := unsafe.StringData(s)
+			if first, ok := canonical[s]; !ok {
+				canonical[s] = ptr
+			} else if first != ptr {
+				t.Errorf("block %d: %q re-allocated instead of interned", bi, s)
+			}
+		}
+	}
+	// Every spelling ever written must have been seen.
+	for _, set := range regionSets {
+		for _, s := range set {
+			if _, ok := canonical[s]; !ok {
+				t.Errorf("region %q never surfaced in a dictionary", s)
+			}
+		}
+	}
+}
+
+// TestDecodeColsSkipsColumns pins the projection contract: skipped
+// columns come back empty, kept columns match a full decode.
+func TestDecodeColsSkipsColumns(t *testing.T) {
+	rows := genRows(200)
+	file, _ := encodeRows(t, rows, 64)
+	r, err := NewReader(bytes.NewReader(file), int64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewBlockDecoder()
+	ids := NewBlockDecoder()
+	proj := NewBlockDecoder()
+	for _, bi := range r.Blocks() {
+		want, err := full.Decode(bytes.NewReader(file), bi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ColRegionIDs: dictionary and codes decode, no string fill.
+		got, err := ids.DecodeCols(bytes.NewReader(file), bi, ColRegionIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.TimeNano) != 0 || len(got.Region) != 0 {
+			t.Fatalf("skipped columns materialized: %d times, %d regions", len(got.TimeNano), len(got.Region))
+		}
+		if !reflect.DeepEqual(got.Probe, want.Probe) || !reflect.DeepEqual(got.RTT, want.RTT) ||
+			!reflect.DeepEqual(got.Lost, want.Lost) || !reflect.DeepEqual(got.RegionID, want.RegionID) ||
+			!reflect.DeepEqual(got.Dict, want.Dict) {
+			t.Fatal("projected decode disagrees with full decode")
+		}
+		// The empty set: only the always-decoded validation columns.
+		bare, err := proj.DecodeCols(bytes.NewReader(file), bi, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bare.TimeNano) != 0 || len(bare.Region) != 0 || len(bare.RegionID) != 0 || bare.Dict != nil {
+			t.Fatalf("empty column set materialized optional columns: %d times, %d regions, %d ids, dict %v",
+				len(bare.TimeNano), len(bare.Region), len(bare.RegionID), bare.Dict)
+		}
+		if !reflect.DeepEqual(bare.Probe, want.Probe) || !reflect.DeepEqual(bare.RTT, want.RTT) ||
+			!reflect.DeepEqual(bare.Lost, want.Lost) {
+			t.Fatal("bare decode disagrees with full decode")
+		}
+	}
+}

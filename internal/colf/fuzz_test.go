@@ -16,6 +16,17 @@ func FuzzBlockRoundTrip(f *testing.F) {
 	f.Add([]byte{}, uint8(4), uint16(0))
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(1), uint16(3))
 	f.Add(bytes.Repeat([]byte{0xFF, 0x00, 0x7A}, 40), uint8(3), uint16(55))
+	// Dictionary edge cases: region bytes that vary per row so every row
+	// mints a fresh dict entry (dict size == rows, the format's cap), and
+	// a corruption offset that tends to land in the dict/codes section.
+	dictHeavy := make([]byte, 0, 16*13)
+	for i := 0; i < 16; i++ {
+		dictHeavy = append(dictHeavy, byte(i), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 6, byte('a'+i))
+	}
+	f.Add(dictHeavy, uint8(7), uint16(90))
+	// Empty-string regions mixed with one-byte ones: exercises dict code
+	// 0 reuse and the zero-length intern path.
+	f.Add(bytes.Repeat([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 0x80, 1, 'z'}, 12), uint8(2), uint16(140))
 	f.Fuzz(func(t *testing.T, raw []byte, blockRows uint8, corruptAt uint16) {
 		rows := rowsFromBytes(raw)
 		var buf bytes.Buffer

@@ -1,0 +1,76 @@
+package colf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrMmapUnsupported reports that this platform has no memory-map
+// support; callers fall back to plain ReadAt on the file handle.
+var ErrMmapUnsupported = errors.New("colf: mmap unsupported on this platform")
+
+// Mapping is a read-only memory map of a colf file. It satisfies
+// io.ReaderAt (copying), and the BlockDecoder recognizes it to decode
+// blocks zero-copy straight out of the page cache. A Mapping is safe
+// for concurrent readers. After Close no slice obtained from it may be
+// touched — decoded Blocks only hold copied or interned data, so they
+// survive the unmap.
+type Mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// OpenMapping maps size bytes of f read-only. On platforms without
+// mmap it returns ErrMmapUnsupported and the caller keeps using f.
+func OpenMapping(f *os.File, size int64) (*Mapping, error) {
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size < 0 || int64(int(size)) != size {
+		return nil, fmt.Errorf("colf: cannot map %d bytes", size)
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// Bytes returns the mapped file contents. Treat as read-only.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Size returns the mapped length in bytes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Slice returns the n bytes at off without copying.
+func (m *Mapping) Slice(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(m.data)) {
+		return nil, fmt.Errorf("colf: mapped read [%d,%d) outside %d-byte file", off, off+n, len(m.data))
+	}
+	return m.data[off : off+n : off+n], nil
+}
+
+// ReadAt implements io.ReaderAt over the mapping.
+func (m *Mapping) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(m.data)) {
+		return 0, fmt.Errorf("colf: mapped read at %d outside %d-byte file", off, len(m.data))
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close unmaps. Safe to call more than once.
+func (m *Mapping) Close() error {
+	if !m.mapped {
+		return nil
+	}
+	m.mapped = false
+	data := m.data
+	m.data = nil
+	return munmapFile(data)
+}

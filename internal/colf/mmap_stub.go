@@ -1,0 +1,9 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package colf
+
+import "os"
+
+func mmapFile(*os.File, int) ([]byte, error) { return nil, ErrMmapUnsupported }
+
+func munmapFile([]byte) error { return nil }

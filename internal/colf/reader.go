@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -112,7 +113,12 @@ func loadIndex(r io.ReaderAt, size int64) ([]BlockInfo, bool, error) {
 	if _, err := r.ReadAt(trailer[:], size-indexTrailerSize); err != nil {
 		return nil, false, err
 	}
-	if string(trailer[4:]) != string(indexMagic[:]) {
+	var v2 bool
+	switch {
+	case string(trailer[4:]) == string(indexMagic[:]):
+		v2 = true
+	case string(trailer[4:]) == string(indexMagicV1[:]):
+	default:
 		return nil, false, nil
 	}
 	idxLen := int64(binary.LittleEndian.Uint32(trailer[:4]))
@@ -143,8 +149,22 @@ func loadIndex(r io.ReaderAt, size int64) ([]BlockInfo, bool, error) {
 		if err != nil {
 			return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
 		}
-		zone, err := decodeZone(c)
-		if err != nil {
+		var zone Zone
+		if v2 {
+			// v2 length-prefixes each zone so the entry stream stays
+			// parseable however the zone encoding grows.
+			zLen, err := c.uvarint()
+			if err != nil {
+				return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
+			}
+			raw, err := c.bytes(int(zLen))
+			if err != nil {
+				return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
+			}
+			if zone, err = decodeZoneFull(&byteCursor{b: raw}); err != nil {
+				return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
+			}
+		} else if zone, err = decodeZone(c); err != nil {
 			return nil, false, fmt.Errorf("colf: corrupt index entry %d: %w", i, err)
 		}
 		bi := BlockInfo{Off: prevOff + int64(offDelta), Len: int64(length), Zone: zone}
@@ -201,12 +221,9 @@ func ScanBlocksFrom(r io.ReaderAt, start, end int64, verify bool) ([]BlockInfo, 
 			return nil, err
 		}
 		c := &byteCursor{b: footer[:len(footer)-4]}
-		zone, err := decodeZone(c)
+		zone, err := decodeZoneFull(c)
 		if err != nil {
 			return nil, fmt.Errorf("colf: block at offset %d: %w", off, err)
-		}
-		if c.remaining() != 0 {
-			return nil, fmt.Errorf("colf: block at offset %d: %d stray footer bytes", off, c.remaining())
 		}
 		if verify {
 			payload := make([]byte, payloadLen)
@@ -283,12 +300,26 @@ func DeltaBlocks(r io.ReaderAt, size, boundary int64) ([]BlockInfo, error) {
 
 // Block holds one decoded block in columnar form. Slices are owned by
 // the BlockDecoder and overwritten by its next Decode.
+//
+// The region column is exposed two ways: Region[i] as an interned
+// string (filled only when ColRegionStrings was requested), and
+// RegionID[i] as the block-local dictionary code with Dict as the
+// dictionary — Region[i] == Dict[RegionID[i]]. Batch kernels resolve
+// region → accumulator once per dictionary code instead of per row.
+// Dict entries are interned across blocks, so equal spellings are
+// pointer-equal between blocks of one decoder.
 type Block struct {
 	Probe    []int
-	TimeNano []int64
-	Region   []string
+	TimeNano []int64  // empty when decoded without ColTime
+	Region   []string // empty when decoded without ColRegionStrings
 	RTT      []float64
 	Lost     []bool
+	RegionID []uint32
+	Dict     []string
+	// Zone is the block's footer zone, CRC-verified together with the
+	// payload — unlike an index zone, it is integrity-protected, so
+	// consumers may trust its bounds against the decoded columns.
+	Zone Zone
 }
 
 // Rows returns the decoded row count.
@@ -315,18 +346,58 @@ func NewBlockDecoder() *BlockDecoder {
 	return &BlockDecoder{intern: make(map[string]string)}
 }
 
+// ColumnSet selects which optional columns DecodeCols materializes.
+// Probe, RTT, and loss always decode (they are cheap and the
+// validation sweep needs them); timestamps, region codes, and per-row
+// region strings are the expensive fills a batch kernel can skip.
+type ColumnSet uint8
+
+const (
+	// ColTime decodes the timestamp column into Block.TimeNano.
+	ColTime ColumnSet = 1 << iota
+	// ColRegionStrings fills Block.Region with interned strings
+	// (implies decoding the dictionary and codes).
+	ColRegionStrings
+	// ColRegionIDs decodes the region dictionary and per-row codes
+	// into Block.Dict and Block.RegionID without the per-row string
+	// fill — the form the batch kernels consume.
+	ColRegionIDs
+
+	// ColAll is the full row-assembly set Decode uses.
+	ColAll = ColTime | ColRegionStrings | ColRegionIDs
+)
+
 // Decode reads and decodes the block described by bi. The returned
 // Block is valid until the next Decode call.
 func (d *BlockDecoder) Decode(r io.ReaderAt, bi BlockInfo) (*Block, error) {
+	return d.DecodeCols(r, bi, ColAll)
+}
+
+// DecodeCols decodes the block described by bi, materializing only the
+// requested optional columns. Skipped columns come back empty (length
+// zero, so stale data can never be read by mistake); their bytes are
+// still CRC-verified but not parsed. When r is a *Mapping the block
+// decodes zero-copy out of the page cache — everything a Block retains
+// is copied or interned, so nothing aliases the map afterwards.
+func (d *BlockDecoder) DecodeCols(r io.ReaderAt, bi BlockInfo, cols ColumnSet) (*Block, error) {
 	if bi.Len < 12 || bi.Len > maxBlockBytes {
 		return nil, fmt.Errorf("colf: implausible block length %d at offset %d", bi.Len, bi.Off)
 	}
-	if cap(d.buf) < int(bi.Len) {
-		d.buf = make([]byte, bi.Len)
-	}
-	buf := d.buf[:bi.Len]
-	if _, err := r.ReadAt(buf, bi.Off); err != nil {
-		return nil, err
+	var buf []byte
+	if m, ok := r.(*Mapping); ok {
+		b, err := m.Slice(bi.Off, bi.Len)
+		if err != nil {
+			return nil, err
+		}
+		buf = b
+	} else {
+		if cap(d.buf) < int(bi.Len) {
+			d.buf = make([]byte, bi.Len)
+		}
+		buf = d.buf[:bi.Len]
+		if _, err := r.ReadAt(buf, bi.Off); err != nil {
+			return nil, err
+		}
 	}
 	bodyLen := int64(binary.LittleEndian.Uint32(buf[0:4]))
 	payloadLen := int64(binary.LittleEndian.Uint32(buf[4:8]))
@@ -343,7 +414,7 @@ func (d *BlockDecoder) Decode(r io.ReaderAt, bi BlockInfo) (*Block, error) {
 		return nil, fmt.Errorf("colf: block at offset %d fails CRC (%08x != %08x)", bi.Off, got, crc)
 	}
 	fc := &byteCursor{b: footer}
-	zone, err := decodeZone(fc)
+	zone, err := decodeZoneFull(fc)
 	if err != nil {
 		return nil, fmt.Errorf("colf: block at offset %d: corrupt footer: %w", bi.Off, err)
 	}
@@ -352,136 +423,123 @@ func (d *BlockDecoder) Decode(r io.ReaderAt, bi BlockInfo) (*Block, error) {
 		// Every row costs at least one payload byte in some column.
 		return nil, fmt.Errorf("colf: block at offset %d claims %d rows in %d payload bytes", bi.Off, rows, payloadLen)
 	}
+	d.blk.Zone = zone
 
 	c := &byteCursor{b: payload}
-	probeSec, err := section(c)
-	if err != nil {
-		return nil, err
-	}
-	timeSec, err := section(c)
-	if err != nil {
-		return nil, err
-	}
-	regionSec, err := section(c)
-	if err != nil {
-		return nil, err
-	}
-	rttSec, err := section(c)
-	if err != nil {
-		return nil, err
-	}
-	lostSec, err := section(c)
-	if err != nil {
-		return nil, err
+	var secs [5][]byte
+	for i := range secs {
+		if secs[i], err = sectionBytes(c); err != nil {
+			return nil, err
+		}
 	}
 	if c.remaining() != 0 {
 		return nil, fmt.Errorf("colf: block at offset %d: %d stray payload bytes", bi.Off, c.remaining())
 	}
+	probeSec, timeSec, regionSec, rttSec, lostSec := secs[0], secs[1], secs[2], secs[3], secs[4]
 
 	blk := &d.blk
 	blk.Probe = grow(blk.Probe, rows)
-	blk.TimeNano = grow(blk.TimeNano, rows)
-	blk.Region = grow(blk.Region, rows)
 	blk.RTT = grow(blk.RTT, rows)
 	blk.Lost = grow(blk.Lost, rows)
 
-	// Probe and time columns: delta chains restarting at zero.
-	prev := int64(0)
-	for i := 0; i < rows; i++ {
-		dlt, err := probeSec.varint()
-		if err != nil {
-			return nil, err
+	// Probe and time columns: delta chains restarting at zero, decoded
+	// by the batch kernels.
+	if err := decodeDeltaVarints(probeSec, blk.Probe); err != nil {
+		return nil, fmt.Errorf("colf: block at offset %d: probe column: %w", bi.Off, err)
+	}
+	if cols&ColTime != 0 {
+		blk.TimeNano = grow(blk.TimeNano, rows)
+		if err := decodeDeltaVarints(timeSec, blk.TimeNano); err != nil {
+			return nil, fmt.Errorf("colf: block at offset %d: time column: %w", bi.Off, err)
 		}
-		prev += dlt
-		blk.Probe[i] = int(prev)
-	}
-	if probeSec.remaining() != 0 {
-		return nil, fmt.Errorf("colf: block at offset %d: stray probe bytes", bi.Off)
-	}
-	prev = 0
-	for i := 0; i < rows; i++ {
-		dlt, err := timeSec.varint()
-		if err != nil {
-			return nil, err
-		}
-		prev += dlt
-		blk.TimeNano[i] = prev
-	}
-	if timeSec.remaining() != 0 {
-		return nil, fmt.Errorf("colf: block at offset %d: stray time bytes", bi.Off)
+	} else {
+		blk.TimeNano = blk.TimeNano[:0]
 	}
 
-	// Region column: dictionary then codes.
-	dictN, err := regionSec.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if dictN > uint64(rows) {
-		return nil, fmt.Errorf("colf: block at offset %d: dictionary of %d entries for %d rows", bi.Off, dictN, rows)
-	}
-	d.dict = d.dict[:0]
-	for i := uint64(0); i < dictN; i++ {
-		n, err := regionSec.uvarint()
+	// Region column: dictionary then codes (skipped wholesale when the
+	// pass set needs neither IDs nor strings — the bytes stay inside
+	// the CRC above but are never parsed).
+	if cols&(ColRegionIDs|ColRegionStrings) != 0 {
+		blk.RegionID = grow(blk.RegionID, rows)
+		rc := &byteCursor{b: regionSec}
+		dictN, err := rc.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		raw, err := regionSec.bytes(int(n))
-		if err != nil {
-			return nil, err
+		if dictN > uint64(rows) {
+			return nil, fmt.Errorf("colf: block at offset %d: dictionary of %d entries for %d rows", bi.Off, dictN, rows)
 		}
-		d.dict = append(d.dict, d.internString(raw))
+		d.dict = d.dict[:0]
+		for i := uint64(0); i < dictN; i++ {
+			n, err := rc.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := rc.bytes(int(n))
+			if err != nil {
+				return nil, err
+			}
+			d.dict = append(d.dict, d.internString(raw))
+		}
+		blk.Dict = d.dict
+		if err := decodeRegionCodes(regionSec[rc.off:], blk.RegionID, len(d.dict)); err != nil {
+			return nil, fmt.Errorf("colf: block at offset %d: %w", bi.Off, err)
+		}
+	} else {
+		blk.RegionID = blk.RegionID[:0]
+		blk.Dict = nil
 	}
-	for i := 0; i < rows; i++ {
-		code, err := regionSec.uvarint()
-		if err != nil {
-			return nil, err
+	if cols&ColRegionStrings != 0 {
+		blk.Region = grow(blk.Region, rows)
+		for i, code := range blk.RegionID {
+			blk.Region[i] = d.dict[code]
 		}
-		if code >= uint64(len(d.dict)) {
-			return nil, fmt.Errorf("colf: block at offset %d: region code %d outside dictionary of %d", bi.Off, code, len(d.dict))
-		}
-		blk.Region[i] = d.dict[code]
-	}
-	if regionSec.remaining() != 0 {
-		return nil, fmt.Errorf("colf: block at offset %d: stray region bytes", bi.Off)
+	} else {
+		blk.Region = blk.Region[:0]
 	}
 
 	// RTT column: raw bits.
-	if rttSec.remaining() != rows*8 {
-		return nil, fmt.Errorf("colf: block at offset %d: RTT column holds %d bytes for %d rows", bi.Off, rttSec.remaining(), rows)
+	if len(rttSec) != rows*8 {
+		return nil, fmt.Errorf("colf: block at offset %d: RTT column holds %d bytes for %d rows", bi.Off, len(rttSec), rows)
 	}
 	for i := 0; i < rows; i++ {
-		v, err := rttSec.floatBits()
-		if err != nil {
-			return nil, err
-		}
-		blk.RTT[i] = v
+		blk.RTT[i] = math.Float64frombits(binary.LittleEndian.Uint64(rttSec[8*i:]))
 	}
 
-	// Loss bitmap.
+	// Loss bitmap: expand full bytes eight flags at a time (the stores
+	// are independent, so they pipeline), then the ragged tail.
 	want := (rows + 7) / 8
-	bits, err := lostSec.bytes(want)
-	if err != nil || lostSec.remaining() != 0 {
-		return nil, fmt.Errorf("colf: block at offset %d: loss bitmap holds %d bytes, want %d", bi.Off, len(lostSec.b), want)
+	if len(lostSec) != want {
+		return nil, fmt.Errorf("colf: block at offset %d: loss bitmap holds %d bytes, want %d", bi.Off, len(lostSec), want)
 	}
-	for i := 0; i < rows; i++ {
-		blk.Lost[i] = bits[i/8]&(1<<(i%8)) != 0
+	lost := blk.Lost
+	n8 := rows &^ 7
+	for i := 0; i < n8; i += 8 {
+		m := lostSec[i>>3]
+		lost[i] = m&0x01 != 0
+		lost[i+1] = m&0x02 != 0
+		lost[i+2] = m&0x04 != 0
+		lost[i+3] = m&0x08 != 0
+		lost[i+4] = m&0x10 != 0
+		lost[i+5] = m&0x20 != 0
+		lost[i+6] = m&0x40 != 0
+		lost[i+7] = m&0x80 != 0
+	}
+	for i := n8; i < rows; i++ {
+		lost[i] = lostSec[i/8]&(1<<(i%8)) != 0
 	}
 
 	return blk, nil
 }
 
-// section carves the next length-prefixed column section into its own
-// cursor.
-func section(c *byteCursor) (*byteCursor, error) {
+// sectionBytes carves the next length-prefixed column section out of
+// the payload cursor.
+func sectionBytes(c *byteCursor) ([]byte, error) {
 	n, err := c.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.bytes(int(n))
-	if err != nil {
-		return nil, err
-	}
-	return &byteCursor{b: raw}, nil
+	return c.bytes(int(n))
 }
 
 // grow returns a slice of length n, reusing s's capacity.

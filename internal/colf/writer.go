@@ -34,12 +34,24 @@ type Writer struct {
 	lost        []bool
 	dict        map[string]uint32
 	dictEntries []string
+	regionAggs  []regionAgg // parallel to dictEntries
 	zone        Zone
 
 	blocks []BlockInfo
 
 	// Encode scratch, reused across blocks.
 	payload, sec, zoneBuf []byte
+}
+
+// regionAgg accumulates one dictionary entry's zone pre-aggregate
+// while its block is open. The dictionary lookup Write already does
+// doubles as the accumulator lookup, so the aggregates cost no extra
+// hashing on the write path.
+type regionAgg struct {
+	firstRow  int
+	rows      int
+	delivered int
+	rttSum    float64
 }
 
 // NewWriter starts a fresh colf stream on w; the file header is
@@ -79,6 +91,13 @@ func (w *Writer) Write(r Row) error {
 		code = uint32(len(w.dictEntries))
 		w.dict[r.Region] = code
 		w.dictEntries = append(w.dictEntries, r.Region)
+		w.regionAggs = append(w.regionAggs, regionAgg{firstRow: w.zone.Rows})
+	}
+	agg := &w.regionAggs[code]
+	agg.rows++
+	if !r.Lost {
+		agg.delivered++
+		agg.rttSum += r.RTT
 	}
 	w.probes = append(w.probes, int64(r.Probe))
 	w.times = append(w.times, r.TimeNano)
@@ -116,13 +135,18 @@ func (w *Writer) Finish() error {
 		return err
 	}
 	w.finished = true
+	// v2 index: zones are length-prefixed so the entry stream stays
+	// parseable as the zone encoding grows (v1 concatenated them, which
+	// made any zone extension ambiguous mid-stream).
 	idx := w.payload[:0]
 	idx = appendUvarint(idx, uint64(len(w.blocks)))
 	prevOff := int64(0)
 	for _, b := range w.blocks {
 		idx = appendUvarint(idx, uint64(b.Off-prevOff))
 		idx = appendUvarint(idx, uint64(b.Len))
-		idx = appendZone(idx, b.Zone)
+		zb := appendZone(w.zoneBuf[:0], b.Zone)
+		idx = appendUvarint(idx, uint64(len(zb)))
+		idx = append(idx, zb...)
 		prevOff = b.Off
 	}
 	var trailer [indexTrailerSize]byte
@@ -209,6 +233,23 @@ func (w *Writer) flushBlock() error {
 	}
 	payload = appendSection(payload, sec)
 
+	// Per-region pre-aggregates ride in the zone footer unless the
+	// dictionary outgrew the cap (then consumers fall back to row decode
+	// for per-region questions; the block-level RTTSum still applies).
+	if len(w.dictEntries) <= maxZoneRegions {
+		regions := make([]RegionZone, len(w.dictEntries))
+		for i, agg := range w.regionAggs {
+			regions[i] = RegionZone{
+				Region:    w.dictEntries[i],
+				FirstRow:  agg.firstRow,
+				Rows:      agg.rows,
+				Delivered: agg.delivered,
+				RTTSum:    agg.rttSum,
+			}
+		}
+		w.zone.Regions = regions
+	}
+
 	zoneBytes := appendZone(w.zoneBuf[:0], w.zone)
 	bodyLen := len(payload) + len(zoneBytes) + 4
 	if bodyLen > maxBlockBytes {
@@ -240,6 +281,7 @@ func (w *Writer) flushBlock() error {
 	w.rtts = w.rtts[:0]
 	w.lost = w.lost[:0]
 	w.dictEntries = w.dictEntries[:0]
+	w.regionAggs = w.regionAggs[:0]
 	clear(w.dict)
 	w.zone = Zone{}
 	return nil

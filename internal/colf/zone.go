@@ -2,8 +2,29 @@ package colf
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
+
+// maxZoneRegions caps the per-region aggregate list a zone carries.
+// Real blocks cycle through a campaign's region set (a few dozen); a
+// block whose dictionary exceeds the cap drops the list rather than
+// bloating every footer, and consumers fall back to row decode.
+const maxZoneRegions = 64
+
+// RegionZone is one region's pre-aggregate within a block: where its
+// rows start, how many there are, and the delivered-RTT fold over them.
+// Entries appear in dictionary (first-appearance) order; a region's
+// rows need not be contiguous — FirstRow is the first occurrence.
+type RegionZone struct {
+	Region    string
+	FirstRow  int
+	Rows      int
+	Delivered int
+	// RTTSum is the sum of RTT over the region's delivered rows, folded
+	// in row order (so it is bit-reproducible from a row scan).
+	RTTSum float64
+}
 
 // Zone is one block's per-column summary: row count and min/max per
 // column. Readers use it two ways — integrity (the decoded block must
@@ -22,10 +43,20 @@ type Zone struct {
 	MinRTT, MaxRTT float64
 	// MinRegion/MaxRegion bound the region column lexicographically.
 	MinRegion, MaxRegion string
+
+	// Format v2 pre-aggregates. HasAgg reports whether the block was
+	// written with them (v1 blocks decode with HasAgg false); RTTSum is
+	// then the row-order sum of RTT over delivered rows. Regions holds
+	// the per-region breakdown, and is nil on v1 blocks or when the
+	// block's dictionary exceeded maxZoneRegions.
+	HasAgg  bool
+	RTTSum  float64
+	Regions []RegionZone
 }
 
 // observe folds one row into the zone.
 func (z *Zone) observe(r Row) {
+	z.HasAgg = true
 	if z.Rows == 0 {
 		z.MinProbe, z.MaxProbe = r.Probe, r.Probe
 		z.MinTime, z.MaxTime = r.TimeNano, r.TimeNano
@@ -63,11 +94,22 @@ func (z *Zone) observe(r Row) {
 			}
 		}
 		z.Delivered++
+		z.RTTSum += r.RTT
 	}
 }
 
+// Zone extension flags (format v2). The extension is self-describing:
+// a v1 zone simply ends after MaxRegion, so its presence is detected by
+// leftover bytes in the (exactly bounded) footer or index entry.
+const (
+	zoneFlagAgg     = 1 << 0 // RTTSum present (when Delivered > 0)
+	zoneFlagRegions = 1 << 1 // per-region aggregate list present
+)
+
 // appendZone encodes z. The same encoding serves block footers and the
-// file-level index.
+// file-level index. Zones observed by a v2 writer carry the aggregate
+// extension; zones decoded from v1 blocks re-encode as v1 (HasAgg is
+// false — inventing an RTTSum of zero would be wrong, not additive).
 func appendZone(b []byte, z Zone) []byte {
 	b = appendUvarint(b, uint64(z.Rows))
 	b = appendVarint(b, int64(z.MinProbe))
@@ -83,6 +125,30 @@ func appendZone(b []byte, z Zone) []byte {
 	b = append(b, z.MinRegion...)
 	b = appendUvarint(b, uint64(len(z.MaxRegion)))
 	b = append(b, z.MaxRegion...)
+	if !z.HasAgg {
+		return b
+	}
+	flags := uint64(zoneFlagAgg)
+	if len(z.Regions) > 0 {
+		flags |= zoneFlagRegions
+	}
+	b = appendUvarint(b, flags)
+	if z.Delivered > 0 {
+		b = appendFloatBits(b, z.RTTSum)
+	}
+	if len(z.Regions) > 0 {
+		b = appendUvarint(b, uint64(len(z.Regions)))
+		for _, rz := range z.Regions {
+			b = appendUvarint(b, uint64(len(rz.Region)))
+			b = append(b, rz.Region...)
+			b = appendUvarint(b, uint64(rz.FirstRow))
+			b = appendUvarint(b, uint64(rz.Rows))
+			b = appendUvarint(b, uint64(rz.Delivered))
+			if rz.Delivered > 0 {
+				b = appendFloatBits(b, rz.RTTSum)
+			}
+		}
+	}
 	return b
 }
 
@@ -147,6 +213,101 @@ func decodeZone(c *byteCursor) (Zone, error) {
 	return z, nil
 }
 
+// decodeZoneExt parses the v2 aggregate extension into z. Callers
+// invoke it only when the zone's bounds (an exactly sized footer or a
+// length-prefixed index entry) show bytes past the v1 fields, and must
+// check the cursor is fully consumed afterwards.
+func decodeZoneExt(c *byteCursor, z *Zone) error {
+	flags, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if flags&zoneFlagAgg == 0 || flags&^uint64(zoneFlagAgg|zoneFlagRegions) != 0 {
+		return fmt.Errorf("colf: unknown zone extension flags %#x", flags)
+	}
+	z.HasAgg = true
+	if z.Delivered > 0 {
+		if z.RTTSum, err = c.floatBits(); err != nil {
+			return err
+		}
+	}
+	if flags&zoneFlagRegions == 0 {
+		return nil
+	}
+	count, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if count == 0 || count > maxZoneRegions || count > uint64(z.Rows) {
+		return fmt.Errorf("colf: implausible zone region count %d for %d rows", count, z.Rows)
+	}
+	regions := make([]RegionZone, 0, count)
+	var sumRows, sumDelivered int
+	for i := uint64(0); i < count; i++ {
+		var rz RegionZone
+		n, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		raw, err := c.bytes(int(n))
+		if err != nil {
+			return err
+		}
+		rz.Region = string(raw)
+		first, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		rows, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		delivered, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if first >= uint64(z.Rows) || rows > uint64(z.Rows) || delivered > rows {
+			return fmt.Errorf("colf: implausible zone region entry %d (first %d, rows %d, delivered %d)",
+				i, first, rows, delivered)
+		}
+		rz.FirstRow, rz.Rows, rz.Delivered = int(first), int(rows), int(delivered)
+		if rz.Delivered > 0 {
+			if rz.RTTSum, err = c.floatBits(); err != nil {
+				return err
+			}
+		}
+		sumRows += rz.Rows
+		sumDelivered += rz.Delivered
+		regions = append(regions, rz)
+	}
+	if sumRows != z.Rows || sumDelivered != z.Delivered {
+		return fmt.Errorf("colf: zone region aggregates cover %d rows/%d delivered, zone has %d/%d",
+			sumRows, sumDelivered, z.Rows, z.Delivered)
+	}
+	z.Regions = regions
+	return nil
+}
+
+// decodeZoneFull parses a zone that owns the remainder of the cursor:
+// v1 fields, the v2 extension when bytes remain, and nothing after.
+// Block footers and v2 index entries are exactly bounded, which is what
+// makes the extension's presence unambiguous.
+func decodeZoneFull(c *byteCursor) (Zone, error) {
+	z, err := decodeZone(c)
+	if err != nil {
+		return z, err
+	}
+	if c.remaining() > 0 {
+		if err := decodeZoneExt(c, &z); err != nil {
+			return z, err
+		}
+		if c.remaining() != 0 {
+			return z, fmt.Errorf("colf: %d stray bytes after zone extension", c.remaining())
+		}
+	}
+	return z, nil
+}
+
 // Predicate is a conjunction of per-column range filters. MatchZone is
 // the block-skipping side: it answers "may this block contain a
 // matching row?" and errs toward true, so skipping is always safe.
@@ -198,6 +359,40 @@ func (p *Predicate) MatchZone(z Zone) bool {
 			return false
 		}
 		if hi, bounded := prefixSuccessor(p.RegionPrefix); bounded && z.MinRegion >= hi {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversZone is MatchZone's dual: it reports whether EVERY row of a
+// block with zone z provably matches the predicate. A true return lets
+// a scanner skip per-row filtering for the whole block (and resolve
+// aggregate-only passes from the zone alone); false proves nothing —
+// the block may still match fully, partially, or not at all. It errs
+// toward false, so acting on it is always safe.
+func (p *Predicate) CoversZone(z Zone) bool {
+	if p.Empty() {
+		return true
+	}
+	if !p.Since.IsZero() && z.MinTime < p.Since.UnixNano() {
+		return false
+	}
+	if !p.Until.IsZero() && z.MaxTime >= p.Until.UnixNano() {
+		return false
+	}
+	if p.MinProbe != 0 && z.MinProbe < p.MinProbe {
+		return false
+	}
+	if p.MaxProbe != 0 && z.MaxProbe > p.MaxProbe {
+		return false
+	}
+	if p.RegionPrefix != "" {
+		// If both lexicographic extremes carry the prefix, every region in
+		// [MinRegion, MaxRegion] does: a string in the range that lacked it
+		// would differ from the prefix at some byte and thereby fall below
+		// MinRegion or above MaxRegion.
+		if !strings.HasPrefix(z.MinRegion, p.RegionPrefix) || !strings.HasPrefix(z.MaxRegion, p.RegionPrefix) {
 			return false
 		}
 	}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/colf"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// Batch kernels: every suite pass implements scan.BlockPass, so the
+// scanner's batch path feeds whole column arrays instead of assembling
+// a results.Sample per row. Each ObserveBlock folds exactly the state
+// its row-order Observe would — same accumulators, same insertion
+// order, same lazy creation — so figures, snapshots, and merge results
+// stay byte-identical between the two paths.
+//
+// The kernels assume every row already passes results.Sample.Validate,
+// which the scanner proves from the CRC-verified footer zone before
+// dispatching here (see scan.blockRowsValid). Probe IDs are therefore
+// > 0, making 0 a safe "no previous probe" sentinel for the run caches
+// below: blocks group consecutive rows by probe, so per-probe index
+// lookups (country, tier, longitude, ...) resolve once per run instead
+// of once per row.
+
+// Columns implements scan.BlockPass; probe, RTT, loss, and region
+// codes always decode.
+func (p *ProximityPass) Columns() colf.ColumnSet { return 0 }
+
+// ObserveBlock implements scan.BlockPass.
+func (p *ProximityPass) ObserveBlock(blk *colf.Block) error {
+	lastProbe := 0
+	known := false
+	var country string
+	var a *proximityAcc
+	for i, probe := range blk.Probe {
+		if blk.Lost[i] {
+			continue
+		}
+		if probe != lastProbe {
+			lastProbe = probe
+			country, known = p.idx.Country(probe)
+			a = nil
+		}
+		if !known {
+			continue
+		}
+		if a == nil {
+			a = p.byCountry[country]
+		}
+		rtt := blk.RTT[i]
+		if a == nil {
+			a = &proximityAcc{min: rtt}
+			p.byCountry[country] = a
+		} else if rtt < a.min {
+			a.min = rtt
+		}
+		a.samples++
+	}
+	return nil
+}
+
+// Columns implements scan.BlockPass.
+func (p *MinRTTPass) Columns() colf.ColumnSet { return 0 }
+
+// ObserveBlock implements scan.BlockPass. The per-probe minimum runs
+// locally over each probe's row run and is written back once, turning
+// a map update per row into one per run.
+func (p *MinRTTPass) ObserveBlock(blk *colf.Block) error {
+	lastProbe := 0
+	known, have, dirty := false, false, false
+	var cur float64
+	for i, probe := range blk.Probe {
+		if blk.Lost[i] {
+			continue
+		}
+		if probe != lastProbe {
+			if dirty {
+				p.mins[lastProbe] = cur
+			}
+			lastProbe = probe
+			known = p.idx.Known(probe)
+			dirty = false
+			if known {
+				cur, have = p.mins[probe]
+			}
+		}
+		if !known {
+			continue
+		}
+		if rtt := blk.RTT[i]; !have || rtt < cur {
+			cur, have, dirty = rtt, true, true
+		}
+	}
+	if dirty {
+		p.mins[lastProbe] = cur
+	}
+	return nil
+}
+
+// Columns implements scan.BlockPass. Region strings come from the
+// block dictionary, so only the codes are needed, not the per-row
+// string column.
+func (p *FullDistPass) Columns() colf.ColumnSet { return colf.ColRegionIDs }
+
+// ObserveBlock implements scan.BlockPass. The nearest-region best runs
+// locally per probe run; the destination distribution is re-resolved
+// only when the dictionary code changes, so the (probe, region) map
+// walk happens once per run of equal codes instead of once per row.
+func (p *FullDistPass) ObserveBlock(blk *colf.Block) error {
+	dict := blk.Dict
+	lastProbe := 0
+	known, haveBest, dirty := false, false, false
+	var best nearestBest
+	var curDist *stats.Dist
+	lastCode := ^uint32(0)
+	for i, probe := range blk.Probe {
+		if blk.Lost[i] {
+			continue
+		}
+		if probe != lastProbe {
+			if dirty {
+				p.nearest[lastProbe] = best
+			}
+			lastProbe = probe
+			known = p.idx.Known(probe)
+			dirty = false
+			curDist, lastCode = nil, ^uint32(0)
+			if known {
+				best, haveBest = p.nearest[probe]
+			}
+		}
+		if !known {
+			continue
+		}
+		rtt := blk.RTT[i]
+		code := blk.RegionID[i]
+		if !haveBest || rtt < best.rtt {
+			best = nearestBest{region: dict[code], rtt: rtt}
+			haveBest, dirty = true, true
+		}
+		if code != lastCode {
+			region := dict[code]
+			d, err := p.materializeDist(probe, region)
+			if err != nil {
+				if dirty {
+					p.nearest[probe] = best
+				}
+				return err
+			}
+			if d == nil {
+				d = &stats.Dist{}
+				p.liveRegions(probe)[region] = d
+			}
+			curDist, lastCode = d, code
+		}
+		if err := curDist.Add(rtt); err != nil {
+			if dirty {
+				p.nearest[probe] = best
+			}
+			return err
+		}
+	}
+	if dirty {
+		p.nearest[lastProbe] = best
+	}
+	return nil
+}
+
+// Columns implements scan.BlockPass; the buffered streams carry
+// timestamps, so the time column must decode.
+func (p *LastMilePass) Columns() colf.ColumnSet { return colf.ColTime | colf.ColRegionIDs }
+
+// ObserveBlock implements scan.BlockPass. Tier and access tags are
+// per-probe constants resolved once per run; time.Time values are
+// built only for the rows that survive the tier/access filter.
+func (p *LastMilePass) ObserveBlock(blk *colf.Block) error {
+	dict := blk.Dict
+	lastProbe := 0
+	known, kept, haveBest, dirty := false, false, false, false
+	var best nearestBest
+	var regions map[string][]timedRTT
+	var cur []timedRTT
+	var curRegion string
+	lastCode := ^uint32(0)
+	flush := func(probe int) {
+		if dirty {
+			p.nearest[probe] = best
+		}
+		if lastCode != ^uint32(0) {
+			regions[curRegion] = cur
+		}
+	}
+	for i, probe := range blk.Probe {
+		if blk.Lost[i] {
+			continue
+		}
+		if probe != lastProbe {
+			if lastProbe != 0 {
+				flush(lastProbe)
+			}
+			lastProbe = probe
+			known = p.idx.Known(probe)
+			dirty, kept = false, false
+			regions, cur, lastCode = nil, nil, ^uint32(0)
+			if known {
+				best, haveBest = p.nearest[probe]
+				if tier, ok := p.idx.Tier(probe); ok && tier <= geo.Tier2 {
+					switch access, _ := p.idx.Access(probe); access {
+					case AccessWired, AccessWireless:
+						kept = true
+					}
+				}
+			}
+		}
+		if !known {
+			continue
+		}
+		rtt := blk.RTT[i]
+		code := blk.RegionID[i]
+		if !haveBest || rtt < best.rtt {
+			best = nearestBest{region: dict[code], rtt: rtt}
+			haveBest, dirty = true, true
+		}
+		if !kept {
+			continue
+		}
+		if code != lastCode {
+			if lastCode != ^uint32(0) {
+				regions[curRegion] = cur
+			}
+			region := dict[code]
+			if err := p.materializeStream(probe, region); err != nil {
+				if dirty {
+					p.nearest[probe] = best
+				}
+				return err
+			}
+			if regions == nil {
+				regions = p.liveStreams(probe)
+			}
+			curRegion, cur = region, regions[region]
+			lastCode = code
+		}
+		cur = append(cur, timedRTT{T: time.Unix(0, blk.TimeNano[i]).UTC(), V: rtt})
+	}
+	if lastProbe != 0 {
+		flush(lastProbe)
+	}
+	return nil
+}
+
+// Columns implements scan.BlockPass; local-hour binning needs the
+// timestamp column.
+func (p *DiurnalPass) Columns() colf.ColumnSet { return colf.ColTime }
+
+// ObserveBlock implements scan.BlockPass, binning by arithmetic on the
+// raw nanosecond column (see localHourNanos).
+func (p *DiurnalPass) ObserveBlock(blk *colf.Block) error {
+	lastProbe := 0
+	ok := false
+	var lon float64
+	for i, probe := range blk.Probe {
+		if blk.Lost[i] {
+			continue
+		}
+		if probe != lastProbe {
+			lastProbe = probe
+			lon, ok = p.idx.Longitude(probe)
+		}
+		if !ok {
+			continue
+		}
+		if err := p.bins[localHourNanos(blk.TimeNano[i], lon)].Add(blk.RTT[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Columns implements scan.BlockPass. Providers resolve from the block
+// dictionary and per-row codes.
+func (p *ProviderPass) Columns() colf.ColumnSet { return colf.ColRegionIDs }
+
+// ObserveBlock implements scan.BlockPass. The provider prefix is
+// carved off each dictionary entry once per block; accumulators
+// resolve lazily per code — only when a known probe's row actually
+// lands in one, exactly as Observe creates them, since an eagerly
+// created empty accumulator would change the encoded snapshot state.
+func (p *ProviderPass) ObserveBlock(blk *colf.Block) error {
+	p.provs, p.provOK, p.accs = p.provs[:0], p.provOK[:0], p.accs[:0]
+	for _, region := range blk.Dict {
+		prov, ok := providerOf(region)
+		p.provs = append(p.provs, prov)
+		p.provOK = append(p.provOK, ok)
+		p.accs = append(p.accs, nil)
+	}
+	lastProbe := 0
+	known := false
+	for i, probe := range blk.Probe {
+		if probe != lastProbe {
+			lastProbe = probe
+			known = p.idx.Known(probe)
+		}
+		if !known {
+			continue
+		}
+		code := blk.RegionID[i]
+		a := p.accs[code]
+		if a == nil {
+			if !p.provOK[code] {
+				continue
+			}
+			a = p.byProvider[p.provs[code]]
+			if a == nil {
+				a = &providerAcc{dist: &stats.Dist{}}
+				p.byProvider[p.provs[code]] = a
+			}
+			p.accs[code] = a
+		}
+		if blk.Lost[i] {
+			a.lost++
+			continue
+		}
+		if err := a.dist.Add(blk.RTT[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

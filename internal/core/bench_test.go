@@ -8,10 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/atlas"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/results"
 	"repro/internal/snap"
+	"repro/internal/world"
 )
 
 // BenchmarkAllFiguresLegacy measures the pre-fusion cost of a full figure
@@ -154,7 +156,19 @@ func BenchmarkIncrementalAppend(b *testing.B) {
 // parallel scan: every pass fed from a single pass over the file, decoded
 // by the fast-path decoder across GOMAXPROCS workers.
 func BenchmarkAllFiguresFused(b *testing.B) {
-	store, w, cfg := fileDataset(b)
+	benchAllFiguresFused(b, fileDataset)
+}
+
+// BenchmarkAllFiguresFusedBinary is the same fused scan over the
+// binary twin of the store — the configuration the batch kernels
+// target: column arrays feed ObserveBlock directly, with no per-row
+// Sample materialization.
+func BenchmarkAllFiguresFusedBinary(b *testing.B) {
+	benchAllFiguresFused(b, fileDatasetBinary)
+}
+
+func benchAllFiguresFused(b *testing.B, dataset func(testing.TB) (*results.Store, *world.World, atlas.CampaignConfig)) {
+	store, w, cfg := dataset(b)
 	info, err := os.Stat(store.SamplesPath())
 	if err != nil {
 		b.Fatal(err)
@@ -162,10 +176,15 @@ func BenchmarkAllFiguresFused(b *testing.B) {
 	b.SetBytes(info.Size())
 	b.ReportAllocs()
 	b.ResetTimer()
+	var samples uint64
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.ScanStore(context.Background(), store, w.Index,
-			cfg.Start, 7*24*time.Hour, runtime.GOMAXPROCS(0), nil); err != nil {
+		_, st, err := core.ScanStore(context.Background(), store, w.Index,
+			cfg.Start, 7*24*time.Hour, runtime.GOMAXPROCS(0), nil)
+		if err != nil {
 			b.Fatal(err)
 		}
+		samples = st.Samples
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
 }

@@ -460,11 +460,9 @@ func (p *FullDistPass) Report() (*CDFReport, error) {
 	return rep, nil
 }
 
-// timedRTT is one buffered nearest-region candidate sample.
-type timedRTT struct {
-	t   time.Time
-	rtt float64
-}
+// timedRTT is one buffered nearest-region candidate sample: a
+// timestamped RTT, shaped so whole streams feed stats.TimeSeries.AddBulk.
+type timedRTT = stats.TimedSample
 
 // LastMilePass accumulates Figure 7 and its significance test in a
 // single pass: the nearest-region tracker runs over all known probes,
@@ -529,7 +527,7 @@ func (p *LastMilePass) Observe(s results.Sample) error {
 		return err
 	}
 	regions := p.liveStreams(s.ProbeID)
-	regions[s.Region] = append(regions[s.Region], timedRTT{t: s.Time, rtt: s.RTTms})
+	regions[s.Region] = append(regions[s.Region], timedRTT{T: s.Time, V: s.RTTms})
 	return nil
 }
 
@@ -612,10 +610,12 @@ func (p *LastMilePass) Merge(other Pass) error {
 	return nil
 }
 
-// forEachKept walks the nearest-region samples of the qualifying probes
-// in ascending probe order. Only each probe's nearest-region stream is
-// read, so only those streams are decoded from a snapshot-seeded pass.
-func (p *LastMilePass) forEachKept(fn func(access AccessClass, s timedRTT) error) error {
+// forEachKept walks the nearest-region streams of the qualifying
+// probes in ascending probe order, one whole stream per call (the
+// samples of a stream share their probe's access class, so callers can
+// bulk-fold them). Only each probe's nearest-region stream is read, so
+// only those streams are decoded from a snapshot-seeded pass.
+func (p *LastMilePass) forEachKept(fn func(access AccessClass, samples []timedRTT) error) error {
 	if len(p.nearest) == 0 {
 		return errors.New("analysis: no delivered samples")
 	}
@@ -625,10 +625,8 @@ func (p *LastMilePass) forEachKept(fn func(access AccessClass, s timedRTT) error
 		if err := p.materializeStream(probeID, region); err != nil {
 			return err
 		}
-		for _, s := range p.byProbe[probeID][region] {
-			if err := fn(access, s); err != nil {
-				return err
-			}
+		if err := fn(access, p.byProbe[probeID][region]); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -644,11 +642,11 @@ func (p *LastMilePass) Report() (*LastMileReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = p.forEachKept(func(access AccessClass, s timedRTT) error {
+	err = p.forEachKept(func(access AccessClass, samples []timedRTT) error {
 		if access == AccessWired {
-			return wired.Add(s.t, s.rtt)
+			return wired.AddBulk(samples)
 		}
-		return wireless.Add(s.t, s.rtt)
+		return wireless.AddBulk(samples)
 	})
 	if err != nil {
 		return nil, err
@@ -670,11 +668,17 @@ func (p *LastMilePass) Report() (*LastMileReport, error) {
 // the same population Report uses.
 func (p *LastMilePass) Significance() (stats.KSResult, error) {
 	var wired, wireless stats.Dist
-	err := p.forEachKept(func(access AccessClass, s timedRTT) error {
+	err := p.forEachKept(func(access AccessClass, samples []timedRTT) error {
+		d := &wireless
 		if access == AccessWired {
-			return wired.Add(s.rtt)
+			d = &wired
 		}
-		return wireless.Add(s.rtt)
+		for _, s := range samples {
+			if err := d.Add(s.V); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return stats.KSResult{}, err
@@ -685,8 +689,30 @@ func (p *LastMilePass) Significance() (stats.KSResult, error) {
 // localHour maps a UTC timestamp to the probe's approximate local hour
 // (15 degrees of longitude per hour).
 func localHour(t time.Time, lon float64) int {
-	utc := float64(t.Hour()) + float64(t.Minute())/60
+	return localHourHM(t.Hour(), t.Minute(), lon)
+}
+
+// localHourHM is the shared arithmetic of localHour and its raw-nanos
+// twin localHourNanos; both must fold the same float expression so the
+// batch and row paths bin identically.
+func localHourHM(hour, minute int, lon float64) int {
+	utc := float64(hour) + float64(minute)/60
 	return int(math.Mod(utc+lon/15+48, 24)) % 24
+}
+
+// localHourNanos is localHour over a raw unix-nanosecond timestamp,
+// skipping the time.Time round trip: bit-identical to
+// localHour(time.Unix(0, n).UTC(), lon) for every int64 n.
+func localHourNanos(n int64, lon float64) int {
+	sec := n / 1e9
+	if n%1e9 < 0 {
+		sec-- // floor, as time.Unix normalizes negative nanos
+	}
+	sod := sec % 86400
+	if sod < 0 {
+		sod += 86400 // Euclidean: Hour() works on absolute (unsigned) time
+	}
+	return localHourHM(int(sod/3600), int(sod%3600/60), lon)
 }
 
 // providerOf extracts the operator prefix of a "provider/id" region
@@ -760,6 +786,12 @@ func (p *DiurnalPass) Report() (*DiurnalReport, error) {
 type ProviderPass struct {
 	idx        *Index
 	byProvider map[string]*providerAcc
+	// Per-block scratch for ObserveBlock, reused across blocks: the
+	// provider prefix of each dictionary code and the lazily resolved
+	// accumulator per code. Never serialized.
+	provs  []string
+	provOK []bool
+	accs   []*providerAcc
 }
 
 type providerAcc struct {

@@ -57,6 +57,9 @@ type SnapshotOptions struct {
 	// Log, when set, receives snapshot lifecycle events (hit, miss,
 	// invalidation, write) for the run's flight recorder.
 	Log *obs.Logger
+	// RowScan forces the scanner's legacy per-row path, disabling the
+	// batch kernels — an escape hatch for equivalence checks.
+	RowScan bool
 }
 
 // DefaultRefreshFactor is the refresh gate the CLIs use: the snapshot
@@ -396,9 +399,9 @@ func appendStreamState(b []byte, samples []timedRTT) []byte {
 	b = b[:off+streamRecordBytes*len(samples)]
 	for i, s := range samples {
 		rec := b[off+streamRecordBytes*i:]
-		binary.LittleEndian.PutUint64(rec, uint64(s.t.Unix()))
-		binary.LittleEndian.PutUint32(rec[8:], uint32(s.t.Nanosecond()))
-		binary.LittleEndian.PutUint64(rec[12:], math.Float64bits(s.rtt))
+		binary.LittleEndian.PutUint64(rec, uint64(s.T.Unix()))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(s.T.Nanosecond()))
+		binary.LittleEndian.PutUint64(rec[12:], math.Float64bits(s.V))
 	}
 	return b
 }
@@ -446,7 +449,7 @@ func decodeStreamSpan(span []byte) ([]timedRTT, error) {
 		if math.IsNaN(rtt) || math.IsInf(rtt, 0) {
 			return nil, fmt.Errorf("core: invalid stream RTT %v in state", rtt)
 		}
-		samples[i] = timedRTT{t: time.Unix(sec, int64(ns)).UTC(), rtt: rtt}
+		samples[i] = timedRTT{T: time.Unix(sec, int64(ns)).UTC(), V: rtt}
 	}
 	return samples, nil
 }
@@ -814,6 +817,7 @@ func scanStoreMerged(ctx context.Context, store *results.Store, idx *Index, star
 			Workers: workers,
 			Metrics: m,
 			Log:     so.Log,
+			RowScan: so.RowScan,
 			Resume:  r,
 			NewPasses: func(worker int) ([]scan.Pass, error) {
 				s, err := NewSuite(idx, start, binWidth)

@@ -316,6 +316,42 @@ func TestScanStoreFormatEquivalence(t *testing.T) {
 	}
 }
 
+// TestScanStoreRowScanEquivalence is the batch tentpole's acceptance
+// check: on the same binary store, the columnar batch kernels and the
+// forced per-row path render byte-identical figures AND write
+// byte-identical analysis snapshots, for every worker count.
+func TestScanStoreRowScanEquivalence(t *testing.T) {
+	store, w, cfg := fileDatasetBinary(t)
+	ctx := context.Background()
+
+	var refRender, refSnap []byte
+	for _, rowScan := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			snapPath := filepath.Join(t.TempDir(), "samples.snap")
+			rep, _, err := core.ScanStoreSnap(ctx, store, w.Index, cfg.Start, 7*24*time.Hour, workers, nil,
+				core.SnapshotOptions{Path: snapPath, RowScan: rowScan})
+			if err != nil {
+				t.Fatalf("rowscan=%v workers=%d: %v", rowScan, workers, err)
+			}
+			render := renderSuite(t, rep)
+			snapBytes, err := os.ReadFile(snapPath)
+			if err != nil {
+				t.Fatalf("rowscan=%v workers=%d: %v", rowScan, workers, err)
+			}
+			if refRender == nil {
+				refRender, refSnap = render, snapBytes
+				continue
+			}
+			if !bytes.Equal(render, refRender) {
+				t.Errorf("rowscan=%v workers=%d: rendered figures diverge from batch workers=1", rowScan, workers)
+			}
+			if !bytes.Equal(snapBytes, refSnap) {
+				t.Errorf("rowscan=%v workers=%d: samples.snap diverges from batch workers=1", rowScan, workers)
+			}
+		}
+	}
+}
+
 // TestRunSuiteMatchesScanStore pins the sequential fused path to the
 // parallel one.
 func TestRunSuiteMatchesScanStore(t *testing.T) {

@@ -1,0 +1,188 @@
+package scan
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/colf"
+	"repro/internal/results"
+)
+
+// countingPass is a tallyPass that also records which dispatch path fed
+// it, so tests can assert the batch kernels actually engaged.
+type countingPass struct {
+	tallyPass
+	batched int    // ObserveBlock invocations
+	rowed   uint64 // Observe invocations
+}
+
+func (p *countingPass) Observe(s results.Sample) error {
+	p.rowed++
+	return p.tallyPass.Observe(s)
+}
+
+func (p *countingPass) ObserveBlock(blk *colf.Block) error {
+	p.batched++
+	return p.tallyPass.ObserveBlock(blk)
+}
+
+func (p *countingPass) Merge(other Pass) error {
+	o := other.(*countingPass)
+	p.batched += o.batched
+	p.rowed += o.rowed
+	return p.tallyPass.Merge(&o.tallyPass)
+}
+
+// scanCounting runs one scan of path through a countingPass.
+func scanCounting(t *testing.T, path string, cfg Config) (*countingPass, Stats) {
+	t.Helper()
+	var merged *countingPass
+	cfg.Path = path
+	cfg.NewPasses = func(w int) ([]Pass, error) {
+		p := &countingPass{}
+		if w == 0 {
+			merged = p
+		}
+		return []Pass{p}, nil
+	}
+	st, err := File(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged, st
+}
+
+// TestBinaryBatchEquivalence pins the three binary decode paths to each
+// other on the same store: the batch kernels, the RowScan escape hatch,
+// and the NoMmap positional-read fallback all produce the same
+// order-sensitive checksum for every worker count — and the dispatch
+// counters prove each path actually ran.
+func TestBinaryBatchEquivalence(t *testing.T) {
+	samples := genSamples(20_000)
+	path := writeBinary(t, samples, 256)
+
+	for _, workers := range []int{1, 2, 4, 7} {
+		batch, _ := scanCounting(t, path, Config{Workers: workers})
+		if batch.batched == 0 || batch.rowed != 0 {
+			t.Fatalf("workers=%d: batch scan dispatched %d blocks, %d rows; want all-batch",
+				workers, batch.batched, batch.rowed)
+		}
+		row, _ := scanCounting(t, path, Config{Workers: workers, RowScan: true})
+		if row.batched != 0 || row.rowed != uint64(len(samples)) {
+			t.Fatalf("workers=%d: RowScan dispatched %d blocks, %d rows; want all-row",
+				workers, row.batched, row.rowed)
+		}
+		noMmap, _ := scanCounting(t, path, Config{Workers: workers, NoMmap: true})
+		if batch.n != row.n || batch.fold != row.fold {
+			t.Errorf("workers=%d: batch (n=%d fold=%#x) != row (n=%d fold=%#x)",
+				workers, batch.n, batch.fold, row.n, row.fold)
+		}
+		if noMmap.n != batch.n || noMmap.fold != batch.fold {
+			t.Errorf("workers=%d: NoMmap (n=%d fold=%#x) != mmap (n=%d fold=%#x)",
+				workers, noMmap.n, noMmap.fold, batch.n, batch.fold)
+		}
+	}
+}
+
+// TestBinaryBatchFilteredEquivalence repeats the batch-vs-row check
+// under a predicate that covers some blocks fully and clips others, so
+// both the covered-block kernel dispatch and the partial-cover row
+// fallback are exercised.
+func TestBinaryBatchFilteredEquivalence(t *testing.T) {
+	samples := genSamples(20_000)
+	path := writeBinary(t, samples, 256)
+	pred := &colf.Predicate{
+		Since: samples[0].Time.Add(1 * time.Hour),
+		Until: samples[0].Time.Add(4 * time.Hour),
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		batch, bst := scanCounting(t, path, Config{Workers: workers, Predicate: pred})
+		row, rst := scanCounting(t, path, Config{Workers: workers, Predicate: pred, RowScan: true})
+		if batch.n != row.n || batch.fold != row.fold {
+			t.Errorf("workers=%d: filtered batch (n=%d fold=%#x) != row (n=%d fold=%#x)",
+				workers, batch.n, batch.fold, row.n, row.fold)
+		}
+		if bst.Samples != rst.Samples {
+			t.Errorf("workers=%d: filtered batch saw %d samples, row %d", workers, bst.Samples, rst.Samples)
+		}
+		if batch.batched == 0 {
+			t.Errorf("workers=%d: window clipped every block; widen it so some are covered", workers)
+		}
+		if batch.rowed == 0 {
+			t.Errorf("workers=%d: window covered every kept block; no partial-cover fallback exercised", workers)
+		}
+	}
+}
+
+// zoneTally is an aggregate-only pass: with zone pre-aggregates it
+// absorbs whole blocks with zero row decode.
+type zoneTally struct {
+	rows, delivered uint64
+}
+
+func (p *zoneTally) Observe(s results.Sample) error {
+	p.rows++
+	if !s.Lost {
+		p.delivered++
+	}
+	return nil
+}
+
+func (p *zoneTally) CanObserveZone(z colf.Zone) bool { return z.Delivered == 0 || z.HasAgg }
+
+func (p *zoneTally) ObserveZone(z colf.Zone) error {
+	p.rows += uint64(z.Rows)
+	p.delivered += uint64(z.Delivered)
+	return nil
+}
+
+func (p *zoneTally) Merge(other Pass) error {
+	o := other.(*zoneTally)
+	p.rows += o.rows
+	p.delivered += o.delivered
+	return nil
+}
+
+// TestBinaryZoneResolution pins the zone fast path: a scan whose only
+// pass is zone-capable resolves every block from its footer
+// pre-aggregates — zero rows decoded — and matches the row path's
+// tallies exactly.
+func TestBinaryZoneResolution(t *testing.T) {
+	samples := genSamples(20_000)
+	path := writeBinary(t, samples, 256)
+
+	run := func(cfg Config) (*zoneTally, Stats) {
+		var merged *zoneTally
+		cfg.Path = path
+		cfg.NewPasses = func(w int) ([]Pass, error) {
+			p := &zoneTally{}
+			if w == 0 {
+				merged = p
+			}
+			return []Pass{p}, nil
+		}
+		st, err := File(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return merged, st
+	}
+
+	zoned, zst := run(Config{Workers: 4})
+	if zst.BlocksZone != zst.BlocksTotal || zst.RowsScanned != 0 {
+		t.Fatalf("zone scan resolved %d/%d blocks from zones, decoded %d rows; want all, 0",
+			zst.BlocksZone, zst.BlocksTotal, zst.RowsScanned)
+	}
+	if zst.Samples != uint64(len(samples)) {
+		t.Errorf("zone scan counted %d samples, want %d", zst.Samples, len(samples))
+	}
+	rowed, rst := run(Config{Workers: 4, RowScan: true})
+	if rst.BlocksZone != 0 || rst.RowsScanned != uint64(len(samples)) {
+		t.Fatalf("RowScan resolved %d blocks from zones, decoded %d rows; want 0, %d",
+			rst.BlocksZone, rst.RowsScanned, len(samples))
+	}
+	if *zoned != *rowed {
+		t.Errorf("zone tallies %+v != row tallies %+v", *zoned, *rowed)
+	}
+}

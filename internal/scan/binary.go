@@ -3,7 +3,7 @@ package scan
 import (
 	"context"
 	"fmt"
-	"os"
+	"io"
 	"sync"
 	"time"
 
@@ -19,7 +19,9 @@ import (
 // up (blocks instead of lines). blocks is the block list to decode —
 // the whole file on a cold scan, the suffix past the resume boundary
 // otherwise, with prefixBlocks/prefixBytes naming what was skipped.
-func scanBinary(ctx context.Context, cfg Config, f *os.File, size int64, workers int, span *obs.Span, blocks []colf.BlockInfo, prefixBlocks int, prefixBytes int64) (Stats, error) {
+// r is the data source for block payloads — a *colf.Mapping when the
+// platform maps files, the file handle otherwise.
+func scanBinary(ctx context.Context, cfg Config, r io.ReaderAt, size int64, workers int, span *obs.Span, blocks []colf.BlockInfo, prefixBlocks int, prefixBytes int64) (Stats, error) {
 	// Zone-map pushdown: a block whose ranges cannot satisfy the
 	// predicate is dropped here, before any worker touches its payload.
 	// Kept blocks still carry non-matching rows; the row-level filter in
@@ -79,18 +81,17 @@ func scanBinary(ctx context.Context, cfg Config, f *os.File, size int64, workers
 	defer cancel()
 
 	var (
-		wg      sync.WaitGroup
-		errs    = make([]error, len(groups))
-		samples = make([]uint64, len(groups))
-		decoded = make([]int64, len(groups))
-		busy    = make([]time.Duration, len(groups))
+		wg   sync.WaitGroup
+		errs = make([]error, len(groups))
+		res  = make([]groupStats, len(groups))
+		busy = make([]time.Duration, len(groups))
 	)
 	for w, group := range groups {
 		wg.Add(1)
 		go func(w int, group []colf.BlockInfo) {
 			defer wg.Done()
 			t0 := time.Now()
-			samples[w], decoded[w], errs[w] = scanBlocks(scanCtx, f, group, cfg.Predicate, passes[w])
+			res[w], errs[w] = scanBlocks(scanCtx, r, group, cfg.Predicate, passes[w], cfg.RowScan)
 			busy[w] = time.Since(t0)
 			if errs[w] != nil {
 				cancel() // fail fast: stop the other groups
@@ -101,10 +102,12 @@ func scanBinary(ctx context.Context, cfg Config, f *os.File, size int64, workers
 
 	st.Workers = len(groups)
 	st.Busy = busy
-	st.BlocksRead = len(kept)
 	for w := range groups {
-		st.Samples += samples[w]
-		st.BytesDecoded += decoded[w]
+		st.Samples += res[w].samples
+		st.RowsScanned += res[w].rows
+		st.BytesDecoded += res[w].decoded
+		st.BlocksRead += res[w].read
+		st.BlocksZone += res[w].zoned
 	}
 	// First error in group (= file) order, so the reported failure is
 	// deterministic even when several groups fail.
@@ -139,8 +142,10 @@ func finishBinary(st *Stats, span *obs.Span, m *Metrics) {
 	span.SetAttr("blocks_total", st.BlocksTotal)
 	span.SetAttr("blocks_read", st.BlocksRead)
 	span.SetAttr("blocks_skipped", st.BlocksSkipped)
+	span.SetAttr("blocks_zone", st.BlocksZone)
 	span.SetAttr("prefix_blocks", st.PrefixBlocks)
 	span.SetAttr("bytes_decoded", st.BytesDecoded)
+	span.SetAttr("rows_scanned", st.RowsScanned)
 	span.SetAttr("samples_per_sec", st.SamplesPerSec())
 	m.observe(*st)
 }
@@ -184,20 +189,132 @@ func groupBlocks(blocks []colf.BlockInfo, n int) [][]colf.BlockInfo {
 	return groups
 }
 
+// groupStats is one worker's accounting: samples observed, rows
+// decoded (before row filtering), payload bytes decoded, blocks
+// decoded, and blocks resolved from zone pre-aggregates alone.
+type groupStats struct {
+	samples uint64
+	rows    uint64
+	decoded int64
+	read    int
+	zoned   int
+}
+
 // scanBlocks decodes one contiguous block group and feeds every
-// predicate-matching sample to ps.
-func scanBlocks(ctx context.Context, f *os.File, group []colf.BlockInfo, pred *colf.Predicate, ps []Pass) (samples uint64, decoded int64, err error) {
+// predicate-matching sample to ps. Per block it picks the cheapest
+// sufficient path, most specific first:
+//
+//   - zone: the predicate covers the zone and every pass can absorb the
+//     zone's pre-aggregates — no decode at all;
+//   - batch: the predicate covers the zone and every row passes the
+//     validity sweep — BlockPass kernels see the column arrays, any
+//     remaining passes share one per-row loop without filter or
+//     validation overhead;
+//   - row: everything else (partial predicate cover, a row the sweep
+//     flagged, or cfg.RowScan) — the legacy loop, byte-identical error
+//     text and per-row semantics included.
+func scanBlocks(ctx context.Context, r io.ReaderAt, group []colf.BlockInfo, pred *colf.Predicate, ps []Pass, rowScan bool) (gs groupStats, err error) {
 	dec := colf.NewBlockDecoder()
+
+	// Classify the pass set once; every worker holds the same types.
+	var batch []BlockPass
+	var rowPs []Pass
+	cols := colf.ColumnSet(0)
+	if rowScan {
+		rowPs = ps
+	} else {
+		for _, p := range ps {
+			if bp, ok := p.(BlockPass); ok {
+				batch = append(batch, bp)
+				cols |= bp.Columns()
+			} else {
+				rowPs = append(rowPs, p)
+			}
+		}
+	}
+	if len(rowPs) > 0 {
+		cols = colf.ColAll // the row loop materializes full samples
+	}
+	zoneAll := !rowScan && len(ps) > 0
+	var zonePs []ZonePass
+	if zoneAll {
+		for _, p := range ps {
+			zp, ok := p.(ZonePass)
+			if !ok {
+				zoneAll = false
+				break
+			}
+			zonePs = append(zonePs, zp)
+		}
+	}
+
 	for _, bi := range group {
 		if err := ctx.Err(); err != nil {
-			return samples, decoded, err
+			return gs, err
 		}
-		blk, err := dec.Decode(f, bi)
+		covered := pred.Empty() || pred.CoversZone(bi.Zone)
+		if covered && zoneAll && canObserveZone(zonePs, bi.Zone) {
+			for _, zp := range zonePs {
+				if err := zp.ObserveZone(bi.Zone); err != nil {
+					return gs, err
+				}
+			}
+			gs.samples += uint64(bi.Zone.Rows)
+			gs.zoned++
+			continue
+		}
+		want := cols
+		if rowScan || !covered {
+			want = colf.ColAll
+		}
+		blk, err := dec.DecodeCols(r, bi, want)
 		if err != nil {
-			return samples, decoded, err
+			return gs, err
 		}
-		decoded += bi.Len
-		for i := 0; i < blk.Rows(); i++ {
+		gs.read++
+		gs.decoded += bi.Len
+		rows := blk.Rows()
+		gs.rows += uint64(rows)
+
+		if !rowScan && covered && blockRowsValid(blk) {
+			// blk.Zone is the CRC-verified footer zone, not the (unchecked)
+			// index copy in bi.Zone — the sweep's trust anchor.
+			for _, bp := range batch {
+				if err := bp.ObserveBlock(blk); err != nil {
+					return gs, err
+				}
+			}
+			if len(rowPs) > 0 {
+				// Covered and swept: no filter, no Validate, just the fold.
+				for i := 0; i < rows; i++ {
+					s := results.Sample{
+						ProbeID: blk.Probe[i],
+						Region:  blk.Region[i],
+						Time:    time.Unix(0, blk.TimeNano[i]).UTC(),
+						RTTms:   blk.RTT[i],
+						Lost:    blk.Lost[i],
+					}
+					for _, p := range rowPs {
+						if err := p.Observe(s); err != nil {
+							return gs, err
+						}
+					}
+				}
+			}
+			gs.samples += uint64(rows)
+			continue
+		}
+
+		// Legacy row path. The sweep only ever sends a block here when
+		// some row would fail validation, so re-decoding the skipped
+		// columns first is rare; error text and the rows observed before
+		// a bad one match the pre-batch scanner exactly.
+		if want != colf.ColAll {
+			if blk, err = dec.DecodeCols(r, bi, colf.ColAll); err != nil {
+				return gs, err
+			}
+		}
+		for i := 0; i < rows; i++ {
 			if !pred.Empty() && !pred.MatchRow(blk.Probe[i], blk.TimeNano[i], blk.Region[i]) {
 				continue
 			}
@@ -209,15 +326,41 @@ func scanBlocks(ctx context.Context, f *os.File, group []colf.BlockInfo, pred *c
 				Lost:    blk.Lost[i],
 			}
 			if err := s.Validate(); err != nil {
-				return samples, decoded, fmt.Errorf("block at offset %d row %d: %w", bi.Off, i, err)
+				return gs, fmt.Errorf("block at offset %d row %d: %w", bi.Off, i, err)
 			}
 			for _, p := range ps {
 				if err := p.Observe(s); err != nil {
-					return samples, decoded, err
+					return gs, err
 				}
 			}
-			samples++
+			gs.samples++
 		}
 	}
-	return samples, decoded, nil
+	return gs, nil
+}
+
+// canObserveZone reports whether every pass can absorb z.
+func canObserveZone(zonePs []ZonePass, z colf.Zone) bool {
+	for _, zp := range zonePs {
+		if !zp.CanObserveZone(z) {
+			return false
+		}
+	}
+	return true
+}
+
+// blockRowsValid reports whether every row of the block provably
+// passes results.Sample.Validate, so the batch path can skip per-row
+// validation. It reads only the CRC-verified footer zone: MinProbe > 0
+// covers the probe check, a non-empty MinRegion rules out empty
+// regions (the lexicographic minimum), and MinRTT > 0 covers every
+// delivered row's RTT check (lost rows validate regardless of RTT).
+// The zero-Time check needs no proof at all — time.Unix(0, n) is
+// non-zero for every int64 n. It errs toward false (e.g. a NaN MinRTT
+// fails the > 0 test and falls back to the row loop, which accepts
+// NaN RTTs just as Validate does) — a false negative only costs
+// speed, never correctness.
+func blockRowsValid(blk *colf.Block) bool {
+	z := &blk.Zone
+	return z.MinProbe > 0 && z.MinRegion != "" && (z.Delivered == 0 || z.MinRTT > 0)
 }

@@ -38,6 +38,40 @@ type Pass interface {
 	Merge(other Pass) error
 }
 
+// BlockPass is a Pass with a columnar fast path. When every row of a
+// block provably matches the predicate (Predicate.CoversZone) and the
+// block passes the row-validity sweep, the scanner hands the decoded
+// column arrays to ObserveBlock instead of materializing one
+// results.Sample per row. ObserveBlock must fold exactly the state the
+// equivalent row-order Observe calls would — the scanner's batch/row
+// equivalence is pinned by tests and the figure byte-identity checks.
+type BlockPass interface {
+	Pass
+	// Columns reports the optional columns ObserveBlock reads. Probe,
+	// RTT, loss and the region dictionary (Dict/RegionID) are always
+	// decoded; ColTime and ColRegionStrings are decoded only when some
+	// pass asks for them, which is a major perf lever for passes that
+	// ignore timestamps.
+	Columns() colf.ColumnSet
+	// ObserveBlock observes every row of blk in row order.
+	ObserveBlock(blk *colf.Block) error
+}
+
+// ZonePass is a Pass that can absorb a whole block from its zone
+// pre-aggregates alone, with zero row decode. The scanner uses it only
+// when every pass of the scan is zone-capable for the block and the
+// predicate covers the zone; such blocks skip decoding entirely, which
+// also skips per-row validation — ZonePass is therefore opt-in for
+// aggregate-only consumers that accept zone-level granularity.
+type ZonePass interface {
+	Pass
+	// CanObserveZone reports whether z carries enough pre-aggregates for
+	// this pass (e.g. v1 zones lack the delivered-RTT sum).
+	CanObserveZone(z colf.Zone) bool
+	// ObserveZone folds the whole block summarized by z.
+	ObserveZone(z colf.Zone) error
+}
+
 // Config describes one scan.
 type Config struct {
 	// Path is the samples file to scan — JSONL or binary colf; the
@@ -56,6 +90,15 @@ type Config struct {
 	// additionally skip whole blocks whose zone maps cannot match —
 	// the pushdown that makes windowed queries cheap.
 	Predicate *colf.Predicate
+	// RowScan forces the legacy per-row path on binary stores: every
+	// kept block decodes all columns and feeds passes one
+	// results.Sample at a time, ignoring BlockPass/ZonePass fast paths.
+	// The batch path is byte-equivalent; this switch exists to prove it
+	// (tests, the check.sh equivalence smoke, figures -rowscan).
+	RowScan bool
+	// NoMmap disables memory-mapping binary stores, forcing the
+	// positional-read fallback that platforms without mmap use.
+	NoMmap bool
 	// Resume, when set, skips the store prefix a snapshot already
 	// covers: only bytes (JSONL) or blocks (binary) past the boundary
 	// are sharded and decoded. The boundary must be line- or
@@ -78,12 +121,17 @@ type Resume struct {
 
 // Stats summarises one completed scan.
 type Stats struct {
-	Workers   int             // shards actually scanned
-	Samples   uint64          // samples decoded and observed
-	Bytes     int64           // file bytes covered
-	Fallbacks uint64          // lines decoded through encoding/json
-	Duration  time.Duration   // wall-clock scan time
-	Busy      []time.Duration // per-worker busy time, shard order
+	Workers int    // shards actually scanned
+	Samples uint64 // samples decoded and observed
+	// RowsScanned counts rows decoded and examined, before predicate
+	// row-filtering (Samples counts only matches). Zone-resolved blocks
+	// contribute to Samples but not RowsScanned — their rows were never
+	// decoded.
+	RowsScanned uint64
+	Bytes       int64           // file bytes covered
+	Fallbacks   uint64          // lines decoded through encoding/json
+	Duration    time.Duration   // wall-clock scan time
+	Busy        []time.Duration // per-worker busy time, shard order
 
 	// Resume accounting; zero on cold scans.
 	PrefixBlocks int   // blocks before the resume boundary (binary)
@@ -99,6 +147,7 @@ type Stats struct {
 	BlocksTotal   int   // blocks in the file, including the resumed prefix
 	BlocksRead    int   // blocks decoded
 	BlocksSkipped int   // blocks skipped via zone maps
+	BlocksZone    int   // blocks resolved from zone pre-aggregates, no decode
 	BytesDecoded  int64 // encoded bytes actually decoded
 }
 
@@ -180,11 +229,22 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 			blocks = rd.Blocks()
 			resumeBlocks = 0
 		}
-		bst, berr := scanBinary(ctx, cfg, f, size, workers, span, blocks, resumeBlocks, resumeBytes)
+		// Decode straight out of the page cache when the platform maps
+		// files; any mmap failure silently keeps the positional-read
+		// path, which is what platforms without mmap use.
+		src := io.ReaderAt(f)
+		if !cfg.NoMmap {
+			if m, merr := colf.OpenMapping(f, size); merr == nil {
+				defer m.Close()
+				src = m
+			}
+		}
+		bst, berr := scanBinary(ctx, cfg, src, size, workers, span, blocks, resumeBlocks, resumeBytes)
 		if berr == nil {
 			cfg.Log.Debug("scan complete", "format", "binary",
 				"workers", bst.Workers, "samples", bst.Samples,
 				"blocks_read", bst.BlocksRead, "blocks_skipped", bst.BlocksSkipped,
+				"blocks_zone", bst.BlocksZone,
 				"blocks_total", bst.BlocksTotal, "duration_ms", bst.Duration.Milliseconds())
 		}
 		return bst, berr
@@ -223,6 +283,7 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 		wg        sync.WaitGroup
 		errs      = make([]error, len(shards))
 		samples   = make([]uint64, len(shards))
+		rows      = make([]uint64, len(shards))
 		fallbacks = make([]uint64, len(shards))
 		busy      = make([]time.Duration, len(shards))
 	)
@@ -231,7 +292,7 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 		go func(w int, sh Shard) {
 			defer wg.Done()
 			t0 := time.Now()
-			samples[w], fallbacks[w], errs[w] = scanShard(scanCtx, f, sh, cfg.Predicate, passes[w])
+			samples[w], rows[w], fallbacks[w], errs[w] = scanShard(scanCtx, f, sh, cfg.Predicate, passes[w])
 			busy[w] = time.Since(t0)
 			if errs[w] != nil {
 				cancel() // fail fast: stop the other shards
@@ -246,6 +307,7 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 	}
 	for w := range shards {
 		st.Samples += samples[w]
+		st.RowsScanned += rows[w]
 		st.Fallbacks += fallbacks[w]
 	}
 	// First error in shard (= file) order, so the reported failure is
@@ -281,8 +343,8 @@ func File(ctx context.Context, cfg Config) (Stats, error) {
 }
 
 // scanShard decodes one byte range and feeds every predicate-matching
-// sample to ps.
-func scanShard(ctx context.Context, f *os.File, sh Shard, pred *colf.Predicate, ps []Pass) (samples, fallbacks uint64, err error) {
+// sample to ps. rows counts every decoded sample, matched or not.
+func scanShard(ctx context.Context, f *os.File, sh Shard, pred *colf.Predicate, ps []Pass) (samples, rows, fallbacks uint64, err error) {
 	sc := bufio.NewScanner(io.NewSectionReader(f, sh.Off, sh.Len))
 	sc.Buffer(make([]byte, 0, 64*1024), results.MaxLineBytes)
 	dec := NewDecoder()
@@ -291,7 +353,7 @@ func scanShard(ctx context.Context, f *os.File, sh Shard, pred *colf.Predicate, 
 		line++
 		if line%1024 == 0 {
 			if err := ctx.Err(); err != nil {
-				return samples, dec.Fallbacks, err
+				return samples, rows, dec.Fallbacks, err
 			}
 		}
 		raw := sc.Bytes()
@@ -300,26 +362,27 @@ func scanShard(ctx context.Context, f *os.File, sh Shard, pred *colf.Predicate, 
 		}
 		s, err := dec.Decode(raw)
 		if err != nil {
-			return samples, dec.Fallbacks, err
+			return samples, rows, dec.Fallbacks, err
 		}
 		if err := s.Validate(); err != nil {
-			return samples, dec.Fallbacks, err
+			return samples, rows, dec.Fallbacks, err
 		}
+		rows++
 		if !pred.Empty() && !pred.MatchRow(s.ProbeID, s.Time.UnixNano(), s.Region) {
 			continue
 		}
 		for _, p := range ps {
 			if err := p.Observe(s); err != nil {
-				return samples, dec.Fallbacks, err
+				return samples, rows, dec.Fallbacks, err
 			}
 		}
 		samples++
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
-			return samples, dec.Fallbacks, fmt.Errorf("line %d exceeds %d bytes: %w", line+1, results.MaxLineBytes, err)
+			return samples, rows, dec.Fallbacks, fmt.Errorf("line %d exceeds %d bytes: %w", line+1, results.MaxLineBytes, err)
 		}
-		return samples, dec.Fallbacks, err
+		return samples, rows, dec.Fallbacks, err
 	}
-	return samples, dec.Fallbacks, nil
+	return samples, rows, dec.Fallbacks, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -11,21 +13,47 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/colf"
 	"repro/internal/obs"
 	"repro/internal/results"
 )
 
 // tallyPass counts samples and accumulates an order-sensitive checksum
-// (a running fold that depends on sample order), so any merge-order
-// mistake shows up as a checksum mismatch against the sequential scan.
+// (a rotate-xor fold over each sample's probe and RTT bits), so any
+// merge-order mistake shows up as a checksum mismatch against the
+// sequential scan. It implements BlockPass with a kernel that folds
+// the column arrays directly; batch-vs-row equivalence tests pin that
+// both paths produce the same bits.
 type tallyPass struct {
 	n    uint64
-	fold float64
+	fold uint64
+}
+
+// tallyMix folds one sample into the checksum. The rotation makes the
+// fold order-sensitive; the integer ops keep the loop free of the
+// long-latency float divides an accumulating benchmark pass must not
+// pay per row.
+func tallyMix(fold uint64, probe int, rtt float64) uint64 {
+	return bits.RotateLeft64(fold, 13) ^ (math.Float64bits(rtt) + uint64(probe)*0x9E3779B97F4A7C15)
 }
 
 func (p *tallyPass) Observe(s results.Sample) error {
 	p.n++
-	p.fold = p.fold/3 + s.RTTms + float64(s.ProbeID)
+	p.fold = tallyMix(p.fold, s.ProbeID, s.RTTms)
+	return nil
+}
+
+// Columns: the kernel reads only the always-decoded probe and RTT
+// columns, so the scanner can skip timestamp and region-string decode.
+func (p *tallyPass) Columns() colf.ColumnSet { return 0 }
+
+func (p *tallyPass) ObserveBlock(blk *colf.Block) error {
+	fold := p.fold
+	for i, probe := range blk.Probe {
+		fold = tallyMix(fold, probe, blk.RTT[i])
+	}
+	p.fold = fold
+	p.n += uint64(len(blk.Probe))
 	return nil
 }
 
@@ -36,7 +64,7 @@ func (p *tallyPass) Merge(other Pass) error {
 	// a sequence-sensitive combination that only matches the sequential
 	// result if merge order equals file order AND each shard saw a
 	// contiguous run. (Good enough to catch ordering bugs in tests.)
-	p.fold = p.fold/3 + o.fold
+	p.fold = bits.RotateLeft64(p.fold, 13) ^ o.fold
 	return nil
 }
 

@@ -99,11 +99,34 @@ func (d *Dist) Add(v float64) error {
 }
 
 // AddAll appends many samples, stopping at the first invalid one.
-func (d *Dist) AddAll(vs ...float64) error {
-	for _, v := range vs {
-		if err := d.Add(v); err != nil {
-			return err
+func (d *Dist) AddAll(vs ...float64) error { return d.AddBulk(vs) }
+
+// AddBulk appends a batch of samples in order — the batch-kernel entry
+// point. Behaviour matches calling Add per value (the valid prefix
+// before the first invalid sample is appended, then the error), but
+// the buffer grows once per batch instead of once per value.
+func (d *Dist) AddBulk(vs []float64) error {
+	bad := -1
+	for k, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad = k
+			break
 		}
+	}
+	take := vs
+	if bad >= 0 {
+		take = vs[:bad]
+	}
+	if len(take) > 0 {
+		d.samples = append(d.samples, take...)
+		d.sorted = false
+		for _, v := range take {
+			d.sum += v
+			d.sumSq += v * v
+		}
+	}
+	if bad >= 0 {
+		return fmt.Errorf("stats: invalid sample %v", vs[bad])
 	}
 	return nil
 }

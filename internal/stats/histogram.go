@@ -53,6 +53,32 @@ func (h *Histogram) Add(v float64) error {
 	return nil
 }
 
+// AddBulk counts a batch of samples — the batch-kernel entry point.
+// Behaviour matches calling Add per value (samples before the first
+// invalid one are counted, then the error), with the bin math hoisted
+// out of the interface-call-per-row shape.
+func (h *Histogram) AddBulk(vs []float64) error {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stats: invalid sample %v", v)
+		}
+		h.total++
+		switch {
+		case v < h.min:
+			h.underflow++
+		case v >= h.max:
+			h.overflow++
+		default:
+			idx := int((v - h.min) / h.width)
+			if idx >= len(h.counts) { // guard against float rounding at max
+				idx = len(h.counts) - 1
+			}
+			h.counts[idx]++
+		}
+	}
+	return nil
+}
+
 // Total returns the number of samples added.
 func (h *Histogram) Total() uint64 { return h.total }
 

@@ -39,6 +39,40 @@ func (ts *TimeSeries) Add(t time.Time, v float64) error {
 	return d.Add(v)
 }
 
+// TimedSample is one timestamped value, the record type batch callers
+// hand to AddBulk.
+type TimedSample struct {
+	T time.Time
+	V float64
+}
+
+// AddBulk records a batch of samples in order — the batch-kernel entry
+// point, equivalent to calling Add per sample. The bin lookup is
+// cached across consecutive samples landing in the same bin, which is
+// the common case for time-ordered streams.
+func (ts *TimeSeries) AddBulk(samples []TimedSample) error {
+	var d *Dist
+	lastIdx := 0
+	for _, s := range samples {
+		if s.T.Before(ts.start) {
+			return fmt.Errorf("stats: sample at %v precedes series start %v", s.T, ts.start)
+		}
+		idx := int(s.T.Sub(ts.start) / ts.width)
+		if d == nil || idx != lastIdx {
+			d = ts.bins[idx]
+			if d == nil {
+				d = &Dist{}
+				ts.bins[idx] = d
+			}
+			lastIdx = idx
+		}
+		if err := d.Add(s.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SeriesPoint is one aggregated bin of a time series.
 type SeriesPoint struct {
 	Start  time.Time `json:"start"`  // bin start

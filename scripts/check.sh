@@ -66,4 +66,17 @@ go run ./cmd/shears -cluster 3 -days 2 -probes 200 -quiet -out "$smokedir/cluste
 go run ./cmd/shears -days 2 -probes 200 -quiet -out "$smokedir/serial"
 cmp "$smokedir/cluster/samples.bin" "$smokedir/serial/samples.bin"
 
+echo "== batch-vs-row smoke (figure byte-identity) =="
+# Render figures from the binary store twice — once through the
+# columnar batch kernels, once with -rowscan forcing the legacy per-row
+# path — and pin the stdout bytes identical. -snapshot off keeps both
+# runs cold so the whole store decodes through the path under test.
+for fig in 6 7; do
+    go run ./cmd/figures -fig "$fig" -data "$smokedir/serial" -workers 4 \
+        -snapshot off >"$smokedir/fig$fig.batch.txt" 2>/dev/null
+    go run ./cmd/figures -fig "$fig" -data "$smokedir/serial" -workers 4 \
+        -snapshot off -rowscan >"$smokedir/fig$fig.row.txt" 2>/dev/null
+    cmp "$smokedir/fig$fig.batch.txt" "$smokedir/fig$fig.row.txt"
+done
+
 echo "OK"
