@@ -24,6 +24,18 @@
 // and restarting atlasd mid-campaign loses nothing durable.
 // -cluster-shards and -cluster-days shape the campaign plan.
 //
+// -serve-data DIR mounts the hot-path analysis API over the dataset in
+// DIR: a decoded suite stays resident in memory, advanced incrementally
+// as the dataset appends, so queries never re-scan the store:
+//
+//	curl 'http://localhost:8080/api/v1/figures/4'             # pre-rendered figure JSON
+//	curl 'http://localhost:8080/api/v1/quantile?p=0.5'        # per-continent medians
+//	curl 'http://localhost:8080/api/v1/cdf?since=2019-09-01T00:00:00Z&until=2019-09-08T00:00:00Z'
+//
+// Responses carry snapshot-scoped ETags; If-None-Match returns 304.
+// Pointing -serve-data at the -cluster-out directory serves live
+// results while the campaign is still merging.
+//
 // The server logs structured leveled events (-log-format text|json,
 // -log-level) and keeps the most recent ones in an in-memory flight
 // recorder served at /debug/events. -debug addr serves net/http/pprof on
@@ -54,6 +66,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/results"
+	"repro/internal/scan"
+	"repro/internal/serve"
+	"repro/internal/snap"
 	"repro/internal/world"
 )
 
@@ -73,6 +88,8 @@ func main() {
 		clusterOut    = flag.String("cluster-out", "", "embed a campaign coordinator writing the merged dataset into this directory")
 		clusterShards = flag.Int("cluster-shards", 0, "cluster partition width (0 = default; output is identical for any value)")
 		clusterDays   = flag.Int("cluster-days", 0, "override the cluster campaign length in days (0 = config default)")
+		serveData     = flag.String("serve-data", "", "serve the analysis API (figures, quantile, cdf) from this dataset directory")
+		serveRefresh  = flag.Duration("serve-refresh", serve.DefaultRefresh, "snapshot refresh poll interval for -serve-data")
 		logFormat     = flag.String("log-format", "text", "structured log encoding: text (logfmt) or json")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
@@ -101,7 +118,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if err := serve(app, *addr, *debug); err != nil {
+	if *serveData != "" {
+		if err := app.enableServing(*serveData, *serveRefresh); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := serveApp(app, *addr, *debug); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -109,24 +131,35 @@ func main() {
 // app bundles the built platform server with the pieces shutdown and
 // telemetry need after construction.
 type app struct {
-	srv      *atlas.Server
-	live     *atlas.LiveService
-	registry *obs.Registry
-	metrics  *atlas.Metrics
-	log      *obs.Logger
-	world    *world.World
+	srv       *atlas.Server
+	live      *atlas.LiveService
+	registry  *obs.Registry
+	metrics   *atlas.Metrics
+	log       *obs.Logger
+	world     *world.World
+	worldSeed uint64
 
 	// Cluster coordinator pieces, set when -cluster-out is given.
 	cluster     http.Handler
 	coordinator *cluster.Coordinator
 	clusterSink *results.Sink
+
+	// Query serving pieces, set when -serve-data is given.
+	serveEngine *serve.Engine
+	serveAPI    http.Handler
 }
 
 // ServeHTTP routes cluster control-plane requests to the embedded
-// coordinator and everything else to the platform API server.
+// coordinator, analysis queries to the serving engine, and everything
+// else to the platform API server.
 func (a *app) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if a.cluster != nil && strings.HasPrefix(r.URL.Path, "/api/v1/cluster/") {
 		a.cluster.ServeHTTP(w, r)
+		return
+	}
+	if a.serveAPI != nil && (strings.HasPrefix(r.URL.Path, "/api/v1/figures/") ||
+		r.URL.Path == "/api/v1/quantile" || r.URL.Path == "/api/v1/cdf") {
+		a.serveAPI.ServeHTTP(w, r)
 		return
 	}
 	a.srv.ServeHTTP(w, r)
@@ -163,13 +196,63 @@ func build(probes int, seed uint64, scale float64, grants string, logger *obs.Lo
 	if err != nil {
 		return nil, err
 	}
+	a := &app{live: live, registry: registry, metrics: metrics, log: logger, world: w, worldSeed: seed}
 	srv, err := atlas.NewServer(w.Platform, ledger, live,
-		atlas.WithServerMetrics(metrics), atlas.WithServerEvents(rec))
+		atlas.WithServerMetrics(metrics), atlas.WithServerEvents(rec),
+		atlas.WithServerServing(a.servingStatus))
 	if err != nil {
 		return nil, err
 	}
+	a.srv = srv
 	logger.Info("world built", "probes", w.Probes.Len(), "regions", w.Catalog.Len(), "seed", seed)
-	return &app{srv: srv, live: live, registry: registry, metrics: metrics, log: logger, world: w}, nil
+	return a, nil
+}
+
+// servingStatus feeds /api/v1/status the serving engine's snapshot
+// coverage; nil (omitted from the JSON) when -serve-data is off.
+func (a *app) servingStatus() any {
+	if a.serveEngine == nil {
+		return nil
+	}
+	return a.serveEngine.Status()
+}
+
+// enableServing mounts the hot-path analysis API over the dataset in
+// dir: a resident decoded suite, advanced by a background refresher,
+// answers figure/quantile/cdf queries without cold scans. The dataset
+// may still be growing — e.g. -cluster-out pointing at the same
+// directory — in which case served results track the appending tail.
+func (a *app) enableServing(dir string, refresh time.Duration) error {
+	store, err := results.Open(dir)
+	if err != nil {
+		return err
+	}
+	meta := store.Meta()
+	if meta.Seed != 0 && meta.Probes != 0 &&
+		(meta.Seed != a.worldSeed || meta.Probes != a.world.Probes.Len()) {
+		return fmt.Errorf("dataset %s was captured with seed=%d probes=%d; restart atlasd with matching -seed/-probes (got seed=%d probes=%d)",
+			dir, meta.Seed, meta.Probes, a.worldSeed, a.world.Probes.Len())
+	}
+	logger := a.log.With("serve")
+	eng, err := serve.NewEngine(store, a.world.Index, serve.Options{
+		Refresh:      refresh,
+		SnapshotPath: store.SnapshotPath(),
+		Metrics:      serve.NewMetrics(a.registry),
+		ScanMetrics:  scan.NewMetrics(a.registry),
+		SnapMetrics:  snap.NewMetrics(a.registry),
+		Log:          logger,
+	})
+	if err != nil {
+		return err
+	}
+	eng.Start(context.Background())
+	a.serveEngine = eng
+	a.serveAPI = eng.Handler()
+	st := eng.Status()
+	logger.Info("serving enabled",
+		"dir", dir, "refresh", refresh,
+		"covered_bytes", st.CoveredBytes, "samples", st.Samples)
+	return nil
 }
 
 // clusterOptions shape the embedded coordinator's campaign plan.
@@ -295,9 +378,9 @@ func (a *app) enableCluster(opts clusterOptions) error {
 // requests and running measurements.
 const shutdownTimeout = 10 * time.Second
 
-// serve runs the HTTP server (and the optional pprof listener) until
+// serveApp runs the HTTP server (and the optional pprof listener) until
 // SIGINT/SIGTERM, then shuts down gracefully.
-func serve(a *app, addr, debugAddr string) error {
+func serveApp(a *app, addr, debugAddr string) error {
 	httpSrv := &http.Server{Addr: addr, Handler: a}
 	if debugAddr != "" {
 		go serveDebug(debugAddr, a.log)
@@ -328,6 +411,12 @@ func serve(a *app, addr, debugAddr string) error {
 	// last checkpoint on the next start.
 	if a.clusterSink != nil {
 		if cerr := a.clusterSink.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	// Stop the serving refresher and release its read handle.
+	if a.serveEngine != nil {
+		if cerr := a.serveEngine.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}

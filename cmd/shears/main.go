@@ -11,6 +11,7 @@
 //	shears -out ./dataset -workers 8 # shard the campaign across 8 workers
 //	shears -out ./dataset -resume    # continue an interrupted run
 //	shears -out ./dataset -cluster 3 # distributed control plane, 3 agents
+//	shears -remote http://host:8080  # print figures from a live atlasd -serve-data API
 //
 // The campaign runs on the parallel execution engine (internal/engine):
 // -workers shards the probe population across goroutines while keeping
@@ -104,6 +105,7 @@ type options struct {
 	cpuProfile      string
 	memProfile      string
 	statusAddr      string // live status HTTP listener; empty disables
+	remote          string // base URL of a live atlasd analysis API; fetch figures instead of scanning
 	logFormat       string // structured log encoding: text or json
 	logLevel        string // minimum log level: debug, info, warn, error
 
@@ -151,9 +153,16 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
 	flag.StringVar(&o.statusAddr, "status-addr", "", "serve live run status (/metrics, /debug/events, /api/v1/progress) on this address")
+	flag.StringVar(&o.remote, "remote", "", "fetch figures 4-7 from a running atlasd -serve-data API at this base URL instead of running a campaign")
 	flag.StringVar(&o.logFormat, "log-format", "text", "structured log encoding: text (logfmt) or json")
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+	if o.remote != "" {
+		if err := runRemote(o.remote, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(o); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRunRemotePrintsFigures(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fig := strings.TrimPrefix(r.URL.Path, "/api/v1/figures/")
+		w.Header().Set("Etag", `"snap-1"`)
+		w.Write([]byte("figure " + fig + " body\n"))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runRemote(srv.URL+"/", &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"=== Figure 4 (proximity to the cloud) ===",
+		"figure 4 body",
+		"=== Figure 5 (min RTT CDF by continent) ===",
+		"=== Figure 6 (all pings to closest DC) ===",
+		"=== Figure 7 (wired vs wireless) ===",
+		"figure 7 body",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "warning:") {
+		t.Errorf("unexpected snapshot warning with a single ETag:\n%s", got)
+	}
+}
+
+func TestRunRemoteWarnsOnSnapshotAdvance(t *testing.T) {
+	n := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		if n > 2 {
+			w.Header().Set("Etag", `"snap-2"`)
+		} else {
+			w.Header().Set("Etag", `"snap-1"`)
+		}
+		w.Write([]byte("body\n"))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runRemote(srv.URL, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warning: serving snapshot advanced mid-fetch") {
+		t.Errorf("expected mid-fetch warning:\n%s", out.String())
+	}
+}
+
+func TestRunRemoteSurfacesServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"snapshot not yet published"}`))
+	}))
+	defer srv.Close()
+
+	err := runRemote(srv.URL, &strings.Builder{})
+	if err == nil {
+		t.Fatal("expected error from 503 response")
+	}
+	if !strings.Contains(err.Error(), "snapshot not yet published") {
+		t.Errorf("error should carry the server's message, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Errorf("error should carry the status code, got: %v", err)
+	}
+}

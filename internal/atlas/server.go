@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/httpapi"
 	"repro/internal/obs"
 	"repro/internal/probe"
 )
@@ -24,6 +25,7 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *Metrics
 	events   *obs.Recorder
+	serving  func() any
 	started  time.Time
 }
 
@@ -41,6 +43,13 @@ func WithServerMetrics(m *Metrics) ServerOption {
 // the flight recorder's retained structured-log events.
 func WithServerEvents(rec *obs.Recorder) ServerOption {
 	return func(s *Server) { s.events = rec }
+}
+
+// WithServerServing embeds fn's result in the status report under
+// "serving" — the query-serving layer's snapshot coverage, provided as
+// a closure so this package needs no dependency on the serving engine.
+func WithServerServing(fn func() any) ServerOption {
+	return func(s *Server) { s.serving = fn }
 }
 
 // NewServer wires the HTTP handlers.
@@ -70,6 +79,29 @@ func NewServer(p *Platform, ledger *Ledger, live *LiveService, opts ...ServerOpt
 	} {
 		s.mux.HandleFunc(r.pattern, s.metrics.instrument(r.route, r.h))
 	}
+	// Uniform method handling: a wrong method on a known path answers
+	// 405 with an Allow header, not the mux's bare 404. The
+	// method-qualified patterns above are more specific and keep
+	// winning for the methods they name.
+	for _, f := range []struct {
+		pattern string
+		allow   []string
+	}{
+		{"/api/v1/probes", []string{"GET"}},
+		{"/api/v1/probes/{id}", []string{"GET"}},
+		{"/api/v1/regions", []string{"GET"}},
+		{"/api/v1/credits/{account}", []string{"GET"}},
+		{"/api/v1/measurements", []string{"GET", "POST"}},
+		{"/api/v1/measurements/{id}", []string{"GET", "DELETE"}},
+		{"/api/v1/measurements/{id}/results", []string{"GET"}},
+		{"/api/v1/status", []string{"GET"}},
+	} {
+		allow := f.allow
+		s.mux.HandleFunc(f.pattern, s.metrics.instrument("method_not_allowed",
+			func(w http.ResponseWriter, r *http.Request) {
+				httpapi.MethodNotAllowed(w, r, allow...)
+			}))
+	}
 	if s.metrics != nil && s.metrics.Registry != nil {
 		s.mux.Handle("GET /metrics", obs.MetricsHandler(s.metrics.Registry))
 	}
@@ -82,20 +114,18 @@ func NewServer(p *Platform, ledger *Ledger, live *LiveService, opts ...ServerOpt
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// writeJSON sends a JSON response. The status header goes out first, so
-// an encode failure cannot change the response anymore; it is surfaced to
-// the request-metrics middleware (which counts it per route) instead of
-// being silently discarded.
+// writeJSON sends a JSON response through the shared httpapi encoding.
+// An encode failure is surfaced to the request-metrics middleware
+// (which counts it per route) instead of being silently discarded.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	if err := httpapi.WriteJSON(w, code, v); err != nil {
 		if sw, ok := w.(*statusWriter); ok {
 			sw.encodeErr = err
 		}
 	}
 }
 
+// writeError sends the platform's uniform {"error": ...} JSON shape.
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -314,23 +344,32 @@ type CampaignStatusDTO struct {
 }
 
 // StatusDTO is the platform self-observability snapshot served at
-// GET /api/v1/status, in the spirit of RIPE Atlas's status APIs.
+// GET /api/v1/status, in the spirit of RIPE Atlas's status APIs. Build
+// mirrors the run manifest's identity fields, so a live server and an
+// archived run are traceable the same way; Serving carries the query
+// layer's snapshot coverage when one is embedded.
 type StatusDTO struct {
 	UptimeSeconds    float64           `json:"uptime_seconds"`
+	Build            obs.BuildInfo     `json:"build"`
 	Probes           int               `json:"probes"`
 	Regions          int               `json:"regions"`
 	Measurements     map[Status]int    `json:"measurements"`
 	ResultsCollected uint64            `json:"results_collected"`
 	ProbeTimeouts    uint64            `json:"probe_timeouts"`
 	Campaign         CampaignStatusDTO `json:"campaign"`
+	Serving          any               `json:"serving,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := StatusDTO{
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build:         obs.CurrentBuild(),
 		Probes:        s.platform.Population.Len(),
 		Regions:       s.platform.Catalog.Len(),
 		Measurements:  make(map[Status]int),
+	}
+	if s.serving != nil {
+		st.Serving = s.serving()
 	}
 	for _, m := range s.live.List("") {
 		st.Measurements[m.Status]++

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"repro/internal/httpapi"
 )
 
 // The coordinator's wire surface, all under /api/v1/cluster/:
@@ -68,11 +70,11 @@ func decodeAgent(w http.ResponseWriter, r *http.Request) (agentRequest, bool) {
 	var req agentRequest
 	body := http.MaxBytesReader(w, r.Body, maxControlBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		httpapi.Errorf(w, http.StatusBadRequest, "bad request body: %v", err)
 		return req, false
 	}
 	if req.Agent == "" {
-		http.Error(w, "missing agent id", http.StatusBadRequest)
+		httpapi.Error(w, http.StatusBadRequest, "missing agent id")
 		return req, false
 	}
 	return req, true
@@ -140,7 +142,7 @@ func (c *Coordinator) handleBlocks(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	u := UploadChunk{Agent: q.Get("agent"), Lease: q.Get("lease")}
 	if u.Agent == "" || u.Lease == "" {
-		http.Error(w, "missing agent or lease", http.StatusBadRequest)
+		httpapi.Error(w, http.StatusBadRequest, "missing agent or lease")
 		return
 	}
 	var err error
@@ -150,14 +152,14 @@ func (c *Coordinator) handleBlocks(w http.ResponseWriter, r *http.Request) {
 		dst *int64
 	}{{"shard", &shard}, {"round", &round}, {"offset", &offset}, {"size", &size}, {"crc", &crc}} {
 		if *f.dst, err = queryInt(r, f.key); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			httpapi.Error(w, http.StatusBadRequest, err.Error())
 			return
 		}
 	}
 	u.Shard, u.Round, u.Offset, u.Size, u.CRC = int(shard), int(round), offset, size, uint32(crc)
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxChunkBody))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad chunk body: %v", err), http.StatusBadRequest)
+		httpapi.Errorf(w, http.StatusBadRequest, "bad chunk body: %v", err)
 		return
 	}
 	u.Data = data

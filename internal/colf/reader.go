@@ -243,6 +243,61 @@ func ScanBlocksFrom(r io.ReaderAt, start, end int64, verify bool) ([]BlockInfo, 
 	return blocks, nil
 }
 
+// ScanBlocksAvailable walks the block chain over [start, end) like
+// ScanBlocksFrom, but tolerates a torn tail: a trailing partial block —
+// the state a live appender's in-flight write leaves visible — ends the
+// walk cleanly instead of failing it. It returns the complete blocks
+// and the boundary they cover (the stable data end a reader may safely
+// consume). Corruption strictly inside the stable range (a bad CRC, an
+// implausible length) is still an error: sequential appends only ever
+// leave a *prefix* of a block behind, never a complete-looking block
+// with wrong bytes.
+func ScanBlocksAvailable(r io.ReaderAt, start, end int64, verify bool) ([]BlockInfo, int64, error) {
+	var blocks []BlockInfo
+	var head [8]byte
+	off := start
+	for off < end {
+		if end-off < 8 {
+			break // torn head: the appender has not finished this block
+		}
+		if _, err := r.ReadAt(head[:], off); err != nil {
+			return nil, 0, err
+		}
+		bodyLen := int64(binary.LittleEndian.Uint32(head[0:4]))
+		payloadLen := int64(binary.LittleEndian.Uint32(head[4:8]))
+		if bodyLen > maxBlockBytes || payloadLen+4 > bodyLen {
+			return nil, 0, fmt.Errorf("colf: implausible block lengths (%d, %d) at offset %d", bodyLen, payloadLen, off)
+		}
+		if off+8+bodyLen > end {
+			break // torn body: only a prefix of the block is on disk yet
+		}
+		footer := make([]byte, bodyLen-payloadLen)
+		if _, err := r.ReadAt(footer, off+8+payloadLen); err != nil {
+			return nil, 0, err
+		}
+		c := &byteCursor{b: footer[:len(footer)-4]}
+		zone, err := decodeZoneFull(c)
+		if err != nil {
+			return nil, 0, fmt.Errorf("colf: block at offset %d: %w", off, err)
+		}
+		if verify {
+			payload := make([]byte, payloadLen)
+			if _, err := r.ReadAt(payload, off+8); err != nil {
+				return nil, 0, err
+			}
+			crc := crc32.ChecksumIEEE(head[4:8])
+			crc = crc32.Update(crc, crc32.IEEETable, payload)
+			crc = crc32.Update(crc, crc32.IEEETable, footer[:len(footer)-4])
+			if got := binary.LittleEndian.Uint32(footer[len(footer)-4:]); got != crc {
+				return nil, 0, fmt.Errorf("colf: block at offset %d fails CRC (%08x != %08x)", off, got, crc)
+			}
+		}
+		blocks = append(blocks, BlockInfo{Off: off, Len: 8 + bodyLen, Zone: zone})
+		off += 8 + bodyLen
+	}
+	return blocks, off, nil
+}
+
 // BlocksTo walks the block chain up to exactly offset, verifying CRCs,
 // and returns the blocks of that prefix. It errors when offset is not
 // a block boundary — the caller is about to truncate there, and
@@ -296,6 +351,46 @@ func DeltaBlocks(r io.ReaderAt, size, boundary int64) ([]BlockInfo, error) {
 		return nil, fmt.Errorf("colf: resume boundary %d is not a block boundary", boundary)
 	}
 	return blocks[i:], nil
+}
+
+// DeltaBlocksAvailable returns the complete blocks at or after boundary
+// plus the stable data end they reach — the live-store twin of
+// DeltaBlocks. A sealed store (trailing index present) resolves from
+// the index like DeltaBlocks; a live store (no index yet — the appender
+// only writes it at close) walks the suffix with CRC checks, treating a
+// torn tail as the clean end of available data rather than an error.
+// The serving layer polls this to advance its in-memory state while the
+// campaign is still writing.
+func DeltaBlocksAvailable(r io.ReaderAt, size, boundary int64) ([]BlockInfo, int64, error) {
+	if boundary < HeaderSize {
+		return nil, 0, fmt.Errorf("colf: resume boundary %d is inside the file header", boundary)
+	}
+	if boundary > size {
+		return nil, 0, fmt.Errorf("colf: resume boundary %d past file size %d", boundary, size)
+	}
+	blocks, ok, err := loadIndex(r, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return ScanBlocksAvailable(r, boundary, size, true)
+	}
+	dataEnd := int64(HeaderSize)
+	if len(blocks) > 0 {
+		last := blocks[len(blocks)-1]
+		dataEnd = last.Off + last.Len
+	}
+	if boundary == dataEnd {
+		return nil, dataEnd, nil
+	}
+	if boundary > dataEnd {
+		return nil, 0, fmt.Errorf("colf: resume boundary %d past data end %d", boundary, dataEnd)
+	}
+	i := sort.Search(len(blocks), func(i int) bool { return blocks[i].Off >= boundary })
+	if i == len(blocks) || blocks[i].Off != boundary {
+		return nil, 0, fmt.Errorf("colf: resume boundary %d is not a block boundary", boundary)
+	}
+	return blocks[i:], dataEnd, nil
 }
 
 // Block holds one decoded block in columnar form. Slices are owned by

@@ -327,6 +327,33 @@ type Predicate struct {
 	RegionPrefix string
 }
 
+// Key returns a canonical encoding of the predicate: two predicates
+// select the same rows if and only if their keys are equal. Consumers
+// use it as a cache-key component for windowed reads; the empty
+// predicate's key is "".
+func (p *Predicate) Key() string {
+	if p.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	if !p.Since.IsZero() {
+		fmt.Fprintf(&b, "since=%d;", p.Since.UnixNano())
+	}
+	if !p.Until.IsZero() {
+		fmt.Fprintf(&b, "until=%d;", p.Until.UnixNano())
+	}
+	if p.MinProbe != 0 {
+		fmt.Fprintf(&b, "minprobe=%d;", p.MinProbe)
+	}
+	if p.MaxProbe != 0 {
+		fmt.Fprintf(&b, "maxprobe=%d;", p.MaxProbe)
+	}
+	if p.RegionPrefix != "" {
+		fmt.Fprintf(&b, "region=%q;", p.RegionPrefix)
+	}
+	return b.String()
+}
+
 // Empty reports whether the predicate constrains nothing.
 func (p *Predicate) Empty() bool {
 	return p == nil || (p.Since.IsZero() && p.Until.IsZero() &&

@@ -1,0 +1,26 @@
+package obs
+
+import "runtime"
+
+// BuildInfo is the binary's build identity: the fields every
+// self-describing surface (run manifests, status endpoints) reports so
+// runs and servers can be traced back to the code and toolchain that
+// produced them.
+type BuildInfo struct {
+	// Version is the VCS revision (with a +dirty marker), the module
+	// version, or "unknown" — see BuildVersion.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that compiled the binary.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the scheduler's current processor limit.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// CurrentBuild reports the running binary's build identity.
+func CurrentBuild() BuildInfo {
+	return BuildInfo{
+		Version:    BuildVersion(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

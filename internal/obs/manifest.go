@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"runtime/debug"
 	"time"
 )
@@ -122,12 +121,13 @@ func BuildVersion() string {
 // NewRunManifest seeds a manifest with the run identity fields: ID,
 // binary name, build and Go versions, GOMAXPROCS, and start time.
 func NewRunManifest(binary string, start time.Time) *RunManifest {
+	b := CurrentBuild()
 	return &RunManifest{
 		RunID:      NewRunID(start),
 		Binary:     binary,
-		Version:    BuildVersion(),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Version:    b.Version,
+		GoVersion:  b.GoVersion,
+		GOMAXPROCS: b.GOMAXPROCS,
 		Start:      start.UTC(),
 	}
 }

@@ -1,0 +1,41 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/colf"
+	"repro/internal/obs"
+)
+
+// Blocks scans an already-located colf block list against an open data
+// source, for callers that hold a long-lived handle or mapping and walk
+// the file themselves — the serving layer's incremental refresh, which
+// locates new blocks with colf.ScanBlocksAvailable and must not reopen
+// and re-walk the store on every advance. The semantics match the
+// binary path of File exactly (same sharding, pushdown, merge order and
+// stats); cfg.Path, cfg.NoMmap and cfg.Resume are ignored — the caller
+// already resolved them into r, blocks and prefixBlocks/prefixBytes
+// (the blocks and bytes before blocks[0] that an earlier scan covered).
+func Blocks(ctx context.Context, cfg Config, r io.ReaderAt, size int64, blocks []colf.BlockInfo, prefixBlocks int, prefixBytes int64) (Stats, error) {
+	if cfg.NewPasses == nil {
+		return Stats{}, fmt.Errorf("scan: missing NewPasses")
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	span := obs.From(ctx).Child("scan")
+	defer span.End()
+	st, err := scanBinary(ctx, cfg, r, size, workers, span, blocks, prefixBlocks, prefixBytes)
+	if err == nil {
+		cfg.Log.Debug("scan complete", "format", "binary",
+			"workers", st.Workers, "samples", st.Samples,
+			"blocks_read", st.BlocksRead, "blocks_skipped", st.BlocksSkipped,
+			"blocks_zone", st.BlocksZone,
+			"blocks_total", st.BlocksTotal, "duration_ms", st.Duration.Milliseconds())
+	}
+	return st, err
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// response is one finished HTTP payload, immutable once stored: every
+// reader serves the same bytes, so a cached figure is byte-identical
+// across hits by construction.
+type response struct {
+	status      int
+	contentType string
+	etag        string
+	body        []byte
+}
+
+// cacheShards keeps lock contention off the hot path: a request only
+// contends with requests whose keys hash to the same shard.
+const cacheShards = 16
+
+// cache is the sharded read cache with singleflight coalescing. Keys
+// embed the snapshot fingerprint, so an entry can never serve bytes
+// from a different snapshot than its key names; invalidation on
+// snapshot advance exists to bound memory and re-arm coalescing, not
+// for correctness.
+type cache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+// cacheEntry is one computation's lifecycle. done closes when the
+// leader finishes; resp/err are written exactly once before that.
+type cacheEntry struct {
+	done chan struct{}
+	resp *response
+	err  error
+}
+
+func newCache() *cache {
+	c := &cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+func (c *cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// do returns the cached response for key, computing it via fill on a
+// miss. Exactly one caller per key runs fill at a time; the others wait
+// for its result (coalescing). A failed fill is forgotten, so the next
+// request retries instead of caching the error. The hit return
+// distinguishes a finished entry (true) from having led or waited on a
+// fill; waited reports a coalesced wait.
+func (c *cache) do(key string, fill func() (*response, error)) (resp *response, err error, hit, waited bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-e.done:
+			// Finished entry: a plain hit.
+			return e.resp, e.err, true, false
+		default:
+			<-e.done
+			return e.resp, e.err, false, true
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	e.resp, e.err = fill()
+	close(e.done)
+	if e.err != nil {
+		sh.mu.Lock()
+		// Only forget our own failed entry — an invalidation may already
+		// have replaced it.
+		if sh.m[key] == e {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+	}
+	return e.resp, e.err, false, false
+}
+
+// invalidate drops every finished and future entry, called when the
+// published snapshot advances. In-flight fills are left to complete
+// against their (now unreachable) entries; their waiters still get the
+// old snapshot's bytes, which the keyed fingerprint makes explicit.
+func (c *cache) invalidate() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string]*cacheEntry)
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions configures one closed-loop load scenario: Workers
+// goroutines each drive the handler as fast as responses come back
+// (closed loop — no open-loop arrival schedule to mask queueing),
+// cycling through Paths, for Duration.
+type LoadOptions struct {
+	// Workers is the concurrent client count; values < 1 use
+	// GOMAXPROCS.
+	Workers int
+	// Duration is how long the scenario runs; zero means one second.
+	Duration time.Duration
+	// Paths are the request targets, e.g. "/api/v1/figures/5"; each
+	// worker cycles through them in order, offset by its index.
+	Paths []string
+}
+
+// LoadResult is one scenario's measurement: sustained throughput and
+// the latency distribution of every completed request.
+type LoadResult struct {
+	Scenario string  `json:"scenario"`
+	Workers  int     `json:"workers"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	P50us    float64 `json:"p50_us"`
+	P99us    float64 `json:"p99_us"`
+	P999us   float64 `json:"p999_us"`
+}
+
+// discardWriter is the load generator's ResponseWriter: it counts the
+// status and drops the body, so measured latency is handler time, not
+// buffer management.
+type discardWriter struct {
+	h      http.Header
+	status int
+}
+
+func (d *discardWriter) Header() http.Header { return d.h }
+
+func (d *discardWriter) WriteHeader(c int) { d.status = c }
+
+func (d *discardWriter) Write(p []byte) (int, error) {
+	if d.status == 0 {
+		d.status = http.StatusOK
+	}
+	return len(p), nil
+}
+
+// RunLoad drives h closed-loop and reports sustained QPS with
+// p50/p99/p999 latency over every completed request. Responses with a
+// status ≥ 400 count as errors (304 is a success: conditional requests
+// are part of the workload).
+func RunLoad(name string, h http.Handler, opt LoadOptions) LoadResult {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dur := opt.Duration
+	if dur <= 0 {
+		dur = time.Second
+	}
+
+	type tally struct {
+		lat  []float64 // microseconds
+		errs int
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			// Requests parse once; the handlers never mutate them.
+			reqs := make([]*http.Request, len(opt.Paths))
+			for i, p := range opt.Paths {
+				r, err := http.NewRequest(http.MethodGet, p, nil)
+				if err != nil {
+					panic("serve: bad load path " + p + ": " + err.Error())
+				}
+				reqs[i] = r
+			}
+			t := &tallies[wi]
+			for i := wi; ; i++ {
+				if time.Now().After(deadline) {
+					return
+				}
+				w := &discardWriter{h: make(http.Header)}
+				t0 := time.Now()
+				h.ServeHTTP(w, reqs[i%len(reqs)])
+				t.lat = append(t.lat, float64(time.Since(t0).Nanoseconds())/1e3)
+				if w.status >= 400 {
+					t.errs++
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	res := LoadResult{Scenario: name, Workers: workers, Seconds: elapsed.Seconds()}
+	for i := range tallies {
+		all = append(all, tallies[i].lat...)
+		res.Errors += tallies[i].errs
+	}
+	res.Requests = len(all)
+	if elapsed > 0 {
+		res.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	sort.Float64s(all)
+	res.P50us = percentile(all, 0.50)
+	res.P99us = percentile(all, 0.99)
+	res.P999us = percentile(all, 0.999)
+	return res
+}
+
+// percentile reads the q-th quantile of sorted by the nearest-rank
+// method.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchFile is the BENCH_serve.json shape: provenance plus one entry
+// per load scenario.
+type benchFile struct {
+	Bench      string       `json:"bench"`
+	Mode       string       `json:"mode"`
+	GitSHA     string       `json:"git_sha"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Timestamp  string       `json:"timestamp"`
+	Scenarios  []LoadResult `json:"scenarios"`
+}
+
+// TestServeLoadBench is the closed-loop load benchmark behind
+// scripts/bench.sh serve: it measures sustained QPS and p50/p99/p999
+// against the serving layer with the cache on and off, at steady state
+// and during active ingestion, and writes BENCH_serve.json. Gated on
+// SERVE_BENCH_OUT so ordinary `go test` runs skip it.
+func TestServeLoadBench(t *testing.T) {
+	out := os.Getenv("SERVE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set SERVE_BENCH_OUT to run the serve load benchmark")
+	}
+	mode := "smoke"
+	dur := 250 * time.Millisecond
+	probes := 200
+	if os.Getenv("SERVE_BENCH_FULL") != "" {
+		mode = "full"
+		dur = 2 * time.Second
+		probes = 800
+	}
+
+	f := newFixture(t, probes)
+	// Static prefix: most of the campaign. The rest feeds the
+	// ingestion scenarios.
+	staticEnd := f.mem.Len() * 3 / 4
+	f.append(t, 0, staticEnd)
+	e, _ := f.newEngine(t)
+	ctx := context.Background()
+	if err := e.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h := e.Handler()
+
+	figurePaths := []string{
+		"/api/v1/figures/4", "/api/v1/figures/5",
+		"/api/v1/figures/6", "/api/v1/figures/7",
+	}
+	quantilePaths := []string{
+		"/api/v1/quantile?p=0.5", "/api/v1/quantile?p=0.99",
+		"/api/v1/quantile?p=0.5&dist=min",
+	}
+	mixed := append(append([]string{}, figurePaths...), quantilePaths...)
+
+	run := func(name string, cacheOn bool, paths []string) LoadResult {
+		e.SetCacheBypass(!cacheOn)
+		defer e.SetCacheBypass(false)
+		res := RunLoad(name, h, LoadOptions{Duration: dur, Paths: paths})
+		if res.Errors > 0 {
+			t.Fatalf("%s: %d request errors", name, res.Errors)
+		}
+		if res.Requests == 0 {
+			t.Fatalf("%s: no requests completed", name)
+		}
+		return res
+	}
+
+	var scenarios []LoadResult
+	scenarios = append(scenarios,
+		run("figures_cache", true, figurePaths),
+		run("figures_nocache", false, figurePaths),
+		run("quantile_cache", true, quantilePaths),
+		run("quantile_nocache", false, quantilePaths),
+	)
+
+	// Ingestion scenarios: an appender feeds the store in small batches
+	// while the refresher folds them, so requests race live snapshot
+	// swaps and cache invalidations.
+	ingest := func(name string, cacheOn bool) LoadResult {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			const batches = 16
+			for b := 0; ; b = (b + 1) % batches {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := staticEnd + (f.mem.Len()-staticEnd)*b/batches
+				to := staticEnd + (f.mem.Len()-staticEnd)*(b+1)/batches
+				f.append(t, from, to)
+				if err := e.Refresh(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		res := run(name, cacheOn, mixed)
+		close(stop)
+		wg.Wait()
+		return res
+	}
+	scenarios = append(scenarios,
+		ingest("mixed_cache_ingest", true),
+		ingest("mixed_nocache_ingest", false),
+	)
+
+	file := benchFile{
+		Bench:      "serve",
+		Mode:       mode,
+		GitSHA:     envOr("SERVE_BENCH_GIT_SHA", "unknown"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scenarios:  scenarios,
+	}
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scenarios {
+		t.Logf("%-22s %8.0f qps  p50 %7.1fµs  p99 %8.1fµs  p999 %9.1fµs  (%d reqs)",
+			s.Scenario, s.QPS, s.P50us, s.P99us, s.P999us, s.Requests)
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}

@@ -236,6 +236,17 @@ func ReadFile(path string) (Header, []byte, error) {
 	return Decode(data)
 }
 
+// Fingerprint derives a compact identity for a store prefix from the
+// same evidence a snapshot header binds to: the covered byte boundary,
+// the sample count, and the head/tail content-window CRCs. Two prefixes
+// with equal fingerprints carry the same analysis state for practical
+// purposes, which is what cache keys and HTTP ETags need — the serving
+// layer stamps every response with the fingerprint of the snapshot
+// that produced it.
+func Fingerprint(covered int64, samples uint64, head, tail uint32) string {
+	return fmt.Sprintf("%x-%x-%08x%08x", covered, samples, head, tail)
+}
+
 // WindowBytes is the size of the head and tail content windows hashed
 // into the header. Two 64 KiB reads bound validation cost regardless of
 // store size while still catching same-length rewrites at either end.

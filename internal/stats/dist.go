@@ -101,6 +101,21 @@ func (d *Dist) Add(v float64) error {
 // AddAll appends many samples, stopping at the first invalid one.
 func (d *Dist) AddAll(vs ...float64) error { return d.AddBulk(vs) }
 
+// Clone returns an independent copy: no later mutation of either side
+// — adds, merges, lazy materialization — can touch the other. A
+// pending span slab is copied too, so the clone never aliases a
+// snapshot buffer whose owner may keep mutating.
+func (d *Dist) Clone() *Dist {
+	c := &Dist{sorted: d.sorted, sum: d.sum, sumSq: d.sumSq}
+	if d.samples != nil {
+		c.samples = append(make([]float64, 0, len(d.samples)), d.samples...)
+	}
+	if d.span != nil {
+		c.span = append(make([]byte, 0, len(d.span)), d.span...)
+	}
+	return c
+}
+
 // AddBulk appends a batch of samples in order — the batch-kernel entry
 // point. Behaviour matches calling Add per value (the valid prefix
 // before the first invalid sample is appended, then the error), but

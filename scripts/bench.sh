@@ -19,6 +19,15 @@
 # Smoke mode exists so scripts/check.sh can exercise every benchmark's
 # code path and still emit a (non-statistical) BENCH_scan.json; it runs
 # the suite once, at the default GOMAXPROCS.
+#
+# The serving layer has its own closed-loop load benchmark (sustained
+# QPS and p50/p99/p999 against the hot query API, cache on/off, steady
+# state and during live ingestion — see internal/serve/loadbench_test.go):
+#
+#   scripts/bench.sh serve        # full measurement run -> BENCH_serve.json
+#   scripts/bench.sh serve-smoke  # short CI-gate pass (non-statistical)
+#
+# SERVE_BENCH_OUT overrides the serve output path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,8 +36,26 @@ out="${BENCH_OUT:-BENCH_scan.json}"
 case "$mode" in
 smoke) benchtime="1x" ;;
 full) benchtime="2s" ;;
+serve | serve-smoke)
+    out="${SERVE_BENCH_OUT:-BENCH_serve.json}"
+    # The test binary runs inside the package directory; anchor a
+    # relative output path to the repo root.
+    case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
+    if ! (: >>"$out") 2>/dev/null; then
+        echo "bench.sh: output path '$out' is not writable" >&2
+        exit 1
+    fi
+    full=""
+    if [ "$mode" = serve ]; then full=1; fi
+    SERVE_BENCH_OUT="$out" \
+        SERVE_BENCH_GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
+        SERVE_BENCH_FULL="$full" \
+        go test -run '^TestServeLoadBench$' -count=1 -v ./internal/serve
+    echo "serve bench results written to $out"
+    exit 0
+    ;;
 *)
-    echo "usage: scripts/bench.sh [smoke|full]" >&2
+    echo "usage: scripts/bench.sh [smoke|full|serve|serve-smoke]" >&2
     exit 2
     ;;
 esac

@@ -30,9 +30,11 @@ echo "== go test -race (concurrency suites, uncached) =="
 # storage layer (columnar codec + sinks), and the telemetry plane
 # (registry scrapes racing registration, flight recorder) are the
 # shard-and-merge packages — internal/cluster (coordinator + agents
-# over loopback HTTP) most of all; run them uncached so every gate
-# exercises the race detector on fresh schedules.
-go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/cluster ./internal/colf ./internal/results ./internal/snap ./internal/stats ./internal/obs
+# over loopback HTTP) most of all, plus internal/serve (concurrent
+# readers against snapshot swaps and cache invalidation under churn);
+# run them uncached so every gate exercises the race detector on fresh
+# schedules.
+go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/cluster ./internal/colf ./internal/results ./internal/snap ./internal/stats ./internal/obs ./internal/serve
 
 echo "== go test -race =="
 go test -race ./...
@@ -55,6 +57,7 @@ echo "== bench smoke =="
 # baseline.
 go test -run='^$' -bench=. -benchtime=1x ./...
 BENCH_OUT="${TMPDIR:-/tmp}/BENCH_scan.smoke.json" scripts/bench.sh smoke
+SERVE_BENCH_OUT="${TMPDIR:-/tmp}/BENCH_serve.smoke.json" scripts/bench.sh serve-smoke
 
 echo "== cluster smoke (3 agents, byte-identity) =="
 # Drive a short campaign through the distributed control plane with
