@@ -237,6 +237,7 @@ func (a *app) enableServing(dir string, refresh time.Duration) error {
 	eng, err := serve.NewEngine(store, a.world.Index, serve.Options{
 		Refresh:      refresh,
 		SnapshotPath: store.SnapshotPath(),
+		TixPath:      store.TixPath(),
 		Metrics:      serve.NewMetrics(a.registry),
 		ScanMetrics:  scan.NewMetrics(a.registry),
 		SnapMetrics:  snap.NewMetrics(a.registry),

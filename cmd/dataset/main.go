@@ -16,10 +16,17 @@
 //	dataset -data ./dataset -continent AF -out ./africa filter
 //	dataset -data ./dataset -out ./ds-jsonl -to jsonl convert
 //	dataset -data ./dataset -since 2019-07-08T00:00:00Z -until 2019-07-15T00:00:00Z stats
+//	dataset -data ./dataset -window 2019-07-08T00:00:00Z,2019-07-15T00:00:00Z window
 //
 // -since/-until restrict the scan ops to a time window; on binary
 // stores the scanner skips whole blocks via their zone maps, so a
 // narrow window touches only a fraction of the file.
+//
+// The window op answers from the temporal aggregate index (samples.tix)
+// alone: it opens or builds the sidecar, composes the -window range
+// from pre-merged segment nodes plus edge-block decodes, and prints
+// per-continent quantiles along with how many nodes and edge blocks
+// the composition touched. Binary stores only.
 //
 // -fast switches the stats op to an aggregate-only pass that resolves
 // whole blocks from their zone pre-aggregates with zero row decode on
@@ -48,6 +55,7 @@ import (
 	"repro/internal/results"
 	"repro/internal/scan"
 	"repro/internal/stats"
+	"repro/internal/tix"
 	"repro/internal/world"
 )
 
@@ -61,6 +69,7 @@ type options struct {
 	to        string // convert target format; empty flips the source format
 	since     string // RFC 3339 window start for scan ops
 	until     string // RFC 3339 window end (exclusive) for scan ops
+	window    string // "since,until" range for the window op
 	fast      bool   // stats: aggregate-only pass, zone-resolved where possible
 }
 
@@ -75,6 +84,7 @@ func main() {
 	flag.StringVar(&o.to, "to", "", "convert target format: binary or jsonl (default: the other format)")
 	flag.StringVar(&o.since, "since", "", "restrict scan ops to samples at or after this RFC 3339 time")
 	flag.StringVar(&o.until, "until", "", "restrict scan ops to samples before this RFC 3339 time")
+	flag.StringVar(&o.window, "window", "", "window op range as \"since,until\" (RFC 3339; either side may be empty for an open end)")
 	flag.BoolVar(&o.fast, "fast", false, "stats op: aggregate-only pass resolving blocks from zone pre-aggregates (omits p50/p95)")
 	flag.Parse()
 	o.op = flag.Arg(0)
@@ -115,8 +125,10 @@ func run(o options) ([]string, error) {
 		return histOp(store, pred, o.workers)
 	case "convert":
 		return convertOp(store, o.out, o.to)
+	case "window":
+		return windowOp(store, o.window, o.since, o.until)
 	default:
-		return nil, fmt.Errorf("unknown op %q (want stats, continents, regions, hist, filter, or convert)", o.op)
+		return nil, fmt.Errorf("unknown op %q (want stats, continents, regions, hist, window, filter, or convert)", o.op)
 	}
 }
 
@@ -691,6 +703,132 @@ func (p *filterPass) Observe(s results.Sample) error {
 func (p *filterPass) Merge(other scan.Pass) error {
 	p.kept = append(p.kept, other.(*filterPass).kept...)
 	return nil
+}
+
+// parseWindowRange parses the -window "since,until" pair; either side
+// may be empty for an open end. An empty flag falls back to the
+// -since/-until pair so both spellings work.
+func parseWindowRange(window, since, until string) (time.Time, time.Time, error) {
+	if window != "" {
+		parts := strings.SplitN(window, ",", 2)
+		if len(parts) != 2 {
+			return time.Time{}, time.Time{}, fmt.Errorf("bad -window %q (want \"since,until\")", window)
+		}
+		since, until = parts[0], parts[1]
+	}
+	var sinceT, untilT time.Time
+	var err error
+	if since != "" {
+		if sinceT, err = time.Parse(time.RFC3339, since); err != nil {
+			return sinceT, untilT, fmt.Errorf("bad window start: %w", err)
+		}
+	}
+	if until != "" {
+		if untilT, err = time.Parse(time.RFC3339, until); err != nil {
+			return sinceT, untilT, fmt.Errorf("bad window end: %w", err)
+		}
+	}
+	if !sinceT.IsZero() && !untilT.IsZero() && !sinceT.Before(untilT) {
+		return sinceT, untilT, fmt.Errorf("window start must precede end")
+	}
+	return sinceT, untilT, nil
+}
+
+// windowOp materializes one [since, until) window through the temporal
+// aggregate index: it opens (or builds) samples.tix next to the
+// samples file, composes the window from pre-merged segment nodes plus
+// edge-block decodes, and prints the per-continent distributions along
+// with exactly how the window was assembled. The sample rows outside
+// the edge blocks are never decoded.
+func windowOp(store *results.Store, window, since, until string) ([]string, error) {
+	if store.Format() != results.FormatBinary {
+		return nil, fmt.Errorf("window op needs a binary store (samples.tix indexes sealed blocks); convert first")
+	}
+	sinceT, untilT, err := parseWindowRange(window, since, until)
+	if err != nil {
+		return nil, err
+	}
+	meta := store.Meta()
+	w, err := world.Build(world.Config{Seed: meta.Seed, Probes: meta.Probes})
+	if err != nil {
+		return nil, err
+	}
+	r, closer, err := colf.Open(store.SamplesPath())
+	if err != nil {
+		return nil, err
+	}
+	blocks := append([]colf.BlockInfo(nil), r.Blocks()...)
+	closer.Close()
+
+	sf, err := os.Open(store.SamplesPath())
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+
+	ix, err := tix.Open(store.TixPath(), tix.Binding{
+		PassSet: tix.PassSetCDF,
+		Index:   w.Index.Fingerprint(),
+		Meta:    core.MetaFingerprint(meta),
+	}, blocks, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	before := ix.Nodes()
+	buildStart := time.Now()
+	if err := ix.Extend(sf, blocks, w.Index); err != nil {
+		return nil, err
+	}
+	if built := ix.Nodes() - before; built > 0 {
+		log.Printf("index: appended %d segment nodes over %d sealed blocks in %v",
+			built, len(blocks), time.Since(buildStart).Round(time.Millisecond))
+	}
+
+	queryStart := time.Now()
+	res, err := ix.View().Query(context.Background(), sf, blocks, sinceT, untilT, w.Index)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(queryStart)
+
+	bound := func(t time.Time) string {
+		if t.IsZero() {
+			return "open"
+		}
+		return t.Format(time.RFC3339)
+	}
+	st := res.Stats
+	lines := []string{
+		fmt.Sprintf("window: [%s, %s) in %v", bound(sinceT), bound(untilT), elapsed.Round(time.Microsecond)),
+		fmt.Sprintf("index: %d nodes composed (%d blocks pre-merged), %d edge blocks decoded, %d stray, %d past frontier, %d skipped",
+			st.Nodes, st.NodeBlocks, st.EdgeBlocks, st.StrayBlocks, st.FrontierBlocks, st.SkippedBlocks),
+		fmt.Sprintf("rows: %d total, %d delivered, %d resolved samples", res.Rows, res.Delivered, res.Samples()),
+	}
+	if res.Samples() == 0 {
+		return append(lines, "no resolved samples in window"), nil
+	}
+	lines = append(lines, "continent       samples       p50       p95       p99")
+	for _, ct := range geo.Continents() {
+		d := res.ByContinent[ct]
+		if d == nil || d.N() == 0 {
+			continue
+		}
+		p50, err := d.Quantile(0.50)
+		if err != nil {
+			return nil, err
+		}
+		p95, err := d.Quantile(0.95)
+		if err != nil {
+			return nil, err
+		}
+		p99, err := d.Quantile(0.99)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, fmt.Sprintf("%-14s %8d %8.1fms %8.1fms %8.1fms", ct.String(), d.N(), p50, p95, p99))
+	}
+	return lines, nil
 }
 
 // filterOp re-exports the samples of one continent into a new dataset,

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -412,5 +413,96 @@ func TestOpsWorkerInvariance(t *testing.T) {
 		if !bytes.Equal(filtered(1), filtered(7)) {
 			t.Errorf("%s filtered dataset differs between workers=1 and workers=7", format)
 		}
+	}
+}
+
+// TestWindowOp exercises the index-backed window op: per-continent
+// sample counts must match a direct fold of the same window, the
+// second run must reuse the sidecar built by the first, and the op
+// must reject JSONL stores and malformed ranges.
+func TestWindowOp(t *testing.T) {
+	dir := buildDataset(t, results.FormatBinary)
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []results.Sample
+	if err := store.ForEach(func(s results.Sample) error {
+		samples = append(samples, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	since := samples[len(samples)/4].Time
+	until := samples[len(samples)*3/4].Time
+	w, err := world.Build(world.Config{Seed: 1, Probes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]int)
+	for _, s := range samples {
+		if s.Time.Before(since) || !s.Time.Before(until) || s.Lost {
+			continue
+		}
+		if ct, ok := w.Index.Continent(s.ProbeID); ok {
+			want[ct.String()]++
+		}
+	}
+
+	winFlag := since.Format(time.RFC3339) + "," + until.Format(time.RFC3339)
+	lines, err := run(options{data: dir, op: "window", window: winFlag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, wantStr := range []string{"window: [", "index: ", "rows: ", "nodes composed"} {
+		if !strings.Contains(joined, wantStr) {
+			t.Errorf("window output missing %q:\n%s", wantStr, joined)
+		}
+	}
+	got := make(map[string]int)
+	for _, line := range lines {
+		for name := range want {
+			if strings.HasPrefix(line, name) {
+				fields := strings.Fields(line[len(name):])
+				if len(fields) < 1 {
+					t.Fatalf("unparseable continent line %q", line)
+				}
+				var n int
+				if _, err := fmt.Sscanf(fields[0], "%d", &n); err != nil {
+					t.Fatalf("unparseable sample count in %q: %v", line, err)
+				}
+				got[name] = n
+			}
+		}
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("%s: window op reports %d samples, reference fold %d", name, got[name], n)
+		}
+	}
+
+	// The first run left samples.tix behind; a second run answers from it
+	// byte-identically (modulo the timing in the window line).
+	if _, err := os.Stat(store.TixPath()); err != nil {
+		t.Fatalf("window op left no sidecar: %v", err)
+	}
+	again, err := run(options{data: dir, op: "window", window: winFlag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(lines[1:], "\n") != strings.Join(again[1:], "\n") {
+		t.Errorf("repeat window op diverged:\n%s\nvs\n%s", joined, strings.Join(again, "\n"))
+	}
+
+	if _, err := run(options{data: dir, op: "window", window: "not-a-time,also-not"}); err == nil {
+		t.Error("bad -window accepted")
+	}
+	if _, err := run(options{data: dir, op: "window", window: "backwards"}); err == nil {
+		t.Error("-window without comma accepted")
+	}
+	jsonl := buildDataset(t, results.FormatJSONL)
+	if _, err := run(options{data: jsonl, op: "window", window: winFlag}); err == nil {
+		t.Error("window op accepted a JSONL store")
 	}
 }

@@ -72,6 +72,7 @@ import (
 	"repro/internal/atlas"
 	"repro/internal/bandwidth"
 	"repro/internal/cluster"
+	"repro/internal/colf"
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/engine"
@@ -81,6 +82,7 @@ import (
 	"repro/internal/results"
 	"repro/internal/scan"
 	"repro/internal/snap"
+	"repro/internal/tix"
 	"repro/internal/world"
 )
 
@@ -102,6 +104,7 @@ type options struct {
 	checkpointEvery int    // rounds; 0 disables checkpointing
 	format          string // dataset storage format; empty means binary
 	snapshot        string // analysis snapshot mode: auto, on, off
+	tix             string // temporal index mode: auto, on, off
 	cpuProfile      string
 	memProfile      string
 	statusAddr      string // live status HTTP listener; empty disables
@@ -130,6 +133,21 @@ func (o options) snapshotEnabled(format results.Format) (bool, error) {
 	return false, fmt.Errorf("invalid -snapshot %q (want auto, on, or off)", o.snapshot)
 }
 
+// tixEnabled resolves the -tix mode against the store's format: auto
+// builds the temporal aggregate index for binary stores, whose sealed
+// block ranges are what the segment tree indexes.
+func (o options) tixEnabled(format results.Format) (bool, error) {
+	switch o.tix {
+	case "auto", "":
+		return format == results.FormatBinary, nil
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("invalid -tix %q (want auto, on, or off)", o.tix)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shears: ")
@@ -150,6 +168,7 @@ func main() {
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", engine.DefaultCheckpointEvery, "rounds between checkpoints (0 disables checkpointing)")
 	flag.StringVar(&o.format, "format", "binary", "dataset storage format: binary (columnar samples.bin) or jsonl")
 	flag.StringVar(&o.snapshot, "snapshot", "auto", "analysis snapshot mode: auto (on for binary stores), on, off")
+	flag.StringVar(&o.tix, "tix", "auto", "temporal aggregate index mode: auto (on for binary stores), on, off")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
 	flag.StringVar(&o.statusAddr, "status-addr", "", "serve live run status (/metrics, /debug/events, /api/v1/progress) on this address")
@@ -182,6 +201,9 @@ func run(o options) (err error) {
 	// Reject a bad -snapshot mode before any campaign work; the store's
 	// format (which resolves "auto") is only known once it is open.
 	if _, err := (options{snapshot: o.snapshot}).snapshotEnabled(results.FormatBinary); err != nil {
+		return err
+	}
+	if _, err := (options{tix: o.tix}).tixEnabled(results.FormatBinary); err != nil {
 		return err
 	}
 	level, err := obs.ParseLevel(o.logLevel)
@@ -434,6 +456,18 @@ func run(o options) (err error) {
 	logger.Info("campaign complete",
 		"samples", n, "out", o.out, "elapsed", time.Since(start).Round(time.Millisecond))
 
+	tixEnabled, err := o.tixEnabled(store.Format())
+	if err != nil {
+		return err
+	}
+	if tixEnabled {
+		// The temporal index is an accelerator: a build failure costs
+		// windowed queries their fast path, never the campaign.
+		if err := buildTix(store, w.Index, logger.With("tix")); err != nil {
+			logger.Warn("temporal index build failed", "error", err)
+		}
+	}
+
 	figSpan := root.Child("figures")
 	defer figSpan.End()
 	if o.quiet && o.figDir == "" {
@@ -475,6 +509,43 @@ func run(o options) (err error) {
 		return nil
 	}
 	return printFigures(rep, w, figSpan)
+}
+
+// buildTix builds (or incrementally extends) the dataset's temporal
+// aggregate index so that windowed queries — dataset -op window, or an
+// atlasd serving this directory — compose pre-merged segment nodes
+// instead of rescanning the campaign. The schedule is deterministic, so
+// rebuilding after an interrupted run appends exactly the nodes the
+// earlier run would have.
+func buildTix(store *results.Store, idx *core.Index, logger *obs.Logger) error {
+	r, closer, err := colf.Open(store.SamplesPath())
+	if err != nil {
+		return err
+	}
+	blocks := append([]colf.BlockInfo(nil), r.Blocks()...)
+	closer.Close()
+	sf, err := os.Open(store.SamplesPath())
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	ix, err := tix.Open(store.TixPath(), tix.Binding{
+		PassSet: tix.PassSetCDF,
+		Index:   idx.Fingerprint(),
+		Meta:    core.MetaFingerprint(store.Meta()),
+	}, blocks, logger)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := ix.Extend(sf, blocks, idx); err != nil {
+		ix.Close()
+		return err
+	}
+	logger.Info("temporal index ready",
+		"path", ix.Path(), "nodes", ix.Nodes(), "blocks", len(blocks),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+	return ix.Close()
 }
 
 // clusterCampaign runs the campaign through the distributed control

@@ -47,6 +47,40 @@ func TestRunBuildsDataset(t *testing.T) {
 	}
 }
 
+func TestRunBuildsTemporalIndex(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := run(options{out: dir, probes: 200, seed: 1, days: 2, quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(store.TixPath())
+	if err != nil {
+		t.Fatalf("binary run built no temporal index: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Error("temporal index is empty")
+	}
+
+	off := filepath.Join(t.TempDir(), "ds")
+	if err := run(options{out: off, probes: 200, seed: 1, days: 2, quiet: true, tix: "off"}); err != nil {
+		t.Fatal(err)
+	}
+	offStore, err := results.Open(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(offStore.TixPath()); !os.IsNotExist(err) {
+		t.Errorf("-tix off still produced an index (err=%v)", err)
+	}
+
+	if err := run(options{out: t.TempDir(), probes: 200, seed: 1, days: 1, quiet: true, tix: "bogus"}); err == nil {
+		t.Error("invalid -tix mode accepted")
+	}
+}
+
 func TestRunWithFigures(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "ds")
 	// 4 days is enough for every figure including the weekly Fig 7 bins.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/geo"
 	"repro/internal/results"
@@ -19,6 +20,22 @@ type ContinentCDF struct {
 // (per-probe minimum RTT) and Figure 6 (every sample).
 type CDFReport struct {
 	byContinent map[geo.Continent]*stats.Dist
+
+	// Precomputed curves, when the report was assembled from temporal
+	// index pre-aggregates: Curve answers from these when asked for
+	// exactly curveGrid, skipping the sweep over the sample buffers.
+	curveGrid []float64
+	curves    map[geo.Continent][]stats.CDFPoint
+}
+
+// SetCurves attaches precomputed CDF curves sampled on grid. They must
+// have been computed from the same sample multisets the report's
+// distributions hold — the temporal index's build discipline — so a
+// Curve call for that grid returns bit-identical points to a sweep,
+// without the per-sample cost. Any other grid, and any continent
+// missing from curves, falls through to the distributions.
+func (r *CDFReport) SetCurves(grid []float64, curves map[geo.Continent][]stats.CDFPoint) {
+	r.curveGrid, r.curves = grid, curves
 }
 
 // Continents returns the continents with data, in canonical order.
@@ -56,6 +73,21 @@ func (r *CDFReport) Quantile(ct geo.Continent, q float64) (float64, error) {
 	return d.Quantile(q)
 }
 
+// CDFReportFromDists wraps per-continent distributions assembled
+// outside a scan pass — the temporal aggregate index composes a window
+// by merging pre-aggregated segment-node state and hands the result
+// here. Every CDFReport query is rank-based, so a report built from any
+// merge order of the same sample multiset answers identically to one
+// accumulated row by row; the serving layer leans on that for its
+// byte-identity guarantee between index-composed and cold-scanned
+// windows. The map is adopted, not copied.
+func CDFReportFromDists(byContinent map[geo.Continent]*stats.Dist) *CDFReport {
+	if byContinent == nil {
+		byContinent = make(map[geo.Continent]*stats.Dist)
+	}
+	return &CDFReport{byContinent: byContinent}
+}
+
 // Clone returns a deep copy sharing no distribution state with the
 // receiver. Reports handed out by a long-lived suite alias its
 // accumulators — which the next merge mutates — so a caller that
@@ -65,12 +97,23 @@ func (r *CDFReport) Clone() *CDFReport {
 	for ct, d := range r.byContinent {
 		out.byContinent[ct] = d.Clone()
 	}
+	out.curveGrid = slices.Clone(r.curveGrid)
+	if r.curves != nil {
+		out.curves = make(map[geo.Continent][]stats.CDFPoint, len(r.curves))
+		for ct, c := range r.curves {
+			out.curves[ct] = slices.Clone(c)
+		}
+	}
 	return out
 }
 
 // Curve samples a continent's CDF at the given grid — the series a figure
-// plots.
+// plots. A precomputed curve (SetCurves) for exactly this grid is
+// returned as-is.
 func (r *CDFReport) Curve(ct geo.Continent, grid []float64) ([]stats.CDFPoint, error) {
+	if c, ok := r.curves[ct]; ok && slices.Equal(grid, r.curveGrid) {
+		return c, nil
+	}
 	d, ok := r.byContinent[ct]
 	if !ok {
 		return nil, fmt.Errorf("analysis: no data for %v", ct)

@@ -81,11 +81,13 @@ func (idx *Index) Fingerprint() string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// metaFingerprint hashes the campaign identity a snapshot binds to. End
+// MetaFingerprint hashes the campaign identity a snapshot binds to. End
 // is deliberately excluded: extending an append-only campaign's window
 // must not orphan its snapshot — the covered boundary and content
-// windows already pin the data prefix.
-func metaFingerprint(m results.Meta) string {
+// windows already pin the data prefix. The temporal aggregate index
+// (internal/tix) binds its sidecar with the same fingerprint, so both
+// derived files invalidate under exactly the same store identities.
+func MetaFingerprint(m results.Meta) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%d|%x|%d|%d", m.Seed, m.Start.UnixNano(), math.Float64bits(m.IntervalHours), m.Probes, m.Regions)
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -731,7 +733,7 @@ func loadSnapshot(path string, store *results.Store, idx *Index, start time.Time
 	}
 	if h.PassSet != passSetID(start, binWidth) ||
 		h.Index != idx.Fingerprint() ||
-		h.Meta != metaFingerprint(store.Meta()) ||
+		h.Meta != MetaFingerprint(store.Meta()) ||
 		h.Format != snapFormat(store.Format()) ||
 		h.CoveredBytes <= 0 {
 		invalidate("header mismatch")
@@ -778,7 +780,7 @@ func writeSnapshot(path string, store *results.Store, idx *Index, start time.Tim
 	h := snap.Header{
 		PassSet:      passSetID(start, binWidth),
 		Index:        idx.Fingerprint(),
-		Meta:         metaFingerprint(store.Meta()),
+		Meta:         MetaFingerprint(store.Meta()),
 		Format:       snapFormat(store.Format()),
 		CoveredBytes: st.DataEnd,
 		Samples:      samples,

@@ -211,6 +211,7 @@ const (
 	samplesFile  = "samples.jsonl"
 	binaryFile   = "samples.bin"
 	snapshotFile = "samples.snap"
+	tixFile      = "samples.tix"
 )
 
 // Store is an on-disk campaign dataset: a directory holding meta.json
@@ -249,11 +250,14 @@ func Create(dir string, meta Meta, format Format) (*Store, *Sink, error) {
 	if err := os.Remove(filepath.Join(dir, other.file())); err != nil && !os.IsNotExist(err) {
 		return nil, nil, err
 	}
-	// Likewise any analysis snapshot: it summarized the old samples file.
-	// (A stale one would be rejected by its binding header anyway; removing
-	// it keeps the directory honest.)
-	if err := os.Remove(filepath.Join(dir, snapshotFile)); err != nil && !os.IsNotExist(err) {
-		return nil, nil, err
+	// Likewise any analysis snapshot or temporal aggregate index: they
+	// summarized the old samples file. (Stale ones would be rejected by
+	// their binding headers anyway; removing them keeps the directory
+	// honest.)
+	for _, stale := range []string{snapshotFile, tixFile} {
+		if err := os.Remove(filepath.Join(dir, stale)); err != nil && !os.IsNotExist(err) {
+			return nil, nil, err
+		}
 	}
 	f, err := os.Create(filepath.Join(dir, format.file()))
 	if err != nil {
@@ -336,6 +340,10 @@ func (s *Store) SamplesPath() string { return filepath.Join(s.dir, s.format.file
 // SnapshotPath returns where the dataset's analysis snapshot lives (see
 // internal/snap). The file is optional — it may not exist.
 func (s *Store) SnapshotPath() string { return filepath.Join(s.dir, snapshotFile) }
+
+// TixPath returns where the dataset's temporal aggregate index lives
+// (see internal/tix). The file is optional — it may not exist.
+func (s *Store) TixPath() string { return filepath.Join(s.dir, tixFile) }
 
 // ForEach streams every stored sample in storage order.
 func (s *Store) ForEach(fn func(Sample) error) error {

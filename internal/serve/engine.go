@@ -18,6 +18,7 @@ import (
 	"repro/internal/results"
 	"repro/internal/scan"
 	"repro/internal/snap"
+	"repro/internal/tix"
 )
 
 // BinWidth is the Figure 7 bin geometry the serving layer analyzes
@@ -28,6 +29,13 @@ const BinWidth = 7 * 24 * time.Hour
 // DefaultRefresh is the refresher's poll interval when Options.Refresh
 // is zero.
 const DefaultRefresh = 500 * time.Millisecond
+
+// DefaultFillTimeout caps one cache fill (a windowed materialization)
+// when Options.FillTimeout is zero. Fills run outside the request's
+// cancellation scope so an aborting leader cannot poison coalesced
+// waiters — the deadline is what keeps that decoupling from turning
+// into an unbounded background scan.
+const DefaultFillTimeout = 30 * time.Second
 
 // Options configures an Engine.
 type Options struct {
@@ -40,6 +48,15 @@ type Options struct {
 	// SnapshotPath, when set, seeds the resident state from a snapshot
 	// file (normally store.SnapshotPath()); serving never writes it.
 	SnapshotPath string
+	// TixPath, when set, maintains the temporal aggregate index at that
+	// path (normally store.TixPath()): the refresher extends it as
+	// blocks seal and windowed queries compose pre-merged segment nodes
+	// instead of scanning. Empty disables the index; an index that
+	// fails to open or extend logs and serves by scan.
+	TixPath string
+	// FillTimeout is the hard deadline on one cache fill; zero means
+	// DefaultFillTimeout.
+	FillTimeout time.Duration
 	// Metrics, ScanMetrics and SnapMetrics receive the serve_*, scan_*
 	// and snap_* instruments; any nil disables that set.
 	Metrics     *Metrics
@@ -62,7 +79,11 @@ type snapshotView struct {
 	rep           *core.SuiteReport
 	figures       map[string]*response
 	blocks        []colf.BlockInfo
-	published     time.Time
+	// tixView is the temporal index state published with this view; nil
+	// when the index is disabled or unavailable, in which case windowed
+	// queries scan the block list instead.
+	tixView   *tix.View
+	published time.Time
 }
 
 // Engine is the query serving engine: a resident HotSuite advanced by a
@@ -80,6 +101,7 @@ type Engine struct {
 	refreshMu sync.Mutex
 	hot       *core.HotSuite
 	blocks    []colf.BlockInfo // every complete block folded so far
+	tix       *tix.Index       // temporal aggregate index; nil when disabled
 
 	cur   atomic.Pointer[snapshotView]
 	lag   atomic.Int64 // stable bytes past the published boundary
@@ -105,6 +127,9 @@ func NewEngine(store *results.Store, idx *core.Index, opt Options) (*Engine, err
 	if opt.Refresh <= 0 {
 		opt.Refresh = DefaultRefresh
 	}
+	if opt.FillTimeout <= 0 {
+		opt.FillTimeout = DefaultFillTimeout
+	}
 	hot, err := core.NewHotSuite(store, idx, store.Meta().Start, BinWidth, core.SnapshotOptions{
 		Path:    opt.SnapshotPath,
 		Metrics: opt.SnapMetrics,
@@ -129,6 +154,7 @@ func NewEngine(store *results.Store, idx *core.Index, opt Options) (*Engine, err
 		f.Close()
 		return nil, err
 	}
+	var allBlocks []colf.BlockInfo
 	if fi.Size() > colf.HeaderSize {
 		covered, _ := hot.Covered()
 		blocks, _, err := colf.DeltaBlocksAvailable(f, fi.Size(), colf.HeaderSize)
@@ -136,6 +162,7 @@ func NewEngine(store *results.Store, idx *core.Index, opt Options) (*Engine, err
 			f.Close()
 			return nil, fmt.Errorf("serve: indexing store: %w", err)
 		}
+		allBlocks = blocks
 		// Keep only the snapshot-covered prefix; Refresh folds the rest,
 		// appending to this list as it goes.
 		n := sort.Search(len(blocks), func(i int) bool { return blocks[i].Off >= covered })
@@ -144,6 +171,23 @@ func NewEngine(store *results.Store, idx *core.Index, opt Options) (*Engine, err
 			return nil, fmt.Errorf("serve: snapshot boundary %d is not a block boundary", covered)
 		}
 		e.blocks = blocks[:n:n]
+	}
+	if opt.TixPath != "" {
+		// Validate against every stable complete block, not just the
+		// snapshot-covered prefix — an index built offline (shears) may
+		// already cover blocks the resident suite has not folded yet.
+		ti, err := tix.Open(opt.TixPath, tix.Binding{
+			PassSet: tix.PassSetCDF,
+			Index:   idx.Fingerprint(),
+			Meta:    core.MetaFingerprint(store.Meta()),
+		}, allBlocks, opt.Log)
+		if err != nil {
+			// The index is an accelerator: serving must come up without it.
+			opt.Log.Warn("temporal index unavailable; windowed queries will scan",
+				"path", opt.TixPath, "error", err)
+		} else {
+			e.tix = ti
+		}
 	}
 	return e, nil
 }
@@ -267,6 +311,17 @@ func (e *Engine) Refresh(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	// Bring the temporal index up to the blocks this view serves, then
+	// publish its directory with the view. An extend failure downgrades
+	// windowed queries to scans — never a stale or wrong index answer.
+	var tixView *tix.View
+	if e.tix != nil {
+		if err := e.tix.Extend(e.f, e.blocks, e.idx); err != nil {
+			e.opt.Log.Warn("temporal index extend failed; windowed queries will scan", "error", err)
+		} else {
+			tixView = e.tix.View()
+		}
+	}
 	view := &snapshotView{
 		fingerprint:   snap.Fingerprint(covered, e.hot.Samples(), head, tail),
 		coveredBytes:  covered,
@@ -275,6 +330,7 @@ func (e *Engine) Refresh(ctx context.Context) error {
 		rep:           rep,
 		figures:       figs,
 		blocks:        e.blocks[:len(e.blocks):len(e.blocks)],
+		tixView:       tixView,
 		published:     time.Now(),
 	}
 	for _, r := range view.figures {
@@ -341,6 +397,9 @@ func (e *Engine) Close() error {
 		case <-e.done:
 		case <-time.After(5 * time.Second):
 		}
+	}
+	if e.tix != nil {
+		e.tix.Close()
 	}
 	return e.f.Close()
 }

@@ -3,8 +3,10 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/scan"
 	"repro/internal/stats"
+	"repro/internal/tix"
 )
 
 // Handler returns the serving layer's HTTP surface:
@@ -83,6 +86,10 @@ func (e *Engine) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		m.CacheMisses.Inc()
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			httpapi.Error(w, http.StatusGatewayTimeout, "window materialization exceeded the fill deadline")
+			return
+		}
 		httpapi.Error(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -141,11 +148,14 @@ type quantileDTO struct {
 	Value     float64 `json:"value_ms"`
 }
 
-// quantileBody is the /api/v1/quantile response shape.
+// quantileBody is the /api/v1/quantile response shape. Since/Until
+// echo back only on windowed queries.
 type quantileBody struct {
 	Snapshot   string        `json:"snapshot"`
 	Dist       string        `json:"dist"`
 	P          float64       `json:"p"`
+	Since      string        `json:"since,omitempty"`
+	Until      string        `json:"until,omitempty"`
 	Continents []quantileDTO `json:"continents"`
 }
 
@@ -164,11 +174,22 @@ func (e *Engine) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	if distName == "" {
 		distName = "full"
 	}
+	since, until, ok := e.parseWindow(w, q)
+	if !ok {
+		return
+	}
+	windowed := !since.IsZero() || !until.IsZero()
 	var rep *core.CDFReport
 	switch distName {
 	case "full":
 		rep = v.rep.FullDist
 	case "min":
+		if windowed {
+			// The min-RTT distribution is a whole-campaign per-probe
+			// reduction; a time slice of it has no pre-aggregated form.
+			httpapi.Error(w, http.StatusBadRequest, "windowed quantiles serve dist=full only")
+			return
+		}
 		rep = v.rep.MinRTT
 	default:
 		httpapi.Errorf(w, http.StatusBadRequest, "dist must be full or min, got %q", distName)
@@ -183,12 +204,14 @@ func (e *Engine) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		}
 		only = ct
 	}
-	key := fmt.Sprintf("quantile?dist=%s&p=%.17g&continent=%v@%s", distName, p, only, v.fingerprint)
-	e.serveCached(w, r, key, func() (*response, error) {
-		// Post-render, every report distribution is materialized and
-		// sorted, so these rank queries are read-only — no scan, no
-		// mutation, safe under concurrent readers.
+	render := func(rep *core.CDFReport) (*response, error) {
 		body := quantileBody{Snapshot: v.fingerprint, Dist: distName, P: p}
+		if !since.IsZero() {
+			body.Since = since.Format(time.RFC3339)
+		}
+		if !until.IsZero() {
+			body.Until = until.Format(time.RFC3339)
+		}
 		for _, ct := range rep.Continents() {
 			if only != geo.ContinentUnknown && ct != only {
 				continue
@@ -203,6 +226,27 @@ func (e *Engine) handleQuantile(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		return jsonResponse(body, v.fingerprint)
+	}
+	if windowed {
+		pred := &colf.Predicate{Since: since, Until: until}
+		key := fmt.Sprintf("quantile?dist=%s&p=%.17g&continent=%v&%s@%s", distName, p, only, pred.Key(), v.fingerprint)
+		ctx, cancel := e.fillContext(r)
+		defer cancel()
+		e.serveCached(w, r, key, func() (*response, error) {
+			wrep, err := e.windowReport(ctx, v, pred)
+			if err != nil {
+				return nil, err
+			}
+			return render(wrep)
+		})
+		return
+	}
+	key := fmt.Sprintf("quantile?dist=%s&p=%.17g&continent=%v@%s", distName, p, only, v.fingerprint)
+	e.serveCached(w, r, key, func() (*response, error) {
+		// Post-render, every report distribution is materialized and
+		// sorted, so these rank queries are read-only — no scan, no
+		// mutation, safe under concurrent readers.
+		return render(rep)
 	})
 }
 
@@ -231,33 +275,49 @@ func parseWindowTime(s string) (time.Time, error) {
 	return time.Parse(time.RFC3339, s)
 }
 
+// parseWindow extracts and validates the since/until query params,
+// answering 400 itself (ok=false) on bad input.
+func (e *Engine) parseWindow(w http.ResponseWriter, q url.Values) (since, until time.Time, ok bool) {
+	since, err := parseWindowTime(q.Get("since"))
+	if err != nil {
+		httpapi.Errorf(w, http.StatusBadRequest, "since: %v", err)
+		return since, until, false
+	}
+	until, err = parseWindowTime(q.Get("until"))
+	if err != nil {
+		httpapi.Errorf(w, http.StatusBadRequest, "until: %v", err)
+		return since, until, false
+	}
+	if !since.IsZero() && !until.IsZero() && !since.Before(until) {
+		httpapi.Error(w, http.StatusBadRequest, "since must precede until")
+		return since, until, false
+	}
+	return since, until, true
+}
+
+// fillContext builds the context a cache fill runs under: decoupled
+// from the request's cancellation (the leader aborting must not poison
+// coalesced waiters) but bounded by the hard fill deadline, so a
+// runaway materialization answers 504 instead of scanning forever.
+func (e *Engine) fillContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.WithoutCancel(r.Context()), e.opt.FillTimeout)
+}
+
 func (e *Engine) handleCDF(w http.ResponseWriter, r *http.Request) {
 	v := e.view(w)
 	if v == nil {
 		return
 	}
-	q := r.URL.Query()
-	since, err := parseWindowTime(q.Get("since"))
-	if err != nil {
-		httpapi.Errorf(w, http.StatusBadRequest, "since: %v", err)
-		return
-	}
-	until, err := parseWindowTime(q.Get("until"))
-	if err != nil {
-		httpapi.Errorf(w, http.StatusBadRequest, "until: %v", err)
-		return
-	}
-	if !since.IsZero() && !until.IsZero() && !since.Before(until) {
-		httpapi.Error(w, http.StatusBadRequest, "since must precede until")
+	since, until, ok := e.parseWindow(w, r.URL.Query())
+	if !ok {
 		return
 	}
 	pred := &colf.Predicate{Since: since, Until: until}
 	key := "cdf?" + pred.Key() + "@" + v.fingerprint
-	// The fill scans outside the request's cancellation scope: the
-	// leader aborting must not poison the coalesced waiters' result.
-	ctx := context.WithoutCancel(r.Context())
+	ctx, cancel := e.fillContext(r)
+	defer cancel()
 	e.serveCached(w, r, key, func() (*response, error) {
-		rep, err := e.windowCDF(ctx, v, pred)
+		rep, err := e.windowReport(ctx, v, pred)
 		if err != nil {
 			return nil, err
 		}
@@ -281,6 +341,43 @@ func (e *Engine) handleCDF(w http.ResponseWriter, r *http.Request) {
 		}
 		return jsonResponse(body, v.fingerprint)
 	})
+}
+
+// windowReport materializes one [since, until) window. The fast path
+// composes the published temporal index view: O(log n) pre-merged
+// segment nodes plus a batch decode of only the boundary blocks,
+// yielding the same sample multiset a scan would — so every rank query
+// downstream, and therefore the response bytes, are identical either
+// way. Without an index view (disabled, invalidated, or its query
+// failed) the window falls back to the predicate-pushdown block scan.
+// A deadline expiry counts a fill timeout and propagates — the
+// fallback scan would blow the same deadline.
+func (e *Engine) windowReport(ctx context.Context, v *snapshotView, pred *colf.Predicate) (*core.CDFReport, error) {
+	m := e.opt.Metrics.nilSafe()
+	if v.tixView != nil {
+		res, err := v.tixView.Query(ctx, e.f, v.blocks, pred.Since, pred.Until, e.idx)
+		if err == nil {
+			m.WindowIndexQueries.Inc()
+			m.WindowIndexNodes.Add(uint64(res.Stats.Nodes))
+			m.WindowIndexEdgeBlocks.Add(uint64(res.Stats.EdgeBlocks))
+			rep := core.CDFReportFromDists(res.ByContinent)
+			// The composed curve counts make /cdf rendering O(grid) per
+			// continent — the samples are never swept on this path.
+			rep.SetCurves(tix.Grid(), res.Curves())
+			return rep, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			m.FillTimeouts.Inc()
+			return nil, err
+		}
+		m.WindowIndexFallbacks.Inc()
+		e.opt.Log.Warn("temporal index query failed; falling back to scan", "error", err)
+	}
+	rep, err := e.windowCDF(ctx, v, pred)
+	if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		m.FillTimeouts.Inc()
+	}
+	return rep, err
 }
 
 // windowCDF runs the one request-path scan the serving layer allows: a

@@ -3,6 +3,9 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
@@ -43,15 +46,43 @@ func TestServeLoadBench(t *testing.T) {
 
 	f := newFixture(t, probes)
 	// Static prefix: most of the campaign. The rest feeds the
-	// ingestion scenarios.
+	// ingestion scenarios. Sealed in small blocks so the store has the
+	// block count of a long-running campaign — the regime the windowed
+	// scenarios are about (a handful of giant blocks would make every
+	// window pure edge decode for scan and index alike).
 	staticEnd := f.mem.Len() * 3 / 4
-	f.append(t, 0, staticEnd)
+	const benchBlockRows = 512
+	for off := 0; off < staticEnd; off += benchBlockRows {
+		end := off + benchBlockRows
+		if end > staticEnd {
+			end = staticEnd
+		}
+		f.append(t, off, end)
+	}
 	e, _ := f.newEngine(t)
 	ctx := context.Background()
 	if err := e.Refresh(ctx); err != nil {
 		t.Fatal(err)
 	}
 	h := e.Handler()
+
+	// A second engine over the same store maintains the temporal
+	// aggregate index, so the windowed scenarios measure index
+	// composition against the per-window scan on identical data.
+	tixEng, err := NewEngine(f.store, f.world.Index, Options{
+		Workers: 2,
+		Refresh: time.Hour,
+		Metrics: NewMetrics(nil),
+		TixPath: f.store.TixPath(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tixEng.Close()
+	if err := tixEng.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hTix := tixEng.Handler()
 
 	figurePaths := []string{
 		"/api/v1/figures/4", "/api/v1/figures/5",
@@ -62,11 +93,12 @@ func TestServeLoadBench(t *testing.T) {
 		"/api/v1/quantile?p=0.5&dist=min",
 	}
 	mixed := append(append([]string{}, figurePaths...), quantilePaths...)
+	windowPaths := windowLoadPaths(f, 64)
 
-	run := func(name string, cacheOn bool, paths []string) LoadResult {
-		e.SetCacheBypass(!cacheOn)
-		defer e.SetCacheBypass(false)
-		res := RunLoad(name, h, LoadOptions{Duration: dur, Paths: paths})
+	runOn := func(eng *Engine, hh http.Handler, name string, cacheOn bool, workers int, paths []string) LoadResult {
+		eng.SetCacheBypass(!cacheOn)
+		defer eng.SetCacheBypass(false)
+		res := RunLoad(name, hh, LoadOptions{Duration: dur, Workers: workers, Paths: paths})
 		if res.Errors > 0 {
 			t.Fatalf("%s: %d request errors", name, res.Errors)
 		}
@@ -74,6 +106,9 @@ func TestServeLoadBench(t *testing.T) {
 			t.Fatalf("%s: no requests completed", name)
 		}
 		return res
+	}
+	run := func(name string, cacheOn bool, paths []string) LoadResult {
+		return runOn(e, h, name, cacheOn, 0, paths)
 	}
 
 	var scenarios []LoadResult
@@ -83,6 +118,23 @@ func TestServeLoadBench(t *testing.T) {
 		run("quantile_cache", true, quantilePaths),
 		run("quantile_nocache", false, quantilePaths),
 	)
+
+	// Windowed CDF scenarios over 64 distinct windows. The cold pair
+	// bypasses the cache so every request materializes its window: _scan
+	// decodes every matching block, _index composes pre-merged segment
+	// nodes plus edge blocks. The _cache variant repeats the same
+	// distinct windows with the cache on — steady-state for a dashboard
+	// cycling a fixed window set. The worker sweep shows how index
+	// composition scales with client concurrency.
+	scenarios = append(scenarios,
+		runOn(e, h, "cdf_window_scan", false, 0, windowPaths),
+		runOn(tixEng, hTix, "cdf_window_index", false, 0, windowPaths),
+		runOn(tixEng, hTix, "cdf_window_index_cache", true, 0, windowPaths),
+	)
+	for _, workers := range []int{1, 2, 4} {
+		scenarios = append(scenarios, runOn(tixEng, hTix,
+			fmt.Sprintf("cdf_window_index_w%d", workers), false, workers, windowPaths))
+	}
 
 	// Ingestion scenarios: an appender feeds the store in small batches
 	// while the refresher folds them, so requests race live snapshot
@@ -139,6 +191,26 @@ func TestServeLoadBench(t *testing.T) {
 		t.Logf("%-22s %8.0f qps  p50 %7.1fµs  p99 %8.1fµs  p999 %9.1fµs  (%d reqs)",
 			s.Scenario, s.QPS, s.P50us, s.P99us, s.P999us, s.Requests)
 	}
+}
+
+// windowLoadPaths generates n distinct windowed /cdf targets with
+// deterministic, deliberately unaligned boundaries across the campaign
+// span, so nearly every window splits blocks at both edges.
+func windowLoadPaths(f *fixture, n int) []string {
+	rng := rand.New(rand.NewSource(97))
+	start, end := f.cfg.Start, f.cfg.End
+	span := int64(end.Sub(start))
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		a := time.Duration(rng.Int63n(span))
+		b := time.Duration(rng.Int63n(span))
+		if a > b {
+			a, b = b, a
+		}
+		paths = append(paths, "/api/v1/cdf?since="+start.Add(a).Format(time.RFC3339)+
+			"&until="+start.Add(b+time.Minute).Format(time.RFC3339))
+	}
+	return paths
 }
 
 func envOr(key, def string) string {

@@ -31,8 +31,22 @@ type Metrics struct {
 	StaleServed *obs.Counter
 	// RequestScans counts store scans performed on the request path.
 	// Steady-state figure and quantile requests must never scan; only
-	// windowed /cdf queries contribute here.
+	// windowed queries that missed the temporal index contribute here.
 	RequestScans *obs.Counter
+	// FillTimeouts counts cache fills that hit the hard fill deadline
+	// and answered 504 instead of scanning unboundedly.
+	FillTimeouts *obs.Counter
+	// WindowIndexQueries counts windowed requests materialized through
+	// the temporal aggregate index instead of a block scan.
+	WindowIndexQueries *obs.Counter
+	// WindowIndexNodes and WindowIndexEdgeBlocks accumulate, across
+	// index-served windows, the pre-merged segment nodes composed and
+	// the boundary blocks that still had to decode.
+	WindowIndexNodes      *obs.Counter
+	WindowIndexEdgeBlocks *obs.Counter
+	// WindowIndexFallbacks counts windowed requests that had a live
+	// index view but fell back to scanning after a query error.
+	WindowIndexFallbacks *obs.Counter
 	// Refreshes counts snapshot advances published by the refresher.
 	Refreshes *obs.Counter
 	// RefreshErrors counts refresher passes that failed and kept the
@@ -67,7 +81,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		StaleServed: reg.Counter("serve_stale_served_total",
 			"Responses rendered behind the store's stable tail."),
 		RequestScans: reg.Counter("serve_request_scans_total",
-			"Store scans performed on the request path (windowed CDF only)."),
+			"Store scans performed on the request path (windowed queries that missed the index)."),
+		FillTimeouts: reg.Counter("serve_fill_timeouts_total",
+			"Cache fills aborted by the hard fill deadline."),
+		WindowIndexQueries: reg.Counter("serve_window_index_queries_total",
+			"Windowed requests materialized through the temporal aggregate index."),
+		WindowIndexNodes: reg.Counter("serve_window_index_nodes_total",
+			"Pre-merged segment nodes composed across index-served windows."),
+		WindowIndexEdgeBlocks: reg.Counter("serve_window_index_edge_blocks_total",
+			"Boundary blocks decoded across index-served windows."),
+		WindowIndexFallbacks: reg.Counter("serve_window_index_fallbacks_total",
+			"Windowed requests that fell back from the index to a block scan."),
 		Refreshes: reg.Counter("serve_refresh_total",
 			"Snapshot advances published by the refresher."),
 		RefreshErrors: reg.Counter("serve_refresh_errors_total",

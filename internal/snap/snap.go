@@ -37,6 +37,12 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
 
+// Checksum is the envelope checksum other sidecar formats share (the
+// temporal aggregate index guards its records with the same Castagnoli
+// CRC), so every CRC-guarded companion file of a store validates with
+// one polynomial.
+func Checksum(b []byte) uint32 { return checksum(b) }
+
 // Format mirrors the store's sample encoding; a snapshot binds to one.
 type Format uint8
 

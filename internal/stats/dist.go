@@ -22,69 +22,127 @@ type Dist struct {
 	sorted  bool
 	sum     float64
 	sumSq   float64
-	// span, when non-nil, stands in for the sample history: a slab of
+	// spans, when non-empty, stand in for the sample history: slabs of
 	// ascending IEEE-754 little-endian sample bits still in serialized
-	// form, aliasing the snapshot buffer it was decoded from. While a
-	// span is pending, samples holds only the overlay of values added
-	// since decode, so absorbing a delta costs O(delta) regardless of
-	// history size. Order-statistic queries select across the span and
+	// form, aliasing the buffers they were decoded from. While spans are
+	// pending, samples holds only the overlay of values added since
+	// decode, so absorbing a delta costs O(delta) regardless of history
+	// size. A snapshot-decoded distribution carries one span; a window
+	// composed from temporal-index nodes carries one span per node.
+	// Counting queries (CDF, N, Min, Max) answer across the spans and
 	// the sorted overlay without copying; only a query that needs the
-	// full buffer materializes. This keeps snapshot-resumed analysis
-	// from paying a decode copy for distributions a delta merge and its
-	// report barely touch.
-	span []byte
+	// full buffer materializes. This keeps snapshot-resumed analysis —
+	// and index-composed windows, whose whole point is to not touch
+	// every sample per query — from paying a merge they don't need.
+	spans [][]byte
 }
 
-// materialize merges a pending span and its overlay into the owned
+// materialize merges the pending spans and the overlay into the owned
 // sample buffer. Span bits with an all-ones exponent (NaN or ±Inf —
 // values Add would have rejected) fail the decode here, on first touch,
 // rather than up front for distributions that are never read.
 func (d *Dist) materialize() error {
-	if d.span == nil {
+	if len(d.spans) == 0 {
 		return nil
 	}
-	raw, ov := d.span, d.samples
-	d.span = nil
-	if !d.sorted {
-		sort.Float64s(ov)
+	if len(d.spans) == 1 {
+		raw, ov := d.spans[0], d.samples
+		d.spans = nil
+		if !d.sorted {
+			sort.Float64s(ov)
+		}
+		n, m := len(raw)/8, len(ov)
+		total := n + m
+		// Headroom beyond the merged length lets a later delta merge fold a
+		// small appended tail in place instead of reallocating and copying
+		// the whole buffer (see Dist.mergeSorted).
+		out := make([]float64, total, total+total/8+64)
+		i, j := 0, 0
+		for k := range out {
+			if i < n {
+				bits := binary.LittleEndian.Uint64(raw[8*i:])
+				if bits&0x7FF0000000000000 == 0x7FF0000000000000 {
+					return fmt.Errorf("stats: invalid dist sample %v in state", math.Float64frombits(bits))
+				}
+				if v := math.Float64frombits(bits); j >= m || v <= ov[j] {
+					out[k] = v
+					i++
+					continue
+				}
+			}
+			out[k] = ov[j]
+			j++
+		}
+		d.samples = out
+		d.sorted = true
+		return nil
 	}
-	n, m := len(raw)/8, len(ov)
-	total := n + m
-	// Headroom beyond the merged length lets a later delta merge fold a
-	// small appended tail in place instead of reallocating and copying
-	// the whole buffer (see Dist.mergeSorted).
-	out := make([]float64, total, total+total/8+64)
-	i, j := 0, 0
-	for k := range out {
-		if i < n {
-			bits := binary.LittleEndian.Uint64(raw[8*i:])
+	// Multiple spans: decode every slab, then combine the sorted runs by
+	// a tournament of linear two-way merges — O(n log k), never a re-sort
+	// of the union.
+	runs := make([][]float64, 0, len(d.spans)+1)
+	for _, s := range d.spans {
+		run := make([]float64, len(s)/8)
+		for i := range run {
+			bits := binary.LittleEndian.Uint64(s[8*i:])
 			if bits&0x7FF0000000000000 == 0x7FF0000000000000 {
 				return fmt.Errorf("stats: invalid dist sample %v in state", math.Float64frombits(bits))
 			}
-			if v := math.Float64frombits(bits); j >= m || v <= ov[j] {
-				out[k] = v
-				i++
-				continue
-			}
+			run[i] = math.Float64frombits(bits)
 		}
-		out[k] = ov[j]
-		j++
+		runs = append(runs, run)
 	}
-	d.samples = out
+	if !d.sorted {
+		sort.Float64s(d.samples)
+	}
+	if len(d.samples) > 0 {
+		runs = append(runs, d.samples)
+	}
+	d.spans = nil
+	for len(runs) > 1 {
+		next := runs[:0]
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				next = append(next, runs[i])
+				break
+			}
+			next = append(next, mergeTwoSorted(runs[i], runs[i+1]))
+		}
+		runs = next
+	}
+	d.samples = runs[0]
 	d.sorted = true
 	return nil
 }
 
-// at returns the k-th sample of the span slab.
-func (d *Dist) at(k int) (float64, error) {
-	bits := binary.LittleEndian.Uint64(d.span[8*k:])
+// spanAt returns the k-th sample of one span slab.
+func spanAt(s []byte, k int) (float64, error) {
+	bits := binary.LittleEndian.Uint64(s[8*k:])
 	if bits&0x7FF0000000000000 == 0x7FF0000000000000 {
 		return 0, fmt.Errorf("stats: invalid dist sample %v in state", math.Float64frombits(bits))
 	}
 	return math.Float64frombits(bits), nil
 }
 
-// Add appends one sample. NaN and Inf samples are rejected. With a span
+// spanCountBelow returns how many slab samples are < y, by binary
+// search over the serialized ascending bits.
+func spanCountBelow(s []byte, y float64) (int, error) {
+	var err error
+	idx := sort.Search(len(s)/8, func(i int) bool {
+		v, e := spanAt(s, i)
+		if e != nil {
+			err = e
+			return true
+		}
+		return v >= y
+	})
+	if err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+// Add appends one sample. NaN and Inf samples are rejected. With spans
 // pending, the sample lands in the overlay and the history stays
 // serialized.
 func (d *Dist) Add(v float64) error {
@@ -110,8 +168,11 @@ func (d *Dist) Clone() *Dist {
 	if d.samples != nil {
 		c.samples = append(make([]float64, 0, len(d.samples)), d.samples...)
 	}
-	if d.span != nil {
-		c.span = append(make([]byte, 0, len(d.span)), d.span...)
+	if d.spans != nil {
+		c.spans = make([][]byte, len(d.spans))
+		for i, s := range d.spans {
+			c.spans[i] = append(make([]byte, 0, len(s)), s...)
+		}
 	}
 	return c
 }
@@ -148,10 +209,11 @@ func (d *Dist) AddBulk(vs []float64) error {
 
 // N returns the number of samples.
 func (d *Dist) N() int {
-	if d.span != nil {
-		return len(d.span)/8 + len(d.samples)
+	n := len(d.samples)
+	for _, s := range d.spans {
+		n += len(s) / 8
 	}
-	return len(d.samples)
+	return n
 }
 
 // Mean returns the arithmetic mean.
@@ -189,17 +251,23 @@ func (d *Dist) Min() (float64, error) {
 		return 0, ErrEmpty
 	}
 	d.ensureSorted()
-	if d.span != nil {
-		v, err := d.at(0)
+	best, have := 0.0, false
+	if len(d.samples) > 0 {
+		best, have = d.samples[0], true
+	}
+	for _, s := range d.spans {
+		if len(s) == 0 {
+			continue
+		}
+		v, err := spanAt(s, 0)
 		if err != nil {
 			return 0, err
 		}
-		if len(d.samples) > 0 && d.samples[0] < v {
-			v = d.samples[0]
+		if !have || v < best {
+			best, have = v, true
 		}
-		return v, nil
 	}
-	return d.samples[0], nil
+	return best, nil
 }
 
 // Max returns the largest sample.
@@ -208,17 +276,23 @@ func (d *Dist) Max() (float64, error) {
 		return 0, ErrEmpty
 	}
 	d.ensureSorted()
-	if d.span != nil {
-		v, err := d.at(len(d.span)/8 - 1)
+	best, have := 0.0, false
+	if m := len(d.samples); m > 0 {
+		best, have = d.samples[m-1], true
+	}
+	for _, s := range d.spans {
+		if len(s) == 0 {
+			continue
+		}
+		v, err := spanAt(s, len(s)/8-1)
 		if err != nil {
 			return 0, err
 		}
-		if m := len(d.samples); m > 0 && d.samples[m-1] > v {
-			v = d.samples[m-1]
+		if !have || v > best {
+			best, have = v, true
 		}
-		return v, nil
 	}
-	return d.samples[len(d.samples)-1], nil
+	return best, nil
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
@@ -253,21 +327,30 @@ func (d *Dist) Quantile(q float64) (float64, error) {
 	return vlo*(1-frac) + vhi*frac, nil
 }
 
-// orderStat returns the k-th smallest sample. The buffer (or, with a
-// span pending, the overlay) must already be sorted.
+// orderStat returns the k-th smallest sample. The buffer (or, with
+// spans pending, the overlay) must already be sorted. One pending span
+// selects lazily; several materialize first — order statistics over
+// many runs are rare (index-composed windows answer curves through
+// CDF, which never materializes) and the merge is paid once.
 func (d *Dist) orderStat(k int) (float64, error) {
-	if d.span != nil {
+	switch len(d.spans) {
+	case 0:
+		return d.samples[k], nil
+	case 1:
 		return d.selectMerged(k)
+	}
+	if err := d.materialize(); err != nil {
+		return 0, err
 	}
 	return d.samples[k], nil
 }
 
 // selectMerged returns the k-th smallest element of the multiset formed
-// by the span slab and the sorted overlay, by binary-searching the
-// merge split point — O(log n) span reads, no materialization.
+// by the single span slab and the sorted overlay, by binary-searching
+// the merge split point — O(log n) span reads, no materialization.
 func (d *Dist) selectMerged(k int) (float64, error) {
-	ov := d.samples
-	n, m := len(d.span)/8, len(ov)
+	span, ov := d.spans[0], d.samples
+	n, m := len(span)/8, len(ov)
 	// i counts elements taken from the span, j = k+1-i from the overlay.
 	// Find the largest feasible i with span[i-1] <= ov[j]; the matching
 	// condition ov[j-1] <= span[i] then holds automatically.
@@ -280,7 +363,7 @@ func (d *Dist) selectMerged(k int) (float64, error) {
 	}
 	for lo < hi {
 		i := (lo + hi + 1) / 2
-		v, err := d.at(i - 1)
+		v, err := spanAt(span, i-1)
 		if err != nil {
 			return 0, err
 		}
@@ -295,7 +378,7 @@ func (d *Dist) selectMerged(k int) (float64, error) {
 	var best float64
 	have := false
 	if i > 0 {
-		v, err := d.at(i - 1)
+		v, err := spanAt(span, i-1)
 		if err != nil {
 			return 0, err
 		}
@@ -310,18 +393,25 @@ func (d *Dist) selectMerged(k int) (float64, error) {
 // Median returns the 0.5-quantile.
 func (d *Dist) Median() (float64, error) { return d.Quantile(0.5) }
 
-// CDF returns the empirical probability P(X <= x).
+// CDF returns the empirical probability P(X <= x). Pending spans are
+// counted in place by per-slab binary search — a CDF curve over an
+// index-composed window never merges or copies the union buffer.
 func (d *Dist) CDF(x float64) (float64, error) {
 	if d.N() == 0 {
 		return 0, ErrEmpty
 	}
-	if err := d.materialize(); err != nil {
-		return 0, err
-	}
 	d.ensureSorted()
-	// Index of first sample > x.
-	idx := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))
-	return float64(idx) / float64(len(d.samples)), nil
+	// Count of samples <= x == index of the first sample > x.
+	y := math.Nextafter(x, math.Inf(1))
+	idx := sort.SearchFloat64s(d.samples, y)
+	for _, s := range d.spans {
+		j, err := spanCountBelow(s, y)
+		if err != nil {
+			return 0, err
+		}
+		idx += j
+	}
+	return float64(idx) / float64(d.N()), nil
 }
 
 // CDFPoint is one (x, P(X<=x)) pair of an empirical CDF curve.
@@ -331,10 +421,17 @@ type CDFPoint struct {
 }
 
 // Curve samples the empirical CDF at the given x values, producing the
-// series a figure plots.
+// series a figure plots. An ascending grid over pending spans is
+// answered by one forward sweep per run — the whole curve costs
+// O(samples + runs·grid) sequential reads, instead of per-point binary
+// searches re-probing every run (the difference between an
+// index-composed window rendering in microseconds and in milliseconds).
 func (d *Dist) Curve(xs []float64) ([]CDFPoint, error) {
 	if d.N() == 0 {
 		return nil, ErrEmpty
+	}
+	if len(d.spans) > 0 && sort.Float64sAreSorted(xs) {
+		return d.curveSwept(xs)
 	}
 	out := make([]CDFPoint, 0, len(xs))
 	for _, x := range xs {
@@ -343,6 +440,52 @@ func (d *Dist) Curve(xs []float64) ([]CDFPoint, error) {
 			return nil, err
 		}
 		out = append(out, CDFPoint{X: x, P: p})
+	}
+	return out, nil
+}
+
+// curveSwept evaluates an ascending grid by advancing one cursor per
+// pending run. Counts match per-point CDF calls exactly; only the
+// access pattern differs.
+func (d *Dist) curveSwept(xs []float64) ([]CDFPoint, error) {
+	d.ensureSorted()
+	counts := make([]int, len(xs))
+	sweep := func(at func(int) (float64, error), n int) error {
+		i := 0
+		var v float64
+		if n > 0 {
+			var err error
+			if v, err = at(0); err != nil {
+				return err
+			}
+		}
+		for k, x := range xs {
+			y := math.Nextafter(x, math.Inf(1))
+			for i < n && v < y {
+				i++
+				if i < n {
+					var err error
+					if v, err = at(i); err != nil {
+						return err
+					}
+				}
+			}
+			counts[k] += i
+		}
+		return nil
+	}
+	if err := sweep(func(i int) (float64, error) { return d.samples[i], nil }, len(d.samples)); err != nil {
+		return nil, err
+	}
+	for _, s := range d.spans {
+		if err := sweep(func(i int) (float64, error) { return spanAt(s, i) }, len(s)/8); err != nil {
+			return nil, err
+		}
+	}
+	n := float64(d.N())
+	out := make([]CDFPoint, 0, len(xs))
+	for k, x := range xs {
+		out = append(out, CDFPoint{X: x, P: float64(counts[k]) / n})
 	}
 	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"repro/internal/snap"
 )
 
 // TestDistMergeMatchesSequentialFold is the determinism contract the
@@ -236,5 +238,82 @@ func TestDistMergeSortedEquivalence(t *testing.T) {
 				t.Fatalf("round %d: q%v %v != %v", round, q, sv, pv)
 			}
 		}
+	}
+}
+
+// TestCombineSorted pins the index-composition kernel: combining any
+// mix of sorted runs, unsorted tails, span-backed states, and empty
+// inputs yields the exact union multiset — every rank query identical
+// to a sequential fold — without re-sorting the combined buffer.
+func TestCombineSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 8009)
+	for i := range samples {
+		samples[i] = 1 + 300*rng.Float64()
+	}
+	var seq Dist
+	if err := seq.AddAll(samples...); err != nil {
+		t.Fatal(err)
+	}
+	for _, runs := range []int{1, 2, 3, 8, 17} {
+		parts := make([]*Dist, 0, runs+2)
+		parts = append(parts, nil, &Dist{}) // skipped
+		for s := 0; s < runs; s++ {
+			p := &Dist{}
+			lo, hi := len(samples)*s/runs, len(samples)*(s+1)/runs
+			if err := p.AddAll(samples[lo:hi]...); err != nil {
+				t.Fatal(err)
+			}
+			switch s % 3 {
+			case 1:
+				p.Sort() // pre-sorted run
+			case 2:
+				// Round-trip through serialized state: a sorted slab
+				// decodes as a lazy span, the shape index nodes arrive in.
+				p.Sort()
+				c := snap.NewCursor(p.AppendState(nil))
+				var err error
+				if p, err = DecodeDistState(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			parts = append(parts, p)
+		}
+		got, err := CombineSorted(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N() != seq.N() {
+			t.Fatalf("runs=%d: n=%d, want %d", runs, got.N(), seq.N())
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			gv, err := got.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, err := seq.Quantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gv != sv {
+				t.Fatalf("runs=%d: q%.2f = %v, want %v", runs, q, gv, sv)
+			}
+		}
+		for _, x := range []float64{0.5, 80, 151, 280, 400} {
+			gv, err := got.CDF(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, err := seq.CDF(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gv != sv {
+				t.Fatalf("runs=%d: CDF(%v) = %v, want %v", runs, x, gv, sv)
+			}
+		}
+	}
+	if d, err := CombineSorted(nil); err != nil || d.N() != 0 {
+		t.Fatalf("empty combine: %v, n=%d", err, d.N())
 	}
 }

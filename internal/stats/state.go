@@ -24,12 +24,13 @@ import (
 // carry a few buffered floats per dataset sample, so this loop is the
 // bulk of every snapshot write.
 func (d *Dist) AppendState(b []byte) []byte {
-	if d.span != nil {
-		n, m := len(d.span)/8, len(d.samples)
+	if len(d.spans) == 1 {
+		span := d.spans[0]
+		n, m := len(span)/8, len(d.samples)
 		b = snap.AppendUvarint(b, uint64(n+m))
 		if m == 0 {
 			// A still-serialized span round-trips verbatim.
-			b = append(b, d.span...)
+			b = append(b, span...)
 		} else {
 			// Merge the span slab with the sorted overlay straight into
 			// the output, written ascending — the same bytes a sorted
@@ -43,7 +44,7 @@ func (d *Dist) AppendState(b []byte) []byte {
 			for k := 0; k < n+m; k++ {
 				var bits uint64
 				if i < n {
-					sb := binary.LittleEndian.Uint64(d.span[8*i:])
+					sb := binary.LittleEndian.Uint64(span[8*i:])
 					if j >= m || math.Float64frombits(sb) <= ov[j] {
 						bits = sb
 						i++
@@ -61,6 +62,19 @@ func (d *Dist) AppendState(b []byte) []byte {
 		b = snap.AppendFloat(b, d.sum)
 		b = snap.AppendFloat(b, d.sumSq)
 		return snap.AppendBool(b, true)
+	}
+	if len(d.spans) > 1 {
+		// Multi-span states arise only transiently, from window
+		// composition; serialize by merging on a clone so d stays lazy.
+		// AppendState has never validated span bits (checksums vouch for
+		// them), so an undecodable slab serializes as a sorted best
+		// effort of the decodable prefix rather than panicking.
+		c := d.Clone()
+		if err := c.materialize(); err != nil {
+			c.spans = nil
+			c.ensureSorted()
+		}
+		return c.AppendState(b)
 	}
 	b = snap.AppendUvarint(b, uint64(len(d.samples)))
 	b = slices.Grow(b, 8*len(d.samples)+19)
@@ -80,7 +94,7 @@ func (d *Dist) AppendState(b []byte) []byte {
 // multiset — but a buffer sorted before serialization round-trips with
 // sorted=true, so a snapshot-seeded report skips the large re-sort.
 func (d *Dist) Sort() {
-	if d.span != nil {
+	if len(d.spans) > 0 {
 		return // spans are sorted by construction
 	}
 	d.ensureSorted()
@@ -96,7 +110,7 @@ func sortedKeys(m map[int]*Dist) []int {
 }
 
 // DecodeDistState decodes one Dist state from c. A sorted sample slab is
-// captured by reference as a lazy span (see Dist.span): the cursor's
+// captured by reference as a lazy span (see Dist.spans): the cursor's
 // buffer must therefore outlive the distribution, which holds for
 // snapshot payloads (the decoded suite keeps the payload alive).
 // Per-sample validation runs when the span is first touched; untouched
@@ -126,10 +140,8 @@ func DecodeDistState(c *snap.Cursor) (*Dist, error) {
 		return nil, err
 	}
 	if n > 0 {
-		if d.sorted {
-			d.span = raw
-		} else {
-			d.span = raw
+		d.spans = [][]byte{raw}
+		if !d.sorted {
 			// An unsorted buffer cannot serve order-statistic reads;
 			// decode it eagerly, restoring insertion order.
 			if err := d.materialize(); err != nil {

@@ -63,7 +63,7 @@ func TestDistStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.sorted || got.span == nil {
+	if !got.sorted || len(got.spans) == 0 {
 		t.Fatalf("sorted dist state not captured as span: %+v", got)
 	}
 	if !bytes.Equal(got.AppendState(nil), state) {
@@ -274,7 +274,7 @@ func TestDistSpanOverlayQueries(t *testing.T) {
 		if err := eager.Merge(delta); err != nil {
 			t.Fatal(err)
 		}
-		if lazy.span == nil {
+		if len(lazy.spans) == 0 {
 			t.Fatalf("round %d: delta merge materialized the span", round)
 		}
 		if lazy.N() != eager.N() {

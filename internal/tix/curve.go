@@ -1,0 +1,44 @@
+package tix
+
+import "math"
+
+// Curve pre-aggregates. Every node stores, per continent, how many of
+// its samples fall into each integer-millisecond bin of the fixed
+// figure grid (1..curveBins ms — the axis core.DefaultGrid serves), so
+// a window's whole CDF curve composes by integer vector addition over
+// the O(log n) nodes plus the edge folds, and one prefix sum at the
+// end. The per-query cost is O(log n · bins) regardless of how many
+// samples the window holds — the sample buffers are only touched for
+// quantiles.
+//
+// Bin k holds the samples v with ceil(v) = k+1 (v <= 0 clamps into bin
+// 0; v past the grid lands in no bin but still counts toward N). The
+// prefix sum through bin k is then exactly |{v : v <= k+1}| — the same
+// integer Dist.CDF computes at grid point x = k+1 — so the final
+// division float64(cum)/float64(N) reproduces the swept curve bit for
+// bit.
+const curveBins = 400
+
+// Grid returns the x-axis the pre-aggregated curves cover: integer
+// milliseconds 1..curveBins, identical to core.DefaultGrid.
+func Grid() []float64 {
+	g := make([]float64, curveBins)
+	for i := range g {
+		g[i] = float64(i + 1)
+	}
+	return g
+}
+
+// curveBin maps one sample to its increment bin, or -1 when the sample
+// lies past the grid. Samples pass Dist.Add validation before they are
+// bucketed, so NaN and infinities never reach here.
+func curveBin(v float64) int {
+	if v > curveBins {
+		return -1
+	}
+	k := int(math.Ceil(v)) - 1
+	if k < 0 {
+		k = 0
+	}
+	return k
+}

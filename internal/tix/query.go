@@ -1,0 +1,343 @@
+package tix
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+	"time"
+
+	"repro/internal/colf"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// View is an immutable query handle over the nodes an Index had stored
+// when it was taken. Views are safe for concurrent use and for use
+// concurrent with a later Extend on the parent Index.
+type View struct {
+	f        *os.File
+	nodes    map[nodeKey]nodeRef
+	frontier int
+}
+
+// QueryStats reports how a window was materialized — the observable
+// difference between the index path and a cold scan.
+type QueryStats struct {
+	// Nodes is how many pre-merged segment nodes composed the window.
+	Nodes int
+	// NodeBlocks is how many sealed blocks those nodes covered — rows
+	// the query never decoded.
+	NodeBlocks int
+	// EdgeBlocks is how many partially covered blocks were decoded and
+	// row-filtered at the window boundaries.
+	EdgeBlocks int
+	// StrayBlocks is how many fully covered blocks below the frontier
+	// were decoded singly because no stored node aligned with them (the
+	// odd leaves of the decomposition).
+	StrayBlocks int
+	// FrontierBlocks is how many fully covered blocks past the built
+	// frontier fell back to a direct decode.
+	FrontierBlocks int
+	// SkippedBlocks is how many blocks the window excluded outright.
+	SkippedBlocks int
+}
+
+// DecodedBlocks is the total number of blocks the query had to decode.
+func (q QueryStats) DecodedBlocks() int {
+	return q.EdgeBlocks + q.StrayBlocks + q.FrontierBlocks
+}
+
+// Result is a materialized window: the per-continent delivered-RTT
+// distributions of every sample in [since, until), plus the row totals
+// the window covered and how it was assembled.
+type Result struct {
+	ByContinent map[geo.Continent]*stats.Dist
+	Rows        uint64 // rows inside the window
+	Delivered   uint64 // delivered rows inside the window
+	Stats       QueryStats
+
+	// counts accumulates the composed curve pre-aggregates: per
+	// continent, per-bin sample counts on the fixed figure grid.
+	counts map[geo.Continent][]uint64
+}
+
+// Curves returns the window's per-continent CDF curves over Grid(),
+// composed purely from the node pre-aggregates and edge folds — no
+// pass over the sample buffers. Every P value equals
+// float64(samples <= x) / float64(N), the exact division Dist.CDF
+// performs, so a figure rendered from these points is bit-identical to
+// one swept from the composed distributions.
+func (r *Result) Curves() map[geo.Continent][]stats.CDFPoint {
+	out := make(map[geo.Continent][]stats.CDFPoint, len(r.ByContinent))
+	for ct, d := range r.ByContinent {
+		n := d.N()
+		cnt := r.counts[ct]
+		if n == 0 || cnt == nil {
+			continue
+		}
+		pts := make([]stats.CDFPoint, curveBins)
+		var cum uint64
+		for k, x := range cnt {
+			cum += x
+			pts[k] = stats.CDFPoint{X: float64(k + 1), P: float64(cum) / float64(n)}
+		}
+		out[ct] = pts
+	}
+	return out
+}
+
+// Samples returns the total sample count across continents — the
+// delivered rows whose probes the index resolves.
+func (r *Result) Samples() int {
+	n := 0
+	for _, d := range r.ByContinent {
+		n += d.N()
+	}
+	return n
+}
+
+// windowNanos converts the half-open [since, until) window to the nano
+// bounds the row filters use; zero times mean unbounded.
+func windowNanos(since, until time.Time) (int64, int64) {
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	if !since.IsZero() {
+		lo = since.UnixNano()
+	}
+	if !until.IsZero() {
+		hi = until.UnixNano()
+	}
+	return lo, hi
+}
+
+// Query materializes the window [since, until) over the store's sealed
+// blocks: fully covered block runs compose from O(log n) pre-merged
+// nodes, boundary blocks batch-decode and row-filter only their edge
+// rows, and anything the index has not reached yet falls back to a
+// direct decode. The result's distributions hold exactly the sample
+// multiset a cold row scan of the same window would accumulate, so
+// every rank query downstream answers identically.
+//
+// blocks must be the same sealed block list the parent Index was
+// validated and extended against (or a prefix-consistent extension of
+// it — extra blocks past the frontier are served by fallback decodes).
+// store is the samples file; cls resolves probes exactly as at build
+// time. The context is checked once per composed piece.
+func (v *View) Query(ctx context.Context, store io.ReaderAt, blocks []colf.BlockInfo, since, until time.Time, cls Continents) (*Result, error) {
+	if cls == nil {
+		return nil, fmt.Errorf("tix: nil continent resolver")
+	}
+	pred := &colf.Predicate{Since: since, Until: until}
+	sinceN, untilN := windowNanos(since, until)
+
+	res := &Result{
+		ByContinent: make(map[geo.Continent]*stats.Dist),
+		counts:      make(map[geo.Continent][]uint64),
+	}
+	dec := colf.NewBlockDecoder()
+
+	// absorb collects one more piece's distributions, in block order.
+	// Node states arrive as serialized sorted slabs; combining happens
+	// once at the end by a tournament of linear merges
+	// (stats.CombineSorted), never an O(n log n) re-sort of the window —
+	// that is the whole latency case for the index. The final multiset
+	// is independent of how the window was pieced together. Curve counts
+	// compose by plain integer addition.
+	runs := make(map[geo.Continent][]*stats.Dist)
+	absorb := func(ns *nodeState) error {
+		for _, ct := range geo.Continents() {
+			if nd := ns.dists[ct]; nd != nil {
+				runs[ct] = append(runs[ct], nd)
+			}
+			if nc := ns.counts[ct]; nc != nil {
+				c := res.counts[ct]
+				if c == nil {
+					c = make([]uint64, curveBins)
+					res.counts[ct] = c
+				}
+				for i, x := range nc {
+					c[i] += x
+				}
+			}
+		}
+		res.Rows += ns.rows
+		res.Delivered += ns.delivered
+		return nil
+	}
+
+	// decodeCovered handles one fully covered block with no usable
+	// node: decode probe/rtt/lost and fold every row.
+	decodeCovered := func(i int) error {
+		blk, err := dec.DecodeCols(store, blocks[i], 0)
+		if err != nil {
+			return err
+		}
+		ns := newNodeState()
+		ns.rows = uint64(blk.Zone.Rows)
+		ns.delivered = uint64(blk.Zone.Delivered)
+		if err := foldRows(ns, cls, blk, 0, blk.Rows()); err != nil {
+			return err
+		}
+		return absorb(ns)
+	}
+
+	// flushRun decomposes a run of fully covered blocks [lo, hi) into
+	// the largest aligned stored nodes, decoding the stray leaves the
+	// dyadic decomposition leaves at the ends.
+	flushRun := func(lo, hi int) error {
+		for lo < hi {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			used := false
+			for level := bits.Len(uint(hi-lo)) - 1; level >= 1; level-- {
+				span := 1 << level
+				if lo%span != 0 {
+					continue
+				}
+				ref, ok := v.nodes[nodeKey{level, lo}]
+				if !ok {
+					continue
+				}
+				ns, err := readNodeState(v.f, ref)
+				if err != nil {
+					return err
+				}
+				if err := absorb(ns); err != nil {
+					return err
+				}
+				res.Stats.Nodes++
+				res.Stats.NodeBlocks += span
+				lo += span
+				used = true
+				break
+			}
+			if used {
+				continue
+			}
+			if lo < v.frontier {
+				res.Stats.StrayBlocks++
+			} else {
+				res.Stats.FrontierBlocks++
+			}
+			if err := decodeCovered(lo); err != nil {
+				return err
+			}
+			lo++
+		}
+		return nil
+	}
+
+	runStart := -1 // start of the current fully covered run, -1 if none
+	for i, bi := range blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		covered := false
+		switch {
+		case !pred.MatchZone(bi.Zone):
+			res.Stats.SkippedBlocks++
+		case pred.CoversZone(bi.Zone):
+			covered = true
+		}
+		if covered {
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		if runStart >= 0 {
+			if err := flushRun(runStart, i); err != nil {
+				return nil, err
+			}
+			runStart = -1
+		}
+		if !pred.MatchZone(bi.Zone) {
+			continue
+		}
+		// Edge block: the window cuts through it. Decode with the time
+		// column and fold only the in-window rows.
+		res.Stats.EdgeBlocks++
+		blk, err := dec.DecodeCols(store, bi, colf.ColTime)
+		if err != nil {
+			return nil, err
+		}
+		ns := newNodeState()
+		lo, hi, exact := blk.EdgeRows(sinceN, untilN)
+		if exact {
+			ns.rows = uint64(hi - lo)
+			for j := lo; j < hi; j++ {
+				if !blk.Lost[j] {
+					ns.delivered++
+				}
+			}
+			if err := foldRows(ns, cls, blk, lo, hi); err != nil {
+				return nil, err
+			}
+		} else if err := foldEdgeRows(ns, cls, blk, sinceN, untilN); err != nil {
+			return nil, err
+		}
+		if err := absorb(ns); err != nil {
+			return nil, err
+		}
+	}
+	if runStart >= 0 {
+		if err := flushRun(runStart, len(blocks)); err != nil {
+			return nil, err
+		}
+	}
+	for ct, ds := range runs {
+		d, err := stats.CombineSorted(ds)
+		if err != nil {
+			return nil, err
+		}
+		res.ByContinent[ct] = d
+	}
+	return res, nil
+}
+
+// foldEdgeRows is the slow edge path for a block whose time column is
+// not monotone: every row tests against the window individually. The
+// probe-run continent cache still applies.
+func foldEdgeRows(ns *nodeState, cls Continents, blk *colf.Block, sinceN, untilN int64) error {
+	lastProbe := 0
+	var d *stats.Dist
+	var cnt []uint64
+	for i, tn := range blk.TimeNano {
+		if tn < sinceN || tn >= untilN {
+			continue
+		}
+		ns.rows++
+		if blk.Lost[i] {
+			continue
+		}
+		ns.delivered++
+		probe := blk.Probe[i]
+		if probe != lastProbe {
+			lastProbe = probe
+			d, cnt = nil, nil
+			if cls.Known(probe) {
+				if ct, ok := cls.Continent(probe); ok {
+					if d = ns.dists[ct]; d == nil {
+						d = &stats.Dist{}
+						ns.dists[ct] = d
+					}
+					cnt = ns.bins(ct)
+				}
+			}
+		}
+		if d == nil {
+			continue
+		}
+		v := blk.RTT[i]
+		if err := d.Add(v); err != nil {
+			return err
+		}
+		if k := curveBin(v); k >= 0 {
+			cnt[k]++
+		}
+	}
+	return nil
+}

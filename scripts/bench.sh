@@ -47,11 +47,32 @@ serve | serve-smoke)
     fi
     full=""
     if [ "$mode" = serve ]; then full=1; fi
+    # Snapshot the committed baseline before the run: a full serve run's
+    # default output path IS the committed BENCH_serve.json, so the
+    # on-disk file is already overwritten by the time the gate compares.
+    baseline_p99="$(git show HEAD:BENCH_serve.json 2>/dev/null |
+        jq -r '[.scenarios[] | select(.scenario == "cdf_window_index")][0].p99_us // empty' 2>/dev/null || true)"
     SERVE_BENCH_OUT="$out" \
         SERVE_BENCH_GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
         SERVE_BENCH_FULL="$full" \
         go test -run '^TestServeLoadBench$' -count=1 -v ./internal/serve
     echo "serve bench results written to $out"
+    # Regression gate: the windowed-index scenario's p99 must stay within
+    # 20% of the committed baseline. Smoke runs are single-shot and
+    # non-statistical, so only full serve runs are gated; the gate skips
+    # (loudly) when the committed baseline predates the scenario.
+    if [ "$mode" = serve ]; then
+        new_p99="$(jq -r '[.scenarios[] | select(.scenario == "cdf_window_index")][0].p99_us // empty' "$out")"
+        if [ -n "$baseline_p99" ] && [ -n "$new_p99" ]; then
+            if awk -v n="$new_p99" -v b="$baseline_p99" 'BEGIN { exit !(n > 1.2 * b) }'; then
+                echo "bench.sh: cdf_window_index p99 regressed >20%: ${new_p99}us vs committed baseline ${baseline_p99}us" >&2
+                exit 1
+            fi
+            echo "cdf_window_index p99 gate passed: ${new_p99}us vs baseline ${baseline_p99}us (limit +20%)"
+        else
+            echo "cdf_window_index p99 gate skipped (committed baseline lacks the scenario)"
+        fi
+    fi
     exit 0
     ;;
 *)

@@ -34,7 +34,7 @@ echo "== go test -race (concurrency suites, uncached) =="
 # readers against snapshot swaps and cache invalidation under churn);
 # run them uncached so every gate exercises the race detector on fresh
 # schedules.
-go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/cluster ./internal/colf ./internal/results ./internal/snap ./internal/stats ./internal/obs ./internal/serve
+go test -race -count=1 ./internal/scan ./internal/core ./internal/engine ./internal/cluster ./internal/colf ./internal/results ./internal/snap ./internal/stats ./internal/obs ./internal/serve ./internal/tix
 
 echo "== go test -race =="
 go test -race ./...
@@ -42,12 +42,15 @@ go test -race ./...
 echo "== fuzz smoke =="
 # Short fuzz bursts over the decode boundaries: the columnar block
 # codec (round-trip + corruption), the JSONL fast-path decoder
-# (differential against encoding/json), and the snapshot envelope
-# (header/payload round-trip + corruption). Ten seconds each catches
-# format regressions without turning the gate into a fuzz farm.
+# (differential against encoding/json), the snapshot envelope
+# (header/payload round-trip + corruption), and the temporal index's
+# segment-node codec (decode must never panic; accepted payloads must
+# re-encode to the same aggregate). Ten seconds each catches format
+# regressions without turning the gate into a fuzz farm.
 go test -run='^$' -fuzz='^FuzzBlockRoundTrip$' -fuzztime=10s ./internal/colf
 go test -run='^$' -fuzz='^FuzzSampleDecode$' -fuzztime=10s ./internal/scan
 go test -run='^$' -fuzz='^FuzzSnapshotRoundTrip$' -fuzztime=10s ./internal/snap
+go test -run='^$' -fuzz='^FuzzNodeRoundTrip$' -fuzztime=10s ./internal/tix
 
 echo "== bench smoke =="
 # One iteration of every benchmark: catches bit-rot in bench code
@@ -81,5 +84,24 @@ for fig in 6 7; do
         -snapshot off -rowscan >"$smokedir/fig$fig.row.txt" 2>/dev/null
     cmp "$smokedir/fig$fig.batch.txt" "$smokedir/fig$fig.row.txt"
 done
+
+echo "== temporal index smoke (windowed equivalence) =="
+# The serial shears run above built samples.tix alongside the dataset;
+# -op window answers from it, composing pre-merged segment nodes plus
+# edge-block decodes. Pin its per-continent delivered sample counts
+# against -op continents, which cold-scans the same [since, until)
+# row by row — the index must agree with the scan exactly.
+test -s "$smokedir/serial/samples.tix"
+win_since="2019-09-01T12:00:00Z"
+win_until="2019-09-02T06:00:00Z"
+go run ./cmd/dataset -data "$smokedir/serial" \
+    -window "$win_since,$win_until" window >"$smokedir/window.idx.txt"
+go run ./cmd/dataset -data "$smokedir/serial" \
+    -since "$win_since" -until "$win_until" continents >"$smokedir/window.scan.txt"
+# Both tables pad the continent name to 14 columns (names can contain
+# spaces); the count is the first field after it.
+tally='/^continent /{t=1;next} t{rest=substr($0,15); split(rest,a," "); print substr($0,1,14), a[1]}'
+diff <(awk "$tally" "$smokedir/window.idx.txt") \
+    <(awk "$tally" "$smokedir/window.scan.txt")
 
 echo "OK"
